@@ -1,0 +1,160 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   1. L2 correction on/off — error at each retrieval level and payload cost.
+//   2. RS matrix construction (Vandermonde vs Cauchy) — encode/decode speed.
+//   3. WAN model (static equal share vs progressive refill) — how
+//      conservative the paper's transfer model is on real gathering plans.
+//   4. Heuristic vs brute force — solution quality across a randomized
+//      problem sweep (beyond the six Table 3 objects).
+
+#include "bench_common.hpp"
+
+#include "rapids/util/timer.hpp"
+
+using namespace rapids;
+using namespace rapids::bench;
+
+namespace {
+
+void ablate_l2_correction(ThreadPool& pool) {
+  banner("Ablation 1 — L2 projection correction",
+         "measured relative L-inf error and level bytes, correction on vs off "
+         "(SCALE:PRES)");
+  const auto obj = data::find_object("SCALE:PRES", 1);
+  const auto field = obj.generate(&pool);
+
+  Table table({"levels used", "err (L2 on)", "bytes (L2 on)", "err (L2 off)",
+               "bytes (L2 off)"});
+  std::vector<std::vector<f64>> errs(2);
+  std::vector<std::vector<u64>> bytes(2);
+  for (int variant = 0; variant < 2; ++variant) {
+    mgard::RefactorOptions opt;
+    opt.decomp_levels = 4;
+    opt.target_rel_errors = {4e-3, 5e-4, 6e-5, 1e-7};
+    opt.l2_correction = (variant == 0);
+    const mgard::Refactorer rf(opt, &pool);
+    const auto r = rf.refactor(field, obj.dims, "ablate");
+    std::vector<Bytes> payloads;
+    for (u32 j = 1; j <= 4; ++j) {
+      payloads.push_back(r.levels[j - 1].payload);
+      const auto rec = rf.reconstruct(r, payloads);
+      errs[variant].push_back(data::relative_linf_error(field, rec));
+      bytes[variant].push_back(r.level_bytes(j - 1));
+    }
+  }
+  for (u32 j = 0; j < 4; ++j)
+    table.add_row({std::to_string(j + 1), fmt_sci(errs[0][j]),
+                   std::to_string(bytes[0][j]), fmt_sci(errs[1][j]),
+                   std::to_string(bytes[1][j])});
+  table.print();
+}
+
+void ablate_matrix_kind() {
+  banner("Ablation 2 — RS encode-matrix construction",
+         "encode/decode throughput, RS(12,4), 64 MB payload");
+  std::vector<u8> payload(64 << 20);
+  Rng rng(3);
+  for (auto& b : payload) b = static_cast<u8>(rng.next_u64());
+
+  Table table({"matrix", "encode", "decode (4 parity rows in play)"});
+  for (auto kind : {ec::MatrixKind::kVandermonde, ec::MatrixKind::kCauchy}) {
+    const ec::ReedSolomon rs(12, 4, kind);
+    Timer t;
+    auto frags = rs.encode(payload, "a", 0);
+    const f64 enc = static_cast<f64>(payload.size()) / t.seconds();
+    std::vector<ec::Fragment> survivors(frags.begin() + 4, frags.end());
+    t.reset();
+    const auto out = rs.decode(survivors);
+    const f64 dec = static_cast<f64>(payload.size()) / t.seconds();
+    RAPIDS_REQUIRE(out == payload);
+    table.add_row({kind == ec::MatrixKind::kVandermonde ? "Vandermonde" : "Cauchy",
+                   fmt_bytes(enc) + "/s", fmt_bytes(dec) + "/s"});
+  }
+  table.print();
+}
+
+void ablate_transfer_model(ThreadPool& pool) {
+  banner("Ablation 3 — WAN model: static equal share vs progressive refill",
+         "gathering-plan latency under both models (paper uses the static "
+         "model)");
+  const EvalSetup setup;
+  const auto catalog = refactor_catalog(setup, &pool);
+  const auto bandwidths =
+      net::sample_endpoint_bandwidths(setup.n, setup.bandwidth_seed);
+
+  Table table({"data object", "static latency", "progressive latency",
+               "static overestimates by"});
+  for (const auto& e : catalog) {
+    const auto ft = [&] {
+      core::FtProblem fp;
+      fp.n = setup.n;
+      fp.p = setup.p;
+      fp.level_sizes = e.paper_level_sizes;
+      fp.level_errors = e.level_errors;
+      fp.original_size = e.object.full_size_bytes;
+      fp.overhead_budget = 0.5;
+      return core::ft_optimize_heuristic(fp)->m;
+    }();
+    core::GatherProblem gp;
+    gp.n = setup.n;
+    gp.m = ft;
+    gp.level_sizes = e.paper_level_sizes;
+    gp.bandwidths = bandwidths;
+    gp.available.assign(setup.n, true);
+    const auto plan = core::naive_plan(gp);
+    const auto transfers = core::plan_transfers(gp, plan.systems_per_level);
+    const f64 stat = net::equal_share_latency(transfers, bandwidths);
+    const f64 prog = net::progressive_latency(transfers, bandwidths);
+    table.add_row({e.object.label(), fmt_seconds(stat), fmt_seconds(prog),
+                   fmt("%.1f%%", (stat / prog - 1.0) * 100.0)});
+  }
+  table.print();
+}
+
+void ablate_heuristic_sweep() {
+  banner("Ablation 4 — FT heuristic vs brute force, randomized sweep",
+         "200 random problems (n in 10..24, level-size growth 3..10x, "
+         "budgets 0.08..0.8)");
+  Rng rng(123);
+  u32 exact = 0, within_1pct = 0, worse = 0;
+  f64 worst_gap = 0.0;
+  const u32 trials = 200;
+  for (u32 t = 0; t < trials; ++t) {
+    core::FtProblem pr;
+    pr.n = 10 + static_cast<u32>(rng.next_below(15));
+    pr.p = rng.uniform(0.005, 0.05);
+    const f64 growth = rng.uniform(3.0, 10.0);
+    u64 size = 1000 + rng.next_below(100000);
+    f64 err = rng.uniform(1e-3, 1e-2);
+    for (u32 l = 0; l < 4; ++l) {
+      pr.level_sizes.push_back(size);
+      pr.level_errors.push_back(err);
+      size = static_cast<u64>(size * growth);
+      err /= rng.uniform(5.0, 20.0);
+    }
+    pr.original_size = static_cast<u64>(size * rng.uniform(0.5, 2.0));
+    pr.overhead_budget = rng.uniform(0.08, 0.8);
+    const auto brute = core::ft_optimize_brute_force(pr);
+    const auto heur = core::ft_optimize_heuristic(pr);
+    if (!brute.has_value()) continue;
+    RAPIDS_REQUIRE(heur.has_value());
+    const f64 gap = heur->expected_error / brute->expected_error - 1.0;
+    worst_gap = std::max(worst_gap, gap);
+    if (gap <= 1e-9) ++exact;
+    else if (gap <= 0.01) ++within_1pct;
+    else ++worse;
+  }
+  std::printf("exact optimum: %u, within 1%%: %u, worse than 1%%: %u "
+              "(worst gap %.2f%%)\n",
+              exact, within_1pct, worse, worst_gap * 100.0);
+}
+
+}  // namespace
+
+int main() {
+  ThreadPool pool;
+  ablate_l2_correction(pool);
+  ablate_matrix_kind();
+  ablate_transfer_model(pool);
+  ablate_heuristic_sweep();
+  return 0;
+}

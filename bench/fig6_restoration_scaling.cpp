@@ -1,0 +1,46 @@
+// Reproduces Fig. 6: per-operation time of RAPIDS data restoration (optimize
+// gathering, gather, read, erasure decode, reconstruct) as the CPU core
+// count grows from 32 to 1024, for all six paper-scale objects. Paper shape:
+// reconstruction dominates at low core counts and parallelizes away, the
+// gathering transfer is core-independent.
+
+#include "scaling_common.hpp"
+
+using namespace rapids;
+using namespace rapids::bench;
+
+int main() {
+  banner("Fig. 6 — Data restoration per-operation time vs CPU cores (seconds)",
+         "RF+EC pipeline, paper-scale objects, no outages; optimized "
+         "gathering strategy");
+
+  const EvalSetup setup;
+  const ScalingSetup ss;
+  ThreadPool pool;
+  const auto catalog = refactor_catalog(setup, &pool);
+  const perf::ClusterModel model(perf::cached_calibration());
+  const auto bandwidths =
+      net::sample_endpoint_bandwidths(setup.n, setup.bandwidth_seed);
+
+  for (const auto& e : catalog) {
+    const auto ft = optimal_config(setup, e);
+    std::printf("-- %s (%s, FT %s) --\n", e.object.label().c_str(),
+                fmt_bytes(static_cast<f64>(e.object.full_size_bytes)).c_str(),
+                fmt_config(ft).c_str());
+    Table table({"cores", "optimize gathering", "gather", "read",
+                 "erasure decode", "reconstruct", "total"});
+    for (u32 cores : ss.cores) {
+      const auto b = restore_rfec(ss, model, e, ft, setup.n, cores, bandwidths);
+      table.add_row({std::to_string(cores),
+                     fmt("%.2f", b.ops.at("optimize gathering")),
+                     fmt_seconds(b.ops.at("gather")),
+                     fmt_seconds(b.ops.at("read")),
+                     fmt_seconds(b.ops.at("erasure decode")),
+                     fmt_seconds(b.ops.at("reconstruct")),
+                     fmt_seconds(b.total())});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Fig. 7: data refactoring and reconstruction throughput on one
+// CPU core vs a GPU, per object. The CPU columns are *measured* by running
+// this library's real kernels single-threaded on each object; the GPU
+// columns are *modeled* (no GPU in this environment) by applying the paper's
+// reported average speedups — 3.7x refactor, 20.3x reconstruct on a K80 —
+// with deterministic per-object variation (DESIGN.md substitution #6).
+
+#include "bench_common.hpp"
+
+#include "rapids/util/timer.hpp"
+
+using namespace rapids;
+using namespace rapids::bench;
+
+int main() {
+  banner("Fig. 7 — Refactor/reconstruct throughput: 1 CPU core vs GPU (modeled)",
+         "CPU = measured on this library's kernels; GPU = modeled from the "
+         "paper's K80 speedups");
+
+  const EvalSetup setup;
+  const perf::AcceleratorModel gpu(perf::cached_calibration());
+
+  Table table({"data object", "CPU refactor", "GPU refactor", "speedup",
+               "CPU reconstruct", "GPU reconstruct", "speedup"});
+
+  f64 rf_speedup_sum = 0.0, rc_speedup_sum = 0.0;
+  for (const auto& obj : data::paper_objects(setup.object_scale)) {
+    const auto field = obj.generate();
+    const u64 bytes = obj.dims.total() * sizeof(f32);
+
+    mgard::RefactorOptions opt;
+    opt.decomp_levels = 4;
+    opt.target_rel_errors = setup.targets;
+    const mgard::Refactorer rf(opt, nullptr);  // single core
+
+    Timer t;
+    const auto refactored = rf.refactor(field, obj.dims, obj.label());
+    const f64 cpu_refactor = static_cast<f64>(bytes) / t.seconds();
+
+    std::vector<Bytes> payloads;
+    for (const auto& l : refactored.levels) payloads.push_back(l.payload);
+    t.reset();
+    const auto rec = rf.reconstruct(refactored, payloads);
+    const f64 cpu_reconstruct = static_cast<f64>(bytes) / t.seconds();
+    RAPIDS_REQUIRE(rec.size() == field.size());
+
+    const f64 rf_speedup = gpu.refactor_speedup(obj.label());
+    const f64 rc_speedup = gpu.reconstruct_speedup(obj.label());
+    rf_speedup_sum += rf_speedup;
+    rc_speedup_sum += rc_speedup;
+
+    table.add_row({obj.label(), fmt_bytes(cpu_refactor) + "/s",
+                   fmt_bytes(cpu_refactor * rf_speedup) + "/s",
+                   fmt("%.1fx", rf_speedup), fmt_bytes(cpu_reconstruct) + "/s",
+                   fmt_bytes(cpu_reconstruct * rc_speedup) + "/s",
+                   fmt("%.1fx", rc_speedup)});
+  }
+  table.print();
+  std::printf(
+      "\nMean modeled speedups: refactor %.1fx (paper: 3.7x), reconstruct "
+      "%.1fx (paper: 20.3x).\n",
+      rf_speedup_sum / 6.0, rc_speedup_sum / 6.0);
+  return 0;
+}

@@ -1,0 +1,228 @@
+// google-benchmark microbenchmarks for the hot kernels: GF(2^8) bulk ops,
+// Reed-Solomon encode/decode across geometries, the multigrid transform,
+// bitplane codec, CRC, the key-value store, and the WAN simulators.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "rapids/rapids.hpp"
+
+namespace {
+
+using namespace rapids;
+
+std::vector<u8> random_bytes(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<u8> out(n);
+  for (auto& b : out) b = static_cast<u8>(rng.next_u64());
+  return out;
+}
+
+// --- GF(2^8) ---
+
+void BM_Gf256MulAcc(benchmark::State& state) {
+  const auto src = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  std::vector<u8> dst(src.size(), 0);
+  for (auto _ : state) {
+    ec::GF256::mul_acc(dst, src, 0x1D);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Gf256MulAcc)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_Gf256AddAcc(benchmark::State& state) {
+  const auto src = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
+  std::vector<u8> dst(src.size(), 0);
+  for (auto _ : state) {
+    ec::GF256::add_acc(dst, src);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Gf256AddAcc)->Arg(4 << 20);
+
+// --- Reed-Solomon ---
+
+void BM_RsEncode(benchmark::State& state) {
+  const u32 k = static_cast<u32>(state.range(0));
+  const u32 m = static_cast<u32>(state.range(1));
+  const ec::ReedSolomon rs(k, m);
+  const auto payload = random_bytes(8 << 20, 3);
+  for (auto _ : state) {
+    auto frags = rs.encode(payload, "bench", 0);
+    benchmark::DoNotOptimize(frags.data());
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_RsEncode)->Args({4, 2})->Args({12, 4})->Args({8, 8});
+
+void BM_RsDecodeWithParity(benchmark::State& state) {
+  const u32 k = static_cast<u32>(state.range(0));
+  const u32 m = static_cast<u32>(state.range(1));
+  const ec::ReedSolomon rs(k, m);
+  const auto payload = random_bytes(8 << 20, 4);
+  auto frags = rs.encode(payload, "bench", 0);
+  // Worst case: m data fragments lost, parity in play.
+  std::vector<ec::Fragment> survivors(frags.begin() + m, frags.end());
+  for (auto _ : state) {
+    auto out = rs.decode(survivors);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+}
+BENCHMARK(BM_RsDecodeWithParity)->Args({4, 2})->Args({12, 4});
+
+// --- multigrid transform ---
+
+void BM_Decompose3D(benchmark::State& state) {
+  const u64 extent = static_cast<u64>(state.range(0));
+  const mgard::Dims dims{extent, extent, extent};
+  const mgard::GridHierarchy h(dims, 3);
+  const auto field = data::hurricane_pressure(dims, 5);
+  std::vector<f64> work(field.begin(), field.end());
+  const auto padded = mgard::pad_field(work, dims, h.padded());
+  for (auto _ : state) {
+    auto copy = padded;
+    mgard::decompose(copy, h, {});
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(state.iterations() * dims.total() * sizeof(f32));
+}
+BENCHMARK(BM_Decompose3D)->Arg(33)->Arg(65);
+
+void BM_Recompose3D(benchmark::State& state) {
+  const u64 extent = static_cast<u64>(state.range(0));
+  const mgard::Dims dims{extent, extent, extent};
+  const mgard::GridHierarchy h(dims, 3);
+  const auto field = data::hurricane_pressure(dims, 6);
+  std::vector<f64> work(field.begin(), field.end());
+  auto padded = mgard::pad_field(work, dims, h.padded());
+  mgard::decompose(padded, h, {});
+  for (auto _ : state) {
+    auto copy = padded;
+    mgard::recompose(copy, h, {});
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetBytesProcessed(state.iterations() * dims.total() * sizeof(f32));
+}
+BENCHMARK(BM_Recompose3D)->Arg(33)->Arg(65);
+
+// --- bitplane codec ---
+
+void BM_BitplaneEncode(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<f64> coeffs(static_cast<std::size_t>(state.range(0)));
+  for (auto& c : coeffs) c = rng.normal(0.0, 1.0);
+  for (auto _ : state) {
+    auto ps = mgard::encode_planes(coeffs);
+    benchmark::DoNotOptimize(&ps);
+  }
+  state.SetBytesProcessed(state.iterations() * coeffs.size() * sizeof(f64));
+}
+BENCHMARK(BM_BitplaneEncode)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_BitplaneDecode(benchmark::State& state) {
+  Rng rng(8);
+  std::vector<f64> coeffs(1 << 20);
+  for (auto& c : coeffs) c = rng.normal(0.0, 1.0);
+  const auto ps = mgard::encode_planes(coeffs);
+  const u32 planes = static_cast<u32>(state.range(0));
+  for (auto _ : state) {
+    auto out = mgard::decode_planes(ps, planes);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * coeffs.size() * sizeof(f64));
+}
+BENCHMARK(BM_BitplaneDecode)->Arg(8)->Arg(24)->Arg(32);
+
+// --- refactorer end-to-end ---
+
+void BM_RefactorEndToEnd(benchmark::State& state) {
+  const mgard::Dims dims{65, 65, 33};
+  const auto field = data::scale_pressure(dims, 9);
+  mgard::RefactorOptions opt;
+  opt.target_rel_errors = {4e-3, 5e-4, 6e-5, 1e-7};
+  const mgard::Refactorer rf(opt, nullptr);
+  for (auto _ : state) {
+    auto obj = rf.refactor(field, dims, "bench");
+    benchmark::DoNotOptimize(&obj);
+  }
+  state.SetBytesProcessed(state.iterations() * dims.total() * sizeof(f32));
+}
+BENCHMARK(BM_RefactorEndToEnd);
+
+// --- crc32c ---
+
+void BM_Crc32c(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)), 10);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rapids::crc32c(data.data(), data.size()));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(4 << 10)->Arg(4 << 20);
+
+// --- key-value store ---
+
+void BM_KvPut(benchmark::State& state) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "rapids_bench_kv").string();
+  std::filesystem::remove_all(dir);
+  auto db = kv::Db::open(dir);
+  u64 i = 0;
+  for (auto _ : state)
+    db->put("key" + std::to_string(i++), "system-" + std::to_string(i % 16));
+  state.SetItemsProcessed(state.iterations());
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_KvPut);
+
+void BM_KvGet(benchmark::State& state) {
+  const auto dir =
+      (std::filesystem::temp_directory_path() / "rapids_bench_kv2").string();
+  std::filesystem::remove_all(dir);
+  auto db = kv::Db::open(dir);
+  for (u64 i = 0; i < 10000; ++i)
+    db->put("key" + std::to_string(i), std::to_string(i));
+  db->flush();
+  u64 i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->get("key" + std::to_string(i++ % 10000)));
+  }
+  state.SetItemsProcessed(state.iterations());
+  db.reset();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_KvGet);
+
+// --- WAN simulators ---
+
+void BM_EqualShareModel(benchmark::State& state) {
+  const auto bw = net::sample_endpoint_bandwidths(16, 1);
+  std::vector<net::Transfer> transfers;
+  Rng rng(2);
+  for (u32 i = 0; i < 64; ++i)
+    transfers.push_back({static_cast<u32>(rng.next_below(16)),
+                         1 + rng.next_below(1u << 30)});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::equal_share_mean_time(transfers, bw));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EqualShareModel);
+
+void BM_ProgressiveSim(benchmark::State& state) {
+  const auto bw = net::sample_endpoint_bandwidths(16, 1);
+  std::vector<net::Transfer> transfers;
+  Rng rng(2);
+  for (u32 i = 0; i < 64; ++i)
+    transfers.push_back({static_cast<u32>(rng.next_below(16)),
+                         1 + rng.next_below(1u << 30)});
+  for (auto _ : state)
+    benchmark::DoNotOptimize(net::progressive_latency(transfers, bw));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProgressiveSim);
+
+}  // namespace

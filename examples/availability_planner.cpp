@@ -1,0 +1,79 @@
+// Availability planner: the capacity-planning view a facility operator
+// needs. For a dataset about to be archived, sweep the storage-overhead
+// budget and show, per budget, what fault-tolerance configuration RAPIDS
+// would pick, what expected quality it buys, and how the two conventional
+// methods compare at the same quality class — the quantitative trade-off
+// study of the paper's Section 3.2 as a tool.
+//
+// Run:  ./availability_planner
+
+#include <cstdio>
+
+#include "rapids/rapids.hpp"
+
+using namespace rapids;
+
+int main() {
+  const u32 n = 16;
+  const f64 p = 0.01;
+
+  // Refactor the target dataset once to get its real level profile.
+  ThreadPool pool;
+  const auto obj = data::find_object("SCALE:PRES", 1);
+  const auto field = obj.generate(&pool);
+  mgard::RefactorOptions ropt;
+  ropt.decomp_levels = 4;
+  ropt.target_rel_errors = {4e-3, 5e-4, 6e-5, 1e-7};
+  const mgard::Refactorer rf(ropt, &pool);
+  const auto refactored = rf.refactor(field, obj.dims, obj.label());
+
+  std::vector<u64> sizes;
+  std::vector<f64> errors;
+  for (u32 j = 0; j < 4; ++j) {
+    sizes.push_back(refactored.level_bytes(j));
+    errors.push_back(refactored.rel_error_bound(j + 1));
+  }
+  const u64 S = refactored.original_bytes();
+
+  std::printf("planning for %s: %llu B original, refactored to %llu B "
+              "(levels:", obj.label().c_str(), static_cast<unsigned long long>(S),
+              static_cast<unsigned long long>(refactored.refactored_bytes()));
+  for (u64 s : sizes) std::printf(" %llu", static_cast<unsigned long long>(s));
+  std::printf(")\nn = %u storage systems, per-system outage probability p = %.2f\n\n",
+              n, p);
+
+  std::printf("%-8s  %-14s  %-10s  %-22s\n", "budget", "FT config",
+              "overhead", "expected rel L-inf err");
+  for (const f64 budget :
+       {0.02, 0.05, 0.08, 0.12, 0.2, 0.3, 0.5, 0.8, 1.2}) {
+    core::FtProblem problem;
+    problem.n = n;
+    problem.p = p;
+    problem.level_sizes = sizes;
+    problem.level_errors = errors;
+    problem.original_size = S;
+    problem.overhead_budget = budget;
+    const auto sol = core::ft_optimize_heuristic(problem);
+    if (!sol) {
+      std::printf("%-8.2f  %-14s\n", budget, "infeasible");
+      continue;
+    }
+    std::string cfg = "[";
+    for (std::size_t j = 0; j < sol->m.size(); ++j)
+      cfg += (j ? "," : "") + std::to_string(sol->m[j]);
+    cfg += "]";
+    std::printf("%-8.2f  %-14s  %-10.3f  %.3e\n", budget, cfg.c_str(),
+                sol->storage_overhead, sol->expected_error);
+  }
+
+  std::printf("\nconventional methods at the same n and p:\n");
+  for (u32 replicas : {2u, 3u, 4u})
+    std::printf("  DP %u replicas: overhead %.2f, expected error %.3e\n",
+                replicas, core::duplication_storage_overhead(replicas),
+                core::duplication_unavailability(n, replicas, p));
+  for (u32 m : {1u, 2u, 3u, 4u})
+    std::printf("  EC (%u+%u):     overhead %.2f, expected error %.3e\n", n - m,
+                m, core::ec_storage_overhead(n - m, m),
+                core::ec_unavailability(n, m, p));
+  return 0;
+}

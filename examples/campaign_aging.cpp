@@ -1,0 +1,85 @@
+// Campaign aging: a simulation campaign writes many timesteps; storage is
+// finite. Because RAPIDS stores each timestep as an error-bounded hierarchy,
+// old timesteps can *degrade* instead of being deleted: dropping their deep
+// retrieval levels reclaims most of their space while keeping them
+// restorable at a coarser guaranteed accuracy — the availability/accuracy/
+// capacity trade the paper's hierarchy makes possible, applied over time.
+//
+// This drill prepares 6 timesteps, applies a retention schedule (recent =
+// full fidelity, older = fewer levels), retires a storage system via
+// evacuation, and verifies every timestep still restores within its
+// (possibly coarsened) guarantee.
+//
+// Run:  ./campaign_aging
+
+#include <cstdio>
+#include <filesystem>
+
+#include "rapids/rapids.hpp"
+
+using namespace rapids;
+
+int main() {
+  const mgard::Dims dims{65, 65, 17};
+  storage::Cluster cluster({.num_systems = 16, .failure_prob = 0.01});
+  const auto db_dir =
+      (std::filesystem::temp_directory_path() / "rapids_campaign_db").string();
+  std::filesystem::remove_all(db_dir);
+  auto db = kv::Db::open(db_dir);
+
+  ThreadPool pool;
+  core::PipelineConfig config;
+  config.refactor.target_rel_errors = {4e-3, 5e-4, 6e-5, 1e-7};
+  core::RapidsPipeline pipeline(cluster, *db, config, &pool);
+
+  // Write 6 timesteps of an evolving temperature field.
+  std::vector<std::vector<f32>> truth;
+  for (u32 step = 0; step < 6; ++step) {
+    const auto field = data::scale_temperature(dims, 1000 + step * 17);
+    const std::string name = "campaign/T/" + std::to_string(step);
+    const auto prep = pipeline.prepare(field, dims, name);
+    truth.push_back(field);
+    std::printf("t=%u prepared (%zu levels, overhead %.3f)\n", step,
+                prep.record.ft.size(), prep.storage_overhead);
+  }
+
+  u64 used = 0;
+  for (u32 i = 0; i < cluster.size(); ++i) used += cluster.system(i).used_bytes();
+  std::printf("\ncampaign footprint before aging: %.2f MB across %u systems\n",
+              used / 1e6, cluster.size());
+
+  // Retention schedule: steps 0-1 keep 1 level, steps 2-3 keep 2, the two
+  // newest stay at full fidelity.
+  u64 reclaimed = 0;
+  for (u32 step = 0; step < 4; ++step) {
+    const u32 keep = step < 2 ? 1 : 2;
+    reclaimed += pipeline.age_object("campaign/T/" + std::to_string(step), keep);
+  }
+  used = 0;
+  for (u32 i = 0; i < cluster.size(); ++i) used += cluster.system(i).used_bytes();
+  std::printf("aged 4 old timesteps: reclaimed %.2f MB, footprint now %.2f MB\n",
+              reclaimed / 1e6, used / 1e6);
+
+  // Retire storage system 12: evacuate every object's fragments off it.
+  u32 moved = 0;
+  for (const auto& name : pipeline.list_objects())
+    moved += pipeline.evacuate_system(name, 12);
+  cluster.fail(12);
+  std::printf("retired system 12 (%u fragments migrated)\n\n", moved);
+
+  // Every timestep must restore within its current guarantee.
+  std::printf("%-16s %-7s %-12s %-12s %s\n", "timestep", "levels", "bound",
+              "measured", "ok");
+  bool all_ok = true;
+  for (u32 step = 0; step < 6; ++step) {
+    const auto rest = pipeline.restore("campaign/T/" + std::to_string(step));
+    const f64 err = data::relative_linf_error(truth[step], rest.data);
+    const bool ok = err <= rest.rel_error_bound;
+    all_ok &= ok;
+    std::printf("campaign/T/%-5u %-7u %-12.2e %-12.2e %s\n", step,
+                rest.levels_used, rest.rel_error_bound, err, ok ? "yes" : "NO");
+  }
+
+  std::filesystem::remove_all(db_dir);
+  return all_ok ? 0 : 1;
+}

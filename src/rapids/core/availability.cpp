@@ -1,0 +1,108 @@
+#include "rapids/core/availability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rapids::core {
+
+f64 binomial_pmf(u32 n, u32 i, f64 p) {
+  RAPIDS_REQUIRE(i <= n);
+  RAPIDS_REQUIRE(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) return i == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return i == n ? 1.0 : 0.0;
+  // log-space for stability: C(n,i) p^i (1-p)^(n-i).
+  const f64 log_c = std::lgamma(static_cast<f64>(n) + 1.0) -
+                    std::lgamma(static_cast<f64>(i) + 1.0) -
+                    std::lgamma(static_cast<f64>(n - i) + 1.0);
+  return std::exp(log_c + i * std::log(p) + (n - i) * std::log1p(-p));
+}
+
+f64 binomial_range(u32 n, u32 a, u32 b, f64 p) {
+  if (a > b) return 0.0;
+  b = std::min(b, n);
+  f64 sum = 0.0;
+  for (u32 i = a; i <= b; ++i) sum += binomial_pmf(n, i, p);
+  return std::min(sum, 1.0);
+}
+
+f64 duplication_unavailability(u32 n, u32 m, f64 p) {
+  RAPIDS_REQUIRE_MSG(m >= 1 && m <= n, "duplication: need 1 <= m <= n");
+  // Eq. 1: all m replica hosts down (prob p^m), any i of the other n-m also
+  // down. Summing over i just multiplies by 1, matching the paper's form:
+  f64 sum = 0.0;
+  for (u32 i = 0; i <= n - m; ++i)
+    sum += binomial_pmf(n - m, i, p) * std::pow(p, static_cast<f64>(m));
+  return sum;
+}
+
+f64 ec_unavailability(u32 n, u32 m, f64 p) {
+  RAPIDS_REQUIRE_MSG(m < n, "EC: parity count must be < n");
+  // Eq. 2: more than m of the n systems down.
+  return binomial_range(n, m + 1, n, p);
+}
+
+f64 duplication_storage_overhead(u32 m) {
+  RAPIDS_REQUIRE(m >= 1);
+  return static_cast<f64>(m - 1);
+}
+
+f64 ec_storage_overhead(u32 k, u32 m) {
+  RAPIDS_REQUIRE(k >= 1);
+  return static_cast<f64>(m) / static_cast<f64>(k);
+}
+
+bool valid_ft_config(u32 n, const FtConfig& m) {
+  if (m.empty()) return false;
+  if (m.front() >= n) return false;
+  for (std::size_t j = 1; j < m.size(); ++j)
+    if (m[j] >= m[j - 1]) return false;
+  return m.back() >= 1;
+}
+
+f64 level_window_probability(u32 n, u32 m_j, u32 m_next, f64 p) {
+  RAPIDS_REQUIRE(m_next < m_j);
+  // Eq. 4: m_{j+1} < N <= m_j.
+  return binomial_range(n, m_next + 1, m_j, p);
+}
+
+f64 expected_relative_error(u32 n, f64 p, std::span<const f64> errors,
+                            const FtConfig& m) {
+  RAPIDS_REQUIRE_MSG(valid_ft_config(n, m), "invalid FT configuration");
+  RAPIDS_REQUIRE(errors.size() == m.size());
+  const std::size_t l = m.size();
+  // Eq. 5, three terms: total loss (N > m_1) at e_0 = 1; full quality
+  // (N <= m_l) at e_l; and the per-level windows in between.
+  f64 e = 1.0 * binomial_range(n, m.front() + 1, n, p);
+  e += errors[l - 1] * binomial_range(n, 0, m.back(), p);
+  for (std::size_t j = 0; j + 1 < l; ++j)
+    e += errors[j] * binomial_range(n, m[j + 1] + 1, m[j], p);
+  return e;
+}
+
+f64 ft_storage_overhead(u32 n, const FtConfig& m, std::span<const u64> level_sizes,
+                        u64 original_size) {
+  RAPIDS_REQUIRE(level_sizes.size() == m.size());
+  RAPIDS_REQUIRE(original_size > 0);
+  f64 parity_bytes = 0.0;
+  for (std::size_t j = 0; j < m.size(); ++j) {
+    RAPIDS_REQUIRE_MSG(m[j] < n, "ft_storage_overhead: m_j must be < n");
+    parity_bytes += static_cast<f64>(m[j]) / static_cast<f64>(n - m[j]) *
+                    static_cast<f64>(level_sizes[j]);
+  }
+  return parity_bytes / static_cast<f64>(original_size);
+}
+
+f64 ft_network_overhead(u32 n, const FtConfig& m, std::span<const u64> level_sizes,
+                        u64 original_size) {
+  RAPIDS_REQUIRE(level_sizes.size() == m.size());
+  RAPIDS_REQUIRE(original_size > 0);
+  f64 shipped = 0.0;
+  for (std::size_t j = 0; j < m.size(); ++j) {
+    RAPIDS_REQUIRE_MSG(m[j] < n, "ft_network_overhead: m_j must be < n");
+    shipped += static_cast<f64>(level_sizes[j]) * static_cast<f64>(n) /
+               static_cast<f64>(n - m[j]);
+  }
+  return shipped / static_cast<f64>(original_size);
+}
+
+}  // namespace rapids::core

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file availability.hpp
+/// The paper's closed-form availability and data-quality math (Section 2.1
+/// and 3.2): unavailability of data duplication (Eq. 1) and regular erasure
+/// coding (Eq. 2), the probability of reconstructing with error e_j under a
+/// per-level fault-tolerance configuration (Eq. 4), the expected relative
+/// L-infinity error of the restored data (Eq. 5), and the storage/network
+/// overhead accounting used throughout the evaluation. Cross-validated
+/// against Monte Carlo failure injection in the test suite.
+
+#include <span>
+#include <vector>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::core {
+
+/// Binomial pmf: P[X = i] for X ~ Binomial(n, p). Numerically stable for the
+/// small n (<= a few hundred) used here.
+f64 binomial_pmf(u32 n, u32 i, f64 p);
+
+/// P[a <= X <= b] for X ~ Binomial(n, p); empty range (a > b) gives 0.
+f64 binomial_range(u32 n, u32 a, u32 b, f64 p);
+
+/// Eq. 1 — probability the data is unavailable when m replicas are stored on
+/// m of the n systems, each independently down with probability p.
+f64 duplication_unavailability(u32 n, u32 m, f64 p);
+
+/// Eq. 2 — probability the data is unavailable under RS erasure coding with
+/// n fragments total of which m are parity (tolerates m concurrent outages).
+f64 ec_unavailability(u32 n, u32 m, f64 p);
+
+/// Storage overhead of duplication with m replicas total: m - 1 (paper §2.1).
+f64 duplication_storage_overhead(u32 m);
+
+/// Storage overhead of regular EC with k data + m parity fragments: m / k.
+f64 ec_storage_overhead(u32 k, u32 m);
+
+/// One per-level fault-tolerance configuration: the paper's [m_1 ... m_l]
+/// with m_1 > m_2 > ... > m_l >= 1.
+using FtConfig = std::vector<u32>;
+
+/// Validate the constraint n > m_1 > ... > m_l >= 1.
+bool valid_ft_config(u32 n, const FtConfig& m);
+
+/// Eq. 4 — probability that exactly error level e_j is achievable, i.e.
+/// m_{j+1} < N <= m_j concurrent failures (with m_{l+1} := -inf handled by
+/// passing next = 0 semantics internally; see expected_relative_error).
+f64 level_window_probability(u32 n, u32 m_j, u32 m_next, f64 p);
+
+/// Eq. 5 — expected relative L-infinity error of the restored data.
+/// `errors` holds e_1..e_l (errors when reconstructing from levels 1..j);
+/// e_0 = 1 (total loss penalty) is implicit. `m` holds m_1..m_l.
+f64 expected_relative_error(u32 n, f64 p, std::span<const f64> errors,
+                            const FtConfig& m);
+
+/// Eq. 6 (left side) — storage overhead W of a per-level FT configuration:
+/// sum_j (m_j / (n - m_j)) * s_j / S, with `level_sizes` = s_1..s_l and
+/// `original_size` = S.
+f64 ft_storage_overhead(u32 n, const FtConfig& m, std::span<const u64> level_sizes,
+                        u64 original_size);
+
+/// Network overhead: total bytes shipped to remote systems per original byte.
+/// For RF+EC that is sum_j s_j * n/(n - m_j) / S (every system gets one
+/// fragment of every level).
+f64 ft_network_overhead(u32 n, const FtConfig& m, std::span<const u64> level_sizes,
+                        u64 original_size);
+
+}  // namespace rapids::core

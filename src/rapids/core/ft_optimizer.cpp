@@ -1,0 +1,112 @@
+#include "rapids/core/ft_optimizer.hpp"
+
+#include <functional>
+
+namespace rapids::core {
+
+namespace {
+
+void validate(const FtProblem& pr) {
+  RAPIDS_REQUIRE(pr.n >= 2);
+  RAPIDS_REQUIRE(!pr.level_sizes.empty());
+  RAPIDS_REQUIRE(pr.level_sizes.size() == pr.level_errors.size());
+  RAPIDS_REQUIRE(pr.original_size > 0);
+  RAPIDS_REQUIRE(pr.overhead_budget > 0.0);
+  RAPIDS_REQUIRE_MSG(pr.level_sizes.size() < pr.n,
+                     "need more systems than levels for a strict m-chain");
+}
+
+f64 overhead(const FtProblem& pr, const FtConfig& m) {
+  return ft_storage_overhead(pr.n, m, pr.level_sizes, pr.original_size);
+}
+
+FtSolution make_solution(const FtProblem& pr, const FtConfig& m, u64 evals) {
+  FtSolution s;
+  s.m = m;
+  s.expected_error = expected_relative_error(pr.n, pr.p, pr.level_errors, m);
+  s.storage_overhead = overhead(pr, m);
+  s.evaluations = evals;
+  return s;
+}
+
+}  // namespace
+
+std::optional<FtSolution> ft_optimize_brute_force(const FtProblem& problem) {
+  validate(problem);
+  const u32 l = static_cast<u32>(problem.level_sizes.size());
+  FtConfig current(l);
+  std::optional<FtConfig> best;
+  f64 best_error = 2.0;  // above the e_0 = 1 ceiling
+  u64 evals = 0;
+
+  // Depth-first enumeration of strictly decreasing vectors in [1, n-1].
+  std::function<void(u32, u32)> recurse = [&](u32 j, u32 upper) {
+    if (j == l) {
+      if (overhead(problem, current) > problem.overhead_budget) return;
+      const f64 err =
+          expected_relative_error(problem.n, problem.p, problem.level_errors, current);
+      ++evals;
+      if (err < best_error) {
+        best_error = err;
+        best = current;
+      }
+      return;
+    }
+    // m_j must leave room for l-1-j strictly smaller values >= 1.
+    const u32 reserve = l - 1 - j;
+    for (u32 v = upper; v >= reserve + 1; --v) {
+      current[j] = v;
+      recurse(j + 1, v - 1);
+    }
+  };
+  recurse(0, problem.n - 1);
+
+  if (!best) return std::nullopt;
+  FtSolution s = make_solution(problem, *best, evals);
+  return s;
+}
+
+std::optional<u32> ft_initial_mstar(const FtProblem& problem) {
+  validate(problem);
+  const u32 l = static_cast<u32>(problem.level_sizes.size());
+  // Largest m* with [m*+l-1, ..., m*] feasible: scan downward from the
+  // ordering ceiling (m_1 = m*+l-1 <= n-1).
+  for (u32 mstar = problem.n - l; mstar >= 1; --mstar) {
+    FtConfig m(l);
+    for (u32 j = 0; j < l; ++j) m[j] = mstar + (l - 1 - j);
+    if (overhead(problem, m) <= problem.overhead_budget) return mstar;
+  }
+  return std::nullopt;
+}
+
+std::optional<FtSolution> ft_optimize_heuristic(const FtProblem& problem) {
+  validate(problem);
+  const u32 l = static_cast<u32>(problem.level_sizes.size());
+  const auto mstar = ft_initial_mstar(problem);
+  if (!mstar) return std::nullopt;
+
+  FtConfig m(l);
+  for (u32 j = 0; j < l; ++j) m[j] = *mstar + (l - 1 - j);
+  u64 evals = 1;
+
+  // Algorithm 1: sweep bottom-to-top; raise every level that ordering and
+  // budget permit; stop when a full sweep leaves M unchanged (M == M_prev).
+  for (;;) {
+    FtConfig prev = m;
+    for (u32 j = l; j-- > 0;) {  // j = l-1 (bottom) .. 0 (top)
+      const u32 ceiling = j == 0 ? problem.n - 1 : m[j - 1] - 1;
+      while (m[j] < ceiling) {
+        m[j] += 1;
+        ++evals;
+        if (overhead(problem, m) > problem.overhead_budget) {
+          m[j] -= 1;  // revert: budget violated
+          break;
+        }
+      }
+    }
+    if (m == prev) break;
+  }
+  return make_solution(problem, m, evals);
+}
+
+}  // namespace rapids::core

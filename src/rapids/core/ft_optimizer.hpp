@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file ft_optimizer.hpp
+/// Solvers for the paper's fault-tolerance configuration model (Eq. 7):
+/// choose m_1 > m_2 > ... > m_l (failures each retrieval level tolerates) to
+/// minimize the expected relative L-infinity error (Eq. 5) subject to the
+/// storage-overhead budget (Eq. 6). Two solvers:
+///
+///  * brute force — enumerate every strictly decreasing m-vector (O(U^4) for
+///    the paper's four levels);
+///  * the paper's Algorithm 1 heuristic — start from the minimal-gap
+///    configuration whose bottom value m* is the largest satisfying Eq. 9,
+///    then sweep bottom-to-top repeatedly, raising any level that the
+///    ordering and the budget still allow, until a sweep changes nothing.
+///
+/// Table 3 of the paper (reproduced by bench/table3_ft_optimization) shows
+/// the heuristic matching brute force at >100x less search work.
+
+#include <optional>
+#include <vector>
+
+#include "rapids/core/availability.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::core {
+
+/// Problem statement for one data object.
+struct FtProblem {
+  u32 n = 16;                    ///< number of storage systems
+  f64 p = 0.01;                  ///< per-system outage probability
+  std::vector<u64> level_sizes;  ///< s_1..s_l (bytes)
+  std::vector<f64> level_errors; ///< e_1..e_l (relative L-inf errors)
+  u64 original_size = 0;         ///< S (bytes)
+  f64 overhead_budget = 0.5;     ///< the paper's omega
+};
+
+/// Solver result.
+struct FtSolution {
+  FtConfig m;                ///< optimal [m_1..m_l]
+  f64 expected_error = 1.0;  ///< Eq. 5 value
+  f64 storage_overhead = 0;  ///< Eq. 6 value
+  u64 evaluations = 0;       ///< objective evaluations performed (search work)
+};
+
+/// Exhaustive search. Returns nullopt if no feasible configuration exists.
+std::optional<FtSolution> ft_optimize_brute_force(const FtProblem& problem);
+
+/// Algorithm 1. Returns nullopt if even the cheapest configuration
+/// ([l, l-1, ..., 1]) violates the budget.
+std::optional<FtSolution> ft_optimize_heuristic(const FtProblem& problem);
+
+/// Eq. 9 — the largest m* such that the minimal-gap configuration
+/// [m*+l-1, ..., m*] fits the budget. Returns nullopt if even m* = 1 does
+/// not fit.
+std::optional<u32> ft_initial_mstar(const FtProblem& problem);
+
+}  // namespace rapids::core

@@ -1,0 +1,437 @@
+#include "rapids/core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "rapids/core/baselines.hpp"
+
+#include "rapids/util/logging.hpp"
+#include "rapids/util/timer.hpp"
+
+namespace rapids::core {
+
+namespace {
+constexpr u32 kRecordMagic = 0x524F4252u;  // "ROBR"
+
+std::string object_key(const std::string& name) { return "obj/" + name; }
+
+std::span<const u8> payload_u8(const Bytes& payload) {
+  return {reinterpret_cast<const u8*>(payload.data()), payload.size()};
+}
+}  // namespace
+
+Bytes ObjectRecord::serialize() const {
+  ByteWriter w;
+  w.put_u32(kRecordMagic);
+  w.put_u16(1);
+  w.put_bytes(as_bytes_view(meta.serialize_metadata()));
+  w.put_u32(static_cast<u32>(ft.size()));
+  for (u32 m : ft) w.put_u32(m);
+  w.put_u32(static_cast<u32>(level_sizes.size()));
+  for (u64 s : level_sizes) w.put_u64(s);
+  w.put_u8(matrix_kind == ec::MatrixKind::kVandermonde ? 0 : 1);
+  w.put_u8(placement == storage::PlacementPolicy::kIdentity ? 0 : 1);
+  return w.take();
+}
+
+ObjectRecord ObjectRecord::deserialize(std::span<const std::byte> data) {
+  ByteReader r(data);
+  if (r.get_u32() != kRecordMagic) throw io_error("ObjectRecord: bad magic");
+  if (r.get_u16() != 1) throw io_error("ObjectRecord: bad version");
+  ObjectRecord rec;
+  rec.meta = mgard::RefactoredObject::deserialize_metadata(r.get_bytes());
+  const u32 nft = r.get_u32();
+  if (u64{nft} * 4 > r.remaining()) throw io_error("ObjectRecord: bad ft count");
+  rec.ft.resize(nft);
+  for (auto& m : rec.ft) m = r.get_u32();
+  const u32 nsz = r.get_u32();
+  if (u64{nsz} * 8 > r.remaining())
+    throw io_error("ObjectRecord: bad level count");
+  rec.level_sizes.resize(nsz);
+  for (auto& s : rec.level_sizes) s = r.get_u64();
+  rec.matrix_kind =
+      r.get_u8() == 0 ? ec::MatrixKind::kVandermonde : ec::MatrixKind::kCauchy;
+  rec.placement = r.get_u8() == 0 ? storage::PlacementPolicy::kIdentity
+                                  : storage::PlacementPolicy::kRotate;
+  return rec;
+}
+
+RapidsPipeline::RapidsPipeline(storage::Cluster& cluster, kv::KvStore& db,
+                               PipelineConfig config, ThreadPool* pool)
+    : cluster_(cluster), db_(db), config_(std::move(config)), pool_(pool) {}
+
+ec::ReedSolomon RapidsPipeline::codec_for(const ObjectRecord& record,
+                                          u32 level) const {
+  const u32 n = cluster_.size();
+  const u32 m = record.ft.at(level);
+  return ec::ReedSolomon(n - m, m, record.matrix_kind);
+}
+
+PrepareReport RapidsPipeline::prepare(std::span<const f32> data,
+                                      mgard::Dims dims, const std::string& name) {
+  const u32 n = cluster_.size();
+  PrepareReport report;
+  Timer t;
+
+  // 1-2) Read + refactor into the hierarchical representation.
+  const mgard::Refactorer refactorer(config_.refactor, pool_);
+  mgard::RefactoredObject obj = refactorer.refactor(data, dims, name);
+  report.refactor_seconds = t.seconds();
+
+  // 3) Optimize the fault-tolerance configuration (Algorithm 1).
+  t.reset();
+  FtProblem problem;
+  problem.n = n;
+  problem.p = cluster_.config().failure_prob;
+  problem.original_size = obj.original_bytes();
+  problem.overhead_budget = config_.overhead_budget;
+  for (u32 j = 0; j < obj.levels.size(); ++j) {
+    problem.level_sizes.push_back(obj.level_bytes(j));
+    problem.level_errors.push_back(obj.rel_error_bound(j + 1));
+  }
+  const auto solution = ft_optimize_heuristic(problem);
+  RAPIDS_REQUIRE_MSG(solution.has_value(),
+                     "prepare: no FT configuration fits the overhead budget");
+  report.optimize_seconds = t.seconds();
+
+  // 4) Erasure-code every level with its own configuration.
+  t.reset();
+  std::vector<std::vector<ec::Fragment>> per_level;
+  for (u32 j = 0; j < obj.levels.size(); ++j) {
+    const u32 m = solution->m[j];
+    const ec::ReedSolomon rs(n - m, m, config_.matrix_kind);
+    per_level.push_back(rs.encode(payload_u8(obj.levels[j].payload), name, j, pool_));
+  }
+  report.encode_seconds = t.seconds();
+
+  // 5) Distribute: one fragment of every level to every system.
+  t.reset();
+  for (u32 j = 0; j < per_level.size(); ++j) {
+    for (u32 idx = 0; idx < per_level[j].size(); ++idx) {
+      const u32 sys = storage::place_fragment(config_.placement, n, j, idx);
+      cluster_.system(sys).put(per_level[j][idx]);
+      db_.put(per_level[j][idx].id.key(), std::to_string(sys));
+      ++report.fragments_stored;
+    }
+  }
+  report.store_seconds = t.seconds();
+
+  // 6) Persist the object record.
+  ObjectRecord record;
+  record.meta = obj;
+  record.ft = solution->m;
+  for (u32 j = 0; j < obj.levels.size(); ++j)
+    record.level_sizes.push_back(obj.level_bytes(j));
+  record.matrix_kind = config_.matrix_kind;
+  record.placement = config_.placement;
+  const Bytes record_bytes = record.serialize();
+  db_.put(object_key(name),
+          std::string(reinterpret_cast<const char*>(record_bytes.data()),
+                      record_bytes.size()));
+
+  report.expected_error = solution->expected_error;
+  report.storage_overhead = solution->storage_overhead;
+  report.network_overhead = ft_network_overhead(
+      n, solution->m, record.level_sizes, obj.original_bytes());
+  report.distribution_latency = net::equal_share_latency(
+      rfec_distribution_plan(record.level_sizes, solution->m, n),
+      cluster_.bandwidths());
+  record.meta.levels = std::move(obj.levels);  // keep payloads in the report
+  report.record = std::move(record);
+  return report;
+}
+
+std::optional<ObjectRecord> RapidsPipeline::lookup(const std::string& name) const {
+  const auto raw = db_.get(object_key(name));
+  if (!raw) return std::nullopt;
+  return ObjectRecord::deserialize(
+      {reinterpret_cast<const std::byte*>(raw->data()), raw->size()});
+}
+
+std::map<u32, u32> RapidsPipeline::fragment_locations(const std::string& name,
+                                                      u32 level) const {
+  std::map<u32, u32> out;
+  const std::string prefix = "frag/" + name + "/" + std::to_string(level) + "/";
+  for (const auto& [key, value] : db_.scan_prefix(prefix)) {
+    const u32 index = static_cast<u32>(std::stoul(key.substr(prefix.size())));
+    const u32 system = static_cast<u32>(std::stoul(value));
+    // A system may host several fragments of one level after evacuations;
+    // keep the first (any one is equally useful to a gather plan).
+    out.emplace(system, index);
+  }
+  return out;
+}
+
+net::BandwidthTracker& RapidsPipeline::tracker() {
+  if (!tracker_) {
+    const auto raw = db_.get("net/bandwidth_tracker");
+    if (raw && raw->size() > 0) {
+      tracker_ = net::BandwidthTracker::deserialize(
+          {reinterpret_cast<const std::byte*>(raw->data()), raw->size()});
+      if (tracker_->size() != cluster_.size()) tracker_.reset();
+    }
+    if (!tracker_) tracker_ = net::BandwidthTracker(cluster_.bandwidths());
+  }
+  return *tracker_;
+}
+
+void RapidsPipeline::persist_tracker() {
+  if (!tracker_) return;
+  const Bytes wire = tracker_->serialize();
+  db_.put("net/bandwidth_tracker",
+          std::string(reinterpret_cast<const char*>(wire.data()), wire.size()));
+}
+
+std::vector<f64> RapidsPipeline::bandwidth_estimates() const {
+  if (config_.adapt_bandwidth && tracker_) return tracker_->estimates();
+  return cluster_.bandwidths();
+}
+
+GatherPlan RapidsPipeline::plan_gather(const GatherProblem& problem) const {
+  switch (config_.strategy) {
+    case GatherStrategy::kRandom: {
+      Rng rng(config_.random_seed);
+      return random_plan(problem, rng);
+    }
+    case GatherStrategy::kNaive:
+      return naive_plan(problem);
+    case GatherStrategy::kOptimized:
+      return optimized_plan(problem, config_.aco);
+  }
+  throw invariant_error("restore: unknown gather strategy");
+}
+
+RestoreReport RapidsPipeline::restore(const std::string& name) {
+  const auto record = lookup(name);
+  RAPIDS_REQUIRE_MSG(record.has_value(), "restore: unknown object " + name);
+  const u32 n = cluster_.size();
+
+  RestoreReport report;
+
+  // Build the gathering problem from current availability; bandwidths come
+  // from the learned tracker when adaptation is on (paper Section 4.3).
+  GatherProblem problem;
+  problem.n = n;
+  problem.m = record->ft;
+  problem.level_sizes = record->level_sizes;
+  problem.bandwidths =
+      config_.adapt_bandwidth ? tracker().estimates() : cluster_.bandwidths();
+  problem.available.resize(n);
+  for (u32 i = 0; i < n; ++i)
+    problem.available[i] = cluster_.system(i).available();
+
+  // Plan + fetch, replanning (bounded) when a planned fragment is missing or
+  // damaged: the offending system is treated as unavailable and the
+  // remaining tolerance absorbs it, exactly like one more concurrent outage.
+  Timer t;
+  std::vector<Bytes> payloads;
+  for (u32 attempt = 0; attempt <= n; ++attempt) {
+    report.levels_used = problem.recoverable_levels();
+    if (report.levels_used == 0) {
+      log::warn("pipeline", "object ", name, " unrecoverable: too many outages");
+      report.rel_error_bound = 1.0;  // the paper's e_0 penalty
+      return report;
+    }
+    report.rel_error_bound = record->meta.rel_error_bound(report.levels_used);
+
+    report.plan = plan_gather(problem);
+    report.planning_seconds += report.plan.planning_seconds;
+    report.gather_latency = report.plan.latency;
+
+    // Fetch the planned fragments (real bytes; the WAN time above is the
+    // simulated clock for those very transfers).
+    t.reset();
+    payloads.clear();
+    std::optional<u32> bad_system;
+    for (u32 j = 0; j < report.levels_used && !bad_system; ++j) {
+      const auto locations = fragment_locations(name, j);
+      std::vector<ec::Fragment> frags;
+      for (u32 sys : report.plan.systems_per_level[j]) {
+        const auto loc = locations.find(sys);
+        if (loc == locations.end()) {
+          log::warn("pipeline", "no level-", j, " fragment recorded on system ",
+                    sys, "; replanning");
+          bad_system = sys;
+          break;
+        }
+        const u32 idx = loc->second;
+        auto frag = cluster_.system(sys).get(ec::FragmentId{name, j, idx}.key());
+        if (!frag || !frag->verify()) {
+          log::warn("pipeline", "fragment ", name, "/", j, "/", idx,
+                    " missing or damaged on system ", sys, "; replanning");
+          bad_system = sys;
+          break;
+        }
+        frags.push_back(std::move(*frag));
+      }
+      if (bad_system) break;
+      const ec::ReedSolomon rs = codec_for(*record, j);
+      const std::vector<u8> level = rs.decode(frags, pool_);
+      const auto* p = reinterpret_cast<const std::byte*>(level.data());
+      payloads.emplace_back(p, p + level.size());
+    }
+    if (!bad_system) break;
+    problem.available[*bad_system] = false;
+    RAPIDS_REQUIRE_MSG(attempt < n, "restore: replanning did not converge");
+  }
+  report.decode_seconds = t.seconds();
+
+  // Fold the observed (simulated-WAN) per-transfer throughput back into the
+  // tracker so later plans adapt to bandwidth changes.
+  if (config_.adapt_bandwidth) {
+    const auto transfers = plan_transfers(problem, report.plan.systems_per_level);
+    const auto times = net::equal_share_times(transfers, cluster_.bandwidths());
+    std::vector<u32> load(n, 0);
+    for (const auto& tr : transfers) load[tr.system] += 1;
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      // Undo the contention share so the observation estimates the nominal
+      // endpoint bandwidth, not this plan's slice of it.
+      const f64 exclusive_seconds =
+          times[i] / static_cast<f64>(load[transfers[i].system]);
+      if (exclusive_seconds > 0.0)
+        tracker().observe(transfers[i].system, transfers[i].bytes,
+                          exclusive_seconds);
+    }
+    persist_tracker();
+  }
+
+  // Reconstruct the approximation from the recovered prefix.
+  t.reset();
+  const mgard::Refactorer refactorer(config_.refactor, pool_);
+  report.data = refactorer.reconstruct(record->meta, payloads);
+  report.reconstruct_seconds = t.seconds();
+  return report;
+}
+
+void RapidsPipeline::repair_fragment(const std::string& name, u32 level,
+                                     u32 index, u32 target_system) {
+  const auto record = lookup(name);
+  RAPIDS_REQUIRE_MSG(record.has_value(), "repair: unknown object " + name);
+  const u32 n = cluster_.size();
+  const ec::ReedSolomon rs = codec_for(*record, level);
+
+  std::vector<ec::Fragment> survivors;
+  for (const auto& [sys, idx] : fragment_locations(name, level)) {
+    if (survivors.size() >= rs.k()) break;
+    if (!cluster_.system(sys).available()) continue;
+    if (idx == index) continue;  // the lost one
+    auto frag = cluster_.system(sys).get(ec::FragmentId{name, level, idx}.key());
+    if (frag && frag->verify()) survivors.push_back(std::move(*frag));
+  }
+  RAPIDS_REQUIRE_MSG(survivors.size() >= rs.k(),
+                     "repair: not enough surviving fragments");
+  ec::Fragment rebuilt = rs.reconstruct_fragment(survivors, index, pool_);
+  cluster_.system(target_system).put(rebuilt);
+  db_.put(rebuilt.id.key(), std::to_string(target_system));
+}
+
+std::vector<std::string> RapidsPipeline::list_objects() const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : db_.scan_prefix("obj/"))
+    out.push_back(key.substr(4));
+  return out;
+}
+
+RapidsPipeline::ScrubReport RapidsPipeline::scrub(const std::string& name,
+                                                  bool repair) {
+  const auto record = lookup(name);
+  RAPIDS_REQUIRE_MSG(record.has_value(), "scrub: unknown object " + name);
+  ScrubReport report;
+  for (u32 level = 0; level < record->ft.size(); ++level) {
+    for (const auto& [sys, idx] : fragment_locations(name, level)) {
+      auto& host = cluster_.system(sys);
+      if (!host.available()) continue;  // outage, not damage
+      ++report.fragments_checked;
+      const auto frag = host.get(ec::FragmentId{name, level, idx}.key());
+      if (frag && frag->verify()) continue;
+      report.damaged.emplace_back(level, idx, sys);
+      log::warn("pipeline", "scrub: fragment ", name, "/", level, "/", idx,
+                " on system ", sys, frag ? " is corrupt" : " is missing");
+      if (repair) {
+        repair_fragment(name, level, idx, sys);
+        ++report.repaired;
+      }
+    }
+  }
+  return report;
+}
+
+u64 RapidsPipeline::age_object(const std::string& name, u32 keep_levels) {
+  auto record = lookup(name);
+  RAPIDS_REQUIRE_MSG(record.has_value(), "age: unknown object " + name);
+  const u32 current = static_cast<u32>(record->ft.size());
+  RAPIDS_REQUIRE_MSG(keep_levels >= 1 && keep_levels < current,
+                     "age: keep_levels must be in [1, levels)");
+
+  // Drop the deep levels' fragments everywhere and forget their locations.
+  u64 reclaimed = 0;
+  for (u32 level = keep_levels; level < current; ++level) {
+    for (const auto& [sys, idx] : fragment_locations(name, level)) {
+      const std::string key = ec::FragmentId{name, level, idx}.key();
+      auto& host = cluster_.system(sys);
+      if (host.has(key)) {
+        // Logical payload size: level bytes spread over k fragments.
+        reclaimed += ceil_div(record->level_sizes[level],
+                              cluster_.size() - record->ft[level]);
+        host.erase(key);
+      }
+      db_.del(key);
+    }
+  }
+
+  // Truncate the record so future restores plan only the kept levels.
+  record->ft.resize(keep_levels);
+  record->level_sizes.resize(keep_levels);
+  record->meta.levels.resize(keep_levels);
+  const Bytes wire = record->serialize();
+  db_.put(object_key(name),
+          std::string(reinterpret_cast<const char*>(wire.data()), wire.size()));
+  log::info("pipeline", "aged ", name, " to ", keep_levels,
+            " levels, reclaimed ", reclaimed, " bytes");
+  return reclaimed;
+}
+
+u32 RapidsPipeline::evacuate_system(const std::string& name, u32 system) {
+  const auto record = lookup(name);
+  RAPIDS_REQUIRE_MSG(record.has_value(), "evacuate: unknown object " + name);
+  const u32 n = cluster_.size();
+  RAPIDS_REQUIRE(system < n);
+
+  u32 moved = 0;
+  for (u32 level = 0; level < record->ft.size(); ++level) {
+    const auto locations = fragment_locations(name, level);
+    const auto loc = locations.find(system);
+    if (loc == locations.end()) continue;  // nothing of this level here
+    const u32 idx = loc->second;
+    const std::string key = ec::FragmentId{name, level, idx}.key();
+    if (!cluster_.system(system).has(key)) continue;  // already elsewhere
+
+    // Destination: the system (other than the source) currently holding the
+    // fewest fragments — keeps load roughly even as systems retire.
+    u32 target = system == 0 ? 1 : 0;
+    for (u32 s = 0; s < n; ++s) {
+      if (s == system || !cluster_.system(s).available()) continue;
+      if (cluster_.system(s).fragment_count() <
+          cluster_.system(target).fragment_count())
+        target = s;
+    }
+    RAPIDS_REQUIRE_MSG(target != system && cluster_.system(target).available(),
+                       "evacuate: no destination system available");
+
+    // Prefer a direct move; fall back to rebuilding from survivors if the
+    // source copy is unreadable.
+    const auto frag = cluster_.system(system).available()
+                          ? cluster_.system(system).get(key)
+                          : std::nullopt;
+    if (frag && frag->verify()) {
+      cluster_.system(target).put(*frag);
+    } else {
+      repair_fragment(name, level, idx, target);
+    }
+    cluster_.system(system).erase(key);
+    db_.put(key, std::to_string(target));
+    ++moved;
+  }
+  return moved;
+}
+
+}  // namespace rapids::core

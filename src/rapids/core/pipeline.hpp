@@ -1,0 +1,172 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// The end-to-end RAPIDS pipeline — the four software components of the
+/// paper's Section 4 wired together:
+///
+///   prepare():  read -> refactor (pMGARD role) -> optimize FT configuration
+///               (Algorithm 1) -> per-level erasure coding -> self-describing
+///               fragments -> distribute across the cluster -> metadata into
+///               the key-value store.
+///   restore():  metadata lookup -> gathering plan (Random/Naive/Optimized)
+///               -> WAN transfer (simulated clock, real bytes) -> erasure
+///               decode -> progressive reconstruction -> error accounting.
+///
+/// The cluster and metadata store are injected, so tests can drive outages
+/// between prepare and restore and examples can persist across runs.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "rapids/core/availability.hpp"
+#include "rapids/core/ft_optimizer.hpp"
+#include "rapids/core/gather.hpp"
+#include "rapids/ec/reed_solomon.hpp"
+#include "rapids/kvstore/kvstore.hpp"
+#include "rapids/mgard/refactorer.hpp"
+#include "rapids/net/bandwidth_tracker.hpp"
+#include "rapids/storage/cluster.hpp"
+#include "rapids/storage/placement.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::core {
+
+/// Gathering strategy selector (paper Section 5.4).
+enum class GatherStrategy { kRandom, kNaive, kOptimized };
+
+/// Pipeline configuration.
+struct PipelineConfig {
+  mgard::RefactorOptions refactor;  ///< refactoring knobs
+  f64 overhead_budget = 0.5;        ///< omega for the FT optimizer
+  ec::MatrixKind matrix_kind = ec::MatrixKind::kVandermonde;
+  storage::PlacementPolicy placement = storage::PlacementPolicy::kRotate;
+  GatherStrategy strategy = GatherStrategy::kOptimized;
+  solver::AcoOptions aco;           ///< budget for the Optimized strategy
+  u64 random_seed = 99;             ///< seed for the Random strategy
+  /// Learn per-system bandwidth from observed transfer throughput (paper
+  /// Section 4.3) and persist the estimates in the metadata store, so
+  /// gathering plans adapt to network variation across restores.
+  bool adapt_bandwidth = true;
+};
+
+/// Everything persisted about one prepared object (the metadata record).
+struct ObjectRecord {
+  mgard::RefactoredObject meta;  ///< payloads empty when deserialized
+  FtConfig ft;                   ///< chosen m_1..m_l
+  std::vector<u64> level_sizes;  ///< encoded retrieval-level bytes s_1..s_l
+  ec::MatrixKind matrix_kind = ec::MatrixKind::kVandermonde;
+  storage::PlacementPolicy placement = storage::PlacementPolicy::kRotate;
+
+  Bytes serialize() const;
+  static ObjectRecord deserialize(std::span<const std::byte> data);
+};
+
+/// prepare() outcome + instrumentation.
+struct PrepareReport {
+  ObjectRecord record;
+  f64 expected_error = 1.0;      ///< Eq. 5 under the chosen configuration
+  f64 storage_overhead = 0.0;    ///< Eq. 6 (parity bytes / original bytes)
+  f64 network_overhead = 0.0;    ///< shipped bytes / original bytes
+  f64 distribution_latency = 0;  ///< simulated WAN latency (equal share)
+  f64 refactor_seconds = 0.0;
+  f64 optimize_seconds = 0.0;
+  f64 encode_seconds = 0.0;
+  f64 store_seconds = 0.0;
+  u64 fragments_stored = 0;
+};
+
+/// restore() outcome + instrumentation.
+struct RestoreReport {
+  std::vector<f32> data;        ///< reconstructed field (empty if nothing recoverable)
+  u32 levels_used = 0;          ///< retrieval levels that survived the outage
+  f64 rel_error_bound = 1.0;    ///< guaranteed bound for levels_used (1 = lost)
+  GatherPlan plan;              ///< chosen gathering plan
+  f64 gather_latency = 0.0;     ///< simulated WAN latency of the plan
+  f64 planning_seconds = 0.0;   ///< optimizer wall time
+  f64 decode_seconds = 0.0;
+  f64 reconstruct_seconds = 0.0;
+};
+
+/// The orchestrator.
+class RapidsPipeline {
+ public:
+  RapidsPipeline(storage::Cluster& cluster, kv::KvStore& db,
+                 PipelineConfig config = {}, ThreadPool* pool = nullptr);
+
+  const PipelineConfig& config() const { return config_; }
+
+  /// Full data-preparation phase for one object.
+  PrepareReport prepare(std::span<const f32> data, mgard::Dims dims,
+                        const std::string& name);
+
+  /// Full data-restoration phase under the cluster's *current* availability.
+  /// If a planned fragment turns out missing or damaged, the affected system
+  /// is excluded and the gathering is replanned (bounded retries) instead of
+  /// failing the restore.
+  RestoreReport restore(const std::string& name);
+
+  /// The pipeline's current per-system bandwidth estimates: the tracker's
+  /// learned values when adapt_bandwidth is on, else the cluster's.
+  std::vector<f64> bandwidth_estimates() const;
+
+  /// Metadata lookup (nullopt if the object was never prepared).
+  std::optional<ObjectRecord> lookup(const std::string& name) const;
+
+  /// Rebuild one lost/damaged fragment from survivors and re-store it on
+  /// `target_system` (the repair flow of Section 4.2). Throws if fewer than
+  /// k survivors are reachable.
+  void repair_fragment(const std::string& name, u32 level, u32 index,
+                       u32 target_system);
+
+  /// Migrate every fragment of `name` off `system` onto other systems
+  /// (least-loaded first), rebuilding from survivors — the maintenance flow
+  /// for retiring a storage system without losing tolerance. The metadata
+  /// store is updated with the new locations. Returns fragments moved.
+  u32 evacuate_system(const std::string& name, u32 system);
+
+  /// Names of every prepared object, in key order.
+  std::vector<std::string> list_objects() const;
+
+  /// Outcome of a scrub pass over one object.
+  struct ScrubReport {
+    u64 fragments_checked = 0;
+    /// (level, index, system) of fragments found missing or CRC-damaged.
+    std::vector<std::tuple<u32, u32, u32>> damaged;
+    u64 repaired = 0;  ///< rebuilt in place (when repair = true)
+  };
+
+  /// Periodic integrity scrub: verify the CRC of every recorded fragment on
+  /// every reachable system; optionally rebuild damaged/missing ones in
+  /// place from survivors. Unreachable (down) systems are skipped, not
+  /// flagged — outage is the availability model's job, bit rot is scrub's.
+  ScrubReport scrub(const std::string& name, bool repair = true);
+
+  /// Graceful data aging: drop retrieval levels `keep_levels+1..l` of `name`
+  /// from every storage system, reclaiming their space. The object remains
+  /// restorable at the (coarser) guaranteed error of level `keep_levels` —
+  /// the accuracy-for-capacity trade the hierarchy makes possible for cold
+  /// timesteps. Irreversible. Returns the logical bytes reclaimed
+  /// (fragments including parity). Requires 1 <= keep_levels < current.
+  u64 age_object(const std::string& name, u32 keep_levels);
+
+ private:
+  ec::ReedSolomon codec_for(const ObjectRecord& record, u32 level) const;
+  net::BandwidthTracker& tracker();
+  void persist_tracker();
+  GatherPlan plan_gather(const GatherProblem& problem) const;
+  /// Fragment locations of one level from the metadata store: system -> the
+  /// fragment index it hosts (the authoritative map; placement only seeds it
+  /// at prepare time, repair/evacuation may move fragments afterwards).
+  std::map<u32, u32> fragment_locations(const std::string& name, u32 level) const;
+
+  storage::Cluster& cluster_;
+  kv::KvStore& db_;
+  PipelineConfig config_;
+  ThreadPool* pool_;
+  std::optional<net::BandwidthTracker> tracker_;
+};
+
+}  // namespace rapids::core

@@ -1,0 +1,70 @@
+#include "rapids/data/datasets.hpp"
+
+#include <algorithm>
+
+namespace rapids::data {
+
+namespace {
+
+constexpr u64 kTB = u64{1} << 40;
+
+/// Generator dispatch by (dataset, name).
+std::vector<f32> generate_impl(const DataObject& o, Dims dims, ThreadPool* pool) {
+  if (o.dataset == "NYX") {
+    return o.name == "temperature" ? nyx_temperature(dims, o.seed, pool)
+                                   : nyx_velocity(dims, o.seed, pool);
+  }
+  if (o.dataset == "SCALE-LETKF") {
+    return o.name == "PRES" ? scale_pressure(dims, o.seed, pool)
+                            : scale_temperature(dims, o.seed, pool);
+  }
+  if (o.dataset == "Hurricane Isabel") {
+    return o.name == "Pf48.bin" ? hurricane_pressure(dims, o.seed, pool)
+                                : hurricane_temperature(dims, o.seed, pool);
+  }
+  throw invariant_error("unknown dataset: " + o.dataset);
+}
+
+}  // namespace
+
+std::string DataObject::label() const {
+  if (dataset == "NYX") return "NYX:" + name;
+  if (dataset == "SCALE-LETKF") return "SCALE:" + name;
+  return "hurricane:" + name;
+}
+
+std::vector<f32> DataObject::generate(ThreadPool* pool) const {
+  return generate_impl(*this, dims, pool);
+}
+
+std::vector<f32> DataObject::generate(Dims custom_dims, ThreadPool* pool) const {
+  return generate_impl(*this, custom_dims, pool);
+}
+
+std::vector<DataObject> paper_objects(u32 scale) {
+  RAPIDS_REQUIRE_MSG(scale >= 1 && scale <= 8, "paper_objects: scale in [1,8]");
+  auto ext = [scale](u64 base) { return (base - 1) * scale + 1; };
+  // Base extents chosen 2^k+1 so every scale stays decomposition-friendly.
+  // Hurricane objects are ~5.4x smaller than NYX/SCALE, matching the 2.98 TB
+  // vs 16 TB ratio of Table 2.
+  const Dims big{ext(65), ext(65), ext(33)};
+  const Dims small{ext(33), ext(33), ext(25)};
+  return {
+      {"NYX", "temperature", 16 * kTB, big, 101},
+      {"NYX", "velocity_x", 16 * kTB, big, 102},
+      {"SCALE-LETKF", "PRES", static_cast<u64>(16.82 * kTB), big, 103},
+      {"SCALE-LETKF", "T", static_cast<u64>(16.82 * kTB), big, 104},
+      {"Hurricane Isabel", "Pf48.bin", static_cast<u64>(2.98 * kTB), small, 105},
+      {"Hurricane Isabel", "TCf48.bin", static_cast<u64>(2.98 * kTB), small, 106},
+  };
+}
+
+DataObject find_object(const std::string& label, u32 scale) {
+  auto objects = paper_objects(scale);
+  auto it = std::find_if(objects.begin(), objects.end(),
+                         [&](const DataObject& o) { return o.label() == label; });
+  RAPIDS_REQUIRE_MSG(it != objects.end(), "unknown object label: " + label);
+  return *it;
+}
+
+}  // namespace rapids::data

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file datasets.hpp
+/// The evaluation dataset catalog — the six data objects of the paper's
+/// Table 2, at bench scale. `full_size_bytes` carries the paper's full object
+/// size (16 TB / 16.82 TB / 2.98 TB), which the distribution/gathering
+/// benches use when computing WAN transfer times, while `dims` gives the
+/// in-memory generation extents actually refactored (the per-core object of
+/// the paper's weak-scaling setup).
+
+#include <string>
+#include <vector>
+
+#include "rapids/data/field_generators.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::data {
+
+/// One catalog entry.
+struct DataObject {
+  std::string dataset;      ///< "NYX", "SCALE-LETKF", "Hurricane Isabel"
+  std::string name;         ///< object name, e.g. "temperature"
+  u64 full_size_bytes = 0;  ///< paper-scale size (Table 2)
+  Dims dims;                ///< bench-scale generation extents
+  u64 seed = 0;             ///< generator seed
+
+  /// "NYX:temperature"-style label used in the paper's tables.
+  std::string label() const;
+
+  /// Generate the field at bench scale.
+  std::vector<f32> generate(ThreadPool* pool = nullptr) const;
+
+  /// Generate at custom extents (for scaling studies).
+  std::vector<f32> generate(Dims custom_dims, ThreadPool* pool = nullptr) const;
+};
+
+/// The paper's six evaluation objects (Table 2), bench-scale extents.
+/// `scale` multiplies the default per-axis extents (1 = 65^3-ish quick runs,
+/// 2 = 129^3, 4 = 257^3; extents stay 2^k+1-friendly).
+std::vector<DataObject> paper_objects(u32 scale = 2);
+
+/// Find one object by its Table-2 label ("NYX:temperature", "SCALE:PRES",
+/// "hurricane:Pf48.bin", ...). Throws invariant_error if unknown.
+DataObject find_object(const std::string& label, u32 scale = 2);
+
+}  // namespace rapids::data

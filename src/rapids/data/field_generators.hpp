@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file field_generators.hpp
+/// Synthetic 3-D float32 fields with the character of the paper's three
+/// SDRBench datasets. The real datasets (Hurricane Isabel, NYX, SCALE-LETKF)
+/// are multi-GB downloads unavailable offline; these generators produce
+/// fields with matching qualitative structure — smooth large-scale
+/// organization plus multi-octave small-scale detail — which is what drives
+/// both the refactorer's compressibility and the level-size profile the
+/// optimizers consume (substitution #5 in DESIGN.md). All generators are
+/// deterministic in (seed, extents) and evaluated in parallel.
+
+#include <vector>
+
+#include "rapids/mgard/grid.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids {
+class ThreadPool;
+}
+
+namespace rapids::data {
+
+using mgard::Dims;
+
+/// Hurricane-style pressure field: an axial vortex (low-pressure eye, radial
+/// pressure gradient) over a stratified background, with fbm perturbations.
+/// Mirrors "hurricane:Pf48.bin".
+std::vector<f32> hurricane_pressure(Dims dims, u64 seed, ThreadPool* pool = nullptr);
+
+/// Hurricane-style cloud/temperature field: vortex-advected banding with
+/// sharper small-scale structure. Mirrors "hurricane:TCf48.bin".
+std::vector<f32> hurricane_temperature(Dims dims, u64 seed, ThreadPool* pool = nullptr);
+
+/// Cosmology-style temperature: lognormal field (exp of fbm) producing the
+/// high dynamic range / filamentary contrast of NYX baryon temperature.
+std::vector<f32> nyx_temperature(Dims dims, u64 seed, ThreadPool* pool = nullptr);
+
+/// Cosmology-style velocity component: signed, near-Gaussian large-scale
+/// flows with small-scale dispersion. Mirrors "NYX:velocity_x".
+std::vector<f32> nyx_velocity(Dims dims, u64 seed, ThreadPool* pool = nullptr);
+
+/// Weather-model pressure: exponential vertical stratification with synoptic
+/// horizontal waves. Mirrors "SCALE:PRES".
+std::vector<f32> scale_pressure(Dims dims, u64 seed, ThreadPool* pool = nullptr);
+
+/// Weather-model temperature: lapse-rate vertical profile plus fronts.
+/// Mirrors "SCALE:T".
+std::vector<f32> scale_temperature(Dims dims, u64 seed, ThreadPool* pool = nullptr);
+
+}  // namespace rapids::data

@@ -1,0 +1,58 @@
+#include "rapids/data/noise.hpp"
+
+#include <cmath>
+
+namespace rapids::data {
+
+namespace {
+
+/// 3-D lattice hash -> [-1, 1].
+f64 lattice(u64 seed, i64 ix, i64 iy, i64 iz) {
+  u64 h = seed;
+  h ^= static_cast<u64>(ix) * 0x9E3779B97F4A7C15ull;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ull;
+  h ^= static_cast<u64>(iy) * 0xC2B2AE3D27D4EB4Full;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBull;
+  h ^= static_cast<u64>(iz) * 0xD6E8FEB86659FD93ull;
+  h ^= h >> 31;
+  return static_cast<f64>(h >> 11) * 0x1.0p-52 - 1.0;  // [-1, 1)
+}
+
+f64 smoothstep(f64 t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+f64 value_noise(u64 seed, f64 x, f64 y, f64 z) {
+  const f64 fx = std::floor(x), fy = std::floor(y), fz = std::floor(z);
+  const i64 ix = static_cast<i64>(fx), iy = static_cast<i64>(fy),
+            iz = static_cast<i64>(fz);
+  const f64 tx = smoothstep(x - fx), ty = smoothstep(y - fy), tz = smoothstep(z - fz);
+
+  f64 c[2][2][2];
+  for (int dz = 0; dz < 2; ++dz)
+    for (int dy = 0; dy < 2; ++dy)
+      for (int dx = 0; dx < 2; ++dx)
+        c[dz][dy][dx] = lattice(seed, ix + dx, iy + dy, iz + dz);
+
+  auto lerp = [](f64 a, f64 b, f64 t) { return a + (b - a) * t; };
+  const f64 x00 = lerp(c[0][0][0], c[0][0][1], tx);
+  const f64 x10 = lerp(c[0][1][0], c[0][1][1], tx);
+  const f64 x01 = lerp(c[1][0][0], c[1][0][1], tx);
+  const f64 x11 = lerp(c[1][1][0], c[1][1][1], tx);
+  const f64 y0 = lerp(x00, x10, ty);
+  const f64 y1 = lerp(x01, x11, ty);
+  return lerp(y0, y1, tz);
+}
+
+f64 fbm(u64 seed, f64 x, f64 y, f64 z, u32 octaves, f64 gain, f64 lacunarity) {
+  f64 sum = 0.0, amp = 1.0, norm = 0.0, freq = 1.0;
+  for (u32 o = 0; o < octaves; ++o) {
+    sum += amp * value_noise(seed + o * 0x51ED2701ull, x * freq, y * freq, z * freq);
+    norm += amp;
+    amp *= gain;
+    freq *= lacunarity;
+  }
+  return norm > 0.0 ? sum / norm : 0.0;
+}
+
+}  // namespace rapids::data

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file noise.hpp
+/// Deterministic value-noise for the synthetic field generators: smooth
+/// multi-octave noise over a 3-D lattice, the standard building block for
+/// turbulence-like scientific test fields. Pure function of (seed, position),
+/// so fields are reproducible and can be evaluated in parallel.
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::data {
+
+/// Smooth value noise in [-1, 1] at continuous position (x, y, z) for a given
+/// lattice `seed`. C1-continuous (cubic smoothstep interpolation of lattice
+/// hashes).
+f64 value_noise(u64 seed, f64 x, f64 y, f64 z);
+
+/// Fractal Brownian motion: `octaves` layers of value_noise, each octave
+/// doubling frequency and scaling amplitude by `gain`. Output roughly in
+/// [-1, 1] (normalized by the geometric series).
+f64 fbm(u64 seed, f64 x, f64 y, f64 z, u32 octaves, f64 gain = 0.5,
+        f64 lacunarity = 2.0);
+
+}  // namespace rapids::data

@@ -1,0 +1,29 @@
+#include "rapids/data/raw_io.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "rapids/util/bytes.hpp"
+
+namespace rapids::data {
+
+static_assert(std::endian::native == std::endian::little,
+              "raw_io assumes a little-endian host (as SDRBench files are)");
+
+std::vector<f32> load_f32(const std::string& path, mgard::Dims dims) {
+  const Bytes raw = read_file(path);
+  const u64 expect = dims.total() * sizeof(f32);
+  if (raw.size() != expect)
+    throw io_error("load_f32: " + path + " is " + std::to_string(raw.size()) +
+                   " bytes, expected " + std::to_string(expect));
+  std::vector<f32> out(dims.total());
+  std::memcpy(out.data(), raw.data(), raw.size());
+  return out;
+}
+
+void save_f32(const std::string& path, std::span<const f32> field) {
+  write_file(path, {reinterpret_cast<const std::byte*>(field.data()),
+                    field.size() * sizeof(f32)});
+}
+
+}  // namespace rapids::data

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file raw_io.hpp
+/// Raw binary float32 field IO — the format SDRBench ships its datasets in
+/// (.bin / .f32 / .dat flat little-endian arrays). Lets users run the
+/// pipeline on real Hurricane/NYX/SCALE downloads when they have them.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rapids/mgard/grid.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::data {
+
+/// Load a flat little-endian float32 array; validates the byte size matches
+/// dims.total()*4. Throws io_error otherwise.
+std::vector<f32> load_f32(const std::string& path, mgard::Dims dims);
+
+/// Save a field as flat little-endian float32.
+void save_f32(const std::string& path, std::span<const f32> field);
+
+}  // namespace rapids::data

@@ -1,0 +1,51 @@
+#include "rapids/data/stats.hpp"
+
+#include <cmath>
+
+namespace rapids::data {
+
+FieldStats field_stats(std::span<const f32> v) {
+  FieldStats s;
+  if (v.empty()) return s;
+  s.min = s.max = v[0];
+  f64 sum = 0.0, sumsq = 0.0;
+  for (f32 x : v) {
+    const f64 d = x;
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    sum += d;
+    sumsq += d * d;
+  }
+  s.max_abs = std::max(std::fabs(s.min), std::fabs(s.max));
+  s.mean = sum / static_cast<f64>(v.size());
+  s.rms = std::sqrt(sumsq / static_cast<f64>(v.size()));
+  return s;
+}
+
+f64 linf_distance(std::span<const f32> a, std::span<const f32> b) {
+  RAPIDS_REQUIRE(a.size() == b.size());
+  f64 m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::fabs(static_cast<f64>(a[i]) - static_cast<f64>(b[i])));
+  return m;
+}
+
+f64 relative_linf_error(std::span<const f32> original,
+                        std::span<const f32> reconstructed) {
+  const f64 denom = field_stats(original).max_abs;
+  RAPIDS_REQUIRE_MSG(denom > 0.0, "relative error undefined for all-zero data");
+  return linf_distance(original, reconstructed) / denom;
+}
+
+f64 rmse(std::span<const f32> a, std::span<const f32> b) {
+  RAPIDS_REQUIRE(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  f64 sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const f64 d = static_cast<f64>(a[i]) - static_cast<f64>(b[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<f64>(a.size()));
+}
+
+}  // namespace rapids::data

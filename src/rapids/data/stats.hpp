@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file stats.hpp
+/// Error and summary statistics for comparing original vs reconstructed
+/// fields — in particular the paper's relative L-infinity error (Eq. 3).
+
+#include <span>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::data {
+
+/// Summary of one field.
+struct FieldStats {
+  f64 min = 0.0;
+  f64 max = 0.0;
+  f64 max_abs = 0.0;
+  f64 mean = 0.0;
+  f64 rms = 0.0;
+};
+
+/// Compute summary statistics in one pass.
+FieldStats field_stats(std::span<const f32> v);
+
+/// max |a - b| (absolute L-infinity distance). Sizes must match.
+f64 linf_distance(std::span<const f32> a, std::span<const f32> b);
+
+/// The paper's Eq. 3: max|a - b| / max|a| with `a` the original data.
+f64 relative_linf_error(std::span<const f32> original,
+                        std::span<const f32> reconstructed);
+
+/// Root-mean-square error (used by the ablation benches).
+f64 rmse(std::span<const f32> a, std::span<const f32> b);
+
+}  // namespace rapids::data

@@ -1,0 +1,58 @@
+#include "rapids/ec/fragment.hpp"
+
+#include "rapids/util/crc32c.hpp"
+
+namespace rapids::ec {
+
+namespace {
+constexpr u32 kFragmentMagic = 0x52464D47u;  // "RFMG"
+constexpr u16 kFragmentVersion = 1;
+}  // namespace
+
+std::string FragmentId::key() const {
+  return "frag/" + object_name + "/" + std::to_string(level) + "/" +
+         std::to_string(index);
+}
+
+u32 fragment_crc(std::span<const u8> payload) {
+  return crc32c(payload.data(), payload.size());
+}
+
+bool Fragment::verify() const { return fragment_crc(payload) == payload_crc; }
+
+Bytes Fragment::serialize() const {
+  ByteWriter w(payload.size() + 128);
+  w.put_u32(kFragmentMagic);
+  w.put_u16(kFragmentVersion);
+  w.put_string(id.object_name);
+  w.put_u32(id.level);
+  w.put_u32(id.index);
+  w.put_u32(k);
+  w.put_u32(m);
+  w.put_u64(level_bytes);
+  w.put_u32(payload_crc);
+  w.put_bytes({reinterpret_cast<const std::byte*>(payload.data()), payload.size()});
+  return w.take();
+}
+
+Fragment Fragment::deserialize(std::span<const std::byte> data) {
+  ByteReader r(data);
+  if (r.get_u32() != kFragmentMagic) throw io_error("Fragment: bad magic");
+  const u16 version = r.get_u16();
+  if (version != kFragmentVersion)
+    throw io_error("Fragment: unsupported version " + std::to_string(version));
+  Fragment f;
+  f.id.object_name = r.get_string();
+  f.id.level = r.get_u32();
+  f.id.index = r.get_u32();
+  f.k = r.get_u32();
+  f.m = r.get_u32();
+  f.level_bytes = r.get_u64();
+  f.payload_crc = r.get_u32();
+  auto body = r.get_bytes();
+  f.payload.resize(body.size());
+  std::memcpy(f.payload.data(), body.data(), body.size());
+  return f;
+}
+
+}  // namespace rapids::ec

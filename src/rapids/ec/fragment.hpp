@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file fragment.hpp
+/// The unit of distribution: one erasure-coded fragment of one retrieval
+/// level of one data object. Fragments carry a self-describing header (object
+/// name, level, index, geometry) and a CRC-32C of the payload so damage is
+/// detected before decode, mirroring what the paper stores via HDF5/ADIOS
+/// self-describing files.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rapids/util/bytes.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::ec {
+
+/// Identifies a fragment within an object's EC layout.
+struct FragmentId {
+  std::string object_name;  ///< data object this fragment belongs to
+  u32 level = 0;            ///< retrieval level index (0-based)
+  u32 index = 0;            ///< fragment row index in the encode matrix (0..k+m-1)
+
+  bool operator==(const FragmentId&) const = default;
+
+  /// Canonical string key used by the metadata store:
+  /// "frag/<object>/<level>/<index>".
+  std::string key() const;
+};
+
+/// One erasure-coded fragment: id + EC geometry + payload + checksum.
+struct Fragment {
+  FragmentId id;
+  u32 k = 0;             ///< data fragments in this level's code
+  u32 m = 0;             ///< parity fragments in this level's code
+  u64 level_bytes = 0;   ///< unpadded byte size of the encoded level payload
+  u32 payload_crc = 0;   ///< CRC-32C of `payload`
+  std::vector<u8> payload;
+
+  /// True for rows < k (systematic data fragment), false for parity rows.
+  bool is_data() const { return id.index < k; }
+
+  /// Recompute the payload CRC and compare with the stored one.
+  bool verify() const;
+
+  /// Serialize header + payload to a self-contained byte buffer.
+  Bytes serialize() const;
+
+  /// Parse a buffer produced by serialize(). Throws io_error on corruption
+  /// (bad magic, truncation); CRC mismatches are reported via verify().
+  static Fragment deserialize(std::span<const std::byte> data);
+};
+
+/// Compute `payload_crc` over a payload.
+u32 fragment_crc(std::span<const u8> payload);
+
+}  // namespace rapids::ec

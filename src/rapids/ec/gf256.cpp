@@ -1,0 +1,88 @@
+#include "rapids/ec/gf256.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rapids::ec {
+
+GF256::Tables::Tables() {
+  constexpr u16 kPoly = 0x11D;
+  u16 x = 1;
+  for (u16 i = 0; i < 255; ++i) {
+    exp[i] = static_cast<u8>(x);
+    log[static_cast<u8>(x)] = i;
+    x <<= 1;
+    if (x & 0x100) x ^= kPoly;
+  }
+  for (u16 i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+  log[0] = 0;  // never consulted for zero operands
+
+  for (u32 c = 0; c < 256; ++c) {
+    for (u32 v = 0; v < 256; ++v) {
+      if (c == 0 || v == 0) {
+        mul_table[c][v] = 0;
+      } else {
+        mul_table[c][v] = exp[log[static_cast<u8>(c)] + log[static_cast<u8>(v)]];
+      }
+    }
+  }
+}
+
+const GF256::Tables& GF256::tables() {
+  static const Tables t;
+  return t;
+}
+
+u8 GF256::pow(u8 a, u32 e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  const u32 le = (static_cast<u32>(t.log[a]) * static_cast<u64>(e)) % 255;
+  return t.exp[le];
+}
+
+void GF256::mul_acc(std::span<u8> dst, std::span<const u8> src, u8 c) {
+  RAPIDS_REQUIRE(dst.size() == src.size());
+  if (c == 0) return;
+  if (c == 1) {
+    add_acc(dst, src);
+    return;
+  }
+  const auto& row = tables().mul_table[c];
+  u8* d = dst.data();
+  const u8* s = src.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] ^= row[s[i]];
+}
+
+void GF256::mul_to(std::span<u8> dst, std::span<const u8> src, u8 c) {
+  RAPIDS_REQUIRE(dst.size() == src.size());
+  if (c == 0) {
+    std::fill(dst.begin(), dst.end(), u8{0});
+    return;
+  }
+  const auto& row = tables().mul_table[c];
+  u8* d = dst.data();
+  const u8* s = src.data();
+  const std::size_t n = dst.size();
+  for (std::size_t i = 0; i < n; ++i) d[i] = row[s[i]];
+}
+
+void GF256::add_acc(std::span<u8> dst, std::span<const u8> src) {
+  RAPIDS_REQUIRE(dst.size() == src.size());
+  u8* d = dst.data();
+  const u8* s = src.data();
+  std::size_t n = dst.size();
+  // Word-at-a-time XOR for the bulk.
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    u64 a, b;
+    std::memcpy(&a, d + i, 8);
+    std::memcpy(&b, s + i, 8);
+    a ^= b;
+    std::memcpy(d + i, &a, 8);
+  }
+  for (; i < n; ++i) d[i] ^= s[i];
+}
+
+}  // namespace rapids::ec

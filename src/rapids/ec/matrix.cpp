@@ -1,0 +1,153 @@
+#include "rapids/ec/matrix.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rapids::ec {
+
+Matrix Matrix::identity(u32 n) {
+  Matrix m(n, n);
+  for (u32 i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+Matrix Matrix::vandermonde(u32 rows, u32 cols) {
+  RAPIDS_REQUIRE_MSG(rows <= 255, "GF(2^8) Vandermonde needs <= 255 distinct points");
+  Matrix m(rows, cols);
+  for (u32 r = 0; r < rows; ++r)
+    for (u32 c = 0; c < cols; ++c)
+      m.at(r, c) = GF256::pow(static_cast<u8>(r + 1), c);
+  return m;
+}
+
+Matrix Matrix::rs_vandermonde(u32 k, u32 m) {
+  RAPIDS_REQUIRE(k >= 1 && m >= 1);
+  RAPIDS_REQUIRE_MSG(k + m <= 255, "RS(k,m): k+m must be <= 255 for GF(2^8)");
+  // Start with a (k+m) x k Vandermonde and column-reduce so the top k x k
+  // block becomes the identity. Column operations preserve the property that
+  // every k x k row-submatrix is invertible.
+  Matrix v = vandermonde(k + m, k);
+
+  for (u32 c = 0; c < k; ++c) {
+    // The diagonal element of a Vandermonde with distinct points is reducible
+    // to nonzero; if v.at(c,c) is zero, swap in a column with nonzero pivot.
+    if (v.at(c, c) == 0) {
+      for (u32 c2 = c + 1; c2 < k; ++c2) {
+        if (v.at(c, c2) != 0) {
+          for (u32 r = 0; r < v.rows(); ++r) std::swap(v.at(r, c), v.at(r, c2));
+          break;
+        }
+      }
+    }
+    RAPIDS_REQUIRE_MSG(v.at(c, c) != 0, "rs_vandermonde: zero pivot");
+    // Scale column c so pivot is 1.
+    const u8 inv = GF256::inv(v.at(c, c));
+    for (u32 r = 0; r < v.rows(); ++r) v.at(r, c) = GF256::mul(v.at(r, c), inv);
+    // Eliminate row c from every other column.
+    for (u32 c2 = 0; c2 < k; ++c2) {
+      if (c2 == c) continue;
+      const u8 f = v.at(c, c2);
+      if (f == 0) continue;
+      for (u32 r = 0; r < v.rows(); ++r)
+        v.at(r, c2) = GF256::add(v.at(r, c2), GF256::mul(f, v.at(r, c)));
+    }
+  }
+  return v;
+}
+
+Matrix Matrix::rs_cauchy(u32 k, u32 m) {
+  RAPIDS_REQUIRE(k >= 1 && m >= 1);
+  RAPIDS_REQUIRE_MSG(k + m <= 256, "Cauchy RS(k,m): k+m must be <= 256");
+  Matrix e(k + m, k);
+  for (u32 i = 0; i < k; ++i) e.at(i, i) = 1;
+  // x_i = k + i (parity points), y_j = j (data points); all distinct in
+  // GF(2^8) since k + m <= 256, and x_i + y_j != 0 because the sets are
+  // disjoint (addition is XOR).
+  for (u32 i = 0; i < m; ++i) {
+    for (u32 j = 0; j < k; ++j) {
+      const u8 x = static_cast<u8>(k + i);
+      const u8 y = static_cast<u8>(j);
+      e.at(k + i, j) = GF256::inv(GF256::add(x, y));
+    }
+  }
+  return e;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  RAPIDS_REQUIRE(cols_ == other.rows());
+  Matrix out(rows_, other.cols());
+  for (u32 r = 0; r < rows_; ++r) {
+    for (u32 i = 0; i < cols_; ++i) {
+      const u8 a = at(r, i);
+      if (a == 0) continue;
+      GF256::mul_acc(out.row(r), other.row(i), a);
+    }
+  }
+  return out;
+}
+
+void Matrix::apply(std::span<const u8> x, std::span<u8> y) const {
+  RAPIDS_REQUIRE(x.size() == cols_ && y.size() == rows_);
+  for (u32 r = 0; r < rows_; ++r) {
+    u8 acc = 0;
+    const auto rr = row(r);
+    for (u32 c = 0; c < cols_; ++c) acc = GF256::add(acc, GF256::mul(rr[c], x[c]));
+    y[r] = acc;
+  }
+}
+
+Matrix Matrix::inverted() const {
+  RAPIDS_REQUIRE_MSG(rows_ == cols_, "inverted(): matrix must be square");
+  const u32 n = rows_;
+  Matrix a = *this;
+  Matrix inv = identity(n);
+
+  for (u32 col = 0; col < n; ++col) {
+    // Find pivot.
+    u32 pivot = col;
+    while (pivot < n && a.at(pivot, col) == 0) ++pivot;
+    if (pivot == n) throw invariant_error("Matrix::inverted: singular matrix");
+    if (pivot != col) {
+      for (u32 c = 0; c < n; ++c) {
+        std::swap(a.at(pivot, c), a.at(col, c));
+        std::swap(inv.at(pivot, c), inv.at(col, c));
+      }
+    }
+    // Normalize pivot row.
+    const u8 pinv = GF256::inv(a.at(col, col));
+    GF256::mul_to(a.row(col), a.row(col), pinv);
+    GF256::mul_to(inv.row(col), inv.row(col), pinv);
+    // Eliminate other rows.
+    for (u32 r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const u8 f = a.at(r, col);
+      if (f == 0) continue;
+      GF256::mul_acc(a.row(r), a.row(col), f);
+      GF256::mul_acc(inv.row(r), inv.row(col), f);
+    }
+  }
+  return inv;
+}
+
+Matrix Matrix::select_rows(std::span<const u32> row_indices) const {
+  Matrix out(static_cast<u32>(row_indices.size()), cols_);
+  for (u32 i = 0; i < row_indices.size(); ++i) {
+    RAPIDS_REQUIRE(row_indices[i] < rows_);
+    auto dst = out.row(i);
+    auto src = row(row_indices[i]);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+bool Matrix::singular() const {
+  if (rows_ != cols_) return true;
+  try {
+    (void)inverted();
+    return false;
+  } catch (const invariant_error&) {
+    return true;
+  }
+}
+
+}  // namespace rapids::ec

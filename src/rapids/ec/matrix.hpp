@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Dense matrices over GF(2^8) and the constructions Reed-Solomon needs:
+/// Vandermonde-derived systematic encode matrices, Cauchy matrices, and
+/// Gauss-Jordan inversion (used to build the decode matrix from surviving
+/// fragment rows).
+
+#include <span>
+#include <vector>
+
+#include "rapids/ec/gf256.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::ec {
+
+/// Row-major dense matrix over GF(2^8).
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols zero matrix.
+  Matrix(u32 rows, u32 cols) : rows_(rows), cols_(cols), data_(u64{rows} * cols, 0) {}
+
+  u32 rows() const { return rows_; }
+  u32 cols() const { return cols_; }
+
+  u8& at(u32 r, u32 c) {
+    RAPIDS_REQUIRE(r < rows_ && c < cols_);
+    return data_[u64{r} * cols_ + c];
+  }
+  u8 at(u32 r, u32 c) const {
+    RAPIDS_REQUIRE(r < rows_ && c < cols_);
+    return data_[u64{r} * cols_ + c];
+  }
+
+  /// Borrow one row.
+  std::span<const u8> row(u32 r) const {
+    RAPIDS_REQUIRE(r < rows_);
+    return {data_.data() + u64{r} * cols_, cols_};
+  }
+  std::span<u8> row(u32 r) {
+    RAPIDS_REQUIRE(r < rows_);
+    return {data_.data() + u64{r} * cols_, cols_};
+  }
+
+  bool operator==(const Matrix&) const = default;
+
+  /// n x n identity.
+  static Matrix identity(u32 n);
+
+  /// rows x cols Vandermonde matrix V[r][c] = (r+1)^c over GF(2^8) —
+  /// nonsingular for distinct evaluation points; any square submatrix of the
+  /// *systematized* form stays invertible after the elimination below.
+  static Matrix vandermonde(u32 rows, u32 cols);
+
+  /// Systematic RS encode matrix with a Vandermonde tail: (k+m) x k whose top
+  /// k rows are the identity (data fragments = data) and bottom m rows are
+  /// derived by Gauss-Jordan elimination of an extended Vandermonde matrix,
+  /// guaranteeing any k rows form an invertible matrix.
+  static Matrix rs_vandermonde(u32 k, u32 m);
+
+  /// Systematic RS encode matrix with a Cauchy tail: C[i][j] = 1/(x_i + y_j),
+  /// x_i = i + k, y_j = j; requires k + m <= 256. Any k rows are invertible
+  /// by the Cauchy determinant formula.
+  static Matrix rs_cauchy(u32 k, u32 m);
+
+  /// this * other.
+  Matrix multiply(const Matrix& other) const;
+
+  /// Matrix-vector product y = A x (x.size() == cols, y.size() == rows).
+  void apply(std::span<const u8> x, std::span<u8> y) const;
+
+  /// Gauss-Jordan inverse. Throws invariant_error if singular.
+  Matrix inverted() const;
+
+  /// Build a square matrix from the given rows of this matrix (for RS decode:
+  /// pick the rows of the encode matrix matching surviving fragments).
+  Matrix select_rows(std::span<const u32> row_indices) const;
+
+  /// True if the matrix has no inverse (checked by attempting elimination).
+  bool singular() const;
+
+ private:
+  u32 rows_ = 0;
+  u32 cols_ = 0;
+  std::vector<u8> data_;
+};
+
+}  // namespace rapids::ec

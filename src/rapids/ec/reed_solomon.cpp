@@ -1,0 +1,181 @@
+#include "rapids/ec/reed_solomon.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "rapids/parallel/thread_pool.hpp"
+
+namespace rapids::ec {
+
+namespace {
+
+// Minimum stripe width (bytes) worth parallelizing; below this the pool
+// overhead dominates the XOR/table kernels.
+constexpr u64 kParallelStripe = 64 * 1024;
+
+void for_each_stripe(u64 size, ThreadPool* pool,
+                     const std::function<void(u64, u64)>& body) {
+  if (pool == nullptr || size < 2 * kParallelStripe) {
+    body(0, size);
+    return;
+  }
+  pool->parallel_for_chunks(0, size, body, kParallelStripe);
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(u32 k, u32 m, MatrixKind kind)
+    : k_(k), m_(m), kind_(kind) {
+  RAPIDS_REQUIRE_MSG(k >= 1 && m >= 1, "RS(k,m): need k >= 1 and m >= 1");
+  RAPIDS_REQUIRE_MSG(k + m <= 255, "RS(k,m): k+m must be <= 255");
+  encode_matrix_ = kind == MatrixKind::kVandermonde ? Matrix::rs_vandermonde(k, m)
+                                                    : Matrix::rs_cauchy(k, m);
+}
+
+std::vector<Fragment> ReedSolomon::encode(std::span<const u8> data,
+                                          const std::string& object_name,
+                                          u32 level, ThreadPool* pool) const {
+  const u64 frag_size = fragment_size(data.size());
+  std::vector<Fragment> frags(n());
+  for (u32 i = 0; i < n(); ++i) {
+    Fragment& f = frags[i];
+    f.id = FragmentId{object_name, level, i};
+    f.k = k_;
+    f.m = m_;
+    f.level_bytes = data.size();
+    f.payload.assign(frag_size, 0);
+  }
+
+  // Data fragments: contiguous slices of the (conceptually zero-padded) input.
+  for (u32 i = 0; i < k_; ++i) {
+    const u64 off = u64{i} * frag_size;
+    if (off < data.size()) {
+      const u64 len = std::min<u64>(frag_size, data.size() - off);
+      std::memcpy(frags[i].payload.data(), data.data() + off, len);
+    }
+  }
+
+  // Parity fragments: row (k+i) of the encode matrix applied to the data
+  // fragments, striped across the pool for large payloads.
+  for_each_stripe(frag_size, pool, [&](u64 lo, u64 hi) {
+    for (u32 pi = 0; pi < m_; ++pi) {
+      auto dst = std::span<u8>(frags[k_ + pi].payload).subspan(lo, hi - lo);
+      const auto row = encode_matrix_.row(k_ + pi);
+      for (u32 di = 0; di < k_; ++di) {
+        auto src = std::span<const u8>(frags[di].payload).subspan(lo, hi - lo);
+        GF256::mul_acc(dst, src, row[di]);
+      }
+    }
+  });
+
+  for (auto& f : frags) f.payload_crc = fragment_crc(f.payload);
+  return frags;
+}
+
+std::vector<u8> ReedSolomon::decode_rows(std::span<const Fragment> fragments,
+                                         u64* level_bytes, ThreadPool* pool) const {
+  RAPIDS_REQUIRE_MSG(fragments.size() >= k_,
+                     "RS decode: need at least k fragments");
+  // Validate geometry + integrity; keep the first k distinct indices.
+  std::vector<const Fragment*> chosen;
+  std::vector<u32> rows;
+  chosen.reserve(k_);
+  rows.reserve(k_);
+  const u64 frag_size = fragments[0].payload.size();
+  *level_bytes = fragments[0].level_bytes;
+  for (const Fragment& f : fragments) {
+    RAPIDS_REQUIRE_MSG(f.k == k_ && f.m == m_, "RS decode: geometry mismatch");
+    RAPIDS_REQUIRE_MSG(f.payload.size() == frag_size,
+                       "RS decode: fragment size mismatch");
+    RAPIDS_REQUIRE_MSG(f.level_bytes == *level_bytes,
+                       "RS decode: level size mismatch");
+    RAPIDS_REQUIRE_MSG(f.id.index < n(), "RS decode: fragment index out of range");
+    RAPIDS_REQUIRE_MSG(f.verify(), "RS decode: fragment CRC mismatch (index " +
+                                       std::to_string(f.id.index) + ")");
+    if (std::find(rows.begin(), rows.end(), f.id.index) != rows.end()) continue;
+    chosen.push_back(&f);
+    rows.push_back(f.id.index);
+    if (chosen.size() == k_) break;
+  }
+  RAPIDS_REQUIRE_MSG(chosen.size() == k_,
+                     "RS decode: need k distinct fragment indices");
+
+  // Fast path: all k systematic data fragments present.
+  const bool all_data =
+      std::all_of(rows.begin(), rows.end(), [this](u32 r) { return r < k_; });
+
+  std::vector<u8> stripes(u64{k_} * frag_size);
+  auto stripe = [&](u32 i) {
+    return std::span<u8>(stripes.data() + u64{i} * frag_size, frag_size);
+  };
+
+  if (all_data) {
+    for (u32 i = 0; i < k_; ++i) {
+      // Place each data fragment at its own row position.
+      auto dst = stripe(rows[i]);
+      std::memcpy(dst.data(), chosen[i]->payload.data(), frag_size);
+    }
+  } else {
+    const Matrix sub = encode_matrix_.select_rows(rows);
+    const Matrix dec = sub.inverted();
+    for_each_stripe(frag_size, pool, [&](u64 lo, u64 hi) {
+      for (u32 out = 0; out < k_; ++out) {
+        auto dst = stripe(out).subspan(lo, hi - lo);
+        std::fill(dst.begin(), dst.end(), u8{0});
+        const auto drow = dec.row(out);
+        for (u32 in = 0; in < k_; ++in) {
+          auto src =
+              std::span<const u8>(chosen[in]->payload).subspan(lo, hi - lo);
+          GF256::mul_acc(dst, src, drow[in]);
+        }
+      }
+    });
+  }
+
+  return stripes;
+}
+
+std::vector<u8> ReedSolomon::decode(std::span<const Fragment> fragments,
+                                    ThreadPool* pool) const {
+  u64 level_bytes = 0;
+  std::vector<u8> stripes = decode_rows(fragments, &level_bytes, pool);
+  stripes.resize(level_bytes);  // strip zero padding
+  return stripes;
+}
+
+Fragment ReedSolomon::reconstruct_fragment(std::span<const Fragment> survivors,
+                                           u32 missing_index,
+                                           ThreadPool* pool) const {
+  RAPIDS_REQUIRE_MSG(missing_index < n(), "reconstruct_fragment: bad index");
+  u64 level_bytes = 0;
+  std::vector<u8> stripes = decode_rows(survivors, &level_bytes, pool);
+  const u64 frag_size = fragment_size(level_bytes);
+
+  Fragment out;
+  out.id = survivors[0].id;
+  out.id.index = missing_index;
+  out.k = k_;
+  out.m = m_;
+  out.level_bytes = level_bytes;
+  out.payload.assign(frag_size, 0);
+
+  if (missing_index < k_) {
+    std::memcpy(out.payload.data(), stripes.data() + u64{missing_index} * frag_size,
+                frag_size);
+  } else {
+    const auto row = encode_matrix_.row(missing_index);
+    for_each_stripe(frag_size, pool, [&](u64 lo, u64 hi) {
+      auto dst = std::span<u8>(out.payload).subspan(lo, hi - lo);
+      for (u32 di = 0; di < k_; ++di) {
+        auto src = std::span<const u8>(stripes.data() + u64{di} * frag_size,
+                                       frag_size)
+                       .subspan(lo, hi - lo);
+        GF256::mul_acc(dst, src, row[di]);
+      }
+    });
+  }
+  out.payload_crc = fragment_crc(out.payload);
+  return out;
+}
+
+}  // namespace rapids::ec

@@ -1,0 +1,136 @@
+#include "rapids/fsdf/fsdf.hpp"
+
+#include <algorithm>
+
+#include "rapids/util/crc32c.hpp"
+
+namespace rapids::fsdf {
+
+namespace {
+constexpr u32 kMagic = 0x46534446u;  // "FSDF"
+constexpr u16 kVersion = 1;
+constexpr u8 kTypeI64 = 1;
+constexpr u8 kTypeF64 = 2;
+constexpr u8 kTypeString = 3;
+}  // namespace
+
+void Writer::add_dataset(const std::string& name, Bytes data) {
+  const bool duplicate =
+      std::any_of(datasets_.begin(), datasets_.end(),
+                  [&](const auto& d) { return d.first == name; });
+  RAPIDS_REQUIRE_MSG(!duplicate, "fsdf: duplicate dataset " + name);
+  datasets_.emplace_back(name, std::move(data));
+}
+
+void Writer::add_dataset(const std::string& name, std::span<const std::byte> data) {
+  add_dataset(name, Bytes(data.begin(), data.end()));
+}
+
+Bytes Writer::finish() const {
+  ByteWriter w;
+  w.put_u32(kMagic);
+  w.put_u16(kVersion);
+  w.put_u32(static_cast<u32>(attrs_.size()));
+  for (const auto& [name, value] : attrs_) {
+    w.put_string(name);
+    if (std::holds_alternative<i64>(value)) {
+      w.put_u8(kTypeI64);
+      w.put_i64(std::get<i64>(value));
+    } else if (std::holds_alternative<f64>(value)) {
+      w.put_u8(kTypeF64);
+      w.put_f64(std::get<f64>(value));
+    } else {
+      w.put_u8(kTypeString);
+      w.put_string(std::get<std::string>(value));
+    }
+  }
+  w.put_u32(static_cast<u32>(datasets_.size()));
+  for (const auto& [name, data] : datasets_) {
+    w.put_string(name);
+    w.put_u64(data.size());
+    w.put_u32(crc32c(as_bytes_view(data)));
+    w.put_raw(as_bytes_view(data));
+  }
+  return w.take();
+}
+
+void Writer::write(const std::string& path) const {
+  write_file(path, as_bytes_view(finish()));
+}
+
+Reader::Reader(Bytes raw) : raw_(std::move(raw)) {
+  ByteReader r(as_bytes_view(raw_));
+  if (r.get_u32() != kMagic) throw io_error("fsdf: bad magic");
+  const u16 version = r.get_u16();
+  if (version != kVersion)
+    throw io_error("fsdf: unsupported version " + std::to_string(version));
+  const u32 nattrs = r.get_u32();
+  for (u32 i = 0; i < nattrs; ++i) {
+    const std::string name = r.get_string();
+    const u8 type = r.get_u8();
+    switch (type) {
+      case kTypeI64: attrs_[name] = r.get_i64(); break;
+      case kTypeF64: attrs_[name] = r.get_f64(); break;
+      case kTypeString: attrs_[name] = r.get_string(); break;
+      default: throw io_error("fsdf: unknown attribute type");
+    }
+  }
+  const u32 ndatasets = r.get_u32();
+  for (u32 i = 0; i < ndatasets; ++i) {
+    const std::string name = r.get_string();
+    DatasetRef ref;
+    ref.length = r.get_u64();
+    ref.crc = r.get_u32();
+    ref.offset = r.position();
+    (void)r.get_raw(ref.length);  // bounds-check + advance
+    datasets_.emplace_back(name, ref);
+  }
+}
+
+Reader Reader::open(const std::string& path) { return Reader(read_file(path)); }
+
+i64 Reader::attr_i64(const std::string& name) const {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end() || !std::holds_alternative<i64>(it->second))
+    throw io_error("fsdf: missing i64 attribute " + name);
+  return std::get<i64>(it->second);
+}
+
+f64 Reader::attr_f64(const std::string& name) const {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end() || !std::holds_alternative<f64>(it->second))
+    throw io_error("fsdf: missing f64 attribute " + name);
+  return std::get<f64>(it->second);
+}
+
+std::string Reader::attr_string(const std::string& name) const {
+  auto it = attrs_.find(name);
+  if (it == attrs_.end() || !std::holds_alternative<std::string>(it->second))
+    throw io_error("fsdf: missing string attribute " + name);
+  return std::get<std::string>(it->second);
+}
+
+std::vector<std::string> Reader::dataset_names() const {
+  std::vector<std::string> out;
+  out.reserve(datasets_.size());
+  for (const auto& [name, ref] : datasets_) out.push_back(name);
+  return out;
+}
+
+bool Reader::has_dataset(const std::string& name) const {
+  return std::any_of(datasets_.begin(), datasets_.end(),
+                     [&](const auto& d) { return d.first == name; });
+}
+
+Bytes Reader::dataset(const std::string& name) const {
+  auto it = std::find_if(datasets_.begin(), datasets_.end(),
+                         [&](const auto& d) { return d.first == name; });
+  if (it == datasets_.end()) throw io_error("fsdf: no dataset " + name);
+  const DatasetRef& ref = it->second;
+  std::span<const std::byte> view{raw_.data() + ref.offset, ref.length};
+  if (crc32c(view) != ref.crc)
+    throw io_error("fsdf: CRC mismatch in dataset " + name);
+  return Bytes(view.begin(), view.end());
+}
+
+}  // namespace rapids::fsdf

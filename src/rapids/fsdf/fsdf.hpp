@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file fsdf.hpp
+/// FSDF — "fragment self-describing format". A compact container with typed
+/// named attributes and CRC-protected named datasets, playing the role HDF5
+/// and ADIOS play in the paper: fragment files carry their own description
+/// (object name, level, EC geometry, refactoring parameters) so a fragment
+/// found on any storage system can be interpreted without the metadata
+/// service.
+///
+/// Layout: [magic u32][version u16][attr count u32][attrs...]
+///         [dataset count u32][datasets...]
+/// attr   = [name][type u8][value]
+/// dataset= [name][len u64][crc32 u32][bytes]
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "rapids/util/bytes.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::fsdf {
+
+/// Attribute value types supported by the container.
+using AttrValue = std::variant<i64, f64, std::string>;
+
+/// Build a container in memory, then serialize.
+class Writer {
+ public:
+  /// Set a typed attribute (overwrites on same name).
+  void set_attr(const std::string& name, i64 v) { attrs_[name] = v; }
+  void set_attr(const std::string& name, f64 v) { attrs_[name] = v; }
+  void set_attr(const std::string& name, std::string v) {
+    attrs_[name] = std::move(v);
+  }
+
+  /// Add a named dataset (byte blob). Name must be unique.
+  void add_dataset(const std::string& name, Bytes data);
+  void add_dataset(const std::string& name, std::span<const std::byte> data);
+
+  /// Serialize the container.
+  Bytes finish() const;
+
+  /// Serialize straight to a file.
+  void write(const std::string& path) const;
+
+ private:
+  std::map<std::string, AttrValue> attrs_;
+  std::vector<std::pair<std::string, Bytes>> datasets_;
+};
+
+/// Parse a container (from memory or file). Dataset payload CRCs are checked
+/// on access so a damaged file surfaces as io_error, not silent corruption.
+class Reader {
+ public:
+  explicit Reader(Bytes raw);
+  static Reader open(const std::string& path);
+
+  /// Typed attribute accessors; throw io_error if absent or wrong type.
+  i64 attr_i64(const std::string& name) const;
+  f64 attr_f64(const std::string& name) const;
+  std::string attr_string(const std::string& name) const;
+  bool has_attr(const std::string& name) const { return attrs_.contains(name); }
+  const std::map<std::string, AttrValue>& attrs() const { return attrs_; }
+
+  /// Dataset names in file order.
+  std::vector<std::string> dataset_names() const;
+  bool has_dataset(const std::string& name) const;
+
+  /// Copy out a dataset, verifying its CRC.
+  Bytes dataset(const std::string& name) const;
+
+ private:
+  struct DatasetRef {
+    u64 offset;  // into raw_
+    u64 length;
+    u32 crc;
+  };
+
+  Bytes raw_;
+  std::map<std::string, AttrValue> attrs_;
+  std::vector<std::pair<std::string, DatasetRef>> datasets_;
+};
+
+}  // namespace rapids::fsdf

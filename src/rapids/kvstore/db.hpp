@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file db.hpp
+/// The metadata database — rapids' RocksDB stand-in. A directory holding a
+/// write-ahead log plus numbered sorted runs; newest-wins lookup order is
+/// memtable, then runs newest to oldest. Used by the pipeline to persist
+/// refactoring metadata, EC geometry, fragment locations, and observed
+/// transfer throughput (Section 4.3 of the paper).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rapids/kvstore/kvstore.hpp"
+#include "rapids/kvstore/memtable.hpp"
+#include "rapids/kvstore/sorted_run.hpp"
+#include "rapids/kvstore/wal.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::kv {
+
+/// Tuning options.
+struct DbOptions {
+  /// Flush the memtable to a sorted run when it exceeds this many bytes.
+  u64 memtable_flush_bytes = 4 << 20;
+  /// Merge all runs into one when their count exceeds this.
+  u32 compaction_trigger = 8;
+};
+
+/// Embedded ordered key-value store with WAL durability.
+class Db : public KvStore {
+ public:
+  /// Open (creating if needed) a database directory. Replays the WAL,
+  /// recovering cleanly from a torn tail.
+  static std::unique_ptr<Db> open(const std::string& dir, DbOptions options = {});
+
+  ~Db() override = default;
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  /// Insert or overwrite. May trigger a flush/compaction.
+  void put(const std::string& key, const std::string& value) override;
+
+  /// Delete (tombstone).
+  void del(const std::string& key) override;
+
+  /// Lookup; nullopt if absent or deleted.
+  std::optional<std::string> get(const std::string& key) override;
+
+  /// All live (non-tombstoned) entries whose keys start with `prefix`,
+  /// in key order — how the pipeline enumerates an object's fragments.
+  std::vector<std::pair<std::string, std::string>> scan_prefix(
+      const std::string& prefix) override;
+
+  /// Force the memtable into a sorted run (empties the WAL).
+  void flush();
+
+  /// Merge every run into a single one, dropping tombstoned history.
+  void compact();
+
+  /// Introspection for tests.
+  std::size_t num_runs() const { return runs_.size(); }
+  std::size_t memtable_size() const { return memtable_.size(); }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  Db(std::string dir, DbOptions options);
+  void maybe_flush();
+  std::string run_path(u64 seq) const;
+
+  std::string dir_;
+  DbOptions options_;
+  MemTable memtable_;
+  std::unique_ptr<WalWriter> wal_;
+  std::vector<SortedRun> runs_;  // oldest first
+  u64 next_run_seq_ = 1;
+};
+
+}  // namespace rapids::kv

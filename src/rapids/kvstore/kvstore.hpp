@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file kvstore.hpp
+/// The metadata-store interface the pipeline programs against. Two
+/// implementations ship: the embedded single-node Db (the paper's deployed
+/// configuration) and the quorum-replicated ReplicatedDb (the paper's
+/// future-work configuration). Swapping them changes the metadata fault
+/// model without touching the pipeline.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rapids::kv {
+
+/// Minimal ordered key-value contract used by the data-management layers.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  /// Insert or overwrite.
+  virtual void put(const std::string& key, const std::string& value) = 0;
+
+  /// Delete (absent keys are a no-op).
+  virtual void del(const std::string& key) = 0;
+
+  /// Lookup; nullopt if absent or deleted.
+  virtual std::optional<std::string> get(const std::string& key) = 0;
+
+  /// All live entries whose keys start with `prefix`, in key order.
+  virtual std::vector<std::pair<std::string, std::string>> scan_prefix(
+      const std::string& prefix) = 0;
+};
+
+}  // namespace rapids::kv

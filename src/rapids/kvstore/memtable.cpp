@@ -1,0 +1,27 @@
+#include "rapids/kvstore/memtable.hpp"
+
+namespace rapids::kv {
+
+void MemTable::put(std::string key, std::string value) {
+  bytes_ += key.size() + value.size();
+  entries_[std::move(key)] = std::move(value);
+}
+
+void MemTable::del(std::string key) {
+  bytes_ += key.size();
+  entries_[std::move(key)] = std::nullopt;
+}
+
+std::optional<std::optional<std::string>> MemTable::get(
+    const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MemTable::clear() {
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace rapids::kv

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file memtable.hpp
+/// The in-memory mutable layer of the metadata store: an ordered map of
+/// key -> (value | tombstone). Tombstones are needed so a delete can shadow
+/// an older value living in a flushed sorted run.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::kv {
+
+/// Ordered mutable key-value buffer.
+class MemTable {
+ public:
+  /// Insert or overwrite.
+  void put(std::string key, std::string value);
+
+  /// Record a tombstone (delete marker).
+  void del(std::string key);
+
+  /// Lookup. outer nullopt = key unknown here (consult older runs);
+  /// inner nullopt = tombstoned (definitively absent).
+  std::optional<std::optional<std::string>> get(const std::string& key) const;
+
+  /// All entries ordered by key (tombstones included), for flushing.
+  const std::map<std::string, std::optional<std::string>>& entries() const {
+    return entries_;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  u64 approximate_bytes() const { return bytes_; }
+  void clear();
+
+ private:
+  std::map<std::string, std::optional<std::string>> entries_;
+  u64 bytes_ = 0;
+};
+
+}  // namespace rapids::kv

@@ -1,0 +1,185 @@
+#include "rapids/kvstore/replicated_db.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "rapids/util/bytes.hpp"
+#include "rapids/util/logging.hpp"
+
+namespace rapids::kv {
+
+ReplicatedDb::ReplicatedDb(std::vector<std::unique_ptr<Db>> replicas,
+                           u32 write_quorum, u32 read_quorum)
+    : replicas_(std::move(replicas)), write_quorum_(write_quorum),
+      read_quorum_(read_quorum) {
+  const u32 n = num_replicas();
+  RAPIDS_REQUIRE_MSG(n >= 1, "ReplicatedDb: need at least one replica");
+  RAPIDS_REQUIRE_MSG(write_quorum >= 1 && write_quorum <= n,
+                     "ReplicatedDb: invalid write quorum");
+  RAPIDS_REQUIRE_MSG(read_quorum >= 1 && read_quorum <= n,
+                     "ReplicatedDb: invalid read quorum");
+  RAPIDS_REQUIRE_MSG(write_quorum + read_quorum > n,
+                     "ReplicatedDb: quorums must intersect (W + R > N)");
+  up_.assign(n, true);
+
+  // Resume the sequence counter past anything already stored.
+  for (const auto& db : replicas_) {
+    for (const auto& [key, raw] : db->scan_prefix("")) {
+      (void)key;
+      try {
+        next_seq_ = std::max(next_seq_, decode(raw).seq + 1);
+      } catch (const io_error&) {
+        // Unversioned foreign record: ignore for sequencing.
+      }
+    }
+  }
+}
+
+std::unique_ptr<ReplicatedDb> ReplicatedDb::open(const std::string& dir_prefix,
+                                                 u32 num_replicas,
+                                                 u32 write_quorum,
+                                                 u32 read_quorum,
+                                                 DbOptions options) {
+  std::vector<std::unique_ptr<Db>> replicas;
+  replicas.reserve(num_replicas);
+  for (u32 i = 0; i < num_replicas; ++i)
+    replicas.push_back(Db::open(dir_prefix + std::to_string(i), options));
+  return std::make_unique<ReplicatedDb>(std::move(replicas), write_quorum,
+                                        read_quorum);
+}
+
+void ReplicatedDb::set_replica_up(u32 index, bool up) { up_.at(index) = up; }
+
+std::string ReplicatedDb::encode(const Versioned& v) {
+  ByteWriter w(v.value.size() + 16);
+  w.put_u32(0x52444256u);  // "RDBV"
+  w.put_u64(v.seq);
+  w.put_u8(v.tombstone ? 1 : 0);
+  w.put_string(v.value);
+  const Bytes& b = w.bytes();
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+ReplicatedDb::Versioned ReplicatedDb::decode(const std::string& raw) {
+  ByteReader r({reinterpret_cast<const std::byte*>(raw.data()), raw.size()});
+  if (r.get_u32() != 0x52444256u)
+    throw io_error("ReplicatedDb: unversioned record");
+  Versioned v;
+  v.seq = r.get_u64();
+  v.tombstone = r.get_u8() != 0;
+  v.value = r.get_string();
+  return v;
+}
+
+std::vector<u32> ReplicatedDb::up_replicas() const {
+  std::vector<u32> out;
+  for (u32 i = 0; i < num_replicas(); ++i)
+    if (up_[i]) out.push_back(i);
+  return out;
+}
+
+void ReplicatedDb::write_versioned(const std::string& key, const Versioned& v,
+                                   const char* op_name) {
+  const auto up = up_replicas();
+  if (up.size() < write_quorum_)
+    throw quorum_error(std::string(op_name) + ": only " +
+                       std::to_string(up.size()) + " of " +
+                       std::to_string(write_quorum_) + " required replicas up");
+  const std::string encoded = encode(v);
+  for (u32 i : up) replicas_[i]->put(key, encoded);
+}
+
+void ReplicatedDb::put(const std::string& key, const std::string& value) {
+  write_versioned(key, Versioned{next_seq_++, false, value}, "put");
+}
+
+void ReplicatedDb::del(const std::string& key) {
+  write_versioned(key, Versioned{next_seq_++, true, ""}, "del");
+}
+
+std::optional<std::string> ReplicatedDb::get(const std::string& key) {
+  const auto up = up_replicas();
+  if (up.size() < read_quorum_)
+    throw quorum_error("get: only " + std::to_string(up.size()) + " of " +
+                       std::to_string(read_quorum_) + " required replicas up");
+
+  // Collect versions from every up replica (>= R satisfies the quorum).
+  std::optional<Versioned> newest;
+  std::vector<std::pair<u32, u64>> seen;  // replica -> seq (0 = absent)
+  for (u32 i : up) {
+    const auto raw = replicas_[i]->get(key);
+    u64 seq = 0;
+    if (raw) {
+      const Versioned v = decode(*raw);
+      seq = v.seq;
+      if (!newest || v.seq > newest->seq) newest = v;
+    }
+    seen.emplace_back(i, seq);
+  }
+  if (!newest) return std::nullopt;
+
+  // Read repair: push the newest version to stale replicas we touched.
+  const std::string encoded = encode(*newest);
+  for (const auto& [i, seq] : seen) {
+    if (seq < newest->seq) {
+      log::debug("kv", "read-repairing replica ", i, " for key ", key);
+      replicas_[i]->put(key, encoded);
+    }
+  }
+  if (newest->tombstone) return std::nullopt;
+  return newest->value;
+}
+
+std::vector<std::pair<std::string, std::string>> ReplicatedDb::scan_prefix(
+    const std::string& prefix) {
+  const auto up = up_replicas();
+  if (up.size() < read_quorum_)
+    throw quorum_error("scan: only " + std::to_string(up.size()) + " of " +
+                       std::to_string(read_quorum_) + " required replicas up");
+
+  std::map<std::string, Versioned> merged;
+  for (u32 i : up) {
+    for (const auto& [key, raw] : replicas_[i]->scan_prefix(prefix)) {
+      const Versioned v = decode(raw);
+      auto it = merged.find(key);
+      if (it == merged.end() || v.seq > it->second.seq) merged[key] = v;
+    }
+  }
+  // Repair stragglers and build the result.
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const auto& [key, v] : merged) {
+    const std::string encoded = encode(v);
+    for (u32 i : up) {
+      const auto raw = replicas_[i]->get(key);
+      if (!raw || decode(*raw).seq < v.seq) replicas_[i]->put(key, encoded);
+    }
+    if (!v.tombstone) out.emplace_back(key, v.value);
+  }
+  return out;
+}
+
+u64 ReplicatedDb::sync_replica(u32 index) {
+  RAPIDS_REQUIRE(index < num_replicas());
+  RAPIDS_REQUIRE_MSG(up_.at(index), "sync_replica: replica must be up");
+  u64 repaired = 0;
+  // Union of peers' records, newest version per key.
+  std::map<std::string, Versioned> newest;
+  for (u32 i = 0; i < num_replicas(); ++i) {
+    if (!up_[i] || i == index) continue;
+    for (const auto& [key, raw] : replicas_[i]->scan_prefix("")) {
+      const Versioned v = decode(raw);
+      auto it = newest.find(key);
+      if (it == newest.end() || v.seq > it->second.seq) newest[key] = v;
+    }
+  }
+  for (const auto& [key, v] : newest) {
+    const auto raw = replicas_[index]->get(key);
+    if (!raw || decode(*raw).seq < v.seq) {
+      replicas_[index]->put(key, encode(v));
+      ++repaired;
+    }
+  }
+  return repaired;
+}
+
+}  // namespace rapids::kv

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file replicated_db.hpp
+/// Replicated metadata management — the paper's Section 4.3 names
+/// single-node metadata as its weak point ("the metadata is only maintained
+/// on one system, which is prone to failures. In future development, the
+/// metadata duplication and distributed metadata management will be
+/// added."). This module adds that future work: a quorum-replicated wrapper
+/// over N embedded Db instances.
+///
+/// Every record carries a monotonically increasing sequence number; writes
+/// must reach a write quorum W, reads consult a read quorum R and take the
+/// highest sequence (newest-wins), repairing any stale replica touched along
+/// the way. With W + R > N, a read quorum always intersects the newest
+/// write's quorum, so reads are linearizable at the record level despite up
+/// to N - W replica outages at write time and N - R at read time. Deletes
+/// are sequenced tombstones for the same reason.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rapids/kvstore/db.hpp"
+#include "rapids/kvstore/kvstore.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::kv {
+
+/// Thrown when fewer than the required quorum of replicas acknowledged.
+class quorum_error : public io_error {
+ public:
+  explicit quorum_error(const std::string& what) : io_error(what) {}
+};
+
+/// Quorum-replicated metadata store.
+class ReplicatedDb : public KvStore {
+ public:
+  /// Wrap pre-opened replicas. Requires 1 <= W, R <= N and W + R > N.
+  ReplicatedDb(std::vector<std::unique_ptr<Db>> replicas, u32 write_quorum,
+               u32 read_quorum);
+
+  /// Open N replicas under `dir_prefix`0..N-1 with the given quorums.
+  static std::unique_ptr<ReplicatedDb> open(const std::string& dir_prefix,
+                                            u32 num_replicas, u32 write_quorum,
+                                            u32 read_quorum,
+                                            DbOptions options = {});
+
+  u32 num_replicas() const { return static_cast<u32>(replicas_.size()); }
+  u32 write_quorum() const { return write_quorum_; }
+  u32 read_quorum() const { return read_quorum_; }
+
+  /// Simulate a metadata-server outage (down replicas reject reads/writes).
+  void set_replica_up(u32 index, bool up);
+  bool replica_up(u32 index) const { return up_.at(index); }
+
+  /// Quorum write. Throws quorum_error if fewer than W replicas are up.
+  void put(const std::string& key, const std::string& value) override;
+
+  /// Quorum delete (sequenced tombstone).
+  void del(const std::string& key) override;
+
+  /// Quorum read: newest sequence wins; stale or missing replicas touched by
+  /// the read are repaired in passing. Throws quorum_error if fewer than R
+  /// replicas are up. nullopt = absent or tombstoned.
+  std::optional<std::string> get(const std::string& key) override;
+
+  /// Prefix scan across a read quorum, newest-wins per key, tombstones
+  /// filtered. Repairs stale replicas for the scanned range.
+  std::vector<std::pair<std::string, std::string>> scan_prefix(
+      const std::string& prefix) override;
+
+  /// Bring a recovered (previously down) replica fully up to date from its
+  /// peers. Returns the number of records repaired.
+  u64 sync_replica(u32 index);
+
+  /// Direct access for tests.
+  Db& replica(u32 index) { return *replicas_.at(index); }
+
+ private:
+  struct Versioned {
+    u64 seq = 0;
+    bool tombstone = false;
+    std::string value;
+  };
+
+  static std::string encode(const Versioned& v);
+  static Versioned decode(const std::string& raw);
+  std::vector<u32> up_replicas() const;
+  void write_versioned(const std::string& key, const Versioned& v,
+                       const char* op_name);
+
+  std::vector<std::unique_ptr<Db>> replicas_;
+  std::vector<bool> up_;
+  u32 write_quorum_;
+  u32 read_quorum_;
+  u64 next_seq_ = 1;
+};
+
+}  // namespace rapids::kv

@@ -1,0 +1,80 @@
+#include "rapids/kvstore/sorted_run.hpp"
+
+#include <algorithm>
+
+#include "rapids/util/bytes.hpp"
+#include "rapids/util/crc32c.hpp"
+
+namespace rapids::kv {
+
+namespace {
+constexpr u32 kRunMagic = 0x52535354u;  // "RSST"
+}
+
+SortedRun SortedRun::write(const std::string& path,
+                           const std::vector<RunEntry>& entries) {
+  for (std::size_t i = 1; i < entries.size(); ++i)
+    RAPIDS_REQUIRE_MSG(entries[i - 1].key < entries[i].key,
+                       "SortedRun::write: entries must be sorted and unique");
+  ByteWriter body;
+  body.put_u64(entries.size());
+  for (const auto& e : entries) {
+    body.put_string(e.key);
+    body.put_u8(e.value.has_value() ? 1 : 0);
+    body.put_string(e.value.value_or(""));
+  }
+  ByteWriter file;
+  file.put_u32(kRunMagic);
+  file.put_u32(crc32c(as_bytes_view(body.bytes())));
+  file.put_u64(body.size());
+  file.put_raw(as_bytes_view(body.bytes()));
+  write_file(path, as_bytes_view(file.bytes()));
+  return SortedRun(path, entries);
+}
+
+SortedRun SortedRun::open(const std::string& path) {
+  const Bytes raw = read_file(path);
+  ByteReader r(as_bytes_view(raw));
+  if (r.get_u32() != kRunMagic) throw io_error("SortedRun: bad magic in " + path);
+  const u32 crc = r.get_u32();
+  const u64 len = r.get_u64();
+  auto body = r.get_raw(len);
+  if (crc32c(body) != crc) throw io_error("SortedRun: CRC mismatch in " + path);
+  ByteReader br(body);
+  const u64 count = br.get_u64();
+  // Every entry costs at least 9 encoded bytes; a larger count is corruption.
+  if (count * 9 > br.remaining()) throw io_error("SortedRun: bad entry count");
+  std::vector<RunEntry> entries;
+  entries.reserve(count);
+  for (u64 i = 0; i < count; ++i) {
+    RunEntry e;
+    e.key = br.get_string();
+    const bool has_value = br.get_u8() != 0;
+    std::string v = br.get_string();
+    e.value = has_value ? std::optional<std::string>(std::move(v)) : std::nullopt;
+    entries.push_back(std::move(e));
+  }
+  return SortedRun(path, std::move(entries));
+}
+
+std::optional<std::optional<std::string>> SortedRun::get(
+    const std::string& key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const RunEntry& e, const std::string& k) { return e.key < k; });
+  if (it == entries_.end() || it->key != key) return std::nullopt;
+  return it->value;
+}
+
+std::vector<RunEntry> SortedRun::scan_prefix(const std::string& prefix) const {
+  std::vector<RunEntry> out;
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), prefix,
+      [](const RunEntry& e, const std::string& k) { return e.key < k; });
+  for (; it != entries_.end() && it->key.compare(0, prefix.size(), prefix) == 0;
+       ++it)
+    out.push_back(*it);
+  return out;
+}
+
+}  // namespace rapids::kv

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file sorted_run.hpp
+/// Immutable on-disk sorted run (simplified SSTable): a CRC-protected file of
+/// key-ordered entries flushed from the memtable. Runs are small (metadata,
+/// not data), so a run is loaded fully at open; lookups binary-search the
+/// in-memory index.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::kv {
+
+/// One entry: key + value-or-tombstone.
+struct RunEntry {
+  std::string key;
+  std::optional<std::string> value;  // nullopt = tombstone
+};
+
+/// Immutable sorted run.
+class SortedRun {
+ public:
+  /// Write `entries` (must be sorted by key, unique) to `path`, then open it.
+  static SortedRun write(const std::string& path,
+                         const std::vector<RunEntry>& entries);
+
+  /// Open an existing run file. Throws io_error on corruption.
+  static SortedRun open(const std::string& path);
+
+  /// Lookup (outer nullopt = not in this run; inner nullopt = tombstone).
+  std::optional<std::optional<std::string>> get(const std::string& key) const;
+
+  /// All entries with keys beginning with `prefix`, in order.
+  std::vector<RunEntry> scan_prefix(const std::string& prefix) const;
+
+  const std::vector<RunEntry>& entries() const { return entries_; }
+  const std::string& path() const { return path_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  SortedRun(std::string path, std::vector<RunEntry> entries)
+      : path_(std::move(path)), entries_(std::move(entries)) {}
+
+  std::string path_;
+  std::vector<RunEntry> entries_;
+};
+
+}  // namespace rapids::kv

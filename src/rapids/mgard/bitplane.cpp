@@ -1,0 +1,402 @@
+#include "rapids/mgard/bitplane.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "rapids/parallel/thread_pool.hpp"
+
+namespace rapids::mgard {
+
+namespace {
+
+constexpr u8 kModeRaw = 0;
+constexpr u8 kModeSparse = 1;
+constexpr u8 kModeZero = 2;
+constexpr u8 kModeRice = 3;
+
+u64 words_for_bits(u64 bits) { return ceil_div(bits, 64); }
+
+/// In-place transpose of a 64x64 bit matrix (rows = words, bit b of row r =
+/// M[r][b]); Hacker's Delight 7-7 style recursive block swap. Involution.
+void transpose64(u64 a[64]) {
+  u64 m = 0x00000000FFFFFFFFull;
+  for (u32 j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (u32 k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const u64 t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k] ^= t << j;
+      a[k + j] ^= t;
+    }
+  }
+}
+
+/// Append-only bit stream (LSB-first within bytes) with a 64-bit staging
+/// accumulator so the common path is shift+or, not per-bit byte writes.
+class BitWriter {
+ public:
+  void put_bit(u32 bit) { put_bits(bit, 1); }
+
+  void put_bits(u64 value, u32 count) {
+    if (count == 0) return;
+    if (count < 64) value &= (u64{1} << count) - 1;
+    acc_ |= value << fill_;
+    const u32 room = 64 - fill_;
+    if (count < room) {
+      fill_ += count;
+      return;
+    }
+    flush_word();
+    if (count > room) {
+      acc_ = value >> room;
+      fill_ = count - room;
+    }
+  }
+
+  /// Unary: `q` zeros then a one.
+  void put_unary(u64 q) {
+    while (q >= 32) {
+      put_bits(0, 32);
+      q -= 32;
+    }
+    put_bits(u64{1} << q, static_cast<u32>(q) + 1);
+  }
+
+  /// Finalize and take the buffer (byte-padded with zeros).
+  Bytes take() {
+    while (fill_ > 0) {
+      buf_.push_back(static_cast<std::byte>(acc_ & 0xFF));
+      acc_ >>= 8;
+      fill_ = fill_ > 8 ? fill_ - 8 : 0;
+    }
+    acc_ = 0;
+    return std::move(buf_);
+  }
+
+ private:
+  void flush_word() {
+    for (u32 i = 0; i < 8; ++i)
+      buf_.push_back(static_cast<std::byte>((acc_ >> (8 * i)) & 0xFF));
+    acc_ = 0;
+    fill_ = 0;
+  }
+
+  Bytes buf_;
+  u64 acc_ = 0;
+  u32 fill_ = 0;
+};
+
+/// Bounds-checked bit stream reader matching BitWriter's layout.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::byte> data) : data_(data) {}
+
+  u32 get_bit() {
+    const u64 byte = bit_ >> 3;
+    if (byte >= data_.size()) throw io_error("bitplane: truncated bit stream");
+    const u32 bit = (static_cast<u8>(data_[byte]) >> (bit_ & 7)) & 1u;
+    ++bit_;
+    return bit;
+  }
+
+  u64 get_bits(u32 count) {
+    u64 v = 0;
+    for (u32 i = 0; i < count; ++i) v |= static_cast<u64>(get_bit()) << i;
+    return v;
+  }
+
+  u64 get_unary() {
+    u64 q = 0;
+    while (get_bit() == 0) ++q;
+    return q;
+  }
+
+ private:
+  std::span<const std::byte> data_;
+  u64 bit_ = 0;
+};
+
+/// Rice parameter for gap coding at a given mean gap: k ~ log2(mean).
+u32 rice_parameter(u64 num_bits, u64 ones) {
+  RAPIDS_REQUIRE(ones > 0);
+  const u64 mean_gap = std::max<u64>(1, num_bits / ones);
+  u32 k = 0;
+  while ((u64{2} << k) < mean_gap && k < 40) ++k;
+  return k;
+}
+
+/// Rice-encode the positions of set bits as gaps. Returns the encoded body
+/// (without the mode byte): [k u8][ones u64][gap bitstream].
+Bytes rice_encode(std::span<const u64> words, u64 num_bits, u64 ones) {
+  const u32 k = rice_parameter(num_bits, ones);
+  BitWriter bw;
+  u64 prev = 0;  // position + 1 of the previous set bit
+  for (u64 w = 0; w < words.size(); ++w) {
+    u64 word = words[w];
+    while (word != 0) {
+      const u64 pos = w * 64 + static_cast<u64>(__builtin_ctzll(word));
+      const u64 gap = pos - prev;
+      bw.put_unary(gap >> k);
+      bw.put_bits(gap, k);
+      prev = pos + 1;
+      word &= word - 1;
+    }
+  }
+  const Bytes stream = bw.take();
+  ByteWriter out;
+  out.put_u8(static_cast<u8>(k));
+  out.put_u64(ones);
+  out.put_raw(as_bytes_view(stream));
+  return out.take();
+}
+
+std::vector<u64> rice_decode(std::span<const std::byte> body, u64 num_bits) {
+  ByteReader r(body);
+  const u32 k = r.get_u8();
+  const u64 ones = r.get_u64();
+  BitReader br(r.get_raw(r.remaining()));
+  std::vector<u64> words(words_for_bits(num_bits), 0);
+  u64 prev = 0;
+  for (u64 i = 0; i < ones; ++i) {
+    const u64 gap = (br.get_unary() << k) | br.get_bits(k);
+    const u64 pos = prev + gap;
+    if (pos >= num_bits) throw io_error("bitplane: Rice position out of range");
+    words[pos >> 6] |= u64{1} << (pos & 63);
+    prev = pos + 1;
+  }
+  return words;
+}
+
+}  // namespace
+
+u64 PlaneSet::prefix_bytes(u32 p) const {
+  RAPIDS_REQUIRE(p <= planes.size());
+  u64 total = sign.size();
+  for (u32 i = 0; i < p; ++i) total += planes[i].size();
+  return total;
+}
+
+f64 PlaneSet::error_bound(u32 p) const {
+  if (count == 0 || max_abs == 0.0) return 0.0;
+  const u32 eff = std::min<u32>(p, kMagnitudePlanes);
+  return std::ldexp(1.0, exponent - static_cast<i32>(eff));
+}
+
+PlaneSegment encode_segment(std::span<const u64> words, u64 num_bits) {
+  RAPIDS_REQUIRE(words.size() == words_for_bits(num_bits));
+  const u64 nwords = words.size();
+  u64 nonzero_words = 0;
+  u64 ones = 0;
+  for (u64 w : words) {
+    nonzero_words += (w != 0);
+    ones += static_cast<u64>(__builtin_popcountll(w));
+  }
+
+  ByteWriter out;
+  if (ones == 0) {
+    out.put_u8(kModeZero);
+    return PlaneSegment{out.take()};
+  }
+
+  const u64 raw_bytes = nwords * 8;
+
+  // Rice-coded gaps win whenever set bits are reasonably sparse; the exact
+  // size check below arbitrates against the other modes.
+  Bytes rice;
+  if (ones * 2 < num_bits) rice = rice_encode(words, num_bits, ones);
+
+  // Sparse: bitmap of nonzero words (nwords bits) + the nonzero words.
+  const u64 sparse_bytes = words_for_bits(nwords) * 8 + nonzero_words * 8;
+
+  if (!rice.empty() && rice.size() < raw_bytes && rice.size() < sparse_bytes) {
+    out.put_u8(kModeRice);
+    out.put_raw(as_bytes_view(rice));
+  } else if (sparse_bytes < raw_bytes) {
+    out.put_u8(kModeSparse);
+    std::vector<u64> bitmap(words_for_bits(nwords), 0);
+    for (u64 i = 0; i < nwords; ++i)
+      if (words[i] != 0) bitmap[i >> 6] |= u64{1} << (i & 63);
+    for (u64 b : bitmap) out.put_u64(b);
+    for (u64 i = 0; i < nwords; ++i)
+      if (words[i] != 0) out.put_u64(words[i]);
+  } else {
+    out.put_u8(kModeRaw);
+    for (u64 w : words) out.put_u64(w);
+  }
+  return PlaneSegment{out.take()};
+}
+
+std::vector<u64> decode_segment(const PlaneSegment& seg, u64 num_bits) {
+  const u64 nwords = words_for_bits(num_bits);
+  std::vector<u64> words(nwords, 0);
+  ByteReader r(as_bytes_view(seg.data));
+  const u8 mode = r.get_u8();
+  switch (mode) {
+    case kModeZero:
+      break;
+    case kModeRaw:
+      for (u64 i = 0; i < nwords; ++i) words[i] = r.get_u64();
+      break;
+    case kModeSparse: {
+      std::vector<u64> bitmap(words_for_bits(nwords));
+      for (auto& b : bitmap) b = r.get_u64();
+      for (u64 i = 0; i < nwords; ++i)
+        if (bitmap[i >> 6] & (u64{1} << (i & 63))) words[i] = r.get_u64();
+      break;
+    }
+    case kModeRice:
+      words = rice_decode(r.get_raw(r.remaining()), num_bits);
+      break;
+    default:
+      throw io_error("bitplane: unknown segment mode " + std::to_string(mode));
+  }
+  return words;
+}
+
+PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes,
+                       ThreadPool* pool) {
+  RAPIDS_REQUIRE(max_planes <= kMagnitudePlanes);
+  PlaneSet ps;
+  ps.count = coeffs.size();
+  if (coeffs.empty()) return ps;
+
+  f64 max_abs = 0.0;
+  for (f64 c : coeffs) max_abs = std::max(max_abs, std::fabs(c));
+  ps.max_abs = max_abs;
+  if (max_abs == 0.0) {
+    // All-zero level: a zero sign plane and no magnitude planes needed, but
+    // keep the requested plane count so retrieval bookkeeping stays uniform.
+    const u64 nwords = words_for_bits(ps.count);
+    std::vector<u64> zero(nwords, 0);
+    ps.sign = encode_segment(zero, ps.count);
+    ps.planes.assign(max_planes, ps.sign);
+    return ps;
+  }
+
+  // E such that |c| / 2^E < 1 for every coefficient.
+  ps.exponent = std::ilogb(max_abs) + 1;
+  const f64 scale = std::ldexp(1.0, 32 - ps.exponent);  // |c| * scale in [0, 2^32)
+
+  // Quantize.
+  const u64 n = ps.count;
+  std::vector<u32> q(n);
+  std::vector<u64> sign_words(words_for_bits(n), 0);
+  auto quantize = [&](u64 lo, u64 hi) {
+    for (u64 i = lo; i < hi; ++i) {
+      const f64 c = coeffs[i];
+      f64 m = std::fabs(c) * scale;
+      if (m >= 4294967295.0) m = 4294967295.0;
+      q[i] = static_cast<u32>(m);
+      if (std::signbit(c)) sign_words[i >> 6] |= u64{1} << (i & 63);
+    }
+  };
+  // Sign-word writes race across chunk boundaries if chunks are not multiples
+  // of 64 coefficients; use 64-aligned grain.
+  if (pool != nullptr && n > (1u << 16)) {
+    pool->parallel_for_chunks(0, n, quantize, /*grain=*/round_up(n / 64, 64));
+  } else {
+    quantize(0, n);
+  }
+  ps.sign = encode_segment(sign_words, n);
+
+  // Slice planes with a blocked transpose: each 64-coefficient block is
+  // loaded once and contributes one 64-bit word to every plane, keeping the
+  // working set in registers/L1 instead of streaming q[] once per plane.
+  const u64 nwords = words_for_bits(n);
+  std::vector<std::vector<u64>> plane_words(max_planes);
+  for (auto& w : plane_words) w.assign(nwords, 0);
+  auto slice_blocks = [&](u64 wlo, u64 whi) {
+    u64 block[64];
+    for (u64 w = wlo; w < whi; ++w) {
+      const u64 base = w * 64;
+      const u32 valid = static_cast<u32>(std::min<u64>(64, n - base));
+      for (u32 i = 0; i < valid; ++i) block[i] = q[base + i];
+      for (u32 i = valid; i < 64; ++i) block[i] = 0;
+      // After the bit transpose, row b holds bit b of every coefficient:
+      // plane p (MSB-first) is row 31-p.
+      transpose64(block);
+      for (u32 p = 0; p < max_planes; ++p)
+        plane_words[p][w] = block[31 - p];
+    }
+  };
+  if (pool != nullptr && nwords > 64) {
+    pool->parallel_for_chunks(0, nwords, slice_blocks, 0);
+  } else {
+    slice_blocks(0, nwords);
+  }
+
+  ps.planes.resize(max_planes);
+  auto compress_plane = [&](u64 p) {
+    ps.planes[p] = encode_segment(plane_words[p], n);
+  };
+  if (pool != nullptr && max_planes > 1) {
+    pool->parallel_for(0, max_planes, compress_plane);
+  } else {
+    for (u64 p = 0; p < max_planes; ++p) compress_plane(p);
+  }
+  return ps;
+}
+
+std::vector<f64> decode_planes(const PlaneSet& ps, u32 num_planes,
+                               ThreadPool* pool) {
+  RAPIDS_REQUIRE(num_planes <= ps.planes.size() ||
+                 (ps.max_abs == 0.0 && ps.count > 0));
+  std::vector<f64> out(ps.count, 0.0);
+  if (ps.count == 0 || ps.max_abs == 0.0 || num_planes == 0) return out;
+
+  const u64 n = ps.count;
+  std::vector<u32> q(n, 0);
+
+  // Decode planes and merge (parallel across planes would race on q; decode
+  // segments in parallel, then merge serially per plane).
+  std::vector<std::vector<u64>> plane_words(num_planes);
+  auto decode_one = [&](u64 p) {
+    plane_words[p] = decode_segment(ps.planes[p], n);
+  };
+  if (pool != nullptr && num_planes > 1) {
+    pool->parallel_for(0, num_planes, decode_one);
+  } else {
+    for (u64 p = 0; p < num_planes; ++p) decode_one(p);
+  }
+
+  // Blocked merge mirroring the encoder's transpose.
+  const u64 nwords = words_for_bits(n);
+  auto merge = [&](u64 wlo, u64 whi) {
+    u64 block[64];
+    for (u64 w = wlo; w < whi; ++w) {
+      const u64 base = w * 64;
+      const u32 valid = static_cast<u32>(std::min<u64>(64, n - base));
+      std::fill(std::begin(block), std::end(block), 0);
+      for (u32 p = 0; p < num_planes; ++p) block[31 - p] = plane_words[p][w];
+      transpose64(block);  // involution: rows become per-coefficient values
+      for (u32 i = 0; i < valid; ++i) q[base + i] = static_cast<u32>(block[i]);
+    }
+  };
+  if (pool != nullptr && nwords > 64) {
+    pool->parallel_for_chunks(0, nwords, merge, 0);
+  } else {
+    merge(0, nwords);
+  }
+
+  const std::vector<u64> sign_words = decode_segment(ps.sign, n);
+  const f64 inv_scale = std::ldexp(1.0, ps.exponent - 32);
+  // Midpoint of the truncated tail: half of the last decoded plane's weight.
+  const u32 mid = num_planes < 32 ? (1u << (31 - num_planes)) : 0u;
+  auto reconstruct = [&](u64 lo, u64 hi) {
+    for (u64 i = lo; i < hi; ++i) {
+      u32 qi = q[i];
+      if (qi == 0) continue;  // insignificant: stays exactly zero
+      qi += mid;
+      f64 m = static_cast<f64>(qi) * inv_scale;
+      if (sign_words[i >> 6] & (u64{1} << (i & 63))) m = -m;
+      out[i] = m;
+    }
+  };
+  if (pool != nullptr && n > (1u << 16)) {
+    pool->parallel_for_chunks(0, n, reconstruct, 0);
+  } else {
+    reconstruct(0, n);
+  }
+  return out;
+}
+
+}  // namespace rapids::mgard

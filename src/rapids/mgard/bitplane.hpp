@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file bitplane.hpp
+/// Bitplane encoding of multilevel coefficients — the mechanism pMGARD uses
+/// for fine-grained error control. Coefficients of one decomposition level
+/// are normalized by 2^E (E = exponent above the level's max magnitude) and
+/// quantized to 32-bit fixed point; the quantized values are then sliced into
+/// a sign plane plus 32 magnitude planes (MSB first). Reconstructing from the
+/// first p magnitude planes leaves a per-coefficient error < 2^(E-p), which
+/// is what lets the retrieval layer attach a guaranteed error bound to any
+/// prefix of planes.
+///
+/// Each plane is stored either raw (bit-packed) or sparse (bitmap of nonzero
+/// 64-bit words + the nonzero words). High planes of smooth fields are almost
+/// entirely zero, so the sparse form is where the refactorer's compression
+/// comes from.
+
+#include <vector>
+
+#include "rapids/util/bytes.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids {
+class ThreadPool;
+}
+
+namespace rapids::mgard {
+
+/// Number of magnitude bitplanes kept per decomposition level.
+inline constexpr u32 kMagnitudePlanes = 32;
+
+/// One encoded segment: the sign plane or one magnitude plane, already
+/// compressed. Segments are the atoms the retrieval layer distributes across
+/// retrieval levels.
+struct PlaneSegment {
+  Bytes data;  ///< encoded plane (mode byte + payload)
+
+  u64 size() const { return data.size(); }
+};
+
+/// All planes of one decomposition level.
+struct PlaneSet {
+  u64 count = 0;      ///< number of coefficients
+  f64 max_abs = 0.0;  ///< max |coefficient| (0 for an all-zero level)
+  i32 exponent = 0;   ///< E with max_abs < 2^E (undefined when max_abs == 0)
+  PlaneSegment sign;  ///< sign plane
+  std::vector<PlaneSegment> planes;  ///< magnitude planes, MSB first
+
+  /// Total encoded bytes of the sign plane plus the first p magnitude planes.
+  u64 prefix_bytes(u32 p) const;
+
+  /// Absolute error bound when reconstructing from the first p planes
+  /// (p <= planes.size()); beyond the last stored plane the quantization
+  /// floor 2^(E-32) remains.
+  f64 error_bound(u32 p) const;
+};
+
+/// Encode coefficients into sign + magnitude planes. `max_planes` caps how
+/// many magnitude planes are produced (32 = lossless to the quantization
+/// floor). If `pool` is non-null, planes are encoded in parallel.
+PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes = kMagnitudePlanes,
+                       ThreadPool* pool = nullptr);
+
+/// Reconstruct coefficients from the sign plane and the first
+/// `num_planes` magnitude planes of `ps` (num_planes <= ps.planes.size()).
+/// Coefficients whose decoded prefix is zero stay exactly zero; others get
+/// midpoint reconstruction of the truncated tail.
+std::vector<f64> decode_planes(const PlaneSet& ps, u32 num_planes,
+                               ThreadPool* pool = nullptr);
+
+/// Low-level plane codecs, exposed for tests and benches. ///
+
+/// Pack a bit-per-coefficient plane and compress it (raw vs sparse,
+/// whichever is smaller). `bits` holds 0/1 per coefficient.
+PlaneSegment encode_segment(std::span<const u64> words, u64 num_bits);
+
+/// Expand a segment back to packed 64-bit words (num_bits bits valid).
+std::vector<u64> decode_segment(const PlaneSegment& seg, u64 num_bits);
+
+}  // namespace rapids::mgard

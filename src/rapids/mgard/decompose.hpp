@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file decompose.hpp
+/// The multigrid transform at the heart of the refactorer. One coarsening
+/// step over a (2N_x+1, 2N_y+1, 2N_z+1) grid:
+///
+///  1. *Interpolation cascade* — per axis, at odd positions:
+///     u[i] -= (u[i-1] + u[i+1]) / 2. After all axes, nodes that are odd in
+///     at least one axis hold the residual of the multilinear interpolant of
+///     the coarse (even-in-every-axis) nodes; this cascade annihilates any
+///     function in the coarse space exactly.
+///  2. *L2 correction* — the coarse nodes are replaced by the L2 projection
+///     of the original function onto the coarse space: solve
+///     (M_x (x) M_y (x) M_z) z = (L_x o L_y o L_z) r, where r is the residual
+///     field (zero at coarse nodes), L is the 1-D piecewise-linear load
+///     operator with stencil (1/6)[0.5 3 5 3 0.5], M is the coarse mass
+///     matrix (1/3)[1 4 1] (boundary diag 2/3), and add z to the coarse
+///     values. This is MGARD's projection step; it is what gives the L2-
+///     orthogonal multilevel decomposition and its error guarantees.
+///
+/// The full decomposition repeats this step L times on grids of stride
+/// 2^(t-1). Everything is in place over the padded array; per-step working
+/// copies of the active sub-grid keep the kernels contiguous and
+/// cache-friendly. All heavy loops stripe across an optional ThreadPool.
+
+#include <vector>
+
+#include "rapids/mgard/grid.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids {
+class ThreadPool;
+}
+
+namespace rapids::mgard {
+
+/// Tuning knobs for the transform.
+struct DecomposeOptions {
+  /// Apply the L2 correction (true = full MGARD-style projection; false =
+  /// plain hierarchical interpolation basis). Ablated in bench/ablation.
+  bool l2_correction = true;
+};
+
+/// In-place multilevel decomposition of `data` (padded extents of `h`).
+/// After the call, the coarse base values live at stride-2^L nodes and the
+/// detail coefficients of decomposition level d at their nodes (see grid.hpp).
+template <typename T>
+void decompose(std::vector<T>& data, const GridHierarchy& h,
+               const DecomposeOptions& opt = {}, ThreadPool* pool = nullptr);
+
+/// Exact inverse of decompose() (up to floating-point rounding).
+template <typename T>
+void recompose(std::vector<T>& data, const GridHierarchy& h,
+               const DecomposeOptions& opt = {}, ThreadPool* pool = nullptr);
+
+/// Gather the coefficients of decomposition level `d` into a contiguous
+/// vector ordered by the hierarchy's level_nodes(d) map.
+template <typename T>
+std::vector<T> gather_level(const std::vector<T>& data, const GridHierarchy& h,
+                            u32 d);
+
+/// Scatter a contiguous coefficient vector back into the full array.
+template <typename T>
+void scatter_level(std::vector<T>& data, const GridHierarchy& h, u32 d,
+                   const std::vector<T>& coeffs);
+
+}  // namespace rapids::mgard

@@ -1,0 +1,166 @@
+#include "rapids/mgard/refactorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rapids/parallel/thread_pool.hpp"
+
+namespace rapids::mgard {
+
+u64 RefactoredObject::refactored_bytes() const {
+  u64 total = 0;
+  for (const auto& l : levels) total += l.payload.size();
+  return total;
+}
+
+Bytes RefactoredObject::serialize_metadata() const {
+  ByteWriter w;
+  w.put_u32(0x5246524Du);  // "RFRM"
+  w.put_u16(1);
+  w.put_string(name);
+  w.put_u64(dims.nx);
+  w.put_u64(dims.ny);
+  w.put_u64(dims.nz);
+  w.put_u32(decomp_levels);
+  w.put_u8(l2_correction ? 1 : 0);
+  w.put_f64(bound_factor);
+  w.put_f64(data_max_abs);
+  w.put_u32(static_cast<u32>(dlevels.size()));
+  for (const auto& d : dlevels) {
+    w.put_u64(d.count);
+    w.put_f64(d.max_abs);
+    w.put_i64(d.exponent);
+  }
+  w.put_u32(static_cast<u32>(levels.size()));
+  for (const auto& l : levels) {
+    w.put_u64(l.payload.size());
+    w.put_f64(l.abs_error_bound);
+    w.put_f64(l.rel_error_bound);
+  }
+  return w.take();
+}
+
+RefactoredObject RefactoredObject::deserialize_metadata(
+    std::span<const std::byte> data) {
+  ByteReader r(data);
+  if (r.get_u32() != 0x5246524Du) throw io_error("RefactoredObject: bad magic");
+  if (r.get_u16() != 1) throw io_error("RefactoredObject: bad version");
+  RefactoredObject o;
+  o.name = r.get_string();
+  o.dims.nx = r.get_u64();
+  o.dims.ny = r.get_u64();
+  o.dims.nz = r.get_u64();
+  o.decomp_levels = r.get_u32();
+  o.l2_correction = r.get_u8() != 0;
+  o.bound_factor = r.get_f64();
+  o.data_max_abs = r.get_f64();
+  const u32 nd = r.get_u32();
+  if (u64{nd} * 24 > r.remaining())
+    throw io_error("RefactoredObject: bad decomposition-level count");
+  o.dlevels.resize(nd);
+  for (auto& d : o.dlevels) {
+    d.count = r.get_u64();
+    d.max_abs = r.get_f64();
+    d.exponent = static_cast<i32>(r.get_i64());
+  }
+  const u32 nl = r.get_u32();
+  if (u64{nl} * 24 > r.remaining())
+    throw io_error("RefactoredObject: bad retrieval-level count");
+  o.levels.resize(nl);
+  for (auto& l : o.levels) {
+    (void)r.get_u64();  // payload size: informational, payloads travel apart
+    l.abs_error_bound = r.get_f64();
+    l.rel_error_bound = r.get_f64();
+  }
+  return o;
+}
+
+RefactoredObject Refactorer::refactor(std::span<const f32> data, Dims dims,
+                                      const std::string& name) const {
+  RAPIDS_REQUIRE(data.size() == dims.total());
+  RAPIDS_REQUIRE(options_.decomp_levels >= 1);
+
+  const GridHierarchy h(dims, options_.decomp_levels);
+
+  // Work in f64: the transform and quantization stay well below f32 noise.
+  std::vector<f64> field(data.size());
+  std::transform(data.begin(), data.end(), field.begin(),
+                 [](f32 v) { return static_cast<f64>(v); });
+  f64 max_abs = 0.0;
+  bool finite = true;
+  for (f64 v : field) {
+    finite &= std::isfinite(v);
+    max_abs = std::max(max_abs, std::fabs(v));
+  }
+  RAPIDS_REQUIRE_MSG(finite, "refactor: input contains NaN or infinity");
+  RAPIDS_REQUIRE_MSG(max_abs > 0.0, "refactor: all-zero input has no scale");
+
+  std::vector<f64> padded = pad_field(field, dims, h.padded());
+  field.clear();
+  field.shrink_to_fit();
+
+  DecomposeOptions dopt{options_.l2_correction};
+  decompose(padded, h, dopt, pool_);
+
+  // Encode every decomposition level's coefficients into planes.
+  std::vector<PlaneSet> plane_sets(h.num_decomp_levels());
+  for (u32 d = 0; d < h.num_decomp_levels(); ++d) {
+    std::vector<f64> coeffs = gather_level(padded, h, d);
+    plane_sets[d] = encode_planes(coeffs, options_.max_planes, pool_);
+  }
+
+  RetrievalOptions ropt;
+  ropt.num_levels = options_.num_retrieval_levels;
+  ropt.target_rel_errors = options_.target_rel_errors;
+  ropt.final_rel_error = options_.final_rel_error;
+  ropt.bound_factor = options_.bound_factor;
+
+  RefactoredObject out;
+  out.name = name;
+  out.dims = dims;
+  out.decomp_levels = options_.decomp_levels;
+  out.l2_correction = options_.l2_correction;
+  out.bound_factor = options_.bound_factor;
+  out.data_max_abs = max_abs;
+  out.dlevels.resize(plane_sets.size());
+  for (u32 d = 0; d < plane_sets.size(); ++d) {
+    out.dlevels[d] =
+        DLevelMeta{plane_sets[d].count, plane_sets[d].max_abs, plane_sets[d].exponent};
+  }
+  out.levels = assemble_retrieval_levels(plane_sets, max_abs, ropt);
+  return out;
+}
+
+std::vector<f32> Refactorer::reconstruct(
+    const RefactoredObject& meta, std::span<const Bytes> level_payloads) const {
+  RAPIDS_REQUIRE_MSG(!level_payloads.empty(),
+                     "reconstruct: need at least retrieval level 1");
+  RAPIDS_REQUIRE(level_payloads.size() <= meta.levels.size());
+
+  const GridHierarchy h(meta.dims, meta.decomp_levels);
+  std::vector<PlaneSet> sets = collect_plane_sets(meta.dlevels, level_payloads);
+  RAPIDS_REQUIRE(sets.size() == h.num_decomp_levels());
+
+  std::vector<f64> padded(h.padded().total(), 0.0);
+  for (u32 d = 0; d < sets.size(); ++d) {
+    const u32 avail = static_cast<u32>(sets[d].planes.size());
+    std::vector<f64> coeffs =
+        sets[d].count == 0
+            ? std::vector<f64>{}
+            : decode_planes(sets[d], avail, pool_);
+    if (coeffs.empty() && sets[d].count > 0)
+      coeffs.assign(sets[d].count, 0.0);
+    scatter_level(padded, h, d, coeffs);
+  }
+
+  DecomposeOptions dopt{meta.l2_correction};
+  recompose(padded, h, dopt, pool_);
+
+  std::vector<f64> cropped = crop_field(padded, h.padded(), meta.dims);
+  std::vector<f32> out(cropped.size());
+  std::transform(cropped.begin(), cropped.end(), out.begin(),
+                 [](f64 v) { return static_cast<f32>(v); });
+  return out;
+}
+
+}  // namespace rapids::mgard

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file refactorer.hpp
+/// Public facade of the refactoring subsystem: turn a float field into a
+/// hierarchical, error-bounded representation (refactor) and rebuild an
+/// approximation from any prefix of retrieval levels (reconstruct). This is
+/// the role pMGARD plays in the paper.
+
+#include <string>
+#include <vector>
+
+#include "rapids/mgard/decompose.hpp"
+#include "rapids/mgard/grid.hpp"
+#include "rapids/mgard/retrieval.hpp"
+#include "rapids/util/bytes.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids {
+class ThreadPool;
+}
+
+namespace rapids::mgard {
+
+/// Options for a refactor run.
+struct RefactorOptions {
+  u32 decomp_levels = 4;        ///< dyadic coarsening steps L
+  u32 num_retrieval_levels = 4; ///< hierarchy depth the paper calls "l"
+  /// Explicit relative-error targets per retrieval level (e_1 > ... > e_l).
+  /// Empty = geometric spacing down to final_rel_error.
+  std::vector<f64> target_rel_errors;
+  f64 final_rel_error = 1e-7;   ///< accuracy of the full representation
+  bool l2_correction = true;    ///< MGARD projection step (ablatable)
+  f64 bound_factor = 2.0;       ///< multilevel L-inf amplification constant
+  u32 max_planes = kMagnitudePlanes;  ///< magnitude planes kept per level
+};
+
+/// A refactored data object: metadata + the retrieval-level payloads.
+/// The payloads are what gets erasure-coded and distributed; the metadata is
+/// what the metadata-management component persists in the key-value store.
+struct RefactoredObject {
+  std::string name;
+  Dims dims;                  ///< original extents
+  u32 decomp_levels = 0;
+  bool l2_correction = true;
+  f64 bound_factor = 2.0;
+  f64 data_max_abs = 0.0;     ///< max |original| (relative-error denominator)
+  std::vector<DLevelMeta> dlevels;
+  std::vector<RetrievalLevel> levels;
+
+  /// Bytes of the original (uncompressed f32) data.
+  u64 original_bytes() const { return dims.total() * sizeof(f32); }
+
+  /// Total bytes across all retrieval-level payloads.
+  u64 refactored_bytes() const;
+
+  /// Payload size of retrieval level j (0-based) — the paper's s_{j+1}.
+  u64 level_bytes(u32 j) const { return levels.at(j).payload.size(); }
+
+  /// Guaranteed relative L-infinity error when reconstructing from the first
+  /// j retrieval levels (j >= 1) — the paper's e_j.
+  f64 rel_error_bound(u32 j) const { return levels.at(j - 1).rel_error_bound; }
+
+  /// Serialize everything except the payloads (for the metadata store).
+  Bytes serialize_metadata() const;
+
+  /// Inverse of serialize_metadata(); `levels[i].payload` stay empty.
+  static RefactoredObject deserialize_metadata(std::span<const std::byte> data);
+};
+
+/// The refactoring engine. Stateless apart from options and the worker pool;
+/// safe to reuse across objects.
+class Refactorer {
+ public:
+  explicit Refactorer(RefactorOptions options = {}, ThreadPool* pool = nullptr)
+      : options_(std::move(options)), pool_(pool) {}
+
+  const RefactorOptions& options() const { return options_; }
+
+  /// Decompose, quantize, and pack `data` (extents `dims`, row-major,
+  /// x fastest) into a RefactoredObject named `name`.
+  RefactoredObject refactor(std::span<const f32> data, Dims dims,
+                            const std::string& name) const;
+
+  /// Rebuild an approximation using the first `level_payloads.size()`
+  /// retrieval levels (must be a prefix: levels 1..j). `meta` may come from
+  /// refactor() or deserialize_metadata().
+  std::vector<f32> reconstruct(const RefactoredObject& meta,
+                               std::span<const Bytes> level_payloads) const;
+
+ private:
+  RefactorOptions options_;
+  ThreadPool* pool_;
+};
+
+}  // namespace rapids::mgard

@@ -1,0 +1,158 @@
+#include "rapids/mgard/retrieval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rapids::mgard {
+
+namespace {
+
+/// Remaining absolute bound of decomposition level l with p planes consumed.
+f64 level_bound(const PlaneSet& ps, u32 p) {
+  if (ps.count == 0 || ps.max_abs == 0.0) return 0.0;
+  if (p == 0) return ps.max_abs;  // nothing decoded yet: coefficients are zero
+  return ps.error_bound(p);
+}
+
+void append_segment(ByteWriter& w, std::vector<SegmentRef>& refs, u32 dlevel,
+                    u32 plane, const PlaneSegment& seg) {
+  w.put_u32(dlevel);
+  w.put_u32(plane);
+  w.put_bytes(as_bytes_view(seg.data));
+  refs.push_back(SegmentRef{dlevel, plane, seg.size()});
+}
+
+}  // namespace
+
+std::vector<RetrievalLevel> assemble_retrieval_levels(
+    const std::vector<PlaneSet>& plane_sets, f64 data_max_abs,
+    const RetrievalOptions& opt) {
+  RAPIDS_REQUIRE(opt.num_levels >= 1);
+  RAPIDS_REQUIRE(data_max_abs > 0.0);
+  const u32 nd = static_cast<u32>(plane_sets.size());
+
+  // Per-decomposition-level plane cursors.
+  std::vector<u32> cursor(nd, 0);
+  auto total_bound = [&] {
+    f64 b = 0.0;
+    for (u32 l = 0; l < nd; ++l) b += level_bound(plane_sets[l], cursor[l]);
+    return b * opt.bound_factor;
+  };
+
+  // Resolve targets.
+  std::vector<f64> targets = opt.target_rel_errors;
+  if (targets.empty()) {
+    // First target: bound after giving every level its first plane would be
+    // too eager; instead take the initial bound and space geometrically down
+    // to final_rel_error.
+    const f64 first = std::max(total_bound() / data_max_abs / 4.0,
+                               opt.final_rel_error);
+    const f64 last = opt.final_rel_error;
+    targets.resize(opt.num_levels);
+    if (opt.num_levels == 1) {
+      targets[0] = last;
+    } else {
+      const f64 ratio = std::pow(last / first,
+                                 1.0 / static_cast<f64>(opt.num_levels - 1));
+      f64 t = first;
+      for (u32 j = 0; j < opt.num_levels; ++j, t *= ratio) targets[j] = t;
+    }
+  }
+  RAPIDS_REQUIRE_MSG(targets.size() == opt.num_levels,
+                     "target_rel_errors size must equal num_levels");
+  for (u32 j = 1; j < targets.size(); ++j)
+    RAPIDS_REQUIRE_MSG(targets[j] < targets[j - 1],
+                       "target relative errors must strictly decrease");
+
+  std::vector<RetrievalLevel> out;
+  out.reserve(opt.num_levels);
+
+  ByteWriter writer;
+  std::vector<SegmentRef> refs;
+  auto flush_level = [&](f64 abs_bound) {
+    RetrievalLevel lvl;
+    lvl.payload = writer.take();
+    lvl.abs_error_bound = abs_bound;
+    lvl.rel_error_bound = abs_bound / data_max_abs;
+    lvl.segments = std::move(refs);
+    out.push_back(std::move(lvl));
+    writer = ByteWriter{};
+    refs.clear();
+  };
+
+  for (u32 j = 0; j < opt.num_levels; ++j) {
+    const f64 abs_target = targets[j] * data_max_abs;
+    // Emit planes greedily until the bound meets this level's target or we
+    // run out of planes.
+    for (;;) {
+      const f64 bound = total_bound();
+      if (bound <= abs_target) break;
+      // Pick the level with the largest remaining bound that still has
+      // planes left.
+      u32 best = nd;
+      f64 best_bound = -1.0;
+      for (u32 l = 0; l < nd; ++l) {
+        if (cursor[l] >= plane_sets[l].planes.size()) continue;
+        const f64 b = level_bound(plane_sets[l], cursor[l]);
+        if (b > best_bound) {
+          best_bound = b;
+          best = l;
+        }
+      }
+      if (best == nd) break;  // exhausted: bound is at the quantization floor
+      if (cursor[best] == 0)
+        append_segment(writer, refs, best, 0, plane_sets[best].sign);
+      append_segment(writer, refs, best, cursor[best] + 1,
+                     plane_sets[best].planes[cursor[best]]);
+      cursor[best] += 1;
+    }
+    flush_level(total_bound());
+  }
+  return out;
+}
+
+std::vector<std::pair<SegmentRef, PlaneSegment>> parse_retrieval_payload(
+    std::span<const std::byte> payload) {
+  std::vector<std::pair<SegmentRef, PlaneSegment>> out;
+  ByteReader r(payload);
+  while (!r.at_end()) {
+    SegmentRef ref;
+    ref.dlevel = r.get_u32();
+    ref.plane = r.get_u32();
+    auto body = r.get_bytes();
+    ref.bytes = body.size();
+    PlaneSegment seg;
+    seg.data.assign(body.begin(), body.end());
+    out.emplace_back(ref, std::move(seg));
+  }
+  return out;
+}
+
+std::vector<PlaneSet> collect_plane_sets(
+    const std::vector<DLevelMeta>& dlevel_meta,
+    std::span<const Bytes> level_payloads) {
+  std::vector<PlaneSet> sets(dlevel_meta.size());
+  for (u32 l = 0; l < dlevel_meta.size(); ++l) {
+    sets[l].count = dlevel_meta[l].count;
+    sets[l].max_abs = dlevel_meta[l].max_abs;
+    sets[l].exponent = dlevel_meta[l].exponent;
+  }
+  for (const Bytes& payload : level_payloads) {
+    for (auto& [ref, seg] : parse_retrieval_payload(as_bytes_view(payload))) {
+      RAPIDS_REQUIRE_MSG(ref.dlevel < sets.size(),
+                         "retrieval payload references unknown level");
+      PlaneSet& ps = sets[ref.dlevel];
+      if (ref.plane == 0) {
+        ps.sign = std::move(seg);
+      } else {
+        // Planes arrive MSB-first in stream order; enforce contiguity.
+        RAPIDS_REQUIRE_MSG(ref.plane == ps.planes.size() + 1,
+                           "retrieval payload planes out of order");
+        ps.planes.push_back(std::move(seg));
+      }
+    }
+  }
+  return sets;
+}
+
+}  // namespace rapids::mgard

@@ -1,0 +1,58 @@
+#include "rapids/net/bandwidth.hpp"
+
+#include <cmath>
+
+#include "rapids/util/rng.hpp"
+
+namespace rapids::net {
+
+std::vector<TransferLogRecord> synth_globus_logs(u32 n, u32 records_per_endpoint,
+                                                 u64 seed, f64 min_bw, f64 max_bw) {
+  RAPIDS_REQUIRE(n >= 1 && records_per_endpoint >= 1);
+  RAPIDS_REQUIRE(0.0 < min_bw && min_bw <= max_bw);
+  Rng rng(seed);
+  std::vector<TransferLogRecord> logs;
+  logs.reserve(u64{n} * records_per_endpoint);
+  const f64 log_lo = std::log(min_bw), log_hi = std::log(max_bw);
+  for (u32 e = 0; e < n; ++e) {
+    Rng er = rng.fork();
+    const f64 mean_bw = std::exp(er.uniform(log_lo, log_hi));
+    for (u32 r = 0; r < records_per_endpoint; ++r) {
+      TransferLogRecord rec;
+      rec.endpoint = e;
+      // 1 GiB .. 1 TiB, log-uniform.
+      rec.bytes = static_cast<u64>(
+          std::exp(er.uniform(std::log(1.0e9), std::log(1.0e12))));
+      // Per-transfer throughput scatters lognormally around the latent mean.
+      const f64 tput = mean_bw * std::exp(er.normal(0.0, 0.25));
+      rec.seconds = static_cast<f64>(rec.bytes) / tput;
+      logs.push_back(rec);
+    }
+  }
+  return logs;
+}
+
+std::vector<f64> estimate_bandwidths(std::span<const TransferLogRecord> logs,
+                                     u32 n) {
+  std::vector<f64> sum(n, 0.0);
+  std::vector<u64> count(n, 0);
+  for (const auto& rec : logs) {
+    RAPIDS_REQUIRE(rec.endpoint < n);
+    sum[rec.endpoint] += rec.throughput();
+    count[rec.endpoint] += 1;
+  }
+  std::vector<f64> out(n);
+  for (u32 e = 0; e < n; ++e) {
+    RAPIDS_REQUIRE_MSG(count[e] > 0, "estimate_bandwidths: endpoint without logs");
+    out[e] = sum[e] / static_cast<f64>(count[e]);
+  }
+  return out;
+}
+
+std::vector<f64> sample_endpoint_bandwidths(u32 n, u64 seed, f64 min_bw,
+                                            f64 max_bw) {
+  const auto logs = synth_globus_logs(n, 32, seed, min_bw, max_bw);
+  return estimate_bandwidths(logs, n);
+}
+
+}  // namespace rapids::net

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file bandwidth_tracker.hpp
+/// Adaptive per-endpoint bandwidth estimation — the paper's Section 4.3:
+/// "the throughput of each data transfer is also recorded by this component,
+/// which can be used to update the bandwidth parameters in our data
+/// gathering strategy optimization model so that the results of our model
+/// can adapt to any network bandwidth variation." Exponentially weighted
+/// moving average per endpoint, serializable so the pipeline can persist it
+/// through the metadata store.
+
+#include <vector>
+
+#include "rapids/util/bytes.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::net {
+
+/// EWMA bandwidth estimator per storage system.
+class BandwidthTracker {
+ public:
+  /// Start from prior estimates (e.g. Globus-log averages). `alpha` is the
+  /// EWMA weight of a new observation.
+  explicit BandwidthTracker(std::vector<f64> initial, f64 alpha = 0.3);
+
+  u32 size() const { return static_cast<u32>(estimates_.size()); }
+  f64 alpha() const { return alpha_; }
+
+  /// Record one observed transfer: `bytes` moved from `system` in `seconds`
+  /// of *exclusive* throughput (callers divide out contention first).
+  void observe(u32 system, u64 bytes, f64 seconds);
+
+  /// Current estimate for one system / all systems (bytes/s).
+  f64 estimate(u32 system) const { return estimates_.at(system); }
+  const std::vector<f64>& estimates() const { return estimates_; }
+
+  /// Number of observations folded in per system.
+  u64 observations(u32 system) const { return counts_.at(system); }
+
+  Bytes serialize() const;
+  static BandwidthTracker deserialize(std::span<const std::byte> data);
+
+ private:
+  std::vector<f64> estimates_;
+  std::vector<u64> counts_;
+  f64 alpha_;
+};
+
+}  // namespace rapids::net

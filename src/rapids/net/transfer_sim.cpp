@@ -1,0 +1,101 @@
+#include "rapids/net/transfer_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace rapids::net {
+
+namespace {
+
+std::vector<u32> requests_per_system(std::span<const Transfer> transfers,
+                                     std::size_t num_systems) {
+  std::vector<u32> count(num_systems, 0);
+  for (const auto& t : transfers) {
+    RAPIDS_REQUIRE(t.system < num_systems);
+    count[t.system] += 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<f64> equal_share_times(std::span<const Transfer> transfers,
+                                   std::span<const f64> bandwidths) {
+  const auto count = requests_per_system(transfers, bandwidths.size());
+  std::vector<f64> out;
+  out.reserve(transfers.size());
+  for (const auto& t : transfers) {
+    const f64 share = bandwidths[t.system] / static_cast<f64>(count[t.system]);
+    out.push_back(static_cast<f64>(t.bytes) / share);
+  }
+  return out;
+}
+
+f64 equal_share_latency(std::span<const Transfer> transfers,
+                        std::span<const f64> bandwidths) {
+  f64 latest = 0.0;
+  for (f64 t : equal_share_times(transfers, bandwidths))
+    latest = std::max(latest, t);
+  return latest;
+}
+
+f64 equal_share_mean_time(std::span<const Transfer> transfers,
+                          std::span<const f64> bandwidths) {
+  if (transfers.empty()) return 0.0;
+  const auto times = equal_share_times(transfers, bandwidths);
+  f64 sum = 0.0;
+  for (f64 t : times) sum += t;
+  return sum / static_cast<f64>(times.size());
+}
+
+std::vector<f64> progressive_times(std::span<const Transfer> transfers,
+                                   std::span<const f64> bandwidths) {
+  const std::size_t n = transfers.size();
+  std::vector<f64> done(n, 0.0);
+  std::vector<f64> remaining(n);
+  std::vector<bool> active(n, true);
+  auto count = requests_per_system(transfers, bandwidths.size());
+  for (std::size_t i = 0; i < n; ++i)
+    remaining[i] = static_cast<f64>(transfers[i].bytes);
+
+  f64 now = 0.0;
+  std::size_t live = n;
+  while (live > 0) {
+    // Current rate of each active transfer.
+    f64 dt = std::numeric_limits<f64>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      const f64 rate =
+          bandwidths[transfers[i].system] / static_cast<f64>(count[transfers[i].system]);
+      dt = std::min(dt, remaining[i] / rate);
+    }
+    // Advance to the earliest completion; mark everything that finishes.
+    now += dt;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      const f64 rate =
+          bandwidths[transfers[i].system] / static_cast<f64>(count[transfers[i].system]);
+      remaining[i] -= rate * dt;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      if (remaining[i] <= 1e-9 * std::max<f64>(1.0, static_cast<f64>(transfers[i].bytes))) {
+        active[i] = false;
+        done[i] = now;
+        count[transfers[i].system] -= 1;
+        --live;
+      }
+    }
+  }
+  return done;
+}
+
+f64 progressive_latency(std::span<const Transfer> transfers,
+                        std::span<const f64> bandwidths) {
+  f64 latest = 0.0;
+  for (f64 t : progressive_times(transfers, bandwidths))
+    latest = std::max(latest, t);
+  return latest;
+}
+
+}  // namespace rapids::net

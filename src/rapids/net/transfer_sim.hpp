@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file transfer_sim.hpp
+/// Wide-area transfer timing. Two models:
+///
+///  * *Static equal share* — the paper's model (Section 3.3): a system's
+///    bandwidth is divided evenly among all requests touching it for the
+///    whole duration, so a request of s bytes at system i with c_i sibling
+///    requests takes s / (B_i / c_i). The paper computes both the gathering
+///    objective and the reported latencies this way.
+///  * *Progressive refill* — an event-driven simulation where a finishing
+///    request returns its share to the remaining ones. Strictly faster than
+///    the static model; used by the ablation bench to quantify how
+///    conservative the paper's model is.
+///
+/// All transfers are assumed to start at t = 0 (the paper launches all
+/// fetches in parallel); the plan latency is the slowest completion.
+
+#include <span>
+#include <vector>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::net {
+
+/// One planned transfer: `bytes` from storage system `system`.
+struct Transfer {
+  u32 system = 0;
+  u64 bytes = 0;
+};
+
+/// Per-transfer completion times under the static equal-share model.
+std::vector<f64> equal_share_times(std::span<const Transfer> transfers,
+                                   std::span<const f64> bandwidths);
+
+/// Slowest completion under the static equal-share model (the paper's
+/// overall transfer latency).
+f64 equal_share_latency(std::span<const Transfer> transfers,
+                        std::span<const f64> bandwidths);
+
+/// Average completion time under the static model — the objective of the
+/// paper's gathering optimization (Eq. 10).
+f64 equal_share_mean_time(std::span<const Transfer> transfers,
+                          std::span<const f64> bandwidths);
+
+/// Per-transfer completion times under the progressive-refill simulation.
+std::vector<f64> progressive_times(std::span<const Transfer> transfers,
+                                   std::span<const f64> bandwidths);
+
+/// Slowest completion under progressive refill.
+f64 progressive_latency(std::span<const Transfer> transfers,
+                        std::span<const f64> bandwidths);
+
+}  // namespace rapids::net

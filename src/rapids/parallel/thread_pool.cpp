@@ -1,0 +1,113 @@
+#include "rapids/parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace rapids {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for_chunks(u64 begin, u64 end,
+                                     const std::function<void(u64, u64)>& body,
+                                     u64 grain) {
+  if (begin >= end) return;
+  const u64 n = end - begin;
+  const u64 workers = size();
+  if (grain == 0) grain = std::max<u64>(1, n / (workers * 4));
+  const u64 num_chunks = ceil_div(n, grain);
+
+  if (num_chunks <= 1 || workers <= 1) {
+    body(begin, end);
+    return;
+  }
+
+  // One shared countdown + first-exception capture; caller blocks on it.
+  std::atomic<u64> next{0};
+  std::atomic<u64> remaining{num_chunks};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::promise<void> done;
+  auto done_future = done.get_future();
+
+  auto run_chunks = [&] {
+    for (;;) {
+      const u64 c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const u64 lo = begin + c * grain;
+      const u64 hi = std::min(end, lo + grain);
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        done.set_value();
+    }
+  };
+
+  const u64 helpers = std::min<u64>(workers, num_chunks) - 1;
+  std::vector<std::future<void>> futs;
+  futs.reserve(helpers);
+  for (u64 i = 0; i < helpers; ++i) futs.push_back(submit(run_chunks));
+  run_chunks();  // caller participates
+  done_future.wait();
+  for (auto& f : futs) f.get();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for(u64 begin, u64 end,
+                              const std::function<void(u64)>& body, u64 grain) {
+  parallel_for_chunks(
+      begin, end,
+      [&body](u64 lo, u64 hi) {
+        for (u64 i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(u64 begin, u64 end, const std::function<void(u64)>& body,
+                  u64 grain) {
+  ThreadPool::global().parallel_for(begin, end, body, grain);
+}
+
+void parallel_for_chunks(u64 begin, u64 end,
+                         const std::function<void(u64, u64)>& body, u64 grain) {
+  ThreadPool::global().parallel_for_chunks(begin, end, body, grain);
+}
+
+}  // namespace rapids

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool with a blocking task queue plus a bulk
+/// `parallel_for` primitive. The refactorer, erasure coder, and dataset
+/// generators are all expressed as data-parallel loops over this pool, which
+/// mirrors the embarrassingly-parallel per-block execution the paper uses on
+/// the Andes cluster (one data object per core in the weak-scaling setup).
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids {
+
+/// A fixed pool of worker threads executing submitted tasks FIFO.
+/// Destruction drains the queue (waits for all submitted work).
+class ThreadPool {
+ public:
+  /// Create a pool with `num_threads` workers (0 → hardware_concurrency).
+  explicit ThreadPool(unsigned num_threads = 0);
+
+  /// Joins all workers after finishing queued tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Submit a task; returns a future for its result. Exceptions thrown by the
+  /// task are captured in the future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      RAPIDS_REQUIRE_MSG(!stopping_, "submit() on a stopping ThreadPool");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run `body(i)` for every i in [begin, end), partitioned into contiguous
+  /// chunks across the pool. Blocks until all iterations finish. Rethrows the
+  /// first exception any iteration produced. `grain` is the minimum chunk
+  /// size; 0 picks one that yields ~4 chunks per worker.
+  void parallel_for(u64 begin, u64 end, const std::function<void(u64)>& body,
+                    u64 grain = 0);
+
+  /// Chunked variant: `body(chunk_begin, chunk_end)` is invoked once per
+  /// contiguous chunk, letting the body amortize per-chunk setup (preferred
+  /// for tight numeric kernels).
+  void parallel_for_chunks(u64 begin, u64 end,
+                           const std::function<void(u64, u64)>& body,
+                           u64 grain = 0);
+
+  /// Process-wide default pool, sized to hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience: parallel_for on the global pool.
+void parallel_for(u64 begin, u64 end, const std::function<void(u64)>& body,
+                  u64 grain = 0);
+
+/// Convenience: chunked parallel_for on the global pool.
+void parallel_for_chunks(u64 begin, u64 end,
+                         const std::function<void(u64, u64)>& body, u64 grain = 0);
+
+}  // namespace rapids

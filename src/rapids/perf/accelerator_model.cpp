@@ -1,0 +1,46 @@
+#include "rapids/perf/accelerator_model.hpp"
+
+#include <cmath>
+
+#include "rapids/util/rng.hpp"
+
+namespace rapids::perf {
+
+namespace {
+
+/// Deterministic multiplier in [1-spread, 1+spread] keyed by a string.
+f64 name_jitter(const std::string& name, u64 salt, f64 spread) {
+  u64 h = 1469598103934665603ull ^ salt;
+  for (char c : name) h = (h ^ static_cast<u8>(c)) * 1099511628211ull;
+  SplitMix64 sm(h);
+  const f64 u = static_cast<f64>(sm.next() >> 11) * 0x1.0p-53;  // [0,1)
+  return 1.0 + spread * (2.0 * u - 1.0);
+}
+
+}  // namespace
+
+AcceleratorModel::AcceleratorModel(const Calibration& calibration,
+                                   f64 refactor_speedup_mean,
+                                   f64 reconstruct_speedup_mean)
+    : cal_(calibration), refactor_mean_(refactor_speedup_mean),
+      reconstruct_mean_(reconstruct_speedup_mean) {
+  RAPIDS_REQUIRE(refactor_speedup_mean > 0.0 && reconstruct_speedup_mean > 0.0);
+}
+
+f64 AcceleratorModel::refactor_speedup(const std::string& object_name) const {
+  return refactor_mean_ * name_jitter(object_name, 0xF5EEDF00Dull, 0.15);
+}
+
+f64 AcceleratorModel::reconstruct_speedup(const std::string& object_name) const {
+  return reconstruct_mean_ * name_jitter(object_name, 0xFEEDFACEull, 0.15);
+}
+
+f64 AcceleratorModel::gpu_refactor_bps(const std::string& object_name) const {
+  return cal_.refactor_bps * refactor_speedup(object_name);
+}
+
+f64 AcceleratorModel::gpu_reconstruct_bps(const std::string& object_name) const {
+  return cal_.reconstruct_bps * reconstruct_speedup(object_name);
+}
+
+}  // namespace rapids::perf

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file accelerator_model.hpp
+/// GPU throughput model for Fig. 7. No GPU exists in this environment, so we
+/// cannot *run* the CUDA refactorer; instead the model applies the paper's
+/// measured average speedups — 3.7x for refactoring, 20.3x for
+/// reconstruction on a K80 vs one CPU core — with deterministic per-object
+/// variation, on top of the *measured* single-core throughput of our real
+/// kernels. The bench labels modeled numbers explicitly (DESIGN.md
+/// substitution #6).
+
+#include <string>
+
+#include "rapids/perf/calibration.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::perf {
+
+/// Modeled accelerator.
+class AcceleratorModel {
+ public:
+  /// `calibration` supplies the measured single-core CPU rates.
+  explicit AcceleratorModel(const Calibration& calibration,
+                            f64 refactor_speedup_mean = 3.7,
+                            f64 reconstruct_speedup_mean = 20.3);
+
+  /// Deterministic per-object speedup (mean +- ~15%, keyed by object name).
+  f64 refactor_speedup(const std::string& object_name) const;
+  f64 reconstruct_speedup(const std::string& object_name) const;
+
+  /// Modeled GPU throughput (bytes of original data per second).
+  f64 gpu_refactor_bps(const std::string& object_name) const;
+  f64 gpu_reconstruct_bps(const std::string& object_name) const;
+
+  /// Measured CPU single-core throughput (pass-through for the bench).
+  f64 cpu_refactor_bps() const { return cal_.refactor_bps; }
+  f64 cpu_reconstruct_bps() const { return cal_.reconstruct_bps; }
+
+ private:
+  Calibration cal_;
+  f64 refactor_mean_;
+  f64 reconstruct_mean_;
+};
+
+}  // namespace rapids::perf

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file calibration.hpp
+/// Measures the single-core throughput of every pipeline operation by timing
+/// the *real* kernels of this library on a calibration-sized workload. These
+/// measurements anchor the cluster scaling model (scaling_model.hpp) that
+/// regenerates the paper's Fig. 5/6 and Table 4/5 — absolute seconds come
+/// from our kernels, scaling shape from the model (DESIGN.md substitution #5).
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::perf {
+
+/// Single-core throughput of each pipeline operation, bytes of *original
+/// data* processed per second (so operations compose over the same S).
+struct Calibration {
+  f64 read_bps = 0.0;        ///< local storage read (buffered file IO)
+  f64 write_bps = 0.0;       ///< local storage write
+  f64 refactor_bps = 0.0;    ///< mgard decompose + bitplane encode
+  f64 reconstruct_bps = 0.0; ///< bitplane decode + recompose
+  f64 ec_encode_bps = 0.0;   ///< RS(12,4) encode
+  f64 ec_decode_bps = 0.0;   ///< RS(12,4) decode with parity rows in play
+};
+
+/// Options for the calibration run.
+struct CalibrationOptions {
+  /// Calibration field is extent^3 float32. Large enough that per-call fixed
+  /// costs do not depress the measured per-byte rate (the scaling model
+  /// extrapolates to multi-TB objects).
+  u64 field_extent = 129;
+  u64 ec_bytes = 32 << 20; ///< payload size for the EC timing
+  u64 io_bytes = 64 << 20; ///< file size for the read/write timing
+  u64 seed = 7;
+};
+
+/// Run the calibration (single-threaded kernels; a few hundred ms total).
+Calibration calibrate(const CalibrationOptions& options = {});
+
+/// Process-wide cached calibration (first call measures, later calls reuse).
+const Calibration& cached_calibration();
+
+}  // namespace rapids::perf

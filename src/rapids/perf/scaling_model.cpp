@@ -1,0 +1,59 @@
+#include "rapids/perf/scaling_model.hpp"
+
+#include <algorithm>
+
+namespace rapids::perf {
+
+namespace {
+std::size_t op_index(Op op) { return static_cast<std::size_t>(op); }
+}  // namespace
+
+ClusterModel::ClusterModel(const Calibration& calibration) : cal_(calibration) {
+  // Compute ops: block-parallel ("embarrassingly parallel" per the paper's
+  // Section 5.5), tiny serial fraction and coordination overhead, no cap.
+  const OpScaling compute{0.0002, 0.0002, 0.0};
+  scalings_[op_index(Op::kRefactor)] = compute;
+  scalings_[op_index(Op::kReconstruct)] = compute;
+  scalings_[op_index(Op::kEcEncode)] = compute;
+  scalings_[op_index(Op::kEcDecode)] = compute;
+  // Parallel filesystem: scales across client cores until the aggregate
+  // ceiling (Alpine-class: ~2.5 TB/s peak; a shared production figure of a
+  // few hundred GB/s per job is what the paper's read/write curves suggest).
+  scalings_[op_index(Op::kRead)] = OpScaling{0.001, 0.001, 240.0e9};
+  scalings_[op_index(Op::kWrite)] = OpScaling{0.001, 0.001, 120.0e9};
+}
+
+void ClusterModel::set_scaling(Op op, const OpScaling& scaling) {
+  scalings_[op_index(op)] = scaling;
+}
+
+const OpScaling& ClusterModel::scaling(Op op) const {
+  return scalings_[op_index(op)];
+}
+
+f64 ClusterModel::base_rate(Op op) const {
+  switch (op) {
+    case Op::kRead: return cal_.read_bps;
+    case Op::kWrite: return cal_.write_bps;
+    case Op::kRefactor: return cal_.refactor_bps;
+    case Op::kReconstruct: return cal_.reconstruct_bps;
+    case Op::kEcEncode: return cal_.ec_encode_bps;
+    case Op::kEcDecode: return cal_.ec_decode_bps;
+  }
+  throw invariant_error("base_rate: unknown op");
+}
+
+f64 ClusterModel::op_seconds(Op op, u64 bytes, u32 cores) const {
+  RAPIDS_REQUIRE(cores >= 1);
+  const OpScaling& s = scalings_[op_index(op)];
+  const f64 r1 = base_rate(op);
+  RAPIDS_REQUIRE_MSG(r1 > 0.0, "op_seconds: zero base rate (calibration missing)");
+  const f64 eff = 1.0 / (1.0 + s.per_core_overhead * static_cast<f64>(cores - 1));
+  f64 parallel_rate = r1 * static_cast<f64>(cores) * eff;
+  if (s.aggregate_cap_bps > 0.0)
+    parallel_rate = std::min(parallel_rate, s.aggregate_cap_bps);
+  const f64 b = static_cast<f64>(bytes);
+  return b * s.serial_fraction / r1 + b * (1.0 - s.serial_fraction) / parallel_rate;
+}
+
+}  // namespace rapids::perf

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file scaling_model.hpp
+/// Weak-scaling performance model for the Andes-style cluster runs of
+/// Fig. 5/6 and Table 4/5. Per-operation time over `bytes` of original data
+/// on `cores` cores:
+///
+///     rate(cores) = min( single_core_rate * cores * eff(cores),  agg_cap )
+///     eff(cores)  = (1 - serial_fraction) / (1 + per_core_overhead*(cores-1))
+///                   + serial_fraction / cores ... folded into Amdahl form:
+///     t = bytes * serial_fraction / rate(1) + bytes * (1-serial_fraction) / rate(cores)
+///
+/// Compute operations (refactor, reconstruct, EC) are embarrassingly
+/// parallel over blocks (paper Section 5.5) — tiny serial fraction, no cap.
+/// Filesystem read/write scale until they hit the parallel filesystem's
+/// aggregate bandwidth. Network operations (distribute/gather) do not scale
+/// with cores at all; they come from net::transfer_sim instead.
+
+#include "rapids/perf/calibration.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::perf {
+
+/// Pipeline operations covered by the model.
+enum class Op { kRead, kWrite, kRefactor, kReconstruct, kEcEncode, kEcDecode };
+
+/// Scaling parameters of one operation.
+struct OpScaling {
+  f64 serial_fraction = 0.0;   ///< Amdahl serial part
+  f64 per_core_overhead = 0.0; ///< parallel-efficiency decay per extra core
+  f64 aggregate_cap_bps = 0.0; ///< 0 = uncapped (compute); else FS ceiling
+};
+
+/// The cluster model: calibration anchors + per-op scaling shapes.
+class ClusterModel {
+ public:
+  /// Build with measured calibration and default scaling shapes (documented
+  /// in DESIGN.md; the defaults reproduce the paper's Fig. 5/6 shapes).
+  explicit ClusterModel(const Calibration& calibration);
+
+  /// Override one op's scaling shape (ablation benches).
+  void set_scaling(Op op, const OpScaling& scaling);
+  const OpScaling& scaling(Op op) const;
+
+  /// Single-core throughput of `op` from the calibration (bytes/s).
+  f64 base_rate(Op op) const;
+
+  /// Modeled wall-clock seconds for `op` over `bytes` on `cores` cores.
+  f64 op_seconds(Op op, u64 bytes, u32 cores) const;
+
+ private:
+  Calibration cal_;
+  OpScaling scalings_[6];
+};
+
+}  // namespace rapids::perf

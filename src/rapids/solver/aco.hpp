@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file aco.hpp
+/// Ant Colony Optimization for grouped subset selection — the solver behind
+/// the paper's data-gathering MINLP (their MIDACO solver is closed source,
+/// but is documented as an ACO evolutionary method; see DESIGN.md
+/// substitution #4). The problem shape: G groups; group g must pick exactly
+/// size_g items out of the items allowed for it; a user callback scores a
+/// complete selection (lower is better). Pheromone lives per (item, group);
+/// construction samples items proportional to pheromone^alpha * bias^beta
+/// without replacement; the best ant of each iteration deposits.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "rapids/util/common.hpp"
+#include "rapids/util/rng.hpp"
+
+namespace rapids::solver {
+
+/// One candidate solution: per group, the sorted list of selected items.
+using Selection = std::vector<std::vector<u32>>;
+
+/// Objective callback: score a complete selection (minimize).
+using Objective = std::function<f64(const Selection&)>;
+
+/// ACO tuning parameters.
+struct AcoOptions {
+  u32 ants = 24;            ///< ants per iteration
+  u32 iterations = 250;     ///< iteration cap
+  f64 time_budget_seconds = 0.0;  ///< wall-clock cap (0 = iterations only)
+  f64 evaporation = 0.12;   ///< pheromone decay per iteration
+  f64 alpha = 1.0;          ///< pheromone exponent
+  f64 beta = 1.0;           ///< heuristic-bias exponent
+  f64 warm_start_boost = 4.0;  ///< initial pheromone multiplier on warm start
+  u64 seed = 1234;          ///< RNG seed (deterministic runs)
+};
+
+/// Result of a solve.
+struct AcoResult {
+  Selection best;
+  f64 best_value = 0.0;
+  u32 iterations_run = 0;
+  u64 evaluations = 0;
+};
+
+/// Grouped-subset ACO solver.
+class SubsetAco {
+ public:
+  /// `num_items` items; `group_sizes[g]` items must be chosen for group g;
+  /// `allowed[g][i]` gates item i for group g; `bias[i]` is the heuristic
+  /// desirability of item i (e.g. endpoint bandwidth), > 0.
+  SubsetAco(u32 num_items, std::vector<u32> group_sizes,
+            std::vector<std::vector<bool>> allowed, std::vector<f64> bias);
+
+  /// Minimize `objective`. `warm_start`, if given, seeds the pheromone and
+  /// the incumbent (the paper warm-starts MIDACO with the Naive strategy).
+  AcoResult solve(const Objective& objective, const AcoOptions& options,
+                  const std::optional<Selection>& warm_start = std::nullopt) const;
+
+  /// Check a selection satisfies sizes and allowed-masks.
+  bool feasible(const Selection& s) const;
+
+ private:
+  u32 num_items_;
+  std::vector<u32> group_sizes_;
+  std::vector<std::vector<bool>> allowed_;
+  std::vector<f64> bias_;
+};
+
+}  // namespace rapids::solver

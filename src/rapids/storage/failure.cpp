@@ -1,0 +1,36 @@
+#include "rapids/storage/failure.hpp"
+
+namespace rapids::storage {
+
+std::vector<bool> sample_outage(const Cluster& cluster, Rng& rng) {
+  std::vector<bool> mask(cluster.size());
+  for (u32 i = 0; i < cluster.size(); ++i)
+    mask[i] = rng.bernoulli(cluster.system(i).failure_prob());
+  return mask;
+}
+
+void apply_outage(Cluster& cluster, const std::vector<bool>& outage) {
+  RAPIDS_REQUIRE(outage.size() == cluster.size());
+  for (u32 i = 0; i < cluster.size(); ++i)
+    cluster.system(i).set_available(!outage[i]);
+}
+
+void fail_exactly(Cluster& cluster, const std::vector<u32>& down) {
+  cluster.restore_all();
+  for (u32 i : down) cluster.fail(i);
+}
+
+f64 monte_carlo_expectation(
+    const Cluster& cluster, u64 trials, u64 seed,
+    const std::function<f64(const std::vector<bool>&)>& score) {
+  RAPIDS_REQUIRE(trials > 0);
+  Rng rng(seed);
+  f64 sum = 0.0;
+  for (u64 t = 0; t < trials; ++t) {
+    Rng draw = rng.fork();
+    sum += score(sample_outage(cluster, draw));
+  }
+  return sum / static_cast<f64>(trials);
+}
+
+}  // namespace rapids::storage

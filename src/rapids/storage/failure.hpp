@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file failure.hpp
+/// Failure injection and Monte Carlo availability estimation. The closed-form
+/// availability math in core/availability.hpp is cross-validated against
+/// these empirical draws in the test suite, and the failure-drill example
+/// uses the injector to knock out systems mid-run.
+
+#include <functional>
+#include <vector>
+
+#include "rapids/storage/cluster.hpp"
+#include "rapids/util/common.hpp"
+#include "rapids/util/rng.hpp"
+
+namespace rapids::storage {
+
+/// Draw one outage scenario: independent Bernoulli(p_i) per system.
+/// Returns a mask where true = system unavailable.
+std::vector<bool> sample_outage(const Cluster& cluster, Rng& rng);
+
+/// Apply an outage mask to the cluster (restores systems not in the mask).
+void apply_outage(Cluster& cluster, const std::vector<bool>& outage);
+
+/// Deterministic scenario: exactly the given systems down.
+void fail_exactly(Cluster& cluster, const std::vector<u32>& down);
+
+/// Monte Carlo estimate of E[score(N_failed_mask)] over outage draws.
+/// `score` maps an outage mask to a value (e.g. 1.0 if data unavailable, or
+/// the relative error achievable under that outage). Used to validate the
+/// expectation formulas (Eqs. 1, 2, 5) empirically.
+f64 monte_carlo_expectation(const Cluster& cluster, u64 trials, u64 seed,
+                            const std::function<f64(const std::vector<bool>&)>& score);
+
+}  // namespace rapids::storage

@@ -1,0 +1,27 @@
+#include "rapids/storage/placement.hpp"
+
+namespace rapids::storage {
+
+u32 place_fragment(PlacementPolicy policy, u32 n, u32 level, u32 index) {
+  RAPIDS_REQUIRE(n >= 1 && index < n);
+  switch (policy) {
+    case PlacementPolicy::kIdentity:
+      return index;
+    case PlacementPolicy::kRotate:
+      return (index + level) % n;
+  }
+  throw invariant_error("place_fragment: unknown policy");
+}
+
+u32 fragment_at(PlacementPolicy policy, u32 n, u32 level, u32 system) {
+  RAPIDS_REQUIRE(n >= 1 && system < n);
+  switch (policy) {
+    case PlacementPolicy::kIdentity:
+      return system;
+    case PlacementPolicy::kRotate:
+      return (system + n - (level % n)) % n;
+  }
+  throw invariant_error("fragment_at: unknown policy");
+}
+
+}  // namespace rapids::storage

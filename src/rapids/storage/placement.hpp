@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file placement.hpp
+/// Fragment placement: which storage system hosts fragment `index` of level
+/// `level`. The paper distributes the n EC-fragments of every level one per
+/// system; rotating the assignment per level spreads parity rows so no
+/// single system concentrates the parity of every level.
+
+#include <vector>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::storage {
+
+/// Placement strategy for (level, fragment index) -> system id.
+enum class PlacementPolicy {
+  kIdentity,  ///< fragment i of every level goes to system i
+  kRotate,    ///< fragment i of level j goes to system (i + j) mod n
+};
+
+/// Resolve the hosting system. `n` is the cluster size; fragment `index`
+/// must be < n (one fragment per system, as in the paper).
+u32 place_fragment(PlacementPolicy policy, u32 n, u32 level, u32 index);
+
+/// Inverse: which fragment index of `level` does `system` host?
+u32 fragment_at(PlacementPolicy policy, u32 n, u32 level, u32 system);
+
+}  // namespace rapids::storage

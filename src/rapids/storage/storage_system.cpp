@@ -1,0 +1,83 @@
+#include "rapids/storage/storage_system.hpp"
+
+#include <filesystem>
+
+#include "rapids/util/bytes.hpp"
+
+namespace rapids::storage {
+
+StorageSystem::StorageSystem(u32 id, std::string name, f64 bandwidth,
+                             f64 failure_prob)
+    : id_(id), name_(std::move(name)), bandwidth_(bandwidth),
+      failure_prob_(failure_prob) {
+  RAPIDS_REQUIRE(bandwidth > 0.0);
+  RAPIDS_REQUIRE(failure_prob >= 0.0 && failure_prob < 1.0);
+}
+
+void StorageSystem::set_bandwidth(f64 bandwidth) {
+  RAPIDS_REQUIRE(bandwidth > 0.0);
+  bandwidth_ = bandwidth;
+}
+
+std::string StorageSystem::file_path(const std::string& key) const {
+  // Keys contain '/'; flatten for the filesystem.
+  std::string flat = key;
+  for (char& c : flat)
+    if (c == '/') c = '_';
+  return dir_ + "/" + flat + ".frag";
+}
+
+void StorageSystem::put(const ec::Fragment& fragment) {
+  if (!available_) throw io_error("storage system " + name_ + " is unavailable");
+  const std::string key = fragment.id.key();
+  erase(key);  // replace semantics
+  used_bytes_ += fragment.payload.size();
+  if (dir_.empty()) {
+    store_[key] = fragment;
+  } else {
+    write_file(file_path(key), as_bytes_view(fragment.serialize()));
+    ec::Fragment placeholder;
+    placeholder.id = fragment.id;
+    placeholder.k = fragment.k;
+    placeholder.m = fragment.m;
+    placeholder.level_bytes = fragment.level_bytes;
+    placeholder.payload_crc = fragment.payload_crc;
+    store_[key] = std::move(placeholder);
+    sizes_[key] = fragment.payload.size();
+  }
+}
+
+std::optional<ec::Fragment> StorageSystem::get(const std::string& key) const {
+  if (!available_) throw io_error("storage system " + name_ + " is unavailable");
+  auto it = store_.find(key);
+  if (it == store_.end()) return std::nullopt;
+  if (dir_.empty()) return it->second;
+  const Bytes raw = read_file(file_path(key));
+  return ec::Fragment::deserialize(as_bytes_view(raw));
+}
+
+bool StorageSystem::has(const std::string& key) const {
+  return store_.contains(key);
+}
+
+void StorageSystem::erase(const std::string& key) {
+  auto it = store_.find(key);
+  if (it == store_.end()) return;
+  if (dir_.empty()) {
+    used_bytes_ -= it->second.payload.size();
+  } else {
+    used_bytes_ -= sizes_[key];
+    sizes_.erase(key);
+    std::error_code ec_ignore;
+    std::filesystem::remove(file_path(key), ec_ignore);
+  }
+  store_.erase(it);
+}
+
+void StorageSystem::attach_directory(const std::string& dir) {
+  RAPIDS_REQUIRE_MSG(store_.empty(), "attach_directory: store must be empty");
+  std::filesystem::create_directories(dir);
+  dir_ = dir;
+}
+
+}  // namespace rapids::storage

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file storage_system.hpp
+/// Model of one independently operated remote storage system (the paper's
+/// Globus GridFTP endpoints): a fragment store keyed by fragment id, an
+/// estimated WAN bandwidth, an outage probability, and an availability flag
+/// toggled by the failure injector. The store is in-memory by default;
+/// attach_directory() spills fragments to disk as self-contained files so the
+/// full pipeline can be exercised against a real filesystem.
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "rapids/ec/fragment.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::storage {
+
+/// One remote storage system.
+class StorageSystem {
+ public:
+  /// `id` is the index within the cluster; `bandwidth` in bytes/second;
+  /// `failure_prob` is the paper's p (probability the system is unavailable
+  /// at data-access time).
+  StorageSystem(u32 id, std::string name, f64 bandwidth, f64 failure_prob);
+
+  u32 id() const { return id_; }
+  const std::string& name() const { return name_; }
+  f64 bandwidth() const { return bandwidth_; }
+  f64 failure_prob() const { return failure_prob_; }
+
+  /// Update the bandwidth estimate (the metadata component does this from
+  /// observed transfer throughput, Section 4.3 of the paper).
+  void set_bandwidth(f64 bandwidth);
+
+  /// Availability flag (flipped by FailureInjector / maintenance windows).
+  bool available() const { return available_; }
+  void set_available(bool available) { available_ = available; }
+
+  /// Store a fragment. Throws io_error if the system is unavailable.
+  void put(const ec::Fragment& fragment);
+
+  /// Fetch a fragment by key. Returns nullopt if absent; throws io_error if
+  /// the system is unavailable. Fragments read back from a spill directory
+  /// are re-parsed and CRC-verifiable.
+  std::optional<ec::Fragment> get(const std::string& key) const;
+
+  /// True if a fragment with this key is stored (queryable even while the
+  /// system is down — this is metadata knowledge, not data access).
+  bool has(const std::string& key) const;
+
+  /// Drop a fragment (permanent loss, to exercise the repair path).
+  void erase(const std::string& key);
+
+  /// Total bytes of stored fragment payloads.
+  u64 used_bytes() const { return used_bytes_; }
+
+  /// Number of stored fragments.
+  u64 fragment_count() const { return store_.size(); }
+
+  /// Spill fragments to `dir` (created if needed) instead of RAM.
+  void attach_directory(const std::string& dir);
+
+ private:
+  std::string file_path(const std::string& key) const;
+
+  u32 id_;
+  std::string name_;
+  f64 bandwidth_;
+  f64 failure_prob_;
+  bool available_ = true;
+  std::string dir_;  // empty = in-memory
+  // In-memory: key -> fragment. Directory mode: key -> empty placeholder
+  // (payload lives on disk).
+  std::map<std::string, ec::Fragment> store_;
+  std::map<std::string, u64> sizes_;  // directory mode: logical payload bytes
+  u64 used_bytes_ = 0;
+};
+
+}  // namespace rapids::storage

@@ -1,0 +1,33 @@
+#include "rapids/util/bytes.hpp"
+
+#include <cstdio>
+
+namespace rapids {
+
+Bytes read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw io_error("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    throw io_error("cannot stat: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  Bytes out(static_cast<std::size_t>(size));
+  const std::size_t got = size > 0 ? std::fread(out.data(), 1, out.size(), f) : 0;
+  std::fclose(f);
+  if (got != out.size()) throw io_error("short read: " + path);
+  return out;
+}
+
+void write_file(const std::string& path, std::span<const std::byte> data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw io_error("cannot open for write: " + path);
+  const std::size_t put =
+      data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+  const int rc = std::fclose(f);
+  if (put != data.size() || rc != 0) throw io_error("short write: " + path);
+}
+
+}  // namespace rapids

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file common.hpp
+/// Foundational aliases, assertion macro, and small helpers shared by every
+/// rapids subsystem. Keep this header tiny: it is included nearly everywhere.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rapids {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using f32 = float;
+using f64 = double;
+
+/// Thrown when an invariant that the caller is responsible for is violated
+/// (bad arguments, inconsistent configuration). Internal invariant violations
+/// use RAPIDS_REQUIRE as well so failures surface as typed exceptions instead
+/// of UB in release builds.
+class invariant_error : public std::logic_error {
+ public:
+  explicit invariant_error(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown on IO failures (filesystem, container format, WAL corruption).
+class io_error : public std::runtime_error {
+ public:
+  explicit io_error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_failed(const char* expr, const char* file,
+                                        int line, const std::string& msg) {
+  throw invariant_error(std::string("RAPIDS_REQUIRE(") + expr + ") failed at " +
+                        file + ":" + std::to_string(line) +
+                        (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+/// Always-on invariant check. Unlike assert(), active in every build type:
+/// data-management code must fail loudly, not corrupt fragments silently.
+#define RAPIDS_REQUIRE(expr)                                              \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::rapids::detail::require_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// RAPIDS_REQUIRE with a context message.
+#define RAPIDS_REQUIRE_MSG(expr, msg)                                     \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::rapids::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Integer ceiling division for non-negative values.
+constexpr u64 ceil_div(u64 a, u64 b) { return (a + b - 1) / b; }
+
+/// Round `a` up to the next multiple of `b` (b > 0).
+constexpr u64 round_up(u64 a, u64 b) { return ceil_div(a, b) * b; }
+
+}  // namespace rapids

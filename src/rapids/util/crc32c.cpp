@@ -1,0 +1,54 @@
+#include "rapids/util/crc32c.hpp"
+
+#include <array>
+
+namespace rapids {
+
+namespace {
+
+// Four 256-entry tables for slice-by-4. Generated once at first use.
+struct Tables {
+  std::array<std::array<u32, 256>, 4> t{};
+  Tables() {
+    constexpr u32 kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (u32 i = 0; i < 256; ++i) {
+      u32 crc = i;
+      for (int j = 0; j < 8; ++j) crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      t[0][i] = crc;
+    }
+    for (u32 i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+u32 crc32c(const void* data, std::size_t size, u32 seed) {
+  const auto& tb = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  u32 crc = ~seed;
+  while (size >= 4) {
+    crc ^= static_cast<u32>(p[0]) | (static_cast<u32>(p[1]) << 8) |
+           (static_cast<u32>(p[2]) << 16) | (static_cast<u32>(p[3]) << 24);
+    crc = tb.t[3][crc & 0xFFu] ^ tb.t[2][(crc >> 8) & 0xFFu] ^
+          tb.t[1][(crc >> 16) & 0xFFu] ^ tb.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFFu];
+  return ~crc;
+}
+
+u32 crc32c(std::span<const std::byte> data, u32 seed) {
+  return crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace rapids

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file crc32c.hpp
+/// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) used for
+/// fragment, WAL-record, and container-block integrity. Software slice-by-4
+/// table implementation; no hardware intrinsics so results are identical on
+/// every platform.
+
+#include <cstddef>
+#include <span>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids {
+
+/// Compute the CRC-32C of `data`, continuing from `seed` (pass 0 for a fresh
+/// checksum; to chain blocks, pass the previous return value).
+u32 crc32c(std::span<const std::byte> data, u32 seed = 0);
+
+/// Convenience overload for raw pointer + length.
+u32 crc32c(const void* data, std::size_t size, u32 seed = 0);
+
+}  // namespace rapids

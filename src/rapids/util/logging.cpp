@@ -1,0 +1,58 @@
+#include "rapids/util/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+
+namespace rapids::log {
+
+namespace {
+
+Level initial_level() {
+  const char* env = std::getenv("RAPIDS_LOG_LEVEL");
+  if (env == nullptr) return Level::kWarn;
+  if (std::strcmp(env, "debug") == 0) return Level::kDebug;
+  if (std::strcmp(env, "info") == 0) return Level::kInfo;
+  if (std::strcmp(env, "warn") == 0) return Level::kWarn;
+  if (std::strcmp(env, "error") == 0) return Level::kError;
+  if (std::strcmp(env, "off") == 0) return Level::kOff;
+  return Level::kWarn;
+}
+
+std::atomic<Level>& level_ref() {
+  static std::atomic<Level> lvl{initial_level()};
+  return lvl;
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+void set_level(Level level) { level_ref().store(level, std::memory_order_relaxed); }
+
+Level level() { return level_ref().load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& subsystem, const std::string& message) {
+  if (lvl < level()) return;
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  std::cerr << "[rapids:" << subsystem << "] " << level_name(lvl) << " " << message
+            << '\n';
+}
+
+}  // namespace rapids::log

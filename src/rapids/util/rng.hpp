@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation. Every stochastic element
+/// in rapids (failure injection, bandwidth sampling, ACO, random gathering)
+/// draws from an explicitly-seeded Xoshiro256** so experiments reproduce
+/// bit-for-bit across runs and platforms. Never use std::random_device here.
+
+#include <array>
+#include <cmath>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids {
+
+/// SplitMix64: used to expand a single 64-bit seed into Xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    u64 z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG. Satisfies
+/// UniformRandomBitGenerator so it can drive <random> distributions too.
+class Rng {
+ public:
+  using result_type = u64;
+
+  /// Seed via SplitMix64 expansion (any 64-bit value, including 0, is fine).
+  explicit Rng(u64 seed = 0x5eed5eed5eedull) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next_u64(); }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  f64 next_double() { return static_cast<f64>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  f64 uniform(f64 lo, f64 hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n). Rejection-free Lemire reduction.
+  u64 next_below(u64 n) {
+    RAPIDS_REQUIRE(n > 0);
+    // 128-bit multiply-shift; bias is < 2^-64 per draw, negligible for sims.
+    return static_cast<u64>((static_cast<unsigned __int128>(next_u64()) * n) >> 64);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(f64 p) { return next_double() < p; }
+
+  /// Standard normal via Box-Muller (one value per call, no caching so the
+  /// stream position stays a simple function of the call count).
+  f64 normal(f64 mean = 0.0, f64 stddev = 1.0) {
+    f64 u1 = next_double();
+    f64 u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const f64 z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958648 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Derive an independent child stream (for per-thread / per-entity RNGs).
+  Rng fork() { return Rng(next_u64() ^ 0xA5A5A5A5A5A5A5A5ull); }
+
+ private:
+  static u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  std::array<u64, 4> state_{};
+};
+
+}  // namespace rapids

@@ -1,0 +1,219 @@
+// Tests for the availability math (Eqs. 1, 2, 4, 5, 6): closed-form values,
+// sanity orderings, and cross-validation against Monte Carlo failure
+// injection on the storage cluster.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rapids/core/availability.hpp"
+#include "rapids/storage/failure.hpp"
+
+namespace rapids::core {
+namespace {
+
+TEST(Binomial, PmfBasics) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(4, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(4, 2, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(4, 4, 1.0), 1.0);
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(binomial_pmf(10, 3, 0.2),
+              120.0 * std::pow(0.2, 3) * std::pow(0.8, 7), 1e-12);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  for (f64 p : {0.01, 0.3, 0.9}) {
+    f64 sum = 0.0;
+    for (u32 i = 0; i <= 16; ++i) sum += binomial_pmf(16, i, p);
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(Binomial, RangeEdges) {
+  EXPECT_DOUBLE_EQ(binomial_range(8, 3, 2, 0.5), 0.0);  // empty range
+  EXPECT_NEAR(binomial_range(8, 0, 8, 0.37), 1.0, 1e-12);
+  EXPECT_NEAR(binomial_range(8, 0, 100, 0.37), 1.0, 1e-12);  // clamped
+}
+
+TEST(Duplication, Eq1MatchesDirectComputation) {
+  // n=3 systems, m=2 replicas, p: data lost iff both replica hosts down.
+  const f64 p = 0.1;
+  // Direct: P(both hosts down) = p^2 (independent of the third system).
+  EXPECT_NEAR(duplication_unavailability(3, 2, p), p * p, 1e-12);
+}
+
+TEST(Duplication, MoreReplicasMoreAvailable) {
+  f64 prev = 1.0;
+  for (u32 m = 1; m <= 5; ++m) {
+    const f64 u = duplication_unavailability(16, m, 0.01);
+    EXPECT_LT(u, prev);
+    prev = u;
+  }
+  EXPECT_NEAR(duplication_unavailability(16, 1, 0.01), 0.01, 1e-12);
+}
+
+TEST(Duplication, StorageOverhead) {
+  EXPECT_DOUBLE_EQ(duplication_storage_overhead(1), 0.0);
+  EXPECT_DOUBLE_EQ(duplication_storage_overhead(3), 2.0);
+}
+
+TEST(ErasureCoding, Eq2MatchesDirectComputation) {
+  // n=6, m=2: unavailable iff >= 3 systems down.
+  const f64 p = 0.2;
+  f64 direct = 0.0;
+  for (u32 i = 3; i <= 6; ++i) direct += binomial_pmf(6, i, p);
+  EXPECT_NEAR(ec_unavailability(6, 2, p), direct, 1e-12);
+}
+
+TEST(ErasureCoding, MoreParityMoreAvailable) {
+  f64 prev = 1.0;
+  for (u32 m = 0; m <= 6; ++m) {
+    const f64 u = ec_unavailability(16, m, 0.01);
+    EXPECT_LT(u, prev);
+    prev = u;
+  }
+}
+
+TEST(ErasureCoding, StorageOverhead) {
+  EXPECT_DOUBLE_EQ(ec_storage_overhead(4, 2), 0.5);
+  EXPECT_DOUBLE_EQ(ec_storage_overhead(12, 4), 1.0 / 3.0);
+}
+
+TEST(ErasureCoding, BeatsDuplicationAtSameTolerance) {
+  // Both tolerate 2 failures. EC's unavailability is a little higher (any 3
+  // of 6 systems kill it, vs the 3 specific replica hosts for DP) but stays
+  // in the same decade, while its storage overhead is 4x smaller — the
+  // paper's Section 1 trade-off.
+  const f64 p = 0.01;
+  const f64 dp_unavail = duplication_unavailability(6, 3, p);   // 3 replicas
+  const f64 ec_unavail = ec_unavailability(6, 2, p);            // k=4, m=2
+  EXPECT_LE(ec_unavail, dp_unavail * 25);
+  EXPECT_GE(ec_unavail, dp_unavail);  // C(6,3) combinations vs one
+  EXPECT_LT(ec_storage_overhead(4, 2), duplication_storage_overhead(3) / 3.0);
+}
+
+TEST(FtConfig, Validation) {
+  EXPECT_TRUE(valid_ft_config(16, {4, 3, 2, 1}));
+  EXPECT_TRUE(valid_ft_config(16, {8, 5, 4, 2}));
+  EXPECT_FALSE(valid_ft_config(16, {}));
+  EXPECT_FALSE(valid_ft_config(16, {16, 3, 2, 1}));  // m_1 must be < n
+  EXPECT_FALSE(valid_ft_config(16, {4, 4, 2, 1}));   // strict decrease
+  EXPECT_FALSE(valid_ft_config(16, {4, 3, 2, 0}));   // m_l >= 1
+}
+
+TEST(LevelWindow, Eq4MatchesDirectComputation) {
+  const f64 p = 0.05;
+  // P(2 < N <= 4) for n=16.
+  f64 direct = 0.0;
+  for (u32 i = 3; i <= 4; ++i) direct += binomial_pmf(16, i, p);
+  EXPECT_NEAR(level_window_probability(16, 4, 2, p), direct, 1e-12);
+}
+
+TEST(ExpectedError, WindowsPartitionProbability) {
+  // The four windows of Eq. 5 (loss, levels 1..l-1, full quality) must
+  // cover all outcomes: with all e_j = 1 the expectation is exactly 1.
+  const FtConfig m = {6, 4, 3, 1};
+  const std::vector<f64> ones(4, 1.0);
+  EXPECT_NEAR(expected_relative_error(16, 0.3, ones, m), 1.0, 1e-12);
+}
+
+TEST(ExpectedError, ZeroFailureProbabilityGivesFullQuality) {
+  const FtConfig m = {4, 3, 2, 1};
+  const std::vector<f64> errors = {4e-3, 5e-4, 6e-5, 1e-7};
+  EXPECT_NEAR(expected_relative_error(16, 0.0, errors, m), 1e-7, 1e-18);
+}
+
+TEST(ExpectedError, PaperFig2Configuration) {
+  // The paper's Fig. 2 RF+EC point: n=16, p=0.01, m=[4,3,2,1],
+  // e=[4e-3, 5e-4, 6e-5, 1e-7]. The expectation must be dominated by the
+  // full-quality term and far below both baselines shown in the figure.
+  const FtConfig m = {4, 3, 2, 1};
+  const std::vector<f64> errors = {4e-3, 5e-4, 6e-5, 1e-7};
+  const f64 e = expected_relative_error(16, 0.01, errors, m);
+  // Baselines: DP with 2 replicas, EC with 3 parity fragments.
+  const f64 dp = duplication_unavailability(16, 2, 0.01);
+  const f64 ec = ec_unavailability(16, 3, 0.01);
+  EXPECT_LT(e, dp);
+  EXPECT_LT(e, ec * 100.0);  // same magnitude class or better
+  EXPECT_GT(e, 0.0);
+}
+
+TEST(ExpectedError, MoreToleranceNeverHurts) {
+  const std::vector<f64> errors = {4e-3, 5e-4, 6e-5, 1e-7};
+  const f64 weak = expected_relative_error(16, 0.02, errors, {4, 3, 2, 1});
+  const f64 strong = expected_relative_error(16, 0.02, errors, {8, 5, 3, 2});
+  EXPECT_LT(strong, weak);
+}
+
+TEST(ExpectedError, InvalidInputsRejected) {
+  const std::vector<f64> errors = {1e-3, 1e-5};
+  EXPECT_THROW(expected_relative_error(16, 0.01, errors, {3, 3}),
+               invariant_error);
+  const std::vector<f64> wrong_size = {1e-3};
+  EXPECT_THROW(expected_relative_error(16, 0.01, wrong_size, {3, 2}),
+               invariant_error);
+}
+
+TEST(Overhead, Eq6MatchesHandComputation) {
+  // n=8, m=[4,2], sizes=[100, 1000], S=10000.
+  // parity = 4/4*100 + 2/6*1000 = 100 + 333.33 = 433.33; W = 0.04333.
+  const f64 w = ft_storage_overhead(8, {4, 2}, std::vector<u64>{100, 1000}, 10000);
+  EXPECT_NEAR(w, (100.0 + 1000.0 / 3.0) / 10000.0, 1e-12);
+}
+
+TEST(Overhead, NetworkCountsAllFragments)  {
+  // Every system receives one fragment of every level: n/(n-m_j) * s_j.
+  const f64 w = ft_network_overhead(8, {4, 2}, std::vector<u64>{100, 1000}, 10000);
+  EXPECT_NEAR(w, (100.0 * 2.0 + 1000.0 * 8.0 / 6.0) / 10000.0, 1e-12);
+}
+
+// --- Monte Carlo cross-validation (the formulas vs actual failure draws) ---
+
+TEST(MonteCarlo, DuplicationUnavailabilityMatches) {
+  const u32 n = 16;
+  const f64 p = 0.05;
+  storage::Cluster cluster(storage::ClusterConfig{n, p, 3});
+  // Replicas on systems {0, 1, 2}: data unavailable iff all three down.
+  const auto score = [](const std::vector<bool>& outage) {
+    return (outage[0] && outage[1] && outage[2]) ? 1.0 : 0.0;
+  };
+  const f64 mc = storage::monte_carlo_expectation(cluster, 400000, 17, score);
+  EXPECT_NEAR(mc, duplication_unavailability(n, 3, p), 3e-4);
+}
+
+TEST(MonteCarlo, EcUnavailabilityMatches) {
+  const u32 n = 12;
+  const f64 p = 0.08;
+  storage::Cluster cluster(storage::ClusterConfig{n, p, 4});
+  const u32 m = 3;
+  const auto score = [&](const std::vector<bool>& outage) {
+    u32 down = 0;
+    for (bool b : outage) down += b;
+    return down > m ? 1.0 : 0.0;
+  };
+  const f64 mc = storage::monte_carlo_expectation(cluster, 400000, 18, score);
+  EXPECT_NEAR(mc, ec_unavailability(n, m, p), 2e-3);
+}
+
+TEST(MonteCarlo, ExpectedRelativeErrorMatchesEq5) {
+  const u32 n = 16;
+  const f64 p = 0.06;  // inflated p so windows get hit often enough
+  storage::Cluster cluster(storage::ClusterConfig{n, p, 5});
+  const FtConfig m = {5, 3, 2, 1};
+  const std::vector<f64> errors = {4e-3, 5e-4, 6e-5, 1e-7};
+  const auto score = [&](const std::vector<bool>& outage) {
+    u32 down = 0;
+    for (bool b : outage) down += b;
+    if (down > m[0]) return 1.0;  // e_0
+    // Deepest level j with down <= m_j.
+    u32 j = 0;
+    while (j < m.size() && down <= m[j]) ++j;
+    return errors[j - 1];
+  };
+  const f64 mc = storage::monte_carlo_expectation(cluster, 600000, 19, score);
+  const f64 analytic = expected_relative_error(n, p, errors, m);
+  EXPECT_NEAR(mc, analytic, analytic * 0.2 + 1e-6);
+}
+
+}  // namespace
+}  // namespace rapids::core

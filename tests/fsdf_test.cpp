@@ -1,0 +1,140 @@
+// Tests for the FSDF self-describing container: typed attributes, dataset
+// integrity, file round trips, and corruption detection.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "rapids/fsdf/fsdf.hpp"
+
+namespace rapids::fsdf {
+namespace {
+
+Bytes blob(std::initializer_list<int> vals) {
+  Bytes out;
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Fsdf, AttributeRoundTrip) {
+  Writer w;
+  w.set_attr("object_name", std::string("NYX:temperature"));
+  w.set_attr("level", i64{3});
+  w.set_attr("error_bound", 4.5e-4);
+  const Reader r(w.finish());
+  EXPECT_EQ(r.attr_string("object_name"), "NYX:temperature");
+  EXPECT_EQ(r.attr_i64("level"), 3);
+  EXPECT_DOUBLE_EQ(r.attr_f64("error_bound"), 4.5e-4);
+  EXPECT_TRUE(r.has_attr("level"));
+  EXPECT_FALSE(r.has_attr("missing"));
+}
+
+TEST(Fsdf, AttributeOverwrite) {
+  Writer w;
+  w.set_attr("x", i64{1});
+  w.set_attr("x", i64{2});
+  const Reader r(w.finish());
+  EXPECT_EQ(r.attr_i64("x"), 2);
+}
+
+TEST(Fsdf, WrongTypeThrows) {
+  Writer w;
+  w.set_attr("x", i64{1});
+  const Reader r(w.finish());
+  EXPECT_THROW(r.attr_f64("x"), io_error);
+  EXPECT_THROW(r.attr_string("x"), io_error);
+  EXPECT_THROW(r.attr_i64("absent"), io_error);
+}
+
+TEST(Fsdf, DatasetRoundTrip) {
+  Writer w;
+  w.add_dataset("payload", blob({1, 2, 3, 4, 5}));
+  w.add_dataset("empty", Bytes{});
+  const Reader r(w.finish());
+  EXPECT_EQ(r.dataset_names(), (std::vector<std::string>{"payload", "empty"}));
+  EXPECT_EQ(r.dataset("payload"), blob({1, 2, 3, 4, 5}));
+  EXPECT_TRUE(r.dataset("empty").empty());
+  EXPECT_TRUE(r.has_dataset("payload"));
+  EXPECT_FALSE(r.has_dataset("nope"));
+}
+
+TEST(Fsdf, DuplicateDatasetRejected) {
+  Writer w;
+  w.add_dataset("d", blob({1}));
+  EXPECT_THROW(w.add_dataset("d", blob({2})), invariant_error);
+}
+
+TEST(Fsdf, MissingDatasetThrows) {
+  Writer w;
+  const Reader r(w.finish());
+  EXPECT_THROW(r.dataset("ghost"), io_error);
+}
+
+TEST(Fsdf, CorruptDatasetDetected) {
+  Writer w;
+  w.set_attr("n", i64{1});
+  w.add_dataset("d", blob({10, 20, 30, 40}));
+  Bytes raw = w.finish();
+  raw[raw.size() - 2] ^= std::byte{0xFF};  // damage the dataset body
+  const Reader r(std::move(raw));
+  EXPECT_EQ(r.attr_i64("n"), 1);  // attributes still fine
+  EXPECT_THROW(r.dataset("d"), io_error);
+}
+
+TEST(Fsdf, BadMagicRejected) {
+  Bytes junk(32, std::byte{0x5A});
+  EXPECT_THROW(Reader{junk}, io_error);
+}
+
+TEST(Fsdf, TruncatedFileRejected) {
+  Writer w;
+  w.add_dataset("d", Bytes(100, std::byte{7}));
+  Bytes raw = w.finish();
+  raw.resize(raw.size() - 50);
+  EXPECT_THROW(Reader{std::move(raw)}, io_error);
+}
+
+TEST(Fsdf, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rapids_test.fsdf").string();
+  Writer w;
+  w.set_attr("kind", std::string("fragment"));
+  w.add_dataset("payload", blob({9, 8, 7}));
+  w.write(path);
+  const Reader r = Reader::open(path);
+  EXPECT_EQ(r.attr_string("kind"), "fragment");
+  EXPECT_EQ(r.dataset("payload"), blob({9, 8, 7}));
+  std::filesystem::remove(path);
+}
+
+TEST(Fsdf, ManyDatasetsKeepOrder) {
+  Writer w;
+  for (int i = 0; i < 50; ++i)
+    w.add_dataset("ds" + std::to_string(i), blob({i}));
+  const Reader r(w.finish());
+  const auto names = r.dataset_names();
+  ASSERT_EQ(names.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(names[i], "ds" + std::to_string(i));
+    EXPECT_EQ(r.dataset(names[i]), blob({i}));
+  }
+}
+
+TEST(Fsdf, SelfDescribingFragmentExample) {
+  // The shape the pipeline writes: a fragment payload plus the description
+  // needed to interpret it without the metadata service.
+  Writer w;
+  w.set_attr("object_name", std::string("SCALE:PRES"));
+  w.set_attr("level", i64{2});
+  w.set_attr("index", i64{7});
+  w.set_attr("k", i64{12});
+  w.set_attr("m", i64{4});
+  w.set_attr("rel_error_bound", 6e-5);
+  w.add_dataset("payload", Bytes(256, std::byte{0xAB}));
+  const Reader r(w.finish());
+  EXPECT_EQ(r.attr_i64("k"), 12);
+  EXPECT_EQ(r.dataset("payload").size(), 256u);
+}
+
+}  // namespace
+}  // namespace rapids::fsdf

@@ -1,0 +1,195 @@
+// Tests for the gathering strategies: recoverability logic, plan
+// feasibility, Naive vs Random vs Optimized orderings, and behaviour under
+// outages — the machinery behind the paper's Fig. 4.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rapids/core/gather.hpp"
+
+namespace rapids::core {
+namespace {
+
+GatherProblem make_problem(u32 failed = 0) {
+  GatherProblem pr;
+  pr.n = 16;
+  pr.m = {8, 5, 4, 2};
+  pr.level_sizes = {1u << 20, 6u << 20, 36u << 20, 200u << 20};
+  pr.bandwidths.resize(pr.n);
+  for (u32 i = 0; i < pr.n; ++i)
+    pr.bandwidths[i] = 400.0e6 + 170.0e6 * i;  // 0.4 .. 3 GB/s spread
+  pr.available.assign(pr.n, true);
+  for (u32 i = 0; i < failed; ++i) pr.available[i] = false;
+  return pr;
+}
+
+TEST(GatherProblem, RecoverableLevelsByFailureCount) {
+  // m = [8,5,4,2]: N<=2 -> 4 levels, N<=4 -> 3, N=5 -> 2, 6<=N<=8 -> 1, N>8 -> 0.
+  EXPECT_EQ(make_problem(0).recoverable_levels(), 4u);
+  EXPECT_EQ(make_problem(2).recoverable_levels(), 4u);
+  EXPECT_EQ(make_problem(3).recoverable_levels(), 3u);
+  EXPECT_EQ(make_problem(4).recoverable_levels(), 3u);
+  EXPECT_EQ(make_problem(5).recoverable_levels(), 2u);
+  EXPECT_EQ(make_problem(6).recoverable_levels(), 1u);
+  EXPECT_EQ(make_problem(8).recoverable_levels(), 1u);
+  EXPECT_EQ(make_problem(9).recoverable_levels(), 0u);
+}
+
+TEST(GatherProblem, FragmentBytes) {
+  const auto pr = make_problem();
+  EXPECT_EQ(pr.fragment_bytes(1), ceil_div(1u << 20, 16 - 8));
+  EXPECT_EQ(pr.fragment_bytes(4), ceil_div(200u << 20, 16 - 2));
+}
+
+void expect_feasible(const GatherProblem& pr, const GatherPlan& plan) {
+  const u32 levels = pr.recoverable_levels();
+  ASSERT_EQ(plan.systems_per_level.size(), levels);
+  for (u32 j = 0; j < levels; ++j) {
+    EXPECT_EQ(plan.systems_per_level[j].size(), pr.n - pr.m[j]) << "level " << j;
+    std::set<u32> distinct;
+    for (u32 sys : plan.systems_per_level[j]) {
+      EXPECT_TRUE(pr.available[sys]) << "level " << j << " uses down system";
+      distinct.insert(sys);
+    }
+    EXPECT_EQ(distinct.size(), plan.systems_per_level[j].size());
+  }
+  EXPECT_GT(plan.latency, 0.0);
+  EXPECT_GT(plan.mean_time, 0.0);
+  EXPECT_GE(plan.latency, plan.mean_time);
+}
+
+TEST(RandomPlan, FeasibleAndSeedDependent) {
+  const auto pr = make_problem(2);
+  Rng rng1(1), rng2(1), rng3(2);
+  const auto a = random_plan(pr, rng1);
+  const auto b = random_plan(pr, rng2);
+  const auto c = random_plan(pr, rng3);
+  expect_feasible(pr, a);
+  EXPECT_EQ(a.systems_per_level, b.systems_per_level);  // same seed
+  EXPECT_NE(a.systems_per_level, c.systems_per_level);  // different seed
+}
+
+TEST(NaivePlan, PicksHighestBandwidthSystems) {
+  const auto pr = make_problem();
+  const auto plan = naive_plan(pr);
+  expect_feasible(pr, plan);
+  // Level 1 needs n-m_1 = 8 fragments: the 8 fastest systems are ids 8..15.
+  const std::set<u32> expect = {8, 9, 10, 11, 12, 13, 14, 15};
+  const std::set<u32> got(plan.systems_per_level[0].begin(),
+                          plan.systems_per_level[0].end());
+  EXPECT_EQ(got, expect);
+}
+
+TEST(NaivePlan, SkipsUnavailableSystems) {
+  auto pr = make_problem();
+  pr.available[15] = false;  // fastest system down
+  const auto plan = naive_plan(pr);
+  expect_feasible(pr, plan);
+  for (const auto& level : plan.systems_per_level)
+    for (u32 sys : level) EXPECT_NE(sys, 15u);
+}
+
+TEST(NaivePlan, SuffersContention) {
+  // The greedy strategy loads the fast systems with one request per level;
+  // its bottom-level transfers therefore share bandwidth 4 ways on the top
+  // machines. Verify the contention shows in the objective.
+  const auto pr = make_problem();
+  const auto plan = naive_plan(pr);
+  // System 15 serves one fragment of every level -> 4 concurrent requests.
+  u32 uses_of_15 = 0;
+  for (const auto& level : plan.systems_per_level)
+    for (u32 sys : level) uses_of_15 += (sys == 15);
+  EXPECT_EQ(uses_of_15, 4u);
+}
+
+TEST(OptimizedPlan, FeasibleAndDeterministic) {
+  const auto pr = make_problem(1);
+  solver::AcoOptions opt;
+  opt.iterations = 40;
+  opt.seed = 5;
+  const auto a = optimized_plan(pr, opt);
+  const auto b = optimized_plan(pr, opt);
+  expect_feasible(pr, a);
+  EXPECT_EQ(a.systems_per_level, b.systems_per_level);
+  EXPECT_GE(a.planning_seconds, 0.0);
+}
+
+TEST(OptimizedPlan, NeverWorseThanNaiveObjective) {
+  // Warm-started from Naive, the ACO's Eq. 10 objective can only improve.
+  for (u32 failed : {0u, 2u, 4u}) {
+    const auto pr = make_problem(failed);
+    solver::AcoOptions opt;
+    opt.iterations = 60;
+    const auto naive = naive_plan(pr);
+    const auto optimized = optimized_plan(pr, opt);
+    EXPECT_LE(optimized.mean_time, naive.mean_time * (1 + 1e-12))
+        << "failed=" << failed;
+  }
+}
+
+TEST(OptimizedPlan, BeatsRandomOnAverage) {
+  const auto pr = make_problem();
+  solver::AcoOptions opt;
+  opt.iterations = 80;
+  const auto optimized = optimized_plan(pr, opt);
+  f64 random_total = 0.0;
+  Rng rng(9);
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) random_total += random_plan(pr, rng).mean_time;
+  EXPECT_LT(optimized.mean_time, random_total / trials);
+}
+
+TEST(OptimizedPlan, SpreadsLoadOffHotSystems) {
+  // With enough optimization the per-system request concentration should be
+  // no worse than Naive's worst case.
+  const auto pr = make_problem();
+  solver::AcoOptions opt;
+  opt.iterations = 80;
+  const auto plan = optimized_plan(pr, opt);
+  std::vector<u32> load(pr.n, 0);
+  for (const auto& level : plan.systems_per_level)
+    for (u32 sys : level) load[sys] += 1;
+  const u32 max_load = *std::max_element(load.begin(), load.end());
+  EXPECT_LE(max_load, 4u);
+}
+
+TEST(Gather, NothingRecoverableThrows) {
+  const auto pr = make_problem(9);  // > m_1 failures
+  Rng rng(1);
+  EXPECT_THROW(random_plan(pr, rng), invariant_error);
+  EXPECT_THROW(naive_plan(pr), invariant_error);
+}
+
+TEST(Gather, PartialRecoveryPlansOnlySurvivingLevels) {
+  const auto pr = make_problem(5);  // levels 1..2 recoverable
+  const auto plan = naive_plan(pr);
+  EXPECT_EQ(plan.systems_per_level.size(), 2u);
+  expect_feasible(pr, plan);
+}
+
+TEST(Gather, PlanTransfersMatchSelection) {
+  const auto pr = make_problem();
+  const auto plan = naive_plan(pr);
+  const auto transfers = plan_transfers(pr, plan.systems_per_level);
+  u64 expect_count = 0;
+  for (u32 j = 0; j < 4; ++j) expect_count += pr.n - pr.m[j];
+  EXPECT_EQ(transfers.size(), expect_count);
+  // Bytes per level match the fragment size.
+  EXPECT_EQ(transfers.front().bytes, pr.fragment_bytes(1));
+  EXPECT_EQ(transfers.back().bytes, pr.fragment_bytes(4));
+}
+
+TEST(Gather, EvaluatePlanConsistentWithNetModel) {
+  const auto pr = make_problem();
+  const auto plan = naive_plan(pr);
+  const auto transfers = plan_transfers(pr, plan.systems_per_level);
+  EXPECT_DOUBLE_EQ(plan.mean_time,
+                   net::equal_share_mean_time(transfers, pr.bandwidths));
+  EXPECT_DOUBLE_EQ(plan.latency,
+                   net::equal_share_latency(transfers, pr.bandwidths));
+}
+
+}  // namespace
+}  // namespace rapids::core

@@ -1,0 +1,183 @@
+// Tests for the WAN substrate: the Globus-log bandwidth estimator and both
+// transfer-time models (static equal share vs progressive refill).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "rapids/net/bandwidth.hpp"
+#include "rapids/net/transfer_sim.hpp"
+#include "rapids/util/rng.hpp"
+
+namespace rapids::net {
+namespace {
+
+// --- bandwidth estimation ---
+
+TEST(Bandwidth, SynthLogsCoverEveryEndpoint) {
+  const auto logs = synth_globus_logs(16, 32, 5);
+  EXPECT_EQ(logs.size(), 16u * 32u);
+  std::vector<u32> counts(16, 0);
+  for (const auto& rec : logs) {
+    ASSERT_LT(rec.endpoint, 16u);
+    counts[rec.endpoint] += 1;
+    EXPECT_GT(rec.bytes, 0u);
+    EXPECT_GT(rec.seconds, 0.0);
+  }
+  for (u32 c : counts) EXPECT_EQ(c, 32u);
+}
+
+TEST(Bandwidth, EstimatesWithinSampledRange) {
+  const auto bw = sample_endpoint_bandwidths(16, 6);
+  ASSERT_EQ(bw.size(), 16u);
+  for (f64 b : bw) {
+    EXPECT_GT(b, 300.0e6);  // lognormal jitter can dip slightly below 400 MB/s
+    EXPECT_LT(b, 4.0e9);
+  }
+}
+
+TEST(Bandwidth, DeterministicInSeed) {
+  EXPECT_EQ(sample_endpoint_bandwidths(8, 7), sample_endpoint_bandwidths(8, 7));
+  EXPECT_NE(sample_endpoint_bandwidths(8, 7), sample_endpoint_bandwidths(8, 8));
+}
+
+TEST(Bandwidth, EstimatorAveragesThroughput) {
+  std::vector<TransferLogRecord> logs = {
+      {0, 1000, 1.0},  // 1000 B/s
+      {0, 3000, 1.0},  // 3000 B/s
+      {1, 500, 0.5},   // 1000 B/s
+  };
+  const auto bw = estimate_bandwidths(logs, 2);
+  EXPECT_DOUBLE_EQ(bw[0], 2000.0);
+  EXPECT_DOUBLE_EQ(bw[1], 1000.0);
+}
+
+TEST(Bandwidth, EndpointWithoutLogsRejected) {
+  std::vector<TransferLogRecord> logs = {{0, 1000, 1.0}};
+  EXPECT_THROW(estimate_bandwidths(logs, 2), invariant_error);
+}
+
+TEST(Bandwidth, SpreadIsWide) {
+  // The paper reports 400 MB/s .. >3 GB/s: fastest endpoint should be several
+  // times the slowest.
+  const auto bw = sample_endpoint_bandwidths(16, 42);
+  const f64 lo = *std::min_element(bw.begin(), bw.end());
+  const f64 hi = *std::max_element(bw.begin(), bw.end());
+  EXPECT_GT(hi / lo, 3.0);
+}
+
+// --- equal-share model ---
+
+TEST(EqualShare, SingleTransferUsesFullBandwidth) {
+  const std::vector<Transfer> ts = {{0, 1000}};
+  const std::vector<f64> bw = {100.0};
+  const auto times = equal_share_times(ts, bw);
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 10.0);
+}
+
+TEST(EqualShare, ContentionSplitsBandwidth) {
+  // Two transfers at the same system each get half the bandwidth.
+  const std::vector<Transfer> ts = {{0, 1000}, {0, 1000}};
+  const std::vector<f64> bw = {100.0};
+  const auto times = equal_share_times(ts, bw);
+  EXPECT_DOUBLE_EQ(times[0], 20.0);
+  EXPECT_DOUBLE_EQ(times[1], 20.0);
+}
+
+TEST(EqualShare, IndependentSystemsDontInteract) {
+  const std::vector<Transfer> ts = {{0, 1000}, {1, 500}};
+  const std::vector<f64> bw = {100.0, 100.0};
+  const auto times = equal_share_times(ts, bw);
+  EXPECT_DOUBLE_EQ(times[0], 10.0);
+  EXPECT_DOUBLE_EQ(times[1], 5.0);
+}
+
+TEST(EqualShare, LatencyIsSlowest) {
+  const std::vector<Transfer> ts = {{0, 1000}, {1, 4000}};
+  const std::vector<f64> bw = {100.0, 100.0};
+  EXPECT_DOUBLE_EQ(equal_share_latency(ts, bw), 40.0);
+}
+
+TEST(EqualShare, MeanMatchesHandComputation) {
+  const std::vector<Transfer> ts = {{0, 1000}, {0, 1000}, {1, 300}};
+  const std::vector<f64> bw = {100.0, 100.0};
+  // System 0: two transfers at 50 B/s each -> 20 s each. System 1: 3 s.
+  EXPECT_DOUBLE_EQ(equal_share_mean_time(ts, bw), (20.0 + 20.0 + 3.0) / 3.0);
+}
+
+TEST(EqualShare, EmptyPlanIsZero) {
+  const std::vector<Transfer> none;
+  const std::vector<f64> bw = {100.0};
+  EXPECT_DOUBLE_EQ(equal_share_mean_time(none, bw), 0.0);
+  EXPECT_DOUBLE_EQ(equal_share_latency(none, bw), 0.0);
+}
+
+TEST(EqualShare, UnknownSystemRejected) {
+  const std::vector<Transfer> ts = {{5, 100}};
+  const std::vector<f64> bw = {100.0};
+  EXPECT_THROW(equal_share_times(ts, bw), invariant_error);
+}
+
+// --- progressive refill ---
+
+TEST(Progressive, MatchesEqualShareWithoutContention) {
+  const std::vector<Transfer> ts = {{0, 1000}, {1, 2000}};
+  const std::vector<f64> bw = {100.0, 100.0};
+  const auto prog = progressive_times(ts, bw);
+  const auto eq = equal_share_times(ts, bw);
+  EXPECT_NEAR(prog[0], eq[0], 1e-9);
+  EXPECT_NEAR(prog[1], eq[1], 1e-9);
+}
+
+TEST(Progressive, RefillAcceleratesSurvivor) {
+  // Two transfers share system 0; the short one finishes, then the long one
+  // gets full bandwidth. Static model: long takes 2*3000/100 = 60s.
+  // Progressive: 10s shared (500 B done), then 2500 B at 100 B/s -> 35s.
+  const std::vector<Transfer> ts = {{0, 500}, {0, 3000}};
+  const std::vector<f64> bw = {100.0};
+  const auto prog = progressive_times(ts, bw);
+  EXPECT_NEAR(prog[0], 10.0, 1e-6);
+  EXPECT_NEAR(prog[1], 35.0, 1e-6);
+  EXPECT_DOUBLE_EQ(equal_share_times(ts, bw)[1], 60.0);
+}
+
+TEST(Progressive, NeverSlowerThanStatic) {
+  // Property: progressive refill dominates the static model per transfer.
+  Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<f64> bw(6);
+    for (auto& b : bw) b = rng.uniform(50.0, 500.0);
+    std::vector<Transfer> ts;
+    const u32 n = 1 + static_cast<u32>(rng.next_below(12));
+    for (u32 i = 0; i < n; ++i)
+      ts.push_back({static_cast<u32>(rng.next_below(6)),
+                    1 + rng.next_below(100000)});
+    const auto prog = progressive_times(ts, bw);
+    const auto stat = equal_share_times(ts, bw);
+    for (std::size_t i = 0; i < ts.size(); ++i)
+      ASSERT_LE(prog[i], stat[i] * (1.0 + 1e-9)) << "trial " << trial;
+  }
+}
+
+TEST(Progressive, ConservationOfBytes) {
+  // Total completion-weighted throughput equals total bytes: validated via
+  // the slowest transfer bounding total bytes / aggregate bandwidth.
+  const std::vector<Transfer> ts = {{0, 1000}, {0, 1000}, {0, 1000}};
+  const std::vector<f64> bw = {100.0};
+  const auto prog = progressive_times(ts, bw);
+  const f64 latest = *std::max_element(prog.begin(), prog.end());
+  EXPECT_NEAR(latest, 3000.0 / 100.0, 1e-6);
+}
+
+TEST(Progressive, ZeroByteTransferFinishesImmediately) {
+  const std::vector<Transfer> ts = {{0, 0}, {0, 1000}};
+  const std::vector<f64> bw = {100.0};
+  const auto prog = progressive_times(ts, bw);
+  EXPECT_NEAR(prog[0], 0.0, 1e-9);
+  EXPECT_NEAR(prog[1], 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rapids::net

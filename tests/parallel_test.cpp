@@ -1,0 +1,164 @@
+// Tests for the thread pool and parallel_for: correctness, exception
+// propagation, nesting, and chunk coverage.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "rapids/parallel/thread_pool.hpp"
+
+namespace rapids {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i)
+    futs.push_back(pool.submit([&count] { count.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(10000);
+  pool.parallel_for(0, hits.size(), [&](u64 i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](u64) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelFor, SingleElement) {
+  ThreadPool pool(2);
+  std::atomic<int> hits{0};
+  pool.parallel_for(7, 8, [&](u64 i) {
+    EXPECT_EQ(i, 7u);
+    hits.fetch_add(1);
+  });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  ThreadPool pool(8);
+  const u64 n = 100000;
+  std::atomic<u64> sum{0};
+  pool.parallel_for(0, n, [&](u64 i) { sum.fetch_add(i, std::memory_order_relaxed); });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ParallelForChunks, ChunksPartitionRange) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<std::pair<u64, u64>> chunks;
+  pool.parallel_for_chunks(
+      0, 1000,
+      [&](u64 lo, u64 hi) {
+        std::lock_guard<std::mutex> lock(mu);
+        chunks.emplace_back(lo, hi);
+      },
+      64);
+  std::sort(chunks.begin(), chunks.end());
+  u64 expect = 0;
+  for (auto [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expect);
+    EXPECT_GT(hi, lo);
+    expect = hi;
+  }
+  EXPECT_EQ(expect, 1000u);
+}
+
+TEST(ParallelForChunks, RespectsGrain) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<u64> sizes;
+  pool.parallel_for_chunks(
+      0, 1000,
+      [&](u64 lo, u64 hi) {
+        std::lock_guard<std::mutex> lock(mu);
+        sizes.push_back(hi - lo);
+      },
+      100);
+  for (u64 s : sizes) EXPECT_LE(s, 100u);
+}
+
+TEST(ParallelFor, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](u64 i) {
+                                   if (i == 57) throw std::runtime_error("bad");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, OtherChunksStillRunAfterThrow) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  bool threw = false;
+  try {
+    pool.parallel_for(0, 1000, [&](u64 i) {
+      count.fetch_add(1);
+      if (i == 0) throw std::runtime_error("early");
+    });
+  } catch (const std::runtime_error&) {
+    threw = true;
+  }
+  // The throwing chunk aborts its remaining iterations, but every other
+  // chunk runs to completion and the first error is rethrown afterwards.
+  EXPECT_TRUE(threw);
+  EXPECT_GE(count.load(), 900);
+  EXPECT_LT(count.load(), 1001);
+}
+
+TEST(ParallelFor, NestedParallelismCompletes) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(0, 8, [&](u64) {
+    // Nested loops reuse the global pool helper path.
+    parallel_for(0, 100, [&](u64) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 800);
+}
+
+TEST(ParallelFor, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(0, hits.size(), [&](u64 i) { hits[i] += 1; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(GlobalPool, ConvenienceWrappersWork) {
+  std::atomic<int> count{0};
+  parallel_for(0, 50, [&](u64) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+  std::atomic<u64> covered{0};
+  parallel_for_chunks(0, 50, [&](u64 lo, u64 hi) { covered.fetch_add(hi - lo); });
+  EXPECT_EQ(covered.load(), 50u);
+}
+
+}  // namespace
+}  // namespace rapids

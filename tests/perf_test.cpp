@@ -1,0 +1,139 @@
+// Tests for the performance models: calibration produces sane rates, the
+// scaling model has the right qualitative shape (Amdahl + caps), and the
+// accelerator model applies the paper's speedups deterministically.
+
+#include <gtest/gtest.h>
+
+#include "rapids/perf/accelerator_model.hpp"
+#include "rapids/perf/calibration.hpp"
+#include "rapids/perf/scaling_model.hpp"
+
+namespace rapids::perf {
+namespace {
+
+const Calibration& cal() {
+  static const Calibration c = calibrate(CalibrationOptions{33, 1 << 20, 4 << 20, 7});
+  return c;
+}
+
+TEST(Calibration, AllRatesPositive) {
+  const auto& c = cal();
+  EXPECT_GT(c.read_bps, 0.0);
+  EXPECT_GT(c.write_bps, 0.0);
+  EXPECT_GT(c.refactor_bps, 0.0);
+  EXPECT_GT(c.reconstruct_bps, 0.0);
+  EXPECT_GT(c.ec_encode_bps, 0.0);
+  EXPECT_GT(c.ec_decode_bps, 0.0);
+}
+
+TEST(Calibration, RefactorSlowerThanEc) {
+  // The paper's premise for Table 4: the multigrid refactorer costs several
+  // times more compute per byte than RS erasure coding.
+  const auto& c = cal();
+  EXPECT_LT(c.refactor_bps, c.ec_encode_bps);
+}
+
+TEST(Calibration, IoFasterThanRefactor) {
+  const auto& c = cal();
+  EXPECT_GT(c.read_bps, c.refactor_bps);
+}
+
+TEST(Calibration, CachedReturnsSameObject) {
+  const auto& a = cached_calibration();
+  const auto& b = cached_calibration();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ScalingModel, SingleCoreMatchesCalibration) {
+  const ClusterModel model(cal());
+  const u64 bytes = 1 << 30;
+  EXPECT_NEAR(model.op_seconds(Op::kRefactor, bytes, 1),
+              static_cast<f64>(bytes) / cal().refactor_bps,
+              static_cast<f64>(bytes) / cal().refactor_bps * 0.01);
+}
+
+TEST(ScalingModel, ComputeOpsScaleNearlyLinearly) {
+  const ClusterModel model(cal());
+  const u64 bytes = u64{1} << 40;
+  const f64 t64 = model.op_seconds(Op::kRefactor, bytes, 64);
+  const f64 t1024 = model.op_seconds(Op::kRefactor, bytes, 1024);
+  const f64 speedup = t64 / t1024;
+  EXPECT_GT(speedup, 8.0);   // strong scaling from 64 to 1024 cores
+  EXPECT_LE(speedup, 16.0);  // bounded by the core ratio
+}
+
+TEST(ScalingModel, IoOpsHitAggregateCap) {
+  const ClusterModel model(cal());
+  const u64 bytes = u64{1} << 44;  // 16 TB
+  const f64 t256 = model.op_seconds(Op::kRead, bytes, 256);
+  const f64 t4096 = model.op_seconds(Op::kRead, bytes, 4096);
+  // Far beyond the cap more cores stop helping.
+  EXPECT_LT(t256 / t4096, 4.0);
+  // And the floor is the cap rate.
+  const f64 cap = model.scaling(Op::kRead).aggregate_cap_bps;
+  EXPECT_GE(t4096, static_cast<f64>(bytes) / cap * 0.99);
+}
+
+TEST(ScalingModel, MoreCoresNeverSlower) {
+  const ClusterModel model(cal());
+  const u64 bytes = u64{1} << 38;
+  for (Op op : {Op::kRefactor, Op::kReconstruct, Op::kEcEncode, Op::kRead}) {
+    f64 prev = 1e300;
+    for (u32 cores : {1u, 32u, 64u, 256u, 1024u}) {
+      const f64 t = model.op_seconds(op, bytes, cores);
+      ASSERT_LE(t, prev * (1 + 1e-9)) << "cores=" << cores;
+      prev = t;
+    }
+  }
+}
+
+TEST(ScalingModel, SetScalingOverrides) {
+  ClusterModel model(cal());
+  model.set_scaling(Op::kRefactor, OpScaling{0.5, 0.0, 0.0});
+  const u64 bytes = 1 << 30;
+  // 50% serial: infinite cores still pay half the single-core time.
+  const f64 t1 = model.op_seconds(Op::kRefactor, bytes, 1);
+  const f64 tmany = model.op_seconds(Op::kRefactor, bytes, 1u << 20);
+  EXPECT_GT(tmany, 0.49 * t1);
+}
+
+TEST(ScalingModel, ZeroCoresRejected) {
+  const ClusterModel model(cal());
+  EXPECT_THROW(model.op_seconds(Op::kRefactor, 100, 0), invariant_error);
+}
+
+TEST(Accelerator, SpeedupsNearPaperMeans) {
+  const AcceleratorModel gpu(cal());
+  f64 rf_sum = 0.0, rc_sum = 0.0;
+  const std::vector<std::string> names = {"a", "b", "c", "d", "e", "f"};
+  for (const auto& n : names) {
+    const f64 rf = gpu.refactor_speedup(n);
+    const f64 rc = gpu.reconstruct_speedup(n);
+    EXPECT_GT(rf, 3.7 * 0.84);
+    EXPECT_LT(rf, 3.7 * 1.16);
+    EXPECT_GT(rc, 20.3 * 0.84);
+    EXPECT_LT(rc, 20.3 * 1.16);
+    rf_sum += rf;
+    rc_sum += rc;
+  }
+  EXPECT_NEAR(rf_sum / names.size(), 3.7, 0.5);
+  EXPECT_NEAR(rc_sum / names.size(), 20.3, 2.5);
+}
+
+TEST(Accelerator, DeterministicPerObject) {
+  const AcceleratorModel gpu(cal());
+  EXPECT_EQ(gpu.refactor_speedup("NYX:temperature"),
+            gpu.refactor_speedup("NYX:temperature"));
+  EXPECT_NE(gpu.refactor_speedup("NYX:temperature"),
+            gpu.refactor_speedup("SCALE:T"));
+}
+
+TEST(Accelerator, ThroughputsScaleFromCpu) {
+  const AcceleratorModel gpu(cal());
+  EXPECT_NEAR(gpu.gpu_refactor_bps("x"),
+              gpu.cpu_refactor_bps() * gpu.refactor_speedup("x"), 1e-6);
+  EXPECT_GT(gpu.gpu_reconstruct_bps("x"), gpu.cpu_reconstruct_bps() * 15.0);
+}
+
+}  // namespace
+}  // namespace rapids::perf

@@ -1,0 +1,417 @@
+// Tests for the end-to-end pipeline (prepare/restore/repair) and the DP/EC
+// baselines, including behaviour under injected outages.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "rapids/core/baselines.hpp"
+#include "rapids/core/pipeline.hpp"
+#include "rapids/kvstore/db.hpp"
+#include "rapids/data/datasets.hpp"
+#include "rapids/data/stats.hpp"
+#include "rapids/storage/failure.hpp"
+
+namespace rapids::core {
+namespace {
+
+namespace fs = std::filesystem;
+using mgard::Dims;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("rapids_pipe_" + std::string(::testing::UnitTest::GetInstance()
+                                              ->current_test_info()
+                                              ->name())))
+               .string();
+    fs::remove_all(dir_);
+    cluster_ = std::make_unique<storage::Cluster>(
+        storage::ClusterConfig{16, 0.01, 42});
+    db_ = kv::Db::open(dir_);
+  }
+  void TearDown() override {
+    db_.reset();
+    fs::remove_all(dir_);
+  }
+
+  PipelineConfig fast_config() {
+    PipelineConfig cfg;
+    cfg.refactor.decomp_levels = 3;
+    cfg.refactor.num_retrieval_levels = 4;
+    cfg.refactor.target_rel_errors = {4e-3, 5e-4, 6e-5, 1e-6};
+    cfg.aco.iterations = 20;
+    return cfg;
+  }
+
+  std::string dir_;
+  std::unique_ptr<storage::Cluster> cluster_;
+  std::unique_ptr<kv::Db> db_;
+};
+
+TEST_F(PipelineTest, PrepareDistributesAllFragments) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{33, 33, 17};
+  const auto field = data::hurricane_pressure(dims, 1);
+  const auto report = pipeline.prepare(field, dims, "hp");
+  // 4 levels x 16 fragments.
+  EXPECT_EQ(report.fragments_stored, 64u);
+  for (u32 i = 0; i < cluster_->size(); ++i)
+    EXPECT_EQ(cluster_->system(i).fragment_count(), 4u) << "system " << i;
+  EXPECT_TRUE(valid_ft_config(16, report.record.ft));
+  EXPECT_LE(report.storage_overhead, pipeline.config().overhead_budget);
+  EXPECT_GT(report.expected_error, 0.0);
+  EXPECT_LT(report.expected_error, 1e-2);
+  EXPECT_GT(report.distribution_latency, 0.0);
+}
+
+TEST_F(PipelineTest, RestoreHealthyClusterFullQuality) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{33, 33, 17};
+  const auto field = data::scale_temperature(dims, 2);
+  pipeline.prepare(field, dims, "st");
+  const auto report = pipeline.restore("st");
+  EXPECT_EQ(report.levels_used, 4u);
+  ASSERT_EQ(report.data.size(), field.size());
+  const f64 err = data::relative_linf_error(field, report.data);
+  EXPECT_LE(err, report.rel_error_bound);
+  EXPECT_LE(err, 1e-6);
+  EXPECT_GT(report.gather_latency, 0.0);
+}
+
+TEST_F(PipelineTest, RestoreDegradesGracefullyUnderOutages) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{33, 33, 17};
+  const auto field = data::nyx_temperature(dims, 3);
+  const auto prep = pipeline.prepare(field, dims, "nt");
+  const FtConfig& ft = prep.record.ft;
+
+  // Knock out exactly enough systems to lose the bottom level but keep the
+  // upper ones: N = m_{l-1} failures (> m_l, <= m_{l-1}).
+  const u32 kill = ft[ft.size() - 2];
+  std::vector<u32> down;
+  for (u32 i = 0; i < kill; ++i) down.push_back(i);
+  storage::fail_exactly(*cluster_, down);
+
+  const auto report = pipeline.restore("nt");
+  EXPECT_EQ(report.levels_used, static_cast<u32>(ft.size()) - 1);
+  const f64 err = data::relative_linf_error(field, report.data);
+  EXPECT_LE(err, report.rel_error_bound);
+  EXPECT_GT(report.rel_error_bound, 1e-6);  // degraded vs full quality
+}
+
+TEST_F(PipelineTest, RestoreReturnsLossWhenEverythingDown) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{17, 17, 9};
+  const auto field = data::nyx_velocity(dims, 4);
+  const auto prep = pipeline.prepare(field, dims, "nv");
+  std::vector<u32> down;
+  for (u32 i = 0; i <= prep.record.ft[0]; ++i) down.push_back(i);
+  storage::fail_exactly(*cluster_, down);
+  const auto report = pipeline.restore("nv");
+  EXPECT_EQ(report.levels_used, 0u);
+  EXPECT_TRUE(report.data.empty());
+  EXPECT_DOUBLE_EQ(report.rel_error_bound, 1.0);  // the e_0 penalty
+}
+
+TEST_F(PipelineTest, AllStrategiesRestoreCorrectly) {
+  const Dims dims{33, 17, 9};
+  const auto field = data::hurricane_temperature(dims, 5);
+  for (auto strategy : {GatherStrategy::kRandom, GatherStrategy::kNaive,
+                        GatherStrategy::kOptimized}) {
+    auto cfg = fast_config();
+    cfg.strategy = strategy;
+    RapidsPipeline pipeline(*cluster_, *db_, cfg);
+    const std::string name = "obj" + std::to_string(static_cast<int>(strategy));
+    pipeline.prepare(field, dims, name);
+    const auto report = pipeline.restore(name);
+    EXPECT_EQ(report.levels_used, 4u);
+    EXPECT_LE(data::relative_linf_error(field, report.data),
+              report.rel_error_bound);
+  }
+}
+
+TEST_F(PipelineTest, MetadataSurvivesDbReopen) {
+  const Dims dims{17, 17, 9};
+  const auto field = data::scale_pressure(dims, 6);
+  {
+    RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+    pipeline.prepare(field, dims, "sp");
+  }
+  db_.reset();
+  db_ = kv::Db::open(dir_);
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const auto record = pipeline.lookup("sp");
+  ASSERT_TRUE(record.has_value());
+  EXPECT_EQ(record->meta.name, "sp");
+  EXPECT_EQ(record->meta.dims, dims);
+  const auto report = pipeline.restore("sp");
+  EXPECT_LE(data::relative_linf_error(field, report.data),
+            report.rel_error_bound);
+}
+
+TEST_F(PipelineTest, LookupUnknownObject) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  EXPECT_FALSE(pipeline.lookup("ghost").has_value());
+  EXPECT_THROW(pipeline.restore("ghost"), invariant_error);
+}
+
+TEST_F(PipelineTest, RepairRebuildsLostFragment) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{33, 17, 9};
+  const auto field = data::hurricane_pressure(dims, 7);
+  const auto prep = pipeline.prepare(field, dims, "hp2");
+
+  // Permanently lose level 2's fragment on its hosting system.
+  const u32 level = 2, index = 5;
+  const u32 host = storage::place_fragment(prep.record.placement, 16, level, index);
+  cluster_->system(host).erase(ec::FragmentId{"hp2", level, index}.key());
+
+  // Repair onto a different system.
+  const u32 target = (host + 1) % 16;
+  pipeline.repair_fragment("hp2", level, index, target);
+  const auto frag =
+      cluster_->system(target).get(ec::FragmentId{"hp2", level, index}.key());
+  ASSERT_TRUE(frag.has_value());
+  EXPECT_TRUE(frag->verify());
+  EXPECT_EQ(frag->id.index, index);
+}
+
+TEST_F(PipelineTest, ObjectRecordSerializationRoundTrip) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{17, 17, 9};
+  const auto field = data::nyx_velocity(dims, 8);
+  const auto prep = pipeline.prepare(field, dims, "rt");
+  const Bytes wire = prep.record.serialize();
+  const auto back = ObjectRecord::deserialize(as_bytes_view(wire));
+  EXPECT_EQ(back.ft, prep.record.ft);
+  EXPECT_EQ(back.level_sizes, prep.record.level_sizes);
+  EXPECT_EQ(back.matrix_kind, prep.record.matrix_kind);
+  EXPECT_EQ(back.placement, prep.record.placement);
+  EXPECT_EQ(back.meta.name, "rt");
+}
+
+TEST_F(PipelineTest, CauchyMatrixVariantWorksEndToEnd) {
+  auto cfg = fast_config();
+  cfg.matrix_kind = ec::MatrixKind::kCauchy;
+  RapidsPipeline pipeline(*cluster_, *db_, cfg);
+  const Dims dims{17, 17, 9};
+  const auto field = data::scale_temperature(dims, 9);
+  pipeline.prepare(field, dims, "cauchy");
+  storage::fail_exactly(*cluster_, {0, 1});
+  const auto report = pipeline.restore("cauchy");
+  EXPECT_GE(report.levels_used, 3u);
+  EXPECT_LE(data::relative_linf_error(field, report.data),
+            report.rel_error_bound);
+}
+
+TEST_F(PipelineTest, IdentityPlacementWorksEndToEnd) {
+  auto cfg = fast_config();
+  cfg.placement = storage::PlacementPolicy::kIdentity;
+  RapidsPipeline pipeline(*cluster_, *db_, cfg);
+  const Dims dims{17, 17, 9};
+  const auto field = data::hurricane_pressure(dims, 10);
+  pipeline.prepare(field, dims, "ident");
+  const auto report = pipeline.restore("ident");
+  EXPECT_LE(data::relative_linf_error(field, report.data),
+            report.rel_error_bound);
+}
+
+TEST_F(PipelineTest, ListObjects) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  EXPECT_TRUE(pipeline.list_objects().empty());
+  const Dims dims{17, 17, 9};
+  pipeline.prepare(data::hurricane_pressure(dims, 1), dims, "run/a");
+  pipeline.prepare(data::scale_pressure(dims, 2), dims, "run/b");
+  EXPECT_EQ(pipeline.list_objects(), (std::vector<std::string>{"run/a", "run/b"}));
+}
+
+TEST_F(PipelineTest, AgingReclaimsSpaceAndCapsAccuracy) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{33, 33, 17};
+  const auto field = data::scale_temperature(dims, 11);
+  const auto prep = pipeline.prepare(field, dims, "old_timestep");
+  const f64 full_bound = prep.record.meta.rel_error_bound(4);
+  const f64 aged_bound = prep.record.meta.rel_error_bound(2);
+
+  u64 before = 0;
+  for (u32 i = 0; i < 16; ++i) before += cluster_->system(i).used_bytes();
+  const u64 reclaimed = pipeline.age_object("old_timestep", 2);
+  EXPECT_GT(reclaimed, 0u);
+  u64 after = 0;
+  for (u32 i = 0; i < 16; ++i) after += cluster_->system(i).used_bytes();
+  EXPECT_EQ(before - after, reclaimed);
+  // The two deep levels were the bulk of the stored data.
+  EXPECT_GT(reclaimed, before / 2);
+
+  // Restores still work, now capped at the level-2 guarantee.
+  const auto rest = pipeline.restore("old_timestep");
+  EXPECT_EQ(rest.levels_used, 2u);
+  EXPECT_DOUBLE_EQ(rest.rel_error_bound, aged_bound);
+  const f64 err = data::relative_linf_error(field, rest.data);
+  EXPECT_LE(err, aged_bound);
+  EXPECT_GT(err, full_bound);  // accuracy genuinely reduced
+}
+
+TEST_F(PipelineTest, AgingToOneLevelStillRestores) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{17, 17, 9};
+  const auto field = data::nyx_temperature(dims, 12);
+  pipeline.prepare(field, dims, "ancient");
+  pipeline.age_object("ancient", 1);
+  const auto rest = pipeline.restore("ancient");
+  EXPECT_EQ(rest.levels_used, 1u);
+  EXPECT_LE(data::relative_linf_error(field, rest.data), rest.rel_error_bound);
+}
+
+TEST_F(PipelineTest, AgingValidation) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{17, 17, 9};
+  pipeline.prepare(data::nyx_velocity(dims, 13), dims, "v");
+  EXPECT_THROW(pipeline.age_object("ghost", 2), invariant_error);
+  EXPECT_THROW(pipeline.age_object("v", 0), invariant_error);
+  EXPECT_THROW(pipeline.age_object("v", 4), invariant_error);
+  // Aging twice to successively fewer levels works.
+  pipeline.age_object("v", 3);
+  pipeline.age_object("v", 2);
+  EXPECT_EQ(pipeline.restore("v").levels_used, 2u);
+}
+
+TEST_F(PipelineTest, AgedObjectSurvivesOutagesWithinNewTolerance) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{33, 17, 9};
+  const auto field = data::hurricane_temperature(dims, 14);
+  const auto prep = pipeline.prepare(field, dims, "aged_ht");
+  pipeline.age_object("aged_ht", 2);
+  // Level 2's tolerance still applies after aging.
+  const u32 m2 = prep.record.ft[1];
+  std::vector<u32> down;
+  for (u32 i = 0; i < m2; ++i) down.push_back(i);
+  storage::fail_exactly(*cluster_, down);
+  const auto rest = pipeline.restore("aged_ht");
+  EXPECT_EQ(rest.levels_used, 2u);
+  EXPECT_LE(data::relative_linf_error(field, rest.data), rest.rel_error_bound);
+}
+
+TEST_F(PipelineTest, ScrubDetectsAndRepairsBitRot) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{33, 17, 9};
+  const auto field = data::scale_pressure(dims, 15);
+  pipeline.prepare(field, dims, "scrubbed");
+
+  // Clean object scrubs clean.
+  auto clean = pipeline.scrub("scrubbed");
+  EXPECT_EQ(clean.fragments_checked, 64u);
+  EXPECT_TRUE(clean.damaged.empty());
+
+  // Corrupt one fragment, delete another.
+  const auto corrupt = [&](u32 level, u32 sys) {
+    const u32 idx = storage::fragment_at(storage::PlacementPolicy::kRotate, 16,
+                                         level, sys);
+    auto frag = cluster_->system(sys).get(ec::FragmentId{"scrubbed", level, idx}.key());
+    ASSERT_TRUE(frag.has_value());
+    frag->payload[3] ^= 0x55;
+    cluster_->system(sys).put(*frag);
+  };
+  corrupt(1, 7);
+  const u32 gone_idx =
+      storage::fragment_at(storage::PlacementPolicy::kRotate, 16, 3, 2);
+  cluster_->system(2).erase(ec::FragmentId{"scrubbed", 3, gone_idx}.key());
+
+  auto found = pipeline.scrub("scrubbed", /*repair=*/true);
+  EXPECT_EQ(found.damaged.size(), 2u);
+  EXPECT_EQ(found.repaired, 2u);
+
+  // After repair, everything verifies again and restores at full quality.
+  auto after = pipeline.scrub("scrubbed");
+  EXPECT_TRUE(after.damaged.empty());
+  const auto rest = pipeline.restore("scrubbed");
+  EXPECT_EQ(rest.levels_used, 4u);
+  EXPECT_LE(data::relative_linf_error(field, rest.data), rest.rel_error_bound);
+}
+
+TEST_F(PipelineTest, ScrubSkipsDownSystems) {
+  RapidsPipeline pipeline(*cluster_, *db_, fast_config());
+  const Dims dims{17, 17, 9};
+  pipeline.prepare(data::nyx_temperature(dims, 16), dims, "s2");
+  cluster_->fail(5);
+  const auto report = pipeline.scrub("s2", false);
+  EXPECT_EQ(report.fragments_checked, 60u);  // 4 levels x 15 reachable systems
+  EXPECT_TRUE(report.damaged.empty());
+}
+
+// --- baselines ---
+
+TEST_F(PipelineTest, DuplicationBaselineRoundTrip) {
+  DuplicationBaseline dp(*cluster_, 3);
+  std::vector<u8> payload(10000);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<u8>(i * 13);
+  const auto holders = dp.store("blob", payload);
+  EXPECT_EQ(holders.size(), 3u);
+  EXPECT_EQ(dp.fetch("blob").value(), payload);
+  // Two of three holders down: still fetchable.
+  storage::fail_exactly(*cluster_, {holders[0], holders[1]});
+  EXPECT_EQ(dp.fetch("blob").value(), payload);
+  // All three down: gone.
+  storage::fail_exactly(*cluster_, holders);
+  EXPECT_FALSE(dp.fetch("blob").has_value());
+}
+
+TEST_F(PipelineTest, EcBaselineRoundTrip) {
+  EcBaseline ecb(*cluster_, 12, 4);
+  std::vector<u8> payload(50000);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<u8>(i * 7 + 1);
+  ecb.store("blob", payload);
+  EXPECT_EQ(ecb.fetch("blob").value(), payload);
+  // 4 failures tolerated.
+  storage::fail_exactly(*cluster_, {0, 5, 10, 15});
+  EXPECT_EQ(ecb.fetch("blob").value(), payload);
+  // 5 failures among the 16 holders: unrecoverable.
+  storage::fail_exactly(*cluster_, {0, 3, 5, 10, 15});
+  EXPECT_FALSE(ecb.fetch("blob").has_value());
+}
+
+TEST_F(PipelineTest, PlanningHelpersShapes) {
+  const auto bw = cluster_->bandwidths();
+  const auto dp = dp_distribution_plan(1000000, 2, bw);
+  ASSERT_EQ(dp.size(), 2u);
+  EXPECT_EQ(dp[0].bytes, 1000000u);
+  // Highest-bandwidth systems picked.
+  const f64 max_bw = *std::max_element(bw.begin(), bw.end());
+  EXPECT_DOUBLE_EQ(bw[dp[0].system], max_bw);
+
+  const auto ec = ec_distribution_plan(1200, 12, 4);
+  ASSERT_EQ(ec.size(), 16u);
+  EXPECT_EQ(ec[0].bytes, 100u);
+
+  const auto rfec = rfec_distribution_plan(std::vector<u64>{800, 8000},
+                                           FtConfig{4, 2}, 16);
+  ASSERT_EQ(rfec.size(), 32u);
+  EXPECT_EQ(rfec[0].bytes, ceil_div(800, 12));
+  EXPECT_EQ(rfec[31].bytes, ceil_div(8000, 14));
+}
+
+TEST_F(PipelineTest, RestorePlansRespectAvailability) {
+  const auto bw = cluster_->bandwidths();
+  std::vector<bool> avail(16, true);
+  avail[2] = false;
+  const auto dp = dp_restore_plan(1000, std::vector<u32>{2, 3}, bw, avail);
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ((*dp)[0].system, 3u);
+  const auto none =
+      dp_restore_plan(1000, std::vector<u32>{2}, bw, avail);
+  EXPECT_FALSE(none.has_value());
+
+  std::vector<bool> five_down(16, true);
+  for (u32 i = 0; i < 5; ++i) five_down[i] = false;
+  EXPECT_FALSE(ec_restore_plan(1000, 12, 4, bw, five_down).has_value());
+  const auto ok = ec_restore_plan(1000, 12, 4, bw, avail);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->size(), 12u);
+}
+
+}  // namespace
+}  // namespace rapids::core

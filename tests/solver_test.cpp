@@ -1,0 +1,165 @@
+// Tests for the grouped-subset ACO solver: feasibility enforcement,
+// determinism, warm starts, convergence on problems with known optima.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rapids/solver/aco.hpp"
+
+namespace rapids::solver {
+namespace {
+
+TEST(SubsetAco, FeasibilityChecker) {
+  SubsetAco aco(4, {2}, {{true, true, true, false}}, {1, 1, 1, 1});
+  EXPECT_TRUE(aco.feasible({{0, 1}}));
+  EXPECT_TRUE(aco.feasible({{1, 2}}));
+  EXPECT_FALSE(aco.feasible({{0}}));          // wrong size
+  EXPECT_FALSE(aco.feasible({{0, 3}}));       // disallowed item
+  EXPECT_FALSE(aco.feasible({{1, 1}}));       // duplicate
+  EXPECT_FALSE(aco.feasible({{0, 1}, {0, 1}})); // wrong group count
+}
+
+TEST(SubsetAco, InfeasibleProblemRejected) {
+  // Group needs 3 items but only 2 are allowed.
+  EXPECT_THROW(SubsetAco(4, {3}, {{true, true, false, false}}, {1, 1, 1, 1}),
+               invariant_error);
+}
+
+TEST(SubsetAco, SolutionsAlwaysFeasible) {
+  SubsetAco aco(6, {2, 3}, {std::vector<bool>(6, true), std::vector<bool>(6, true)},
+                {1, 2, 3, 4, 5, 6});
+  AcoOptions opt;
+  opt.iterations = 10;
+  const auto result = aco.solve([](const Selection&) { return 1.0; }, opt);
+  EXPECT_TRUE(aco.feasible(result.best));
+  EXPECT_GT(result.evaluations, 0u);
+}
+
+TEST(SubsetAco, DeterministicForSeed) {
+  SubsetAco aco(8, {3}, {std::vector<bool>(8, true)}, {1, 1, 1, 1, 1, 1, 1, 1});
+  auto objective = [](const Selection& s) {
+    f64 sum = 0;
+    for (u32 i : s[0]) sum += static_cast<f64>(i * i);
+    return sum;
+  };
+  AcoOptions opt;
+  opt.iterations = 30;
+  opt.seed = 77;
+  const auto a = aco.solve(objective, opt);
+  const auto b = aco.solve(objective, opt);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.best_value, b.best_value);
+}
+
+TEST(SubsetAco, FindsObviousOptimum) {
+  // Minimize the sum of selected indices: optimum is {0, 1, 2}.
+  SubsetAco aco(10, {3}, {std::vector<bool>(10, true)},
+                std::vector<f64>(10, 1.0));
+  auto objective = [](const Selection& s) {
+    f64 sum = 0;
+    for (u32 i : s[0]) sum += static_cast<f64>(i);
+    return sum;
+  };
+  AcoOptions opt;
+  opt.iterations = 150;
+  opt.ants = 32;
+  const auto result = aco.solve(objective, opt);
+  EXPECT_EQ(result.best[0], (std::vector<u32>{0, 1, 2}));
+}
+
+TEST(SubsetAco, WarmStartNeverWorsens) {
+  SubsetAco aco(10, {4}, {std::vector<bool>(10, true)},
+                std::vector<f64>(10, 1.0));
+  auto objective = [](const Selection& s) {
+    // Penalize clustering: best solutions spread selections apart.
+    f64 cost = 0;
+    for (std::size_t a = 0; a < s[0].size(); ++a)
+      for (std::size_t b = a + 1; b < s[0].size(); ++b)
+        cost += 1.0 / (1.0 + std::fabs(static_cast<f64>(s[0][a]) -
+                                       static_cast<f64>(s[0][b])));
+    return cost;
+  };
+  const Selection warm = {{0, 3, 6, 9}};
+  const f64 warm_value = objective(warm);
+  AcoOptions opt;
+  opt.iterations = 40;
+  const auto result = aco.solve(objective, opt, warm);
+  EXPECT_LE(result.best_value, warm_value);
+}
+
+TEST(SubsetAco, InfeasibleWarmStartRejected) {
+  SubsetAco aco(4, {2}, {{true, true, true, true}}, {1, 1, 1, 1});
+  AcoOptions opt;
+  EXPECT_THROW(
+      aco.solve([](const Selection&) { return 0.0; }, opt, Selection{{0, 0}}),
+      invariant_error);
+}
+
+TEST(SubsetAco, RespectsAllowedMask) {
+  std::vector<bool> allowed = {true, false, true, false, true};
+  SubsetAco aco(5, {2}, {allowed}, {1, 1, 1, 1, 1});
+  AcoOptions opt;
+  opt.iterations = 20;
+  const auto result = aco.solve(
+      [](const Selection& s) {
+        f64 sum = 0;
+        for (u32 i : s[0]) sum += i;
+        return sum;
+      },
+      opt);
+  for (u32 i : result.best[0]) EXPECT_TRUE(allowed[i]) << "item " << i;
+  EXPECT_EQ(result.best[0], (std::vector<u32>{0, 2}));
+}
+
+TEST(SubsetAco, BiasSteersConstruction) {
+  // With zero iterations of learning signal (flat objective), heavy bias on
+  // one item should make it near-ubiquitous in the best-of-run selection.
+  std::vector<f64> bias(6, 0.01);
+  bias[4] = 100.0;
+  SubsetAco aco(6, {1}, {std::vector<bool>(6, true)}, bias);
+  AcoOptions opt;
+  opt.iterations = 1;
+  opt.ants = 16;
+  const auto result =
+      aco.solve([](const Selection&) { return 1.0; }, opt);
+  EXPECT_EQ(result.best[0][0], 4u);
+}
+
+TEST(SubsetAco, TimeBudgetStopsEarly) {
+  SubsetAco aco(12, {6}, {std::vector<bool>(12, true)},
+                std::vector<f64>(12, 1.0));
+  AcoOptions opt;
+  opt.iterations = 1000000;  // would run far too long without the budget
+  opt.time_budget_seconds = 0.05;
+  const auto result = aco.solve(
+      [](const Selection& s) {
+        f64 sum = 0;
+        for (u32 i : s[0]) sum += i;
+        return sum;
+      },
+      opt);
+  EXPECT_LT(result.iterations_run, 1000000u);
+  EXPECT_TRUE(aco.feasible(result.best));
+}
+
+TEST(SubsetAco, MultiGroupObjective) {
+  // Two groups with coupled cost: selecting the same item in both groups is
+  // penalized; the solver should separate them.
+  SubsetAco aco(4, {2, 2},
+                {std::vector<bool>(4, true), std::vector<bool>(4, true)},
+                {1, 1, 1, 1});
+  auto objective = [](const Selection& s) {
+    f64 overlap = 0;
+    for (u32 a : s[0])
+      for (u32 b : s[1]) overlap += (a == b);
+    return overlap;
+  };
+  AcoOptions opt;
+  opt.iterations = 120;
+  const auto result = aco.solve(objective, opt);
+  EXPECT_EQ(result.best_value, 0.0);
+}
+
+}  // namespace
+}  // namespace rapids::solver

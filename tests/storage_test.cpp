@@ -1,0 +1,209 @@
+// Tests for the geo-distributed storage substrate: fragment store semantics,
+// outage behaviour, directory spill, cluster construction, failure injection
+// statistics, and placement policies.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "rapids/storage/cluster.hpp"
+#include "rapids/storage/failure.hpp"
+#include "rapids/storage/placement.hpp"
+
+namespace rapids::storage {
+namespace {
+
+ec::Fragment make_fragment(const std::string& obj, u32 level, u32 index,
+                           std::size_t bytes) {
+  ec::Fragment f;
+  f.id = ec::FragmentId{obj, level, index};
+  f.k = 4;
+  f.m = 2;
+  f.level_bytes = bytes * 4;
+  f.payload.resize(bytes);
+  for (std::size_t i = 0; i < bytes; ++i)
+    f.payload[i] = static_cast<u8>(i + index);
+  f.payload_crc = ec::fragment_crc(f.payload);
+  return f;
+}
+
+TEST(StorageSystem, PutGetRoundTrip) {
+  StorageSystem sys(0, "s0", 1e9, 0.01);
+  const auto frag = make_fragment("obj", 1, 3, 100);
+  sys.put(frag);
+  EXPECT_TRUE(sys.has(frag.id.key()));
+  const auto back = sys.get(frag.id.key());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload, frag.payload);
+  EXPECT_TRUE(back->verify());
+}
+
+TEST(StorageSystem, GetAbsentReturnsNullopt) {
+  StorageSystem sys(0, "s0", 1e9, 0.01);
+  EXPECT_FALSE(sys.get("frag/none/0/0").has_value());
+}
+
+TEST(StorageSystem, UnavailableThrowsOnAccess) {
+  StorageSystem sys(0, "s0", 1e9, 0.01);
+  const auto frag = make_fragment("obj", 0, 0, 10);
+  sys.put(frag);
+  sys.set_available(false);
+  EXPECT_THROW(sys.put(frag), io_error);
+  EXPECT_THROW(sys.get(frag.id.key()), io_error);
+  // Metadata knowledge remains queryable.
+  EXPECT_TRUE(sys.has(frag.id.key()));
+  sys.set_available(true);
+  EXPECT_TRUE(sys.get(frag.id.key()).has_value());
+}
+
+TEST(StorageSystem, UsedBytesTracksPayloads) {
+  StorageSystem sys(0, "s0", 1e9, 0.01);
+  sys.put(make_fragment("a", 0, 0, 100));
+  sys.put(make_fragment("a", 0, 1, 50));
+  EXPECT_EQ(sys.used_bytes(), 150u);
+  EXPECT_EQ(sys.fragment_count(), 2u);
+  // Replace shrinks.
+  sys.put(make_fragment("a", 0, 0, 30));
+  EXPECT_EQ(sys.used_bytes(), 80u);
+  sys.erase(ec::FragmentId{"a", 0, 1}.key());
+  EXPECT_EQ(sys.used_bytes(), 30u);
+  EXPECT_EQ(sys.fragment_count(), 1u);
+}
+
+TEST(StorageSystem, DirectorySpillRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path() / "rapids_store_test";
+  std::filesystem::remove_all(dir);
+  StorageSystem sys(1, "s1", 1e9, 0.01);
+  sys.attach_directory(dir.string());
+  const auto frag = make_fragment("obj/with/slashes", 2, 5, 333);
+  sys.put(frag);
+  const auto back = sys.get(frag.id.key());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->payload, frag.payload);
+  EXPECT_EQ(back->id, frag.id);
+  EXPECT_EQ(sys.used_bytes(), 333u);
+  sys.erase(frag.id.key());
+  EXPECT_EQ(sys.used_bytes(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StorageSystem, RejectsBadConstruction) {
+  EXPECT_THROW(StorageSystem(0, "x", 0.0, 0.01), invariant_error);
+  EXPECT_THROW(StorageSystem(0, "x", 1e9, 1.0), invariant_error);
+}
+
+TEST(Cluster, ConstructionSamplesBandwidths) {
+  Cluster cluster(ClusterConfig{16, 0.01, 7});
+  EXPECT_EQ(cluster.size(), 16u);
+  const auto bw = cluster.bandwidths();
+  for (f64 b : bw) {
+    // The log-sampler means plus jitter: generous envelope around the
+    // paper's 400 MB/s .. 3 GB/s.
+    EXPECT_GT(b, 300.0e6);
+    EXPECT_LT(b, 4.0e9);
+  }
+  // Not all equal.
+  EXPECT_NE(bw.front(), bw.back());
+}
+
+TEST(Cluster, DeterministicForSeed) {
+  Cluster a(ClusterConfig{8, 0.01, 9});
+  Cluster b(ClusterConfig{8, 0.01, 9});
+  EXPECT_EQ(a.bandwidths(), b.bandwidths());
+  Cluster c(ClusterConfig{8, 0.01, 10});
+  EXPECT_NE(a.bandwidths(), c.bandwidths());
+}
+
+TEST(Cluster, FailRestoreBookkeeping) {
+  Cluster cluster(ClusterConfig{5, 0.01, 1});
+  EXPECT_EQ(cluster.num_failed(), 0u);
+  cluster.fail(1);
+  cluster.fail(3);
+  EXPECT_EQ(cluster.num_failed(), 2u);
+  EXPECT_EQ(cluster.available_systems(), (std::vector<u32>{0, 2, 4}));
+  cluster.restore(1);
+  EXPECT_EQ(cluster.num_failed(), 1u);
+  cluster.restore_all();
+  EXPECT_EQ(cluster.num_failed(), 0u);
+}
+
+TEST(Failure, SampleOutageMatchesProbability) {
+  Cluster cluster(ClusterConfig{16, 0.05, 2});
+  Rng rng(3);
+  u64 down = 0, total = 0;
+  for (int t = 0; t < 20000; ++t) {
+    const auto mask = sample_outage(cluster, rng);
+    for (bool b : mask) down += b;
+    total += mask.size();
+  }
+  EXPECT_NEAR(static_cast<f64>(down) / total, 0.05, 0.005);
+}
+
+TEST(Failure, ApplyOutage) {
+  Cluster cluster(ClusterConfig{4, 0.01, 4});
+  apply_outage(cluster, {true, false, true, false});
+  EXPECT_FALSE(cluster.system(0).available());
+  EXPECT_TRUE(cluster.system(1).available());
+  EXPECT_EQ(cluster.num_failed(), 2u);
+  apply_outage(cluster, {false, false, false, false});
+  EXPECT_EQ(cluster.num_failed(), 0u);
+}
+
+TEST(Failure, FailExactly) {
+  Cluster cluster(ClusterConfig{6, 0.01, 5});
+  fail_exactly(cluster, {2, 5});
+  EXPECT_EQ(cluster.num_failed(), 2u);
+  EXPECT_FALSE(cluster.system(2).available());
+  fail_exactly(cluster, {0});
+  EXPECT_EQ(cluster.num_failed(), 1u);
+  EXPECT_TRUE(cluster.system(2).available());
+}
+
+TEST(Failure, MonteCarloExpectationDeterministic) {
+  Cluster cluster(ClusterConfig{8, 0.1, 6});
+  auto count_failed = [](const std::vector<bool>& mask) {
+    f64 n = 0;
+    for (bool b : mask) n += b;
+    return n;
+  };
+  const f64 a = monte_carlo_expectation(cluster, 5000, 11, count_failed);
+  const f64 b = monte_carlo_expectation(cluster, 5000, 11, count_failed);
+  EXPECT_EQ(a, b);
+  EXPECT_NEAR(a, 0.8, 0.05);  // E[failed] = n*p = 0.8
+}
+
+TEST(Placement, IdentityAndRotate) {
+  EXPECT_EQ(place_fragment(PlacementPolicy::kIdentity, 8, 3, 5), 5u);
+  EXPECT_EQ(place_fragment(PlacementPolicy::kRotate, 8, 3, 5), 0u);
+  EXPECT_EQ(place_fragment(PlacementPolicy::kRotate, 8, 0, 5), 5u);
+}
+
+TEST(Placement, InverseConsistency) {
+  for (auto policy : {PlacementPolicy::kIdentity, PlacementPolicy::kRotate}) {
+    for (u32 level = 0; level < 6; ++level) {
+      for (u32 index = 0; index < 8; ++index) {
+        const u32 sys = place_fragment(policy, 8, level, index);
+        EXPECT_EQ(fragment_at(policy, 8, level, sys), index);
+      }
+    }
+  }
+}
+
+TEST(Placement, RotateIsBijectivePerLevel) {
+  for (u32 level = 0; level < 5; ++level) {
+    std::vector<bool> hit(8, false);
+    for (u32 index = 0; index < 8; ++index) {
+      const u32 sys = place_fragment(PlacementPolicy::kRotate, 8, level, index);
+      EXPECT_FALSE(hit[sys]);
+      hit[sys] = true;
+    }
+  }
+}
+
+TEST(Placement, OutOfRangeRejected) {
+  EXPECT_THROW(place_fragment(PlacementPolicy::kIdentity, 4, 0, 4),
+               invariant_error);
+}
+
+}  // namespace
+}  // namespace rapids::storage
