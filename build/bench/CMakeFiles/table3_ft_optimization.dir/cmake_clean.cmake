@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ft_optimization.dir/table3_ft_optimization.cpp.o"
+  "CMakeFiles/table3_ft_optimization.dir/table3_ft_optimization.cpp.o.d"
+  "table3_ft_optimization"
+  "table3_ft_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ft_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_preparation_overall.dir/table4_preparation_overall.cpp.o"
+  "CMakeFiles/table4_preparation_overall.dir/table4_preparation_overall.cpp.o.d"
+  "table4_preparation_overall"
+  "table4_preparation_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_preparation_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_restoration_overall.dir/table5_restoration_overall.cpp.o"
+  "CMakeFiles/table5_restoration_overall.dir/table5_restoration_overall.cpp.o.d"
+  "table5_restoration_overall"
+  "table5_restoration_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_restoration_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campaign_aging.dir/campaign_aging.cpp.o"
+  "CMakeFiles/campaign_aging.dir/campaign_aging.cpp.o.d"
+  "campaign_aging"
+  "campaign_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campaign_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_reader.dir/progressive_reader.cpp.o"
+  "CMakeFiles/progressive_reader.dir/progressive_reader.cpp.o.d"
+  "progressive_reader"
+  "progressive_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rapids_cli.dir/rapids_cli.cpp.o"
+  "CMakeFiles/rapids_cli.dir/rapids_cli.cpp.o.d"
+  "rapids_cli"
+  "rapids_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rapids_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

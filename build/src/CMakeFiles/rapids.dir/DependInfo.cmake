@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rapids/core/availability.cpp" "src/CMakeFiles/rapids.dir/rapids/core/availability.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/core/availability.cpp.o.d"
+  "/root/repo/src/rapids/core/baselines.cpp" "src/CMakeFiles/rapids.dir/rapids/core/baselines.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/core/baselines.cpp.o.d"
+  "/root/repo/src/rapids/core/ft_optimizer.cpp" "src/CMakeFiles/rapids.dir/rapids/core/ft_optimizer.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/core/ft_optimizer.cpp.o.d"
+  "/root/repo/src/rapids/core/gather.cpp" "src/CMakeFiles/rapids.dir/rapids/core/gather.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/core/gather.cpp.o.d"
+  "/root/repo/src/rapids/core/pipeline.cpp" "src/CMakeFiles/rapids.dir/rapids/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/core/pipeline.cpp.o.d"
+  "/root/repo/src/rapids/data/datasets.cpp" "src/CMakeFiles/rapids.dir/rapids/data/datasets.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/data/datasets.cpp.o.d"
+  "/root/repo/src/rapids/data/field_generators.cpp" "src/CMakeFiles/rapids.dir/rapids/data/field_generators.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/data/field_generators.cpp.o.d"
+  "/root/repo/src/rapids/data/noise.cpp" "src/CMakeFiles/rapids.dir/rapids/data/noise.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/data/noise.cpp.o.d"
+  "/root/repo/src/rapids/data/raw_io.cpp" "src/CMakeFiles/rapids.dir/rapids/data/raw_io.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/data/raw_io.cpp.o.d"
+  "/root/repo/src/rapids/data/stats.cpp" "src/CMakeFiles/rapids.dir/rapids/data/stats.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/data/stats.cpp.o.d"
+  "/root/repo/src/rapids/ec/fragment.cpp" "src/CMakeFiles/rapids.dir/rapids/ec/fragment.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/ec/fragment.cpp.o.d"
+  "/root/repo/src/rapids/ec/gf256.cpp" "src/CMakeFiles/rapids.dir/rapids/ec/gf256.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/ec/gf256.cpp.o.d"
+  "/root/repo/src/rapids/ec/matrix.cpp" "src/CMakeFiles/rapids.dir/rapids/ec/matrix.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/ec/matrix.cpp.o.d"
+  "/root/repo/src/rapids/ec/reed_solomon.cpp" "src/CMakeFiles/rapids.dir/rapids/ec/reed_solomon.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/ec/reed_solomon.cpp.o.d"
+  "/root/repo/src/rapids/fsdf/fsdf.cpp" "src/CMakeFiles/rapids.dir/rapids/fsdf/fsdf.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/fsdf/fsdf.cpp.o.d"
+  "/root/repo/src/rapids/kvstore/db.cpp" "src/CMakeFiles/rapids.dir/rapids/kvstore/db.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/kvstore/db.cpp.o.d"
+  "/root/repo/src/rapids/kvstore/memtable.cpp" "src/CMakeFiles/rapids.dir/rapids/kvstore/memtable.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/kvstore/memtable.cpp.o.d"
+  "/root/repo/src/rapids/kvstore/replicated_db.cpp" "src/CMakeFiles/rapids.dir/rapids/kvstore/replicated_db.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/kvstore/replicated_db.cpp.o.d"
+  "/root/repo/src/rapids/kvstore/sorted_run.cpp" "src/CMakeFiles/rapids.dir/rapids/kvstore/sorted_run.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/kvstore/sorted_run.cpp.o.d"
+  "/root/repo/src/rapids/kvstore/wal.cpp" "src/CMakeFiles/rapids.dir/rapids/kvstore/wal.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/kvstore/wal.cpp.o.d"
+  "/root/repo/src/rapids/mgard/bitplane.cpp" "src/CMakeFiles/rapids.dir/rapids/mgard/bitplane.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/mgard/bitplane.cpp.o.d"
+  "/root/repo/src/rapids/mgard/decompose.cpp" "src/CMakeFiles/rapids.dir/rapids/mgard/decompose.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/mgard/decompose.cpp.o.d"
+  "/root/repo/src/rapids/mgard/grid.cpp" "src/CMakeFiles/rapids.dir/rapids/mgard/grid.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/mgard/grid.cpp.o.d"
+  "/root/repo/src/rapids/mgard/refactorer.cpp" "src/CMakeFiles/rapids.dir/rapids/mgard/refactorer.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/mgard/refactorer.cpp.o.d"
+  "/root/repo/src/rapids/mgard/retrieval.cpp" "src/CMakeFiles/rapids.dir/rapids/mgard/retrieval.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/mgard/retrieval.cpp.o.d"
+  "/root/repo/src/rapids/net/bandwidth.cpp" "src/CMakeFiles/rapids.dir/rapids/net/bandwidth.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/net/bandwidth.cpp.o.d"
+  "/root/repo/src/rapids/net/bandwidth_tracker.cpp" "src/CMakeFiles/rapids.dir/rapids/net/bandwidth_tracker.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/net/bandwidth_tracker.cpp.o.d"
+  "/root/repo/src/rapids/net/transfer_sim.cpp" "src/CMakeFiles/rapids.dir/rapids/net/transfer_sim.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/net/transfer_sim.cpp.o.d"
+  "/root/repo/src/rapids/parallel/thread_pool.cpp" "src/CMakeFiles/rapids.dir/rapids/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/rapids/perf/accelerator_model.cpp" "src/CMakeFiles/rapids.dir/rapids/perf/accelerator_model.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/perf/accelerator_model.cpp.o.d"
+  "/root/repo/src/rapids/perf/calibration.cpp" "src/CMakeFiles/rapids.dir/rapids/perf/calibration.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/perf/calibration.cpp.o.d"
+  "/root/repo/src/rapids/perf/scaling_model.cpp" "src/CMakeFiles/rapids.dir/rapids/perf/scaling_model.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/perf/scaling_model.cpp.o.d"
+  "/root/repo/src/rapids/solver/aco.cpp" "src/CMakeFiles/rapids.dir/rapids/solver/aco.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/solver/aco.cpp.o.d"
+  "/root/repo/src/rapids/storage/cluster.cpp" "src/CMakeFiles/rapids.dir/rapids/storage/cluster.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/storage/cluster.cpp.o.d"
+  "/root/repo/src/rapids/storage/failure.cpp" "src/CMakeFiles/rapids.dir/rapids/storage/failure.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/storage/failure.cpp.o.d"
+  "/root/repo/src/rapids/storage/placement.cpp" "src/CMakeFiles/rapids.dir/rapids/storage/placement.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/storage/placement.cpp.o.d"
+  "/root/repo/src/rapids/storage/storage_system.cpp" "src/CMakeFiles/rapids.dir/rapids/storage/storage_system.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/storage/storage_system.cpp.o.d"
+  "/root/repo/src/rapids/util/bytes.cpp" "src/CMakeFiles/rapids.dir/rapids/util/bytes.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/util/bytes.cpp.o.d"
+  "/root/repo/src/rapids/util/crc32c.cpp" "src/CMakeFiles/rapids.dir/rapids/util/crc32c.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/util/crc32c.cpp.o.d"
+  "/root/repo/src/rapids/util/logging.cpp" "src/CMakeFiles/rapids.dir/rapids/util/logging.cpp.o" "gcc" "src/CMakeFiles/rapids.dir/rapids/util/logging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdf_test.dir/fsdf_test.cpp.o"
+  "CMakeFiles/fsdf_test.dir/fsdf_test.cpp.o.d"
+  "fsdf_test"
+  "fsdf_test.pdb"
+  "fsdf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ft_optimizer_test.dir/ft_optimizer_test.cpp.o"
+  "CMakeFiles/ft_optimizer_test.dir/ft_optimizer_test.cpp.o.d"
+  "ft_optimizer_test"
+  "ft_optimizer_test.pdb"
+  "ft_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ft_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mgard_test.dir/mgard_test.cpp.o"
+  "CMakeFiles/mgard_test.dir/mgard_test.cpp.o.d"
+  "mgard_test"
+  "mgard_test.pdb"
+  "mgard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mgard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

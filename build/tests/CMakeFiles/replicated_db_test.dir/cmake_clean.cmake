@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_db_test.dir/replicated_db_test.cpp.o"
+  "CMakeFiles/replicated_db_test.dir/replicated_db_test.cpp.o.d"
+  "replicated_db_test"
+  "replicated_db_test.pdb"
+  "replicated_db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
