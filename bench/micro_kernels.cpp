@@ -1,12 +1,19 @@
 // google-benchmark microbenchmarks for the hot kernels: GF(2^8) bulk ops,
 // Reed-Solomon encode/decode across geometries, the multigrid transform,
 // bitplane codec, CRC, the key-value store, and the WAN simulators.
+//
+// The byte-domain kernels (GF(2^8), RS, CRC) are reported twice: the
+// dispatched variant (whatever ISA the CPU selects — the label column shows
+// which) and a pinned-scalar variant, so the SIMD speedup is visible in one
+// run. bench/run_benchmarks.sh captures all of it as BENCH_micro.json.
 
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
 
 #include "rapids/rapids.hpp"
+#include "rapids/simd/cpu_features.hpp"
+#include "rapids/simd/gf256_kernels.hpp"
 
 namespace {
 
@@ -19,6 +26,13 @@ std::vector<u8> random_bytes(std::size_t n, u64 seed) {
   return out;
 }
 
+// Pins the scalar kernels for the *Scalar benchmark variants and restores
+// automatic ISA selection on scope exit.
+struct ScopedScalarIsa {
+  ScopedScalarIsa() { simd::set_isa_override(simd::IsaLevel::kScalar); }
+  ~ScopedScalarIsa() { simd::set_isa_override(std::nullopt); }
+};
+
 // --- GF(2^8) ---
 
 void BM_Gf256MulAcc(benchmark::State& state) {
@@ -29,8 +43,22 @@ void BM_Gf256MulAcc(benchmark::State& state) {
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(simd::active_isa_name());
 }
 BENCHMARK(BM_Gf256MulAcc)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_Gf256MulAccScalar(benchmark::State& state) {
+  ScopedScalarIsa scalar;
+  const auto src = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  std::vector<u8> dst(src.size(), 0);
+  for (auto _ : state) {
+    ec::GF256::mul_acc(dst, src, 0x1D);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(simd::active_isa_name());
+}
+BENCHMARK(BM_Gf256MulAccScalar)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
 
 void BM_Gf256AddAcc(benchmark::State& state) {
   const auto src = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
@@ -40,8 +68,38 @@ void BM_Gf256AddAcc(benchmark::State& state) {
     benchmark::DoNotOptimize(dst.data());
   }
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(simd::active_isa_name());
 }
 BENCHMARK(BM_Gf256AddAcc)->Arg(4 << 20);
+
+// The fused multi-destination kernel vs the k*m unfused passes it replaced,
+// at RS(12,4)-shaped geometry over an L2-sized stripe.
+void BM_Gf256MatrixApply(benchmark::State& state) {
+  const u32 k = 12, m = 4;
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const auto coeffs = random_bytes(k * m, 5);
+  std::vector<std::vector<u8>> src_bufs(k), dst_bufs(m);
+  std::vector<const u8*> srcs(k);
+  std::vector<u8*> dsts(m);
+  for (u32 d = 0; d < k; ++d) {
+    src_bufs[d] = random_bytes(n, 10 + d);
+    srcs[d] = src_bufs[d].data();
+  }
+  for (u32 j = 0; j < m; ++j) {
+    dst_bufs[j].assign(n, 0);
+    dsts[j] = dst_bufs[j].data();
+  }
+  for (auto _ : state) {
+    simd::matrix_apply(dsts.data(), m, srcs.data(), k, coeffs.data(), n,
+                       /*accumulate=*/false);
+    benchmark::DoNotOptimize(dsts.data());
+  }
+  // Bytes of source data streamed per apply (the quantity the fused kernel
+  // reads once instead of m times).
+  state.SetBytesProcessed(state.iterations() * n * k);
+  state.SetLabel(simd::active_isa_name());
+}
+BENCHMARK(BM_Gf256MatrixApply)->Arg(32 << 10)->Arg(1 << 20);
 
 // --- Reed-Solomon ---
 
@@ -55,8 +113,24 @@ void BM_RsEncode(benchmark::State& state) {
     benchmark::DoNotOptimize(frags.data());
   }
   state.SetBytesProcessed(state.iterations() * payload.size());
+  state.SetLabel(simd::active_isa_name());
 }
 BENCHMARK(BM_RsEncode)->Args({4, 2})->Args({12, 4})->Args({8, 8});
+
+void BM_RsEncodeScalar(benchmark::State& state) {
+  ScopedScalarIsa scalar;
+  const u32 k = static_cast<u32>(state.range(0));
+  const u32 m = static_cast<u32>(state.range(1));
+  const ec::ReedSolomon rs(k, m);
+  const auto payload = random_bytes(8 << 20, 3);
+  for (auto _ : state) {
+    auto frags = rs.encode(payload, "bench", 0);
+    benchmark::DoNotOptimize(frags.data());
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+  state.SetLabel(simd::active_isa_name());
+}
+BENCHMARK(BM_RsEncodeScalar)->Args({4, 2})->Args({12, 4})->Args({8, 8});
 
 void BM_RsDecodeWithParity(benchmark::State& state) {
   const u32 k = static_cast<u32>(state.range(0));
@@ -71,8 +145,26 @@ void BM_RsDecodeWithParity(benchmark::State& state) {
     benchmark::DoNotOptimize(out.data());
   }
   state.SetBytesProcessed(state.iterations() * payload.size());
+  state.SetLabel(simd::active_isa_name());
 }
 BENCHMARK(BM_RsDecodeWithParity)->Args({4, 2})->Args({12, 4});
+
+void BM_RsDecodeWithParityScalar(benchmark::State& state) {
+  ScopedScalarIsa scalar;
+  const u32 k = static_cast<u32>(state.range(0));
+  const u32 m = static_cast<u32>(state.range(1));
+  const ec::ReedSolomon rs(k, m);
+  const auto payload = random_bytes(8 << 20, 4);
+  auto frags = rs.encode(payload, "bench", 0);
+  std::vector<ec::Fragment> survivors(frags.begin() + m, frags.end());
+  for (auto _ : state) {
+    auto out = rs.decode(survivors);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * payload.size());
+  state.SetLabel(simd::active_isa_name());
+}
+BENCHMARK(BM_RsDecodeWithParityScalar)->Args({12, 4});
 
 // --- multigrid transform ---
 
@@ -160,8 +252,19 @@ void BM_Crc32c(benchmark::State& state) {
   for (auto _ : state)
     benchmark::DoNotOptimize(rapids::crc32c(data.data(), data.size()));
   state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(simd::active_isa_name());
 }
 BENCHMARK(BM_Crc32c)->Arg(4 << 10)->Arg(4 << 20);
+
+void BM_Crc32cScalar(benchmark::State& state) {
+  ScopedScalarIsa scalar;
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)), 10);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(rapids::crc32c(data.data(), data.size()));
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+  state.SetLabel(simd::active_isa_name());
+}
+BENCHMARK(BM_Crc32cScalar)->Arg(4 << 10)->Arg(4 << 20);
 
 // --- key-value store ---
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Run the microbenchmark suite and emit BENCH_micro.json (google-benchmark's
+# JSON format) so the perf trajectory is tracked across PRs.
+#
+# Usage: bench/run_benchmarks.sh [build_dir] [output.json] [benchmark args...]
+#   build_dir    defaults to ./build
+#   output.json  defaults to ./BENCH_micro.json
+# Extra args are forwarded to the benchmark binary, e.g.
+#   bench/run_benchmarks.sh build BENCH_micro.json --benchmark_filter='Gf256|Rs'
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_micro.json}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+BIN="$BUILD_DIR/bench/micro_kernels"
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found — build first: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+# Console output for humans, JSON for the record. The *Scalar variants pin
+# RAPIDS' kernel dispatch to the scalar reference, so the dispatched-vs-scalar
+# speedup is visible within a single run (the label column names the ISA).
+"$BIN" --benchmark_out="$OUT" --benchmark_out_format=json "$@"
+
+echo
+echo "wrote $OUT"

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "rapids/simd/gf256_kernels.hpp"
+
 namespace rapids::ec {
 
 GF256::Tables::Tables() {
@@ -43,46 +45,17 @@ u8 GF256::pow(u8 a, u32 e) {
 
 void GF256::mul_acc(std::span<u8> dst, std::span<const u8> src, u8 c) {
   RAPIDS_REQUIRE(dst.size() == src.size());
-  if (c == 0) return;
-  if (c == 1) {
-    add_acc(dst, src);
-    return;
-  }
-  const auto& row = tables().mul_table[c];
-  u8* d = dst.data();
-  const u8* s = src.data();
-  const std::size_t n = dst.size();
-  for (std::size_t i = 0; i < n; ++i) d[i] ^= row[s[i]];
+  simd::active_kernels().mul_acc(dst.data(), src.data(), dst.size(), c);
 }
 
 void GF256::mul_to(std::span<u8> dst, std::span<const u8> src, u8 c) {
   RAPIDS_REQUIRE(dst.size() == src.size());
-  if (c == 0) {
-    std::fill(dst.begin(), dst.end(), u8{0});
-    return;
-  }
-  const auto& row = tables().mul_table[c];
-  u8* d = dst.data();
-  const u8* s = src.data();
-  const std::size_t n = dst.size();
-  for (std::size_t i = 0; i < n; ++i) d[i] = row[s[i]];
+  simd::active_kernels().mul_to(dst.data(), src.data(), dst.size(), c);
 }
 
 void GF256::add_acc(std::span<u8> dst, std::span<const u8> src) {
   RAPIDS_REQUIRE(dst.size() == src.size());
-  u8* d = dst.data();
-  const u8* s = src.data();
-  std::size_t n = dst.size();
-  // Word-at-a-time XOR for the bulk.
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    u64 a, b;
-    std::memcpy(&a, d + i, 8);
-    std::memcpy(&b, s + i, 8);
-    a ^= b;
-    std::memcpy(d + i, &a, 8);
-  }
-  for (; i < n; ++i) d[i] ^= s[i];
+  simd::active_kernels().xor_acc(dst.data(), src.data(), dst.size());
 }
 
 }  // namespace rapids::ec

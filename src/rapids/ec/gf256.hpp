@@ -4,9 +4,11 @@
 /// Arithmetic over GF(2^8) with the AES/Rijndael-compatible primitive
 /// polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D), the field used by classic
 /// Reed-Solomon storage codes (and by liberasurecode's isa-l/jerasure
-/// backends). Multiplication uses log/exp tables; bulk multiply-accumulate
-/// kernels use a per-coefficient 256-entry product table, the standard
-/// software technique when SIMD GFNI/PSHUFB paths are unavailable.
+/// backends). Scalar multiplication uses log/exp tables; the bulk kernels
+/// (mul_acc/mul_to/add_acc) dispatch through rapids/simd/gf256_kernels.hpp
+/// to runtime-selected PSHUFB/TBL split-nibble implementations (SSSE3, AVX2,
+/// NEON), falling back to a per-coefficient 256-entry product table when no
+/// SIMD path is available or RAPIDS_FORCE_SCALAR=1 is set.
 
 #include <array>
 #include <span>
@@ -60,6 +62,10 @@ class GF256 {
 
   /// dst[i] ^= src[i] (coefficient 1 fast path).
   static void add_acc(std::span<u8> dst, std::span<const u8> src);
+
+  /// The full 256-entry product row c*x for x in 0..255 — the table the
+  /// scalar bulk kernel walks (exposed for rapids::simd's reference path).
+  static const u8* mul_row(u8 c) { return tables().mul_table[c].data(); }
 
  private:
   struct Tables {

@@ -34,6 +34,11 @@ class Matrix {
     return data_[u64{r} * cols_ + c];
   }
 
+  /// The whole matrix as one contiguous row-major span — rows r..r+q are the
+  /// q*cols coefficients starting at r*cols, which is exactly the layout the
+  /// fused simd::matrix_apply kernel consumes.
+  std::span<const u8> flat() const { return {data_.data(), data_.size()}; }
+
   /// Borrow one row.
   std::span<const u8> row(u32 r) const {
     RAPIDS_REQUIRE(r < rows_);

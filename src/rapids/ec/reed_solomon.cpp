@@ -1,17 +1,26 @@
 #include "rapids/ec/reed_solomon.hpp"
 
 #include <algorithm>
+#include <bitset>
 #include <cstring>
 
 #include "rapids/parallel/thread_pool.hpp"
+#include "rapids/simd/gf256_kernels.hpp"
 
 namespace rapids::ec {
 
 namespace {
 
-// Minimum stripe width (bytes) worth parallelizing; below this the pool
-// overhead dominates the XOR/table kernels.
-constexpr u64 kParallelStripe = 64 * 1024;
+// Stripe chunk (bytes per fragment row) handed to one pool task. The fused
+// matrix kernel keeps k source rows + up to m destination rows of one chunk
+// live, so 32 KiB bounds the per-task working set to (k+m) * 32 KiB — about
+// 0.5 MiB for RS(12,4), inside a typical per-core L2 — while the kernel's
+// internal 8 KiB blocks stay L1-resident. Below 2 chunks the pool overhead
+// dominates the SIMD kernels and we run inline.
+constexpr u64 kParallelStripe = 32 * 1024;
+
+// Fragment payloads smaller than this checksum faster than a task dispatch.
+constexpr u64 kParallelCrcMin = 64 * 1024;
 
 void for_each_stripe(u64 size, ThreadPool* pool,
                      const std::function<void(u64, u64)>& body) {
@@ -55,20 +64,29 @@ std::vector<Fragment> ReedSolomon::encode(std::span<const u8> data,
     }
   }
 
-  // Parity fragments: row (k+i) of the encode matrix applied to the data
-  // fragments, striped across the pool for large payloads.
+  // Parity fragments: the bottom m rows of the encode matrix applied to the
+  // data rows with one fused kernel call per stripe — every data chunk is
+  // read once and all m parity rows accumulate in registers, instead of the
+  // k*m separate mul_acc passes this loop used to make. The parity rows are
+  // contiguous in the row-major encode matrix starting at row k.
+  const u8* parity_coeffs = encode_matrix_.flat().data() + u64{k_} * k_;
   for_each_stripe(frag_size, pool, [&](u64 lo, u64 hi) {
-    for (u32 pi = 0; pi < m_; ++pi) {
-      auto dst = std::span<u8>(frags[k_ + pi].payload).subspan(lo, hi - lo);
-      const auto row = encode_matrix_.row(k_ + pi);
-      for (u32 di = 0; di < k_; ++di) {
-        auto src = std::span<const u8>(frags[di].payload).subspan(lo, hi - lo);
-        GF256::mul_acc(dst, src, row[di]);
-      }
-    }
+    u8* dsts[255];
+    const u8* srcs[255];
+    for (u32 pi = 0; pi < m_; ++pi) dsts[pi] = frags[k_ + pi].payload.data() + lo;
+    for (u32 di = 0; di < k_; ++di) srcs[di] = frags[di].payload.data() + lo;
+    simd::matrix_apply(dsts, m_, srcs, k_, parity_coeffs, hi - lo,
+                       /*accumulate=*/false);
   });
 
-  for (auto& f : frags) f.payload_crc = fragment_crc(f.payload);
+  // Fragment checksums are independent — fan them out for large payloads.
+  if (pool != nullptr && frag_size >= kParallelCrcMin) {
+    pool->parallel_for(
+        0, frags.size(),
+        [&](u64 i) { frags[i].payload_crc = fragment_crc(frags[i].payload); }, 1);
+  } else {
+    for (auto& f : frags) f.payload_crc = fragment_crc(f.payload);
+  }
   return frags;
 }
 
@@ -76,13 +94,18 @@ std::vector<u8> ReedSolomon::decode_rows(std::span<const Fragment> fragments,
                                          u64* level_bytes, ThreadPool* pool) const {
   RAPIDS_REQUIRE_MSG(fragments.size() >= k_,
                      "RS decode: need at least k fragments");
-  // Validate geometry + integrity; keep the first k distinct indices.
+  // Validate geometry + integrity; keep the first k distinct healthy
+  // fragments. Duplicate indices and CRC-damaged fragments are skipped, not
+  // fatal — extra survivors can still carry the decode — while geometry or
+  // size mismatches mean the caller mixed codecs and always throw.
   std::vector<const Fragment*> chosen;
   std::vector<u32> rows;
   chosen.reserve(k_);
   rows.reserve(k_);
   const u64 frag_size = fragments[0].payload.size();
   *level_bytes = fragments[0].level_bytes;
+  std::bitset<255> seen;
+  u32 skipped_corrupt = 0;
   for (const Fragment& f : fragments) {
     RAPIDS_REQUIRE_MSG(f.k == k_ && f.m == m_, "RS decode: geometry mismatch");
     RAPIDS_REQUIRE_MSG(f.payload.size() == frag_size,
@@ -90,15 +113,21 @@ std::vector<u8> ReedSolomon::decode_rows(std::span<const Fragment> fragments,
     RAPIDS_REQUIRE_MSG(f.level_bytes == *level_bytes,
                        "RS decode: level size mismatch");
     RAPIDS_REQUIRE_MSG(f.id.index < n(), "RS decode: fragment index out of range");
-    RAPIDS_REQUIRE_MSG(f.verify(), "RS decode: fragment CRC mismatch (index " +
-                                       std::to_string(f.id.index) + ")");
-    if (std::find(rows.begin(), rows.end(), f.id.index) != rows.end()) continue;
+    if (seen.test(f.id.index)) continue;
+    if (!f.verify()) {
+      ++skipped_corrupt;
+      continue;
+    }
+    seen.set(f.id.index);
     chosen.push_back(&f);
     rows.push_back(f.id.index);
     if (chosen.size() == k_) break;
   }
-  RAPIDS_REQUIRE_MSG(chosen.size() == k_,
-                     "RS decode: need k distinct fragment indices");
+  RAPIDS_REQUIRE_MSG(
+      chosen.size() == k_,
+      "RS decode: need k distinct healthy fragments (have " +
+          std::to_string(chosen.size()) + " of " + std::to_string(k_) +
+          ", skipped " + std::to_string(skipped_corrupt) + " CRC-damaged)");
 
   // Fast path: all k systematic data fragments present.
   const bool all_data =
@@ -110,25 +139,27 @@ std::vector<u8> ReedSolomon::decode_rows(std::span<const Fragment> fragments,
   };
 
   if (all_data) {
-    for (u32 i = 0; i < k_; ++i) {
-      // Place each data fragment at its own row position.
-      auto dst = stripe(rows[i]);
-      std::memcpy(dst.data(), chosen[i]->payload.data(), frag_size);
+    // Place each data fragment at its own row position; the copies are
+    // independent, so spread them over the pool for large fragments.
+    auto place = [&](u64 i) {
+      std::memcpy(stripe(rows[i]).data(), chosen[i]->payload.data(), frag_size);
+    };
+    if (pool != nullptr && frag_size >= 2 * kParallelStripe) {
+      pool->parallel_for(0, k_, place, 1);
+    } else {
+      for (u64 i = 0; i < k_; ++i) place(i);
     }
   } else {
     const Matrix sub = encode_matrix_.select_rows(rows);
     const Matrix dec = sub.inverted();
+    const u8* coeffs = dec.flat().data();
     for_each_stripe(frag_size, pool, [&](u64 lo, u64 hi) {
-      for (u32 out = 0; out < k_; ++out) {
-        auto dst = stripe(out).subspan(lo, hi - lo);
-        std::fill(dst.begin(), dst.end(), u8{0});
-        const auto drow = dec.row(out);
-        for (u32 in = 0; in < k_; ++in) {
-          auto src =
-              std::span<const u8>(chosen[in]->payload).subspan(lo, hi - lo);
-          GF256::mul_acc(dst, src, drow[in]);
-        }
-      }
+      u8* dsts[255];
+      const u8* srcs[255];
+      for (u32 out = 0; out < k_; ++out) dsts[out] = stripe(out).data() + lo;
+      for (u32 in = 0; in < k_; ++in) srcs[in] = chosen[in]->payload.data() + lo;
+      simd::matrix_apply(dsts, k_, srcs, k_, coeffs, hi - lo,
+                         /*accumulate=*/false);
     });
   }
 
@@ -163,15 +194,16 @@ Fragment ReedSolomon::reconstruct_fragment(std::span<const Fragment> survivors,
     std::memcpy(out.payload.data(), stripes.data() + u64{missing_index} * frag_size,
                 frag_size);
   } else {
-    const auto row = encode_matrix_.row(missing_index);
+    // One-output instance of the fused kernel: row `missing_index` of the
+    // encode matrix against the reconstructed data rows.
+    const u8* coeffs = encode_matrix_.flat().data() + u64{missing_index} * k_;
     for_each_stripe(frag_size, pool, [&](u64 lo, u64 hi) {
-      auto dst = std::span<u8>(out.payload).subspan(lo, hi - lo);
-      for (u32 di = 0; di < k_; ++di) {
-        auto src = std::span<const u8>(stripes.data() + u64{di} * frag_size,
-                                       frag_size)
-                       .subspan(lo, hi - lo);
-        GF256::mul_acc(dst, src, row[di]);
-      }
+      u8* dst = out.payload.data() + lo;
+      const u8* srcs[255];
+      for (u32 di = 0; di < k_; ++di)
+        srcs[di] = stripes.data() + u64{di} * frag_size + lo;
+      simd::matrix_apply(&dst, 1, srcs, k_, coeffs, hi - lo,
+                         /*accumulate=*/false);
     });
   }
   out.payload_crc = fragment_crc(out.payload);

@@ -50,9 +50,11 @@ class ReedSolomon {
                                ThreadPool* pool = nullptr) const;
 
   /// Reconstruct the original payload from any >= k surviving fragments
-  /// (mixed data/parity, any order). Throws invariant_error if fewer than k
-  /// fragments are supplied, if geometry disagrees, or if a fragment fails
-  /// its CRC check. If `pool` is non-null, the matrix application is striped.
+  /// (mixed data/parity, any order). Duplicate indices and fragments failing
+  /// their CRC check are skipped as long as k distinct healthy fragments
+  /// remain. Throws invariant_error if fewer than k healthy distinct
+  /// fragments are available or if geometry disagrees. If `pool` is
+  /// non-null, the matrix application is striped.
   std::vector<u8> decode(std::span<const Fragment> fragments,
                          ThreadPool* pool = nullptr) const;
 

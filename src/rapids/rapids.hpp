@@ -32,6 +32,8 @@
 #include "rapids/perf/accelerator_model.hpp"
 #include "rapids/perf/calibration.hpp"
 #include "rapids/perf/scaling_model.hpp"
+#include "rapids/simd/cpu_features.hpp"
+#include "rapids/simd/gf256_kernels.hpp"
 #include "rapids/solver/aco.hpp"
 #include "rapids/storage/cluster.hpp"
 #include "rapids/storage/failure.hpp"

@@ -1,0 +1,127 @@
+#include "rapids/simd/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace rapids::simd {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+constexpr bool kIsX86 = true;
+#else
+constexpr bool kIsX86 = false;
+#endif
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports consults CPUID once per process and, for AVX
+  // levels, the XGETBV-reported OS state — a context that raw CPUID checks
+  // routinely get wrong.
+  f.ssse3 = __builtin_cpu_supports("ssse3");
+  f.sse42 = __builtin_cpu_supports("sse4.2");
+  f.avx2 = __builtin_cpu_supports("avx2");
+#elif defined(__aarch64__)
+  // Advanced SIMD is architecturally mandatory on AArch64.
+  f.neon = true;
+#if defined(__ARM_FEATURE_CRC32)
+  // Compile-time baseline: if the build targets +crc, every machine the
+  // binary is allowed to run on has it.
+  f.arm_crc = true;
+#endif
+#endif
+  return f;
+}
+
+bool read_force_scalar_env() {
+  const char* v = std::getenv("RAPIDS_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && std::strcmp(v, "0") != 0;
+}
+
+// Cached env-var state; refreshable only through the test hook so the hot
+// dispatch path never calls getenv().
+std::atomic<bool> g_force_scalar{read_force_scalar_env()};
+
+// Test/bench override. Encoded as int so a single atomic covers "no
+// override" (-1) and every IsaLevel value.
+std::atomic<int> g_override{-1};
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+bool force_scalar() { return g_force_scalar.load(std::memory_order_relaxed); }
+
+void refresh_force_scalar_for_testing() {
+  g_force_scalar.store(read_force_scalar_env(), std::memory_order_relaxed);
+}
+
+bool isa_supported(IsaLevel level) {
+  const CpuFeatures& f = cpu_features();
+  switch (level) {
+    case IsaLevel::kScalar:
+      return true;
+    case IsaLevel::kSsse3:
+      return f.ssse3;
+    case IsaLevel::kAvx2:
+      return f.avx2;
+    case IsaLevel::kNeon:
+      return f.neon;
+  }
+  return false;
+}
+
+void set_isa_override(std::optional<IsaLevel> level) {
+  if (!level.has_value()) {
+    g_override.store(-1, std::memory_order_relaxed);
+    return;
+  }
+  // Clamp to hardware: an unsupported request degrades to the best level
+  // that can actually execute (an unsupported kernel would SIGILL).
+  IsaLevel l = *level;
+  if (!isa_supported(l)) {
+    const CpuFeatures& f = cpu_features();
+    l = f.avx2    ? IsaLevel::kAvx2
+        : f.ssse3 ? IsaLevel::kSsse3
+        : f.neon  ? IsaLevel::kNeon
+                  : IsaLevel::kScalar;
+  }
+  g_override.store(static_cast<int>(l), std::memory_order_relaxed);
+}
+
+IsaLevel active_isa() {
+  const int ov = g_override.load(std::memory_order_relaxed);
+  if (ov >= 0) return static_cast<IsaLevel>(ov);
+  if (force_scalar()) return IsaLevel::kScalar;
+  const CpuFeatures& f = cpu_features();
+  if (kIsX86) {
+    if (f.avx2) return IsaLevel::kAvx2;
+    if (f.ssse3) return IsaLevel::kSsse3;
+    return IsaLevel::kScalar;
+  }
+  if (f.neon) return IsaLevel::kNeon;
+  return IsaLevel::kScalar;
+}
+
+const char* isa_name(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return "scalar";
+    case IsaLevel::kSsse3:
+      return "ssse3";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const char* active_isa_name() { return isa_name(active_isa()); }
+
+}  // namespace rapids::simd

@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file cpu_features.hpp
+/// Runtime CPU feature detection and ISA-level selection for the byte-domain
+/// kernel layer (GF(2^8) multiply-accumulate, XOR, CRC-32C). On x86 the
+/// probe uses CPUID (via __builtin_cpu_supports, which also accounts for OS
+/// XSAVE state for AVX); on AArch64 NEON is architecturally guaranteed and
+/// CRC32 is a compile-time feature of the target baseline.
+///
+/// Selection order: test override > RAPIDS_FORCE_SCALAR=1 env var > best ISA
+/// the CPU supports. The override exists so tests and benchmarks can compare
+/// every compiled-in implementation against the scalar reference in one
+/// process.
+
+#include <optional>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::simd {
+
+/// Implementation tiers for the byte kernels, best-last per architecture.
+/// kNeon is only ever selected on AArch64, kSsse3/kAvx2 only on x86.
+enum class IsaLevel : u8 { kScalar = 0, kSsse3 = 1, kAvx2 = 2, kNeon = 3 };
+
+/// Raw capabilities of the machine we are running on (independent of any
+/// override or env var). Detected once, at first use.
+struct CpuFeatures {
+  bool ssse3 = false;    ///< x86 PSHUFB
+  bool sse42 = false;    ///< x86 CRC32 instruction
+  bool avx2 = false;     ///< x86 256-bit integer SIMD (incl. OS support)
+  bool neon = false;     ///< AArch64 Advanced SIMD
+  bool arm_crc = false;  ///< AArch64 CRC32 extension (compile-time baseline)
+};
+
+/// The detected (memoized) feature set.
+const CpuFeatures& cpu_features();
+
+/// True when RAPIDS_FORCE_SCALAR=1 (or any non-"0", non-empty value) is set
+/// in the environment. Read once and cached; tests can re-read via
+/// refresh_force_scalar_for_testing().
+bool force_scalar();
+
+/// Re-reads RAPIDS_FORCE_SCALAR from the environment. Test-only hook: the
+/// cached value is process-wide, so production code never pays getenv() per
+/// kernel call.
+void refresh_force_scalar_for_testing();
+
+/// The ISA level the dispatcher will actually use, after applying the test
+/// override, the RAPIDS_FORCE_SCALAR env var, and hardware support, in that
+/// order.
+IsaLevel active_isa();
+
+/// Force a specific ISA level (clamped to what the hardware supports: asking
+/// for AVX2 on a non-AVX2 machine yields the best supported level instead).
+/// Pass std::nullopt to restore automatic selection. Used by tests and by the
+/// scalar-variant microbenchmarks.
+void set_isa_override(std::optional<IsaLevel> level);
+
+/// True if `level` can run on this machine (kScalar is always supported).
+bool isa_supported(IsaLevel level);
+
+/// Human-readable name: "scalar", "ssse3", "avx2", "neon".
+const char* isa_name(IsaLevel level);
+
+/// Convenience: isa_name(active_isa()).
+const char* active_isa_name();
+
+}  // namespace rapids::simd

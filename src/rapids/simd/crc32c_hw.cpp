@@ -1,0 +1,108 @@
+// Hardware CRC-32C. x86: SSE4.2 CRC32 instruction, 8 bytes per issue (3-cycle
+// latency, 1/cycle throughput — the u64 loop keeps one dependency chain,
+// which is already ~8x the software slice-by-4). AArch64: the ARMv8 CRC32C
+// extension when the compile baseline enables it. Both implement the same
+// reflected 0x82F63B78 polynomial and the ~seed/~result convention as the
+// software path, so results are bit-identical everywhere.
+
+#include "rapids/simd/crc32c_hw.hpp"
+
+#include "rapids/simd/cpu_features.hpp"
+
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+#if defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#endif
+
+#include <cstring>
+
+namespace rapids::simd {
+
+bool crc32c_hw_available() {
+#if defined(__SSE4_2__)
+  return cpu_features().sse42;
+#elif defined(__ARM_FEATURE_CRC32)
+  return cpu_features().arm_crc;
+#else
+  return false;
+#endif
+}
+
+bool crc32c_hw_active() {
+  return crc32c_hw_available() && active_isa() != IsaLevel::kScalar;
+}
+
+#if defined(__SSE4_2__)
+
+u32 crc32c_hw(const void* data, std::size_t size, u32 seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  u64 crc = ~seed;
+  while (size >= 8) {
+    u64 v;
+    std::memcpy(&v, p, 8);
+    crc = _mm_crc32_u64(crc, v);
+    p += 8;
+    size -= 8;
+  }
+  u32 crc32 = static_cast<u32>(crc);
+  if (size >= 4) {
+    u32 v;
+    std::memcpy(&v, p, 4);
+    crc32 = _mm_crc32_u32(crc32, v);
+    p += 4;
+    size -= 4;
+  }
+  if (size >= 2) {
+    u16 v;
+    std::memcpy(&v, p, 2);
+    crc32 = _mm_crc32_u16(crc32, v);
+    p += 2;
+    size -= 2;
+  }
+  if (size) crc32 = _mm_crc32_u8(crc32, *p);
+  return ~crc32;
+}
+
+#elif defined(__ARM_FEATURE_CRC32)
+
+u32 crc32c_hw(const void* data, std::size_t size, u32 seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  u32 crc = ~seed;
+  while (size >= 8) {
+    u64 v;
+    std::memcpy(&v, p, 8);
+    crc = __crc32cd(crc, v);
+    p += 8;
+    size -= 8;
+  }
+  if (size >= 4) {
+    u32 v;
+    std::memcpy(&v, p, 4);
+    crc = __crc32cw(crc, v);
+    p += 4;
+    size -= 4;
+  }
+  if (size >= 2) {
+    u16 v;
+    std::memcpy(&v, p, 2);
+    crc = __crc32ch(crc, v);
+    p += 2;
+    size -= 2;
+  }
+  if (size) crc = __crc32cb(crc, *p);
+  return ~crc;
+}
+
+#else
+
+u32 crc32c_hw(const void*, std::size_t, u32 seed) {
+  // Never reached: crc32c_hw_available() is false on this target and
+  // rapids::crc32c() keeps to the software path.
+  return ~(~seed);
+}
+
+#endif
+
+}  // namespace rapids::simd

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file crc32c_hw.hpp
+/// Hardware CRC-32C (Castagnoli) behind the same dispatch layer as the GF
+/// kernels. x86 uses SSE4.2 _mm_crc32_u64 (8 bytes/instruction), AArch64
+/// the ARMv8 CRC32C extension when the baseline enables it. Results are
+/// bit-identical to the software slice-by-4 in rapids/util/crc32c.cpp —
+/// both compute the reflected 0x82F63B78 polynomial with the same
+/// pre/post-inversion convention.
+
+#include <cstddef>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::simd {
+
+/// True when a hardware CRC32C path exists on this machine AND scalar mode
+/// is not forced (RAPIDS_FORCE_SCALAR / test override).
+bool crc32c_hw_active();
+
+/// Hardware CRC-32C with the same contract as rapids::crc32c: pass seed 0
+/// for a fresh checksum or the previous return value to chain blocks.
+/// Precondition: crc32c_hw_available() — callers go through
+/// rapids::crc32c(), which falls back to slice-by-4 otherwise.
+u32 crc32c_hw(const void* data, std::size_t size, u32 seed);
+
+/// True when the instruction exists on this machine, regardless of the
+/// scalar override (used by tests to decide whether to compare paths).
+bool crc32c_hw_available();
+
+}  // namespace rapids::simd

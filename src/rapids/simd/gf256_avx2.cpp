@@ -1,0 +1,220 @@
+// AVX2 split-nibble GF(2^8) kernels: VPSHUFB over both 128-bit lanes
+// multiplies 32 bytes per shuffle pair (the 16-entry nibble tables are
+// broadcast to both lanes, so lane-crossing never matters). Built with
+// -mavx2 on x86; otherwise every entry point forwards to scalar.
+
+#include <algorithm>
+#include <cstring>
+
+#include "rapids/simd/gf256_kernels.hpp"
+#include "rapids/simd/gf256_tables.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace rapids::simd::detail {
+
+#if defined(__AVX2__)
+
+namespace {
+
+// See gf256_ssse3.cpp: per-row bytes per cache block so a block of all k
+// sources and the group's accumulators stay cache-resident.
+constexpr std::size_t kBlock = 8192;
+
+inline __m256i bcast_table(const u8* row16) {
+  return _mm256_broadcastsi128_si256(
+      _mm_load_si128(reinterpret_cast<const __m128i*>(row16)));
+}
+
+inline __m256i mul32(__m256i s, __m256i tlo, __m256i thi, __m256i mask) {
+  const __m256i lo = _mm256_and_si256(s, mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi64(s, 4), mask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(tlo, lo),
+                          _mm256_shuffle_epi8(thi, hi));
+}
+
+inline u8 mul1(const NibbleTables& nt, u8 c, u8 b) {
+  return static_cast<u8>(nt.lo[c][b & 0xF] ^ nt.hi[c][b >> 4]);
+}
+
+}  // namespace
+
+void xor_acc_avx2(u8* dst, const u8* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i a0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a0, b0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(a1, b1));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(a, b));
+  }
+  if (i < n) xor_acc_scalar(dst + i, src + i, n - i);
+}
+
+void mul_acc_avx2(u8* dst, const u8* src, std::size_t n, u8 c) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_acc_avx2(dst, src, n);
+    return;
+  }
+  const NibbleTables& nt = nibble_tables();
+  const __m256i tlo = bcast_table(nt.lo[c].data());
+  const __m256i thi = bcast_table(nt.hi[c].data());
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const __m256i s0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 32));
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i + 32));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d0, mul32(s0, tlo, thi, mask)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i + 32),
+                        _mm256_xor_si256(d1, mul32(s1, tlo, thi, mask)));
+  }
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, mul32(s, tlo, thi, mask)));
+  }
+  for (; i < n; ++i) dst[i] ^= mul1(nt, c, src[i]);
+}
+
+void mul_to_avx2(u8* dst, const u8* src, std::size_t n, u8 c) {
+  if (n == 0) return;  // empty spans may carry null data pointers
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, n);
+    return;
+  }
+  const NibbleTables& nt = nibble_tables();
+  const __m256i tlo = bcast_table(nt.lo[c].data());
+  const __m256i thi = bcast_table(nt.hi[c].data());
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i s =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        mul32(s, tlo, thi, mask));
+  }
+  for (; i < n; ++i) dst[i] = mul1(nt, c, src[i]);
+}
+
+void matrix_apply_avx2(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                       const u8* coeffs, std::size_t n, bool accumulate) {
+  if (n == 0 || m == 0) return;
+  if (k == 0) {
+    if (!accumulate)
+      for (u32 j = 0; j < m; ++j) std::memset(dsts[j], 0, n);
+    return;
+  }
+  const NibbleTables& nt = nibble_tables();
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  for (std::size_t b0 = 0; b0 < n; b0 += kBlock) {
+    const std::size_t bend = std::min(b0 + kBlock, n);
+    // Groups of 4 output rows x 64 bytes: 8 accumulator registers, each
+    // source chunk loaded once and multiplied into all rows of the group.
+    for (u32 j0 = 0; j0 < m; j0 += 4) {
+      const u32 jn = std::min<u32>(4, m - j0);
+      std::size_t i = b0;
+      for (; i + 64 <= bend; i += 64) {
+        __m256i a0[4], a1[4];
+        for (u32 jj = 0; jj < jn; ++jj) {
+          if (accumulate) {
+            a0[jj] = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(dsts[j0 + jj] + i));
+            a1[jj] = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(dsts[j0 + jj] + i + 32));
+          } else {
+            a0[jj] = _mm256_setzero_si256();
+            a1[jj] = _mm256_setzero_si256();
+          }
+        }
+        for (u32 d = 0; d < k; ++d) {
+          const __m256i s0 =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(srcs[d] + i));
+          const __m256i s1 = _mm256_loadu_si256(
+              reinterpret_cast<const __m256i*>(srcs[d] + i + 32));
+          const __m256i l0 = _mm256_and_si256(s0, mask);
+          const __m256i h0 = _mm256_and_si256(_mm256_srli_epi64(s0, 4), mask);
+          const __m256i l1 = _mm256_and_si256(s1, mask);
+          const __m256i h1 = _mm256_and_si256(_mm256_srli_epi64(s1, 4), mask);
+          for (u32 jj = 0; jj < jn; ++jj) {
+            const u8 c = coeffs[std::size_t{j0 + jj} * k + d];
+            if (c == 0) continue;
+            const __m256i tlo = bcast_table(nt.lo[c].data());
+            const __m256i thi = bcast_table(nt.hi[c].data());
+            a0[jj] = _mm256_xor_si256(
+                a0[jj], _mm256_xor_si256(_mm256_shuffle_epi8(tlo, l0),
+                                         _mm256_shuffle_epi8(thi, h0)));
+            a1[jj] = _mm256_xor_si256(
+                a1[jj], _mm256_xor_si256(_mm256_shuffle_epi8(tlo, l1),
+                                         _mm256_shuffle_epi8(thi, h1)));
+          }
+        }
+        for (u32 jj = 0; jj < jn; ++jj) {
+          _mm256_storeu_si256(reinterpret_cast<__m256i*>(dsts[j0 + jj] + i),
+                              a0[jj]);
+          _mm256_storeu_si256(
+              reinterpret_cast<__m256i*>(dsts[j0 + jj] + i + 32), a1[jj]);
+        }
+      }
+      for (; i < bend; ++i) {
+        for (u32 jj = 0; jj < jn; ++jj) {
+          u8 acc = accumulate ? dsts[j0 + jj][i] : u8{0};
+          for (u32 d = 0; d < k; ++d)
+            acc ^= mul1(nt, coeffs[std::size_t{j0 + jj} * k + d], srcs[d][i]);
+          dsts[j0 + jj][i] = acc;
+        }
+      }
+    }
+  }
+}
+
+#else  // !__AVX2__: forward to scalar so dispatch tables stay total.
+
+void xor_acc_avx2(u8* dst, const u8* src, std::size_t n) {
+  xor_acc_scalar(dst, src, n);
+}
+void mul_acc_avx2(u8* dst, const u8* src, std::size_t n, u8 c) {
+  mul_acc_scalar(dst, src, n, c);
+}
+void mul_to_avx2(u8* dst, const u8* src, std::size_t n, u8 c) {
+  mul_to_scalar(dst, src, n, c);
+}
+void matrix_apply_avx2(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                       const u8* coeffs, std::size_t n, bool accumulate) {
+  matrix_apply_scalar(dsts, m, srcs, k, coeffs, n, accumulate);
+}
+
+#endif
+
+}  // namespace rapids::simd::detail

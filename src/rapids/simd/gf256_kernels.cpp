@@ -1,0 +1,151 @@
+#include "rapids/simd/gf256_kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "rapids/ec/gf256.hpp"
+#include "rapids/simd/gf256_tables.hpp"
+
+namespace rapids::simd {
+
+namespace detail {
+
+const NibbleTables& nibble_tables() {
+  static const NibbleTables t = [] {
+    NibbleTables nt;
+    for (u32 c = 0; c < 256; ++c) {
+      for (u32 x = 0; x < 16; ++x) {
+        nt.lo[c][x] = ec::GF256::mul(static_cast<u8>(c), static_cast<u8>(x));
+        nt.hi[c][x] = ec::GF256::mul(static_cast<u8>(c), static_cast<u8>(x << 4));
+      }
+    }
+    return nt;
+  }();
+  return t;
+}
+
+void xor_acc_scalar(u8* dst, const u8* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    u64 a, b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, src + i, 8);
+    a ^= b;
+    std::memcpy(dst + i, &a, 8);
+  }
+  // Tail: one more word-at-a-time XOR over the remaining <8 bytes (memcpy of
+  // the exact remainder keeps it in-bounds), not a byte loop.
+  if (i < n) {
+    const std::size_t r = n - i;
+    u64 a = 0, b = 0;
+    std::memcpy(&a, dst + i, r);
+    std::memcpy(&b, src + i, r);
+    a ^= b;
+    std::memcpy(dst + i, &a, r);
+  }
+}
+
+void mul_acc_scalar(u8* dst, const u8* src, std::size_t n, u8 c) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_acc_scalar(dst, src, n);
+    return;
+  }
+  const u8* row = ec::GF256::mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] ^= row[src[i]];
+}
+
+void mul_to_scalar(u8* dst, const u8* src, std::size_t n, u8 c) {
+  if (n == 0) return;  // empty spans may carry null data pointers
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, n);
+    return;
+  }
+  const u8* row = ec::GF256::mul_row(c);
+  for (std::size_t i = 0; i < n; ++i) dst[i] = row[src[i]];
+}
+
+}  // namespace detail
+
+const Gf256Kernels& scalar_kernels() {
+  static const Gf256Kernels k{detail::mul_acc_scalar, detail::mul_to_scalar,
+                              detail::xor_acc_scalar, "scalar"};
+  return k;
+}
+
+const Gf256Kernels& kernels_for(IsaLevel level) {
+  static const Gf256Kernels ssse3{detail::mul_acc_ssse3, detail::mul_to_ssse3,
+                                  detail::xor_acc_ssse3, "ssse3"};
+  static const Gf256Kernels avx2{detail::mul_acc_avx2, detail::mul_to_avx2,
+                                 detail::xor_acc_avx2, "avx2"};
+  static const Gf256Kernels neon{detail::mul_acc_neon, detail::mul_to_neon,
+                                 detail::xor_acc_neon, "neon"};
+  if (!isa_supported(level)) return scalar_kernels();
+  switch (level) {
+    case IsaLevel::kSsse3:
+      return ssse3;
+    case IsaLevel::kAvx2:
+      return avx2;
+    case IsaLevel::kNeon:
+      return neon;
+    case IsaLevel::kScalar:
+      break;
+  }
+  return scalar_kernels();
+}
+
+const Gf256Kernels& active_kernels() { return kernels_for(active_isa()); }
+
+// Stripe block the scalar driver iterates in: big enough to amortize the
+// per-(row, source) call overhead, small enough that one block of every
+// source plus the output rows stays L1/L2-resident across the j loop.
+static constexpr std::size_t kScalarBlock = 4096;
+
+void matrix_apply_scalar(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                         const u8* coeffs, std::size_t n, bool accumulate) {
+  if (n == 0 || m == 0) return;
+  if (k == 0) {
+    if (!accumulate)
+      for (u32 j = 0; j < m; ++j) std::memset(dsts[j], 0, n);
+    return;
+  }
+  for (std::size_t off = 0; off < n; off += kScalarBlock) {
+    const std::size_t len = std::min(kScalarBlock, n - off);
+    for (u32 j = 0; j < m; ++j) {
+      const u8* crow = coeffs + std::size_t{j} * k;
+      u8* d = dsts[j] + off;
+      // First source overwrites when not accumulating (saves the zero-fill
+      // pass); c == 0 still zeroes correctly via mul_to's memset path.
+      if (!accumulate)
+        detail::mul_to_scalar(d, srcs[0] + off, len, crow[0]);
+      else
+        detail::mul_acc_scalar(d, srcs[0] + off, len, crow[0]);
+      for (u32 s = 1; s < k; ++s)
+        detail::mul_acc_scalar(d, srcs[s] + off, len, crow[s]);
+    }
+  }
+}
+
+void matrix_apply(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                  const u8* coeffs, std::size_t n, bool accumulate) {
+  switch (active_isa()) {
+    case IsaLevel::kAvx2:
+      detail::matrix_apply_avx2(dsts, m, srcs, k, coeffs, n, accumulate);
+      return;
+    case IsaLevel::kSsse3:
+      detail::matrix_apply_ssse3(dsts, m, srcs, k, coeffs, n, accumulate);
+      return;
+    case IsaLevel::kNeon:
+      detail::matrix_apply_neon(dsts, m, srcs, k, coeffs, n, accumulate);
+      return;
+    case IsaLevel::kScalar:
+      break;
+  }
+  matrix_apply_scalar(dsts, m, srcs, k, coeffs, n, accumulate);
+}
+
+}  // namespace rapids::simd

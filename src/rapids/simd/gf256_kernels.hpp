@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file gf256_kernels.hpp
+/// Runtime-dispatched bulk kernels over GF(2^8) byte streams — the inner
+/// loops of Reed-Solomon encode/decode/repair. Three primitive kernels
+/// (mul_acc, mul_to, xor_acc) plus a fused matrix_apply that reads each
+/// source stripe once and accumulates all output rows, replacing the k*m
+/// separate mul_acc passes the codec used to make.
+///
+/// The SIMD implementations use the classic split-nibble PSHUFB technique
+/// (as in ISA-L/GF-Complete): for a coefficient c, two 16-entry tables hold
+/// c*x for the low and high nibble of x; a shuffle per nibble plus an XOR
+/// multiplies 16 (SSSE3/NEON) or 32 (AVX2) bytes per step. Tables are
+/// derived from the GF256 log/exp tables at first use.
+///
+/// Every implementation is byte-identical to the scalar reference for all
+/// coefficients and lengths (exhaustively tested in tests/simd_test.cpp).
+
+#include <cstddef>
+
+#include "rapids/simd/cpu_features.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::simd {
+
+/// One implementation tier's primitive kernels. All pointers are valid for
+/// any (dst, src, n): unaligned access is handled, n may be zero, and
+/// dst/src must not alias (other than dst == src for xor-doubling, which the
+/// codec never does).
+struct Gf256Kernels {
+  /// dst[i] ^= c * src[i]
+  void (*mul_acc)(u8* dst, const u8* src, std::size_t n, u8 c);
+  /// dst[i] = c * src[i]
+  void (*mul_to)(u8* dst, const u8* src, std::size_t n, u8 c);
+  /// dst[i] ^= src[i]
+  void (*xor_acc)(u8* dst, const u8* src, std::size_t n);
+  /// ISA tag, e.g. "avx2".
+  const char* name;
+};
+
+/// Kernels for a specific tier. Requesting an unsupported tier returns the
+/// scalar table (so callers can iterate over all levels safely).
+const Gf256Kernels& kernels_for(IsaLevel level);
+
+/// The scalar reference implementation (always available; ground truth for
+/// verification).
+const Gf256Kernels& scalar_kernels();
+
+/// Kernels for active_isa() — what GF256 and ReedSolomon actually run.
+const Gf256Kernels& active_kernels();
+
+/// Fused multi-source multi-destination matrix application over GF(2^8):
+///
+///   for j in [0, m): dsts[j][i] (^)= sum_d coeffs[j*k + d] * srcs[d][i]
+///
+/// with `accumulate` choosing ^= (true) or = (false; dst need not be
+/// initialized). Work is cache-blocked so each block of every source stripe
+/// is read once per output group while accumulators stay in registers —
+/// this is the kernel behind ReedSolomon::encode (m parity rows),
+/// decode (k output rows) and reconstruct_fragment (one row).
+/// `coeffs` is row-major m x k. Dispatches on active_isa().
+void matrix_apply(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                  const u8* coeffs, std::size_t n, bool accumulate);
+
+/// Scalar reference for matrix_apply (same contract, no dispatch). The GF
+/// arithmetic is exact, so any implementation order gives identical bytes.
+void matrix_apply_scalar(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                         const u8* coeffs, std::size_t n, bool accumulate);
+
+}  // namespace rapids::simd

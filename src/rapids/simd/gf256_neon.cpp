@@ -1,0 +1,165 @@
+// AArch64 NEON split-nibble GF(2^8) kernels: TBL (vqtbl1q_u8) against the
+// 16-entry nibble tables multiplies 16 bytes per lookup pair — the same
+// construction as the x86 PSHUFB path. NEON is architecturally guaranteed on
+// AArch64, so this TU needs no special compile flags there; on other targets
+// every entry point forwards to scalar.
+
+#include <algorithm>
+#include <cstring>
+
+#include "rapids/simd/gf256_kernels.hpp"
+#include "rapids/simd/gf256_tables.hpp"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace rapids::simd::detail {
+
+#if defined(__aarch64__)
+
+namespace {
+
+// See gf256_ssse3.cpp: per-row bytes per cache block.
+constexpr std::size_t kBlock = 8192;
+
+inline uint8x16_t mul16(uint8x16_t s, uint8x16_t tlo, uint8x16_t thi,
+                        uint8x16_t mask) {
+  const uint8x16_t lo = vandq_u8(s, mask);
+  const uint8x16_t hi = vshrq_n_u8(s, 4);
+  return veorq_u8(vqtbl1q_u8(tlo, lo), vqtbl1q_u8(thi, hi));
+}
+
+inline u8 mul1(const NibbleTables& nt, u8 c, u8 b) {
+  return static_cast<u8>(nt.lo[c][b & 0xF] ^ nt.hi[c][b >> 4]);
+}
+
+}  // namespace
+
+void xor_acc_neon(u8* dst, const u8* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), vld1q_u8(src + i)));
+  }
+  if (i < n) xor_acc_scalar(dst + i, src + i, n - i);
+}
+
+void mul_acc_neon(u8* dst, const u8* src, std::size_t n, u8 c) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_acc_neon(dst, src, n);
+    return;
+  }
+  const NibbleTables& nt = nibble_tables();
+  const uint8x16_t tlo = vld1q_u8(nt.lo[c].data());
+  const uint8x16_t thi = vld1q_u8(nt.hi[c].data());
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t s = vld1q_u8(src + i);
+    vst1q_u8(dst + i, veorq_u8(vld1q_u8(dst + i), mul16(s, tlo, thi, mask)));
+  }
+  for (; i < n; ++i) dst[i] ^= mul1(nt, c, src[i]);
+}
+
+void mul_to_neon(u8* dst, const u8* src, std::size_t n, u8 c) {
+  if (n == 0) return;  // empty spans may carry null data pointers
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, n);
+    return;
+  }
+  const NibbleTables& nt = nibble_tables();
+  const uint8x16_t tlo = vld1q_u8(nt.lo[c].data());
+  const uint8x16_t thi = vld1q_u8(nt.hi[c].data());
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(dst + i, mul16(vld1q_u8(src + i), tlo, thi, mask));
+  }
+  for (; i < n; ++i) dst[i] = mul1(nt, c, src[i]);
+}
+
+void matrix_apply_neon(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                       const u8* coeffs, std::size_t n, bool accumulate) {
+  if (n == 0 || m == 0) return;
+  if (k == 0) {
+    if (!accumulate)
+      for (u32 j = 0; j < m; ++j) std::memset(dsts[j], 0, n);
+    return;
+  }
+  const NibbleTables& nt = nibble_tables();
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  for (std::size_t b0 = 0; b0 < n; b0 += kBlock) {
+    const std::size_t bend = std::min(b0 + kBlock, n);
+    for (u32 j0 = 0; j0 < m; j0 += 4) {
+      const u32 jn = std::min<u32>(4, m - j0);
+      std::size_t i = b0;
+      for (; i + 32 <= bend; i += 32) {
+        uint8x16_t a0[4], a1[4];
+        for (u32 jj = 0; jj < jn; ++jj) {
+          if (accumulate) {
+            a0[jj] = vld1q_u8(dsts[j0 + jj] + i);
+            a1[jj] = vld1q_u8(dsts[j0 + jj] + i + 16);
+          } else {
+            a0[jj] = vdupq_n_u8(0);
+            a1[jj] = vdupq_n_u8(0);
+          }
+        }
+        for (u32 d = 0; d < k; ++d) {
+          const uint8x16_t s0 = vld1q_u8(srcs[d] + i);
+          const uint8x16_t s1 = vld1q_u8(srcs[d] + i + 16);
+          const uint8x16_t l0 = vandq_u8(s0, mask);
+          const uint8x16_t h0 = vshrq_n_u8(s0, 4);
+          const uint8x16_t l1 = vandq_u8(s1, mask);
+          const uint8x16_t h1 = vshrq_n_u8(s1, 4);
+          for (u32 jj = 0; jj < jn; ++jj) {
+            const u8 c = coeffs[std::size_t{j0 + jj} * k + d];
+            if (c == 0) continue;
+            const uint8x16_t tlo = vld1q_u8(nt.lo[c].data());
+            const uint8x16_t thi = vld1q_u8(nt.hi[c].data());
+            a0[jj] = veorq_u8(
+                a0[jj], veorq_u8(vqtbl1q_u8(tlo, l0), vqtbl1q_u8(thi, h0)));
+            a1[jj] = veorq_u8(
+                a1[jj], veorq_u8(vqtbl1q_u8(tlo, l1), vqtbl1q_u8(thi, h1)));
+          }
+        }
+        for (u32 jj = 0; jj < jn; ++jj) {
+          vst1q_u8(dsts[j0 + jj] + i, a0[jj]);
+          vst1q_u8(dsts[j0 + jj] + i + 16, a1[jj]);
+        }
+      }
+      for (; i < bend; ++i) {
+        for (u32 jj = 0; jj < jn; ++jj) {
+          u8 acc = accumulate ? dsts[j0 + jj][i] : u8{0};
+          for (u32 d = 0; d < k; ++d)
+            acc ^= mul1(nt, coeffs[std::size_t{j0 + jj} * k + d], srcs[d][i]);
+          dsts[j0 + jj][i] = acc;
+        }
+      }
+    }
+  }
+}
+
+#else  // !__aarch64__: forward to scalar so dispatch tables stay total.
+
+void xor_acc_neon(u8* dst, const u8* src, std::size_t n) {
+  xor_acc_scalar(dst, src, n);
+}
+void mul_acc_neon(u8* dst, const u8* src, std::size_t n, u8 c) {
+  mul_acc_scalar(dst, src, n, c);
+}
+void mul_to_neon(u8* dst, const u8* src, std::size_t n, u8 c) {
+  mul_to_scalar(dst, src, n, c);
+}
+void matrix_apply_neon(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                       const u8* coeffs, std::size_t n, bool accumulate) {
+  matrix_apply_scalar(dsts, m, srcs, k, coeffs, n, accumulate);
+}
+
+#endif
+
+}  // namespace rapids::simd::detail

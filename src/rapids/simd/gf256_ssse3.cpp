@@ -1,0 +1,193 @@
+// SSSE3 split-nibble GF(2^8) kernels: PSHUFB against two 16-entry tables
+// multiplies 16 bytes per shuffle pair. Built with -mssse3 on x86; on other
+// targets (or toolchains without the flag) every entry point forwards to the
+// scalar reference so the symbols always link and dispatch never branches on
+// the build configuration.
+
+#include <algorithm>
+#include <cstring>
+
+#include "rapids/simd/gf256_kernels.hpp"
+#include "rapids/simd/gf256_tables.hpp"
+
+#if defined(__SSSE3__)
+#include <tmmintrin.h>
+#endif
+
+namespace rapids::simd::detail {
+
+#if defined(__SSSE3__)
+
+namespace {
+
+// Bytes of every source/destination row processed per internal cache block:
+// one block of each of the k sources plus m destinations stays L1/L2-resident
+// while all output rows of a group accumulate over it.
+constexpr std::size_t kBlock = 8192;
+
+inline __m128i mul16(__m128i s, __m128i tlo, __m128i thi, __m128i mask) {
+  const __m128i lo = _mm_and_si128(s, mask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi64(s, 4), mask);
+  return _mm_xor_si128(_mm_shuffle_epi8(tlo, lo), _mm_shuffle_epi8(thi, hi));
+}
+
+inline u8 mul1(const NibbleTables& nt, u8 c, u8 b) {
+  return static_cast<u8>(nt.lo[c][b & 0xF] ^ nt.hi[c][b >> 4]);
+}
+
+}  // namespace
+
+void xor_acc_ssse3(u8* dst, const u8* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m128i a0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i a1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i + 16));
+    const __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i b1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i + 16));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(a0, b0));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i + 16),
+                     _mm_xor_si128(a1, b1));
+  }
+  if (i < n) xor_acc_scalar(dst + i, src + i, n - i);
+}
+
+void mul_acc_ssse3(u8* dst, const u8* src, std::size_t n, u8 c) {
+  if (c == 0) return;
+  if (c == 1) {
+    xor_acc_ssse3(dst, src, n);
+    return;
+  }
+  const NibbleTables& nt = nibble_tables();
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c].data()));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c].data()));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, mul16(s, tlo, thi, mask)));
+  }
+  for (; i < n; ++i) dst[i] ^= mul1(nt, c, src[i]);
+}
+
+void mul_to_ssse3(u8* dst, const u8* src, std::size_t n, u8 c) {
+  if (n == 0) return;  // empty spans may carry null data pointers
+  if (c == 0) {
+    std::memset(dst, 0, n);
+    return;
+  }
+  if (c == 1) {
+    std::memmove(dst, src, n);
+    return;
+  }
+  const NibbleTables& nt = nibble_tables();
+  const __m128i tlo =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c].data()));
+  const __m128i thi =
+      _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c].data()));
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     mul16(s, tlo, thi, mask));
+  }
+  for (; i < n; ++i) dst[i] = mul1(nt, c, src[i]);
+}
+
+void matrix_apply_ssse3(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                        const u8* coeffs, std::size_t n, bool accumulate) {
+  if (n == 0 || m == 0) return;
+  if (k == 0) {
+    if (!accumulate)
+      for (u32 j = 0; j < m; ++j) std::memset(dsts[j], 0, n);
+    return;
+  }
+  const NibbleTables& nt = nibble_tables();
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  for (std::size_t b0 = 0; b0 < n; b0 += kBlock) {
+    const std::size_t bend = std::min(b0 + kBlock, n);
+    // Output rows in groups of 4 so the accumulators (4 rows x 32 bytes)
+    // live in registers while each source chunk is read exactly once.
+    for (u32 j0 = 0; j0 < m; j0 += 4) {
+      const u32 jn = std::min<u32>(4, m - j0);
+      std::size_t i = b0;
+      for (; i + 32 <= bend; i += 32) {
+        __m128i a0[4], a1[4];
+        for (u32 jj = 0; jj < jn; ++jj) {
+          if (accumulate) {
+            a0[jj] = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(dsts[j0 + jj] + i));
+            a1[jj] = _mm_loadu_si128(
+                reinterpret_cast<const __m128i*>(dsts[j0 + jj] + i + 16));
+          } else {
+            a0[jj] = _mm_setzero_si128();
+            a1[jj] = _mm_setzero_si128();
+          }
+        }
+        for (u32 d = 0; d < k; ++d) {
+          const __m128i s0 =
+              _mm_loadu_si128(reinterpret_cast<const __m128i*>(srcs[d] + i));
+          const __m128i s1 = _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(srcs[d] + i + 16));
+          const __m128i l0 = _mm_and_si128(s0, mask);
+          const __m128i h0 = _mm_and_si128(_mm_srli_epi64(s0, 4), mask);
+          const __m128i l1 = _mm_and_si128(s1, mask);
+          const __m128i h1 = _mm_and_si128(_mm_srli_epi64(s1, 4), mask);
+          for (u32 jj = 0; jj < jn; ++jj) {
+            const u8 c = coeffs[std::size_t{j0 + jj} * k + d];
+            if (c == 0) continue;
+            const __m128i tlo =
+                _mm_load_si128(reinterpret_cast<const __m128i*>(nt.lo[c].data()));
+            const __m128i thi =
+                _mm_load_si128(reinterpret_cast<const __m128i*>(nt.hi[c].data()));
+            a0[jj] = _mm_xor_si128(
+                a0[jj], _mm_xor_si128(_mm_shuffle_epi8(tlo, l0),
+                                      _mm_shuffle_epi8(thi, h0)));
+            a1[jj] = _mm_xor_si128(
+                a1[jj], _mm_xor_si128(_mm_shuffle_epi8(tlo, l1),
+                                      _mm_shuffle_epi8(thi, h1)));
+          }
+        }
+        for (u32 jj = 0; jj < jn; ++jj) {
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(dsts[j0 + jj] + i), a0[jj]);
+          _mm_storeu_si128(reinterpret_cast<__m128i*>(dsts[j0 + jj] + i + 16),
+                           a1[jj]);
+        }
+      }
+      for (; i < bend; ++i) {
+        for (u32 jj = 0; jj < jn; ++jj) {
+          u8 acc = accumulate ? dsts[j0 + jj][i] : u8{0};
+          for (u32 d = 0; d < k; ++d)
+            acc ^= mul1(nt, coeffs[std::size_t{j0 + jj} * k + d], srcs[d][i]);
+          dsts[j0 + jj][i] = acc;
+        }
+      }
+    }
+  }
+}
+
+#else  // !__SSSE3__: forward to scalar so dispatch tables stay total.
+
+void xor_acc_ssse3(u8* dst, const u8* src, std::size_t n) {
+  xor_acc_scalar(dst, src, n);
+}
+void mul_acc_ssse3(u8* dst, const u8* src, std::size_t n, u8 c) {
+  mul_acc_scalar(dst, src, n, c);
+}
+void mul_to_ssse3(u8* dst, const u8* src, std::size_t n, u8 c) {
+  mul_to_scalar(dst, src, n, c);
+}
+void matrix_apply_ssse3(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                        const u8* coeffs, std::size_t n, bool accumulate) {
+  matrix_apply_scalar(dsts, m, srcs, k, coeffs, n, accumulate);
+}
+
+#endif
+
+}  // namespace rapids::simd::detail

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file gf256_tables.hpp
+/// Internal: split-nibble multiplication tables shared by the SSSE3, AVX2,
+/// and NEON kernel translation units. For each coefficient c, lo[c][x] holds
+/// c*x for x in 0..15 and hi[c][x] holds c*(x << 4), so a full byte product
+/// is lo[c][b & 0xF] ^ hi[c][b >> 4]. 16-byte alignment lets the x86 TUs
+/// load each row with one aligned vector load (AVX2 broadcasts it to both
+/// lanes). 8 KiB total — L1-resident next to the stripes.
+///
+/// This header is included only by simd/*.cpp; it is not part of the public
+/// kernel API.
+
+#include <array>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids::simd::detail {
+
+struct NibbleTables {
+  alignas(16) std::array<std::array<u8, 16>, 256> lo;
+  alignas(16) std::array<std::array<u8, 16>, 256> hi;
+};
+
+/// Built once from the GF256 log/exp tables (thread-safe magic static).
+const NibbleTables& nibble_tables();
+
+/// Per-ISA implementations registered by their translation units. Each TU
+/// compiles real vector code only when its target feature macro is defined
+/// (the build adds -mssse3/-mavx2 on x86); otherwise the functions forward
+/// to scalar so the symbols always exist and dispatch stays trivial.
+void mul_acc_ssse3(u8* dst, const u8* src, std::size_t n, u8 c);
+void mul_to_ssse3(u8* dst, const u8* src, std::size_t n, u8 c);
+void xor_acc_ssse3(u8* dst, const u8* src, std::size_t n);
+void matrix_apply_ssse3(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                        const u8* coeffs, std::size_t n, bool accumulate);
+
+void mul_acc_avx2(u8* dst, const u8* src, std::size_t n, u8 c);
+void mul_to_avx2(u8* dst, const u8* src, std::size_t n, u8 c);
+void xor_acc_avx2(u8* dst, const u8* src, std::size_t n);
+void matrix_apply_avx2(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                       const u8* coeffs, std::size_t n, bool accumulate);
+
+void mul_acc_neon(u8* dst, const u8* src, std::size_t n, u8 c);
+void mul_to_neon(u8* dst, const u8* src, std::size_t n, u8 c);
+void xor_acc_neon(u8* dst, const u8* src, std::size_t n);
+void matrix_apply_neon(u8* const* dsts, u32 m, const u8* const* srcs, u32 k,
+                       const u8* coeffs, std::size_t n, bool accumulate);
+
+/// Scalar primitives (ground truth; also the tail path inside blocked
+/// drivers).
+void mul_acc_scalar(u8* dst, const u8* src, std::size_t n, u8 c);
+void mul_to_scalar(u8* dst, const u8* src, std::size_t n, u8 c);
+void xor_acc_scalar(u8* dst, const u8* src, std::size_t n);
+
+}  // namespace rapids::simd::detail

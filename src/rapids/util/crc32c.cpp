@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "rapids/simd/crc32c_hw.hpp"
+
 namespace rapids {
 
 namespace {
@@ -32,6 +34,10 @@ const Tables& tables() {
 }  // namespace
 
 u32 crc32c(const void* data, std::size_t size, u32 seed) {
+  // Hardware CRC32C (SSE4.2 / ARMv8) when present and not forced off; the
+  // instruction computes the identical reflected-Castagnoli polynomial, so
+  // checksums stay interchangeable across machines and with old data.
+  if (simd::crc32c_hw_active()) return simd::crc32c_hw(data, size, seed);
   const auto& tb = tables();
   const auto* p = static_cast<const unsigned char*>(data);
   u32 crc = ~seed;

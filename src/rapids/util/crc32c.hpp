@@ -2,9 +2,12 @@
 
 /// \file crc32c.hpp
 /// CRC-32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) used for
-/// fragment, WAL-record, and container-block integrity. Software slice-by-4
-/// table implementation; no hardware intrinsics so results are identical on
-/// every platform.
+/// fragment, WAL-record, and container-block integrity. Dispatches to the
+/// hardware CRC32C instruction (SSE4.2 on x86, ARMv8 CRC on AArch64) when
+/// the CPU has one, falling back to the software slice-by-4 tables. Both
+/// paths compute the same polynomial with the same inversion convention, so
+/// results are identical on every platform (RAPIDS_FORCE_SCALAR=1 pins the
+/// software path for debugging).
 
 #include <cstddef>
 #include <span>

@@ -357,6 +357,44 @@ TEST(ReedSolomon, CorruptFragmentDetected) {
   EXPECT_THROW(rs.decode(survivors), invariant_error);
 }
 
+TEST(ReedSolomon, DuplicateExtrasSkipped) {
+  // A duplicate index among the survivors is skipped, not fatal, as long as
+  // k distinct fragments remain.
+  const ReedSolomon rs(4, 2);
+  const auto data = random_payload(1000, 40);
+  auto frags = rs.encode(data, "obj", 0);
+  std::vector<Fragment> survivors = {frags[0], frags[0], frags[1], frags[2],
+                                     frags[3]};
+  EXPECT_EQ(rs.decode(survivors), data);
+  // Same with a parity fragment duplicated.
+  std::vector<Fragment> with_parity = {frags[4], frags[4], frags[0], frags[1],
+                                       frags[2]};
+  EXPECT_EQ(rs.decode(with_parity), data);
+}
+
+TEST(ReedSolomon, CorruptExtraSkipped) {
+  // A CRC-damaged fragment among extra survivors is skipped; decode proceeds
+  // on the k healthy ones.
+  const ReedSolomon rs(4, 2);
+  const auto data = random_payload(1000, 41);
+  auto frags = rs.encode(data, "obj", 0);
+  frags[1].payload[10] ^= 0xFF;  // damage without updating CRC
+  EXPECT_EQ(rs.decode(frags), data);
+  // Reconstruction also routes around the damage.
+  const Fragment rebuilt = rs.reconstruct_fragment(frags, 1);
+  EXPECT_TRUE(rebuilt.verify());
+}
+
+TEST(ReedSolomon, CorruptBeyondRepairStillThrows) {
+  // With only k survivors, damage leaves fewer than k healthy fragments.
+  const ReedSolomon rs(4, 2);
+  const auto data = random_payload(1000, 42);
+  auto frags = rs.encode(data, "obj", 0);
+  frags[2].payload[0] ^= 0x01;
+  std::vector<Fragment> survivors(frags.begin(), frags.begin() + 4);
+  EXPECT_THROW(rs.decode(survivors), invariant_error);
+}
+
 TEST(ReedSolomon, GeometryMismatchRejected) {
   const ReedSolomon rs4(4, 2);
   const ReedSolomon rs5(5, 2);
