@@ -1,0 +1,224 @@
+// Stage-overlapped batch pipeline throughput: serial prepare()/restore()
+// loops vs prepare_batch()/restore_batch() at 1/2/4/8 in-flight objects.
+//
+// Each mode runs the same object stream through a fresh cluster + metadata
+// store, so modes never contend on shared state and fragments/metadata are
+// produced from scratch every time. Reported: objects/sec and MB/s (input
+// field bytes) per phase.
+//
+// Usage: pipeline_throughput [output.json]
+//   Without an argument only the table is printed; with one, a JSON record
+//   is written for the perf trajectory (bench/run_benchmarks.sh →
+//   BENCH_pipeline.json).
+// Environment:
+//   RAPIDS_BENCH_THREADS  pool size (default max(hardware_concurrency, 4))
+//   RAPIDS_BENCH_OBJECTS  stream length (default 8)
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rapids/core/pipeline.hpp"
+#include "rapids/kvstore/db.hpp"
+#include "rapids/util/timer.hpp"
+
+namespace rapids::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct PhaseResult {
+  f64 seconds = 0.0;
+  f64 objects_per_sec = 0.0;
+  f64 mb_per_sec = 0.0;
+};
+
+struct ModeResult {
+  std::string mode;   // "serial" or "batch"
+  u32 in_flight = 1;  // batch window size (1 for serial)
+  PhaseResult prepare;
+  PhaseResult restore;
+};
+
+struct BenchObject {
+  std::string name;
+  mgard::Dims dims;
+  std::vector<f32> field;
+};
+
+core::PipelineConfig bench_config() {
+  core::PipelineConfig cfg;
+  cfg.refactor.decomp_levels = 3;
+  cfg.refactor.num_retrieval_levels = 4;
+  cfg.refactor.target_rel_errors = {4e-3, 5e-4, 6e-5, 1e-6};
+  cfg.aco.iterations = 20;
+  return cfg;
+}
+
+u64 env_u64(const char* name, u64 fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<u64>(std::strtoull(v, nullptr, 10));
+}
+
+PhaseResult phase(f64 seconds, u64 objects, u64 bytes) {
+  PhaseResult r;
+  r.seconds = seconds;
+  r.objects_per_sec = seconds > 0 ? static_cast<f64>(objects) / seconds : 0.0;
+  r.mb_per_sec = seconds > 0 ? static_cast<f64>(bytes) / 1e6 / seconds : 0.0;
+  return r;
+}
+
+/// Run the whole stream through a fresh pipeline. in_flight == 0 selects the
+/// serial prepare()/restore() loop; otherwise the stream is fed through
+/// prepare_batch()/restore_batch() in windows of `in_flight` objects.
+ModeResult run_mode(const std::vector<BenchObject>& stream, u32 in_flight,
+                    ThreadPool& pool) {
+  const auto dir =
+      (fs::temp_directory_path() /
+       ("rapids_bench_pipe_" + std::to_string(in_flight)))
+          .string();
+  fs::remove_all(dir);
+  storage::Cluster cluster(storage::ClusterConfig{16, 0.0, 42});
+  auto db = kv::Db::open(dir);
+  core::RapidsPipeline pipeline(cluster, *db, bench_config(), &pool);
+
+  u64 total_bytes = 0;
+  for (const auto& obj : stream) total_bytes += obj.field.size() * sizeof(f32);
+
+  ModeResult result;
+  result.mode = in_flight == 0 ? "serial" : "batch";
+  result.in_flight = in_flight == 0 ? 1 : in_flight;
+
+  Timer t;
+  if (in_flight == 0) {
+    for (const auto& obj : stream) pipeline.prepare(obj.field, obj.dims, obj.name);
+  } else {
+    for (std::size_t i = 0; i < stream.size(); i += in_flight) {
+      std::vector<core::PrepareRequest> window;
+      for (std::size_t j = i; j < stream.size() && j < i + in_flight; ++j)
+        window.push_back({stream[j].field, stream[j].dims, stream[j].name});
+      pipeline.prepare_batch(window);
+    }
+  }
+  result.prepare = phase(t.seconds(), stream.size(), total_bytes);
+
+  t.reset();
+  if (in_flight == 0) {
+    for (const auto& obj : stream) pipeline.restore(obj.name);
+  } else {
+    for (std::size_t i = 0; i < stream.size(); i += in_flight) {
+      std::vector<std::string> window;
+      for (std::size_t j = i; j < stream.size() && j < i + in_flight; ++j)
+        window.push_back(stream[j].name);
+      pipeline.restore_batch(window);
+    }
+  }
+  result.restore = phase(t.seconds(), stream.size(), total_bytes);
+
+  db.reset();
+  fs::remove_all(dir);
+  return result;
+}
+
+void write_json(const std::string& path, unsigned hw, unsigned pool_threads,
+                const std::vector<BenchObject>& stream,
+                const std::vector<ModeResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  u64 total_bytes = 0;
+  for (const auto& obj : stream) total_bytes += obj.field.size() * sizeof(f32);
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"context\": {\n");
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "    \"pool_threads\": %u,\n", pool_threads);
+  std::fprintf(f, "    \"objects\": %zu,\n", stream.size());
+  std::fprintf(f, "    \"total_input_bytes\": %llu\n",
+               static_cast<unsigned long long>(total_bytes));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    for (int p = 0; p < 2; ++p) {
+      const char* phase_name = p == 0 ? "prepare" : "restore";
+      const PhaseResult& ph = p == 0 ? r.prepare : r.restore;
+      std::fprintf(f, "    {\n");
+      std::fprintf(f, "      \"name\": \"%s_%s/in_flight:%u\",\n",
+                   phase_name, r.mode.c_str(), r.in_flight);
+      std::fprintf(f, "      \"mode\": \"%s\",\n", r.mode.c_str());
+      std::fprintf(f, "      \"phase\": \"%s\",\n", phase_name);
+      std::fprintf(f, "      \"in_flight\": %u,\n", r.in_flight);
+      std::fprintf(f, "      \"seconds\": %.6f,\n", ph.seconds);
+      std::fprintf(f, "      \"objects_per_sec\": %.4f,\n", ph.objects_per_sec);
+      std::fprintf(f, "      \"mb_per_sec\": %.4f\n", ph.mb_per_sec);
+      const bool last = i + 1 == results.size() && p == 1;
+      std::fprintf(f, "    }%s\n", last ? "" : ",");
+    }
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int run(int argc, char** argv) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned pool_threads = static_cast<unsigned>(
+      env_u64("RAPIDS_BENCH_THREADS", hw > 4 ? hw : 4));
+  const u64 num_objects = env_u64("RAPIDS_BENCH_OBJECTS", 8);
+  ThreadPool pool(pool_threads);
+
+  banner("Batch pipeline throughput",
+         "serial prepare()/restore() loop vs prepare_batch()/restore_batch() "
+         "windows over one object stream");
+  std::printf("hardware_concurrency=%u pool_threads=%u objects=%llu\n\n", hw,
+              pool_threads, static_cast<unsigned long long>(num_objects));
+
+  // One stream of distinct small objects (distinct seeds so refactoring does
+  // real, slightly different work per object).
+  const mgard::Dims dims{65, 65, 33};
+  std::vector<BenchObject> stream;
+  for (u64 i = 0; i < num_objects; ++i) {
+    BenchObject obj;
+    obj.name = "obj_" + std::to_string(i);
+    obj.dims = dims;
+    obj.field = data::hurricane_pressure(dims, 100 + i, &pool);
+    stream.push_back(std::move(obj));
+  }
+
+  std::vector<ModeResult> results;
+  results.push_back(run_mode(stream, 0, pool));  // serial baseline
+  for (u32 w : {1u, 2u, 4u, 8u}) results.push_back(run_mode(stream, w, pool));
+
+  const f64 serial_prep = results[0].prepare.objects_per_sec;
+  const f64 serial_rest = results[0].restore.objects_per_sec;
+  Table table({"mode", "in-flight", "prep s", "prep obj/s", "prep MB/s",
+               "prep vs serial", "rest s", "rest obj/s", "rest MB/s",
+               "rest vs serial"});
+  for (const auto& r : results) {
+    table.add_row(
+        {r.mode, std::to_string(r.in_flight), fmt("%.3f", r.prepare.seconds),
+         fmt("%.2f", r.prepare.objects_per_sec), fmt("%.2f", r.prepare.mb_per_sec),
+         fmt("%.2fx", serial_prep > 0 ? r.prepare.objects_per_sec / serial_prep : 0),
+         fmt("%.3f", r.restore.seconds), fmt("%.2f", r.restore.objects_per_sec),
+         fmt("%.2f", r.restore.mb_per_sec),
+         fmt("%.2fx", serial_rest > 0 ? r.restore.objects_per_sec / serial_rest : 0)});
+  }
+  table.print();
+
+  if (argc > 1) write_json(argv[1], hw, pool_threads, stream, results);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rapids::bench
+
+int main(int argc, char** argv) { return rapids::bench::run(argc, argv); }

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
-# Run the microbenchmark suite and emit BENCH_micro.json (google-benchmark's
-# JSON format) so the perf trajectory is tracked across PRs.
+# Run the benchmark suite: microbenchmarks → BENCH_micro.json (google-
+# benchmark's JSON format) and the batch-pipeline throughput bench →
+# BENCH_pipeline.json, so the perf trajectory is tracked across PRs.
 #
 # Usage: bench/run_benchmarks.sh [build_dir] [output.json] [benchmark args...]
 #   build_dir    defaults to ./build
-#   output.json  defaults to ./BENCH_micro.json
-# Extra args are forwarded to the benchmark binary, e.g.
+#   output.json  defaults to ./BENCH_micro.json (the pipeline bench writes
+#                BENCH_pipeline.json next to it)
+# Extra args are forwarded to the microbenchmark binary, e.g.
 #   bench/run_benchmarks.sh build BENCH_micro.json --benchmark_filter='Gf256|Rs'
 set -euo pipefail
 
@@ -26,3 +28,13 @@ fi
 
 echo
 echo "wrote $OUT"
+
+# Batch pipeline throughput: serial prepare/restore loop vs
+# prepare_batch/restore_batch at 1/2/4/8 in-flight objects.
+PIPE_BIN="$BUILD_DIR/bench/pipeline_throughput"
+PIPE_OUT="$(dirname "$OUT")/BENCH_pipeline.json"
+if [[ -x "$PIPE_BIN" ]]; then
+  "$PIPE_BIN" "$PIPE_OUT"
+else
+  echo "warning: $PIPE_BIN not found — skipping pipeline throughput" >&2
+fi

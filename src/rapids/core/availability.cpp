@@ -5,15 +5,32 @@
 
 namespace rapids::core {
 
+namespace {
+
+// std::lgamma writes the process-global `signgam`, a data race when FT
+// optimizations for different batch objects run concurrently. Use the
+// reentrant variant where available; the sign is irrelevant here because
+// every argument is >= 1 (gamma is positive).
+f64 lgamma_threadsafe(f64 x) {
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
+}  // namespace
+
 f64 binomial_pmf(u32 n, u32 i, f64 p) {
   RAPIDS_REQUIRE(i <= n);
   RAPIDS_REQUIRE(p >= 0.0 && p <= 1.0);
   if (p == 0.0) return i == 0 ? 1.0 : 0.0;
   if (p == 1.0) return i == n ? 1.0 : 0.0;
   // log-space for stability: C(n,i) p^i (1-p)^(n-i).
-  const f64 log_c = std::lgamma(static_cast<f64>(n) + 1.0) -
-                    std::lgamma(static_cast<f64>(i) + 1.0) -
-                    std::lgamma(static_cast<f64>(n - i) + 1.0);
+  const f64 log_c = lgamma_threadsafe(static_cast<f64>(n) + 1.0) -
+                    lgamma_threadsafe(static_cast<f64>(i) + 1.0) -
+                    lgamma_threadsafe(static_cast<f64>(n - i) + 1.0);
   return std::exp(log_c + i * std::log(p) + (n - i) * std::log1p(-p));
 }
 

@@ -1,9 +1,11 @@
 #include "rapids/core/pipeline.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "rapids/core/baselines.hpp"
 
+#include "rapids/parallel/thread_pool.hpp"
 #include "rapids/util/logging.hpp"
 #include "rapids/util/timer.hpp"
 
@@ -68,6 +70,34 @@ ec::ReedSolomon RapidsPipeline::codec_for(const ObjectRecord& record,
 
 PrepareReport RapidsPipeline::prepare(std::span<const f32> data,
                                       mgard::Dims dims, const std::string& name) {
+  return do_prepare(data, dims, name);
+}
+
+std::vector<PrepareReport> RapidsPipeline::prepare_batch(
+    std::span<const PrepareRequest> requests) {
+  std::vector<PrepareReport> reports(requests.size());
+  if (pool_ == nullptr || pool_->size() <= 1 || requests.size() <= 1) {
+    for (std::size_t i = 0; i < requests.size(); ++i)
+      reports[i] =
+          do_prepare(requests[i].data, requests[i].dims, requests[i].name);
+    return reports;
+  }
+  // One task per object: the pool's stealing overlaps object A's encode with
+  // object B's refactor while object C distributes fragments under io_mu_.
+  TaskGroup group(pool_);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    group.run([this, &requests, &reports, i] {
+      reports[i] =
+          do_prepare(requests[i].data, requests[i].dims, requests[i].name);
+    });
+  }
+  group.wait();
+  return reports;
+}
+
+PrepareReport RapidsPipeline::do_prepare(std::span<const f32> data,
+                                         mgard::Dims dims,
+                                         const std::string& name) {
   const u32 n = cluster_.size();
   PrepareReport report;
   Timer t;
@@ -93,29 +123,28 @@ PrepareReport RapidsPipeline::prepare(std::span<const f32> data,
                      "prepare: no FT configuration fits the overhead budget");
   report.optimize_seconds = t.seconds();
 
-  // 4) Erasure-code every level with its own configuration.
+  // 4) Erasure-code every level with its own configuration. Levels are
+  // independent, so each one's encode is forked as its own task — a second
+  // axis of parallelism on top of the intra-encode parallel_for.
   t.reset();
-  std::vector<std::vector<ec::Fragment>> per_level;
-  for (u32 j = 0; j < obj.levels.size(); ++j) {
+  std::vector<std::vector<ec::Fragment>> per_level(obj.levels.size());
+  const auto encode_level = [&](u32 j) {
     const u32 m = solution->m[j];
     const ec::ReedSolomon rs(n - m, m, config_.matrix_kind);
-    per_level.push_back(rs.encode(payload_u8(obj.levels[j].payload), name, j, pool_));
+    per_level[j] = rs.encode(payload_u8(obj.levels[j].payload), name, j, pool_);
+  };
+  if (pool_ != nullptr && pool_->size() > 1 && obj.levels.size() > 1) {
+    TaskGroup group(pool_);
+    for (u32 j = 0; j < obj.levels.size(); ++j)
+      group.run([&encode_level, j] { encode_level(j); });
+    group.wait();
+  } else {
+    for (u32 j = 0; j < obj.levels.size(); ++j) encode_level(j);
   }
   report.encode_seconds = t.seconds();
 
-  // 5) Distribute: one fragment of every level to every system.
-  t.reset();
-  for (u32 j = 0; j < per_level.size(); ++j) {
-    for (u32 idx = 0; idx < per_level[j].size(); ++idx) {
-      const u32 sys = storage::place_fragment(config_.placement, n, j, idx);
-      cluster_.system(sys).put(per_level[j][idx]);
-      db_.put(per_level[j][idx].id.key(), std::to_string(sys));
-      ++report.fragments_stored;
-    }
-  }
-  report.store_seconds = t.seconds();
-
-  // 6) Persist the object record.
+  // Build and serialize the object record before taking the lock: only the
+  // actual stores below need to be serialized against other batch objects.
   ObjectRecord record;
   record.meta = obj;
   record.ft = solution->m;
@@ -124,9 +153,32 @@ PrepareReport RapidsPipeline::prepare(std::span<const f32> data,
   record.matrix_kind = config_.matrix_kind;
   record.placement = config_.placement;
   const Bytes record_bytes = record.serialize();
-  db_.put(object_key(name),
-          std::string(reinterpret_cast<const char*>(record_bytes.data()),
-                      record_bytes.size()));
+
+  // 5-6) Distribute one fragment of every level to every system and persist
+  // the object record. Shared-state stage: cluster and metadata store are
+  // not thread-safe, so it runs under io_mu_ (and never touches the pool
+  // while holding it). Fragment locations go to the store as one batch per
+  // level instead of one put per fragment.
+  t.reset();
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    std::vector<std::pair<std::string, std::string>> locations;
+    for (u32 j = 0; j < per_level.size(); ++j) {
+      locations.clear();
+      locations.reserve(per_level[j].size());
+      for (u32 idx = 0; idx < per_level[j].size(); ++idx) {
+        const u32 sys = storage::place_fragment(config_.placement, n, j, idx);
+        cluster_.system(sys).put(per_level[j][idx]);
+        locations.emplace_back(per_level[j][idx].id.key(), std::to_string(sys));
+        ++report.fragments_stored;
+      }
+      db_.put_batch(locations);
+    }
+    db_.put(object_key(name),
+            std::string(reinterpret_cast<const char*>(record_bytes.data()),
+                        record_bytes.size()));
+  }
+  report.store_seconds = t.seconds();
 
   report.expected_error = solution->expected_error;
   report.storage_overhead = solution->storage_overhead;
@@ -201,23 +253,50 @@ GatherPlan RapidsPipeline::plan_gather(const GatherProblem& problem) const {
 }
 
 RestoreReport RapidsPipeline::restore(const std::string& name) {
-  const auto record = lookup(name);
-  RAPIDS_REQUIRE_MSG(record.has_value(), "restore: unknown object " + name);
+  return do_restore(name);
+}
+
+std::vector<RestoreReport> RapidsPipeline::restore_batch(
+    std::span<const std::string> names) {
+  std::vector<RestoreReport> reports(names.size());
+  if (pool_ == nullptr || pool_->size() <= 1 || names.size() <= 1) {
+    for (std::size_t i = 0; i < names.size(); ++i)
+      reports[i] = do_restore(names[i]);
+    return reports;
+  }
+  // One task per object: planning, decode, and reconstruction overlap across
+  // objects; the fetch stage serializes internally on io_mu_.
+  TaskGroup group(pool_);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    group.run([this, &names, &reports, i] { reports[i] = do_restore(names[i]); });
+  }
+  group.wait();
+  return reports;
+}
+
+RestoreReport RapidsPipeline::do_restore(const std::string& name) {
   const u32 n = cluster_.size();
 
   RestoreReport report;
 
   // Build the gathering problem from current availability; bandwidths come
   // from the learned tracker when adaptation is on (paper Section 4.3).
+  // Metadata lookup + availability/bandwidth snapshot touch shared state.
+  std::optional<ObjectRecord> record;
   GatherProblem problem;
-  problem.n = n;
-  problem.m = record->ft;
-  problem.level_sizes = record->level_sizes;
-  problem.bandwidths =
-      config_.adapt_bandwidth ? tracker().estimates() : cluster_.bandwidths();
-  problem.available.resize(n);
-  for (u32 i = 0; i < n; ++i)
-    problem.available[i] = cluster_.system(i).available();
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    record = lookup(name);
+    RAPIDS_REQUIRE_MSG(record.has_value(), "restore: unknown object " + name);
+    problem.n = n;
+    problem.m = record->ft;
+    problem.level_sizes = record->level_sizes;
+    problem.bandwidths =
+        config_.adapt_bandwidth ? tracker().estimates() : cluster_.bandwidths();
+    problem.available.resize(n);
+    for (u32 i = 0; i < n; ++i)
+      problem.available[i] = cluster_.system(i).available();
+  }
 
   // Plan + fetch, replanning (bounded) when a planned fragment is missing or
   // damaged: the offending system is treated as unavailable and the
@@ -233,43 +312,62 @@ RestoreReport RapidsPipeline::restore(const std::string& name) {
     }
     report.rel_error_bound = record->meta.rel_error_bound(report.levels_used);
 
-    report.plan = plan_gather(problem);
+    report.plan = plan_gather(problem);  // pure: runs outside the lock
     report.planning_seconds += report.plan.planning_seconds;
     report.gather_latency = report.plan.latency;
 
     // Fetch the planned fragments (real bytes; the WAN time above is the
-    // simulated clock for those very transfers).
+    // simulated clock for those very transfers). Shared-state stage: the
+    // location scans and cluster reads run under io_mu_; decoding happens
+    // after the lock drops.
     t.reset();
     payloads.clear();
     std::optional<u32> bad_system;
-    for (u32 j = 0; j < report.levels_used && !bad_system; ++j) {
-      const auto locations = fragment_locations(name, j);
-      std::vector<ec::Fragment> frags;
-      for (u32 sys : report.plan.systems_per_level[j]) {
-        const auto loc = locations.find(sys);
-        if (loc == locations.end()) {
-          log::warn("pipeline", "no level-", j, " fragment recorded on system ",
-                    sys, "; replanning");
-          bad_system = sys;
-          break;
+    std::vector<std::vector<ec::Fragment>> level_frags(report.levels_used);
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      for (u32 j = 0; j < report.levels_used && !bad_system; ++j) {
+        const auto locations = fragment_locations(name, j);
+        for (u32 sys : report.plan.systems_per_level[j]) {
+          const auto loc = locations.find(sys);
+          if (loc == locations.end()) {
+            log::warn("pipeline", "no level-", j, " fragment recorded on system ",
+                      sys, "; replanning");
+            bad_system = sys;
+            break;
+          }
+          const u32 idx = loc->second;
+          auto frag = cluster_.system(sys).get(ec::FragmentId{name, j, idx}.key());
+          if (!frag || !frag->verify()) {
+            log::warn("pipeline", "fragment ", name, "/", j, "/", idx,
+                      " missing or damaged on system ", sys, "; replanning");
+            bad_system = sys;
+            break;
+          }
+          level_frags[j].push_back(std::move(*frag));
         }
-        const u32 idx = loc->second;
-        auto frag = cluster_.system(sys).get(ec::FragmentId{name, j, idx}.key());
-        if (!frag || !frag->verify()) {
-          log::warn("pipeline", "fragment ", name, "/", j, "/", idx,
-                    " missing or damaged on system ", sys, "; replanning");
-          bad_system = sys;
-          break;
-        }
-        frags.push_back(std::move(*frag));
       }
-      if (bad_system) break;
-      const ec::ReedSolomon rs = codec_for(*record, j);
-      const std::vector<u8> level = rs.decode(frags, pool_);
-      const auto* p = reinterpret_cast<const std::byte*>(level.data());
-      payloads.emplace_back(p, p + level.size());
     }
-    if (!bad_system) break;
+    if (!bad_system) {
+      // Decode every fetched level; levels are independent, so each one is
+      // forked as its own task when a pool is available.
+      payloads.resize(report.levels_used);
+      const auto decode_level = [&](u32 j) {
+        const ec::ReedSolomon rs = codec_for(*record, j);
+        const std::vector<u8> level = rs.decode(level_frags[j], pool_);
+        const auto* p = reinterpret_cast<const std::byte*>(level.data());
+        payloads[j] = Bytes(p, p + level.size());
+      };
+      if (pool_ != nullptr && pool_->size() > 1 && report.levels_used > 1) {
+        TaskGroup group(pool_);
+        for (u32 j = 0; j < report.levels_used; ++j)
+          group.run([&decode_level, j] { decode_level(j); });
+        group.wait();
+      } else {
+        for (u32 j = 0; j < report.levels_used; ++j) decode_level(j);
+      }
+      break;
+    }
     problem.available[*bad_system] = false;
     RAPIDS_REQUIRE_MSG(attempt < n, "restore: replanning did not converge");
   }
@@ -279,9 +377,10 @@ RestoreReport RapidsPipeline::restore(const std::string& name) {
   // tracker so later plans adapt to bandwidth changes.
   if (config_.adapt_bandwidth) {
     const auto transfers = plan_transfers(problem, report.plan.systems_per_level);
-    const auto times = net::equal_share_times(transfers, cluster_.bandwidths());
     std::vector<u32> load(n, 0);
     for (const auto& tr : transfers) load[tr.system] += 1;
+    std::lock_guard<std::mutex> lock(io_mu_);
+    const auto times = net::equal_share_times(transfers, cluster_.bandwidths());
     for (std::size_t i = 0; i < transfers.size(); ++i) {
       // Undo the contention share so the observation estimates the nominal
       // endpoint bandwidth, not this plan's slice of it.
@@ -321,7 +420,9 @@ void RapidsPipeline::repair_fragment(const std::string& name, u32 level,
                      "repair: not enough surviving fragments");
   ec::Fragment rebuilt = rs.reconstruct_fragment(survivors, index, pool_);
   cluster_.system(target_system).put(rebuilt);
-  db_.put(rebuilt.id.key(), std::to_string(target_system));
+  const std::pair<std::string, std::string> location{
+      rebuilt.id.key(), std::to_string(target_system)};
+  db_.put_batch({&location, 1});
 }
 
 std::vector<std::string> RapidsPipeline::list_objects() const {
@@ -397,6 +498,7 @@ u32 RapidsPipeline::evacuate_system(const std::string& name, u32 system) {
   RAPIDS_REQUIRE(system < n);
 
   u32 moved = 0;
+  std::vector<std::pair<std::string, std::string>> new_locations;
   for (u32 level = 0; level < record->ft.size(); ++level) {
     const auto locations = fragment_locations(name, level);
     const auto loc = locations.find(system);
@@ -428,9 +530,12 @@ u32 RapidsPipeline::evacuate_system(const std::string& name, u32 system) {
       repair_fragment(name, level, idx, target);
     }
     cluster_.system(system).erase(key);
-    db_.put(key, std::to_string(target));
+    new_locations.emplace_back(key, std::to_string(target));
     ++moved;
   }
+  // One metadata batch for the whole evacuation. (The repair fallback above
+  // already wrote the same key -> target, so the batch only confirms it.)
+  db_.put_batch(new_locations);
   return moved;
 }
 

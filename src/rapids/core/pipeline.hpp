@@ -16,7 +16,9 @@
 /// between prepare and restore and examples can persist across runs.
 
 #include <map>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -78,6 +80,14 @@ struct PrepareReport {
   u64 fragments_stored = 0;
 };
 
+/// One object of a prepare_batch(): the caller keeps `data` alive until the
+/// batch returns.
+struct PrepareRequest {
+  std::span<const f32> data;
+  mgard::Dims dims;
+  std::string name;
+};
+
 /// restore() outcome + instrumentation.
 struct RestoreReport {
   std::vector<f32> data;        ///< reconstructed field (empty if nothing recoverable)
@@ -102,11 +112,29 @@ class RapidsPipeline {
   PrepareReport prepare(std::span<const f32> data, mgard::Dims dims,
                         const std::string& name);
 
+  /// Prepare a batch of objects with their stages overlapped: each object is
+  /// one task on the pool, so object B refactors while object A erasure-codes
+  /// and object C's fragments distribute. Compute stages (refactor, FT
+  /// optimization, per-level encode) run concurrently across objects; the
+  /// shared stage (cluster stores + metadata writes) is serialized internally,
+  /// with fragment locations batched per level. Results are byte-identical to
+  /// an equivalent serial prepare() loop. Reports come back in request order;
+  /// the first failure (if any) is rethrown after all objects settle.
+  /// Falls back to the serial loop when no pool was injected.
+  std::vector<PrepareReport> prepare_batch(std::span<const PrepareRequest> requests);
+
   /// Full data-restoration phase under the cluster's *current* availability.
   /// If a planned fragment turns out missing or damaged, the affected system
   /// is excluded and the gathering is replanned (bounded retries) instead of
   /// failing the restore.
   RestoreReport restore(const std::string& name);
+
+  /// Restore a batch of objects concurrently (one task per object; planning,
+  /// erasure decode, and reconstruction overlap across objects, while the
+  /// metadata/fragment fetch stage is serialized internally). Safe to run
+  /// concurrently with prepare_batch on the same pipeline. Reconstructed data
+  /// is byte-identical to serial restore() calls. Reports in request order.
+  std::vector<RestoreReport> restore_batch(std::span<const std::string> names);
 
   /// The pipeline's current per-system bandwidth estimates: the tracker's
   /// learned values when adapt_bandwidth is on, else the cluster's.
@@ -153,6 +181,14 @@ class RapidsPipeline {
   u64 age_object(const std::string& name, u32 keep_levels);
 
  private:
+  /// Single-object bodies shared by the serial and batch entry points. The
+  /// compute stages run lock-free; every touch of shared state (cluster
+  /// stores/fetches, metadata reads/writes, the bandwidth tracker) happens
+  /// under io_mu_. Invariant: code holding io_mu_ never calls into the pool
+  /// (a helping waiter could steal a task that needs the same lock).
+  PrepareReport do_prepare(std::span<const f32> data, mgard::Dims dims,
+                           const std::string& name);
+  RestoreReport do_restore(const std::string& name);
   ec::ReedSolomon codec_for(const ObjectRecord& record, u32 level) const;
   net::BandwidthTracker& tracker();
   void persist_tracker();
@@ -167,6 +203,9 @@ class RapidsPipeline {
   PipelineConfig config_;
   ThreadPool* pool_;
   std::optional<net::BandwidthTracker> tracker_;
+  /// Serializes shared-state stages when batch objects run concurrently.
+  /// Maintenance APIs (repair, scrub, evacuate, age) remain serial-only.
+  std::mutex io_mu_;
 };
 
 }  // namespace rapids::core

@@ -65,6 +65,18 @@ void Db::put(const std::string& key, const std::string& value) {
   maybe_flush();
 }
 
+void Db::put_batch(
+    std::span<const std::pair<std::string, std::string>> entries) {
+  if (entries.empty()) return;
+  for (const auto& [key, value] : entries) {
+    (void)value;
+    RAPIDS_REQUIRE_MSG(!key.empty(), "Db::put_batch: empty key");
+  }
+  wal_->append_batch(entries);
+  for (const auto& [key, value] : entries) memtable_.put(key, value);
+  maybe_flush();
+}
+
 void Db::del(const std::string& key) {
   wal_->append(WalOp::kDelete, key, "");
   memtable_.del(key);

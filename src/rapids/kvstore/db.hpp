@@ -42,6 +42,12 @@ class Db : public KvStore {
   /// Insert or overwrite. May trigger a flush/compaction.
   void put(const std::string& key, const std::string& value) override;
 
+  /// Batched insert: all entries go to the WAL as one buffered write (one
+  /// flush barrier for N entries) and the flush/compaction check runs once
+  /// at the end. Equivalent to N put() calls for every read that follows.
+  void put_batch(
+      std::span<const std::pair<std::string, std::string>> entries) override;
+
   /// Delete (tombstone).
   void del(const std::string& key) override;
 

@@ -8,7 +8,9 @@
 /// model without touching the pipeline.
 
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rapids::kv {
@@ -20,6 +22,15 @@ class KvStore {
 
   /// Insert or overwrite.
   virtual void put(const std::string& key, const std::string& value) = 0;
+
+  /// Insert or overwrite a batch of entries. Implementations may group the
+  /// batch into a single durability barrier (one WAL append / flush for all
+  /// N entries) instead of one per entry — the pipeline writes all fragment
+  /// locations of one level this way. Default: loop over put().
+  virtual void put_batch(
+      std::span<const std::pair<std::string, std::string>> entries) {
+    for (const auto& [key, value] : entries) put(key, value);
+  }
 
   /// Delete (absent keys are a no-op).
   virtual void del(const std::string& key) = 0;

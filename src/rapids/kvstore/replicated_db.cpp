@@ -93,6 +93,20 @@ void ReplicatedDb::put(const std::string& key, const std::string& value) {
   write_versioned(key, Versioned{next_seq_++, false, value}, "put");
 }
 
+void ReplicatedDb::put_batch(
+    std::span<const std::pair<std::string, std::string>> entries) {
+  if (entries.empty()) return;
+  const auto up = up_replicas();
+  if (up.size() < write_quorum_)
+    throw quorum_error("put_batch: only " + std::to_string(up.size()) + " of " +
+                       std::to_string(write_quorum_) + " required replicas up");
+  std::vector<std::pair<std::string, std::string>> encoded;
+  encoded.reserve(entries.size());
+  for (const auto& [key, value] : entries)
+    encoded.emplace_back(key, encode(Versioned{next_seq_++, false, value}));
+  for (u32 i : up) replicas_[i]->put_batch(encoded);
+}
+
 void ReplicatedDb::del(const std::string& key) {
   write_versioned(key, Versioned{next_seq_++, true, ""}, "del");
 }

@@ -57,6 +57,12 @@ class ReplicatedDb : public KvStore {
   /// Quorum write. Throws quorum_error if fewer than W replicas are up.
   void put(const std::string& key, const std::string& value) override;
 
+  /// Quorum batch write: every entry gets its own sequence number, but each
+  /// up replica receives the whole batch as one Db::put_batch (one WAL
+  /// barrier per replica per batch instead of per entry).
+  void put_batch(
+      std::span<const std::pair<std::string, std::string>> entries) override;
+
   /// Quorum delete (sequenced tombstone).
   void del(const std::string& key) override;
 

@@ -19,6 +19,14 @@ Bytes encode_body(WalOp op, std::string_view key, std::string_view value) {
   return w.take();
 }
 
+void frame_record(ByteWriter& out, WalOp op, std::string_view key,
+                  std::string_view value) {
+  const Bytes body = encode_body(op, key, value);
+  out.put_u32(crc32c(as_bytes_view(body)));
+  out.put_u32(static_cast<u32>(body.size()));
+  out.put_raw(as_bytes_view(body));
+}
+
 }  // namespace
 
 WalWriter::WalWriter(const std::string& path) : path_(path) {
@@ -31,14 +39,27 @@ WalWriter::~WalWriter() {
 }
 
 void WalWriter::append(WalOp op, std::string_view key, std::string_view value) {
-  const Bytes body = encode_body(op, key, value);
-  ByteWriter frame(body.size() + 8);
-  frame.put_u32(crc32c(as_bytes_view(body)));
-  frame.put_u32(static_cast<u32>(body.size()));
-  frame.put_raw(as_bytes_view(body));
+  ByteWriter frame(key.size() + value.size() + 24);
+  frame_record(frame, op, key, value);
   const Bytes& buf = frame.bytes();
   if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size())
     throw io_error("WAL: short append to " + path_);
+  std::fflush(file_);
+  bytes_written_ += buf.size();
+}
+
+void WalWriter::append_batch(
+    std::span<const std::pair<std::string, std::string>> entries) {
+  if (entries.empty()) return;
+  u64 total = 0;
+  for (const auto& [key, value] : entries)
+    total += key.size() + value.size() + 24;
+  ByteWriter frames(total);
+  for (const auto& [key, value] : entries)
+    frame_record(frames, WalOp::kPut, key, value);
+  const Bytes& buf = frames.bytes();
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size())
+    throw io_error("WAL: short batch append to " + path_);
   std::fflush(file_);
   bytes_written_ += buf.size();
 }

@@ -9,7 +9,9 @@
 #include <cstdio>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
+#include <utility>
 
 #include "rapids/util/common.hpp"
 
@@ -38,6 +40,13 @@ class WalWriter {
   /// durability is out of scope for the simulation, but torn-tail handling
   /// is still exercised by the recovery tests).
   void append(WalOp op, std::string_view key, std::string_view value);
+
+  /// Append a batch of puts as one write: every entry is individually
+  /// CRC-framed (replay-compatible with append()), but the frames are
+  /// concatenated into a single buffer and hit the file with one
+  /// fwrite+fflush instead of N — the durability barrier is paid once per
+  /// batch. A torn tail mid-batch loses only the suffix, as with N appends.
+  void append_batch(std::span<const std::pair<std::string, std::string>> entries);
 
   /// Truncate the log to empty (after a successful memtable flush).
   void reset();

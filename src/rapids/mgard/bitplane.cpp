@@ -1,6 +1,7 @@
 #include "rapids/mgard/bitplane.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstring>
 
@@ -63,19 +64,32 @@ class BitWriter {
 
   /// Finalize and take the buffer (byte-padded with zeros).
   Bytes take() {
-    while (fill_ > 0) {
-      buf_.push_back(static_cast<std::byte>(acc_ & 0xFF));
-      acc_ >>= 8;
-      fill_ = fill_ > 8 ? fill_ - 8 : 0;
+    if (fill_ > 0) {
+      const u64 word = host_to_le(acc_);
+      const std::size_t tail = (fill_ + 7) / 8;
+      const std::size_t off = buf_.size();
+      buf_.resize(off + tail);
+      std::memcpy(buf_.data() + off, &word, tail);
+      acc_ = 0;
+      fill_ = 0;
     }
-    acc_ = 0;
     return std::move(buf_);
   }
 
  private:
+  /// The stream is LSB-first within bytes, i.e. the accumulator's
+  /// little-endian image; swap on big-endian hosts so one memcpy emits it.
+  static u64 host_to_le(u64 v) {
+    if constexpr (std::endian::native == std::endian::big)
+      return __builtin_bswap64(v);
+    return v;
+  }
+
   void flush_word() {
-    for (u32 i = 0; i < 8; ++i)
-      buf_.push_back(static_cast<std::byte>((acc_ >> (8 * i)) & 0xFF));
+    const u64 word = host_to_le(acc_);
+    const std::size_t off = buf_.size();
+    buf_.resize(off + 8);
+    std::memcpy(buf_.data() + off, &word, 8);
     acc_ = 0;
     fill_ = 0;
   }

@@ -33,10 +33,19 @@ void for_each_line(Dims dims, u32 axis, ThreadPool* pool, const Body& body) {
   }
   const u64 num_lines = o1 * o2;
   auto run = [&](u64 lo, u64 hi) {
+    // One div/mod to seed the (a, b) coordinates at `lo`, then step them
+    // incrementally — the quotient/remainder per line was the hot spot.
+    u64 a = lo % o1;
+    u64 b = lo / o1;
+    u64 base = a * s1 + b * s2;
     for (u64 li = lo; li < hi; ++li) {
-      const u64 a = li % o1;
-      const u64 b = li / o1;
-      body(a * s1 + b * s2, stride, len);
+      body(base, stride, len);
+      if (++a == o1) {
+        a = 0;
+        base = ++b * s2;
+      } else {
+        base += s1;
+      }
     }
   };
   if (pool != nullptr && num_lines > 1) {

@@ -1,0 +1,121 @@
+#pragma once
+
+/// \file task.hpp
+/// Small-buffer-optimized move-only callable — the executor's task type.
+/// `std::function` heap-allocates for any capturing lambda and requires
+/// copyability; submitting one task per pipeline stage per object would pay
+/// one allocation each. Task stores callables up to kInlineBytes inline
+/// (covering every closure the executor itself creates) and falls back to a
+/// single heap cell for larger or throwing-move callables. Move-only
+/// callables (e.g. std::packaged_task) are accepted.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "rapids/util/common.hpp"
+
+namespace rapids {
+
+class Task {
+ public:
+  /// Inline capacity. Sized for the executor's own closures (a few pointers
+  /// plus a small state block); anything bigger goes to the heap.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Task() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Task>>>
+  Task(F&& fn) {  // NOLINT(google-explicit-constructor): intentional sink
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      vtable_ = &InlineOps<Fn>::vtable;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      vtable_ = &HeapOps<Fn>::vtable;
+    }
+  }
+
+  Task(Task&& other) noexcept : vtable_(other.vtable_) {
+    if (vtable_ != nullptr) vtable_->relocate(storage_, other.storage_);
+    other.vtable_ = nullptr;
+  }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vtable_ = other.vtable_;
+      if (vtable_ != nullptr) vtable_->relocate(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { reset(); }
+
+  explicit operator bool() const noexcept { return vtable_ != nullptr; }
+
+  /// True if the callable lives in the inline buffer (introspection for
+  /// tests; the answer is a property of the callable's type).
+  bool is_inline() const noexcept {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
+
+  void operator()() {
+    RAPIDS_REQUIRE_MSG(vtable_ != nullptr, "Task: invoking an empty task");
+    vtable_->invoke(storage_);
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src) noexcept;  // move-construct + destroy src
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  struct InlineOps {
+    static Fn* self(void* s) noexcept { return std::launder(reinterpret_cast<Fn*>(s)); }
+    static void invoke(void* s) { (*self(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn(std::move(*self(src)));
+      self(src)->~Fn();
+    }
+    static void destroy(void* s) noexcept { self(s)->~Fn(); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy, true};
+  };
+
+  template <typename Fn>
+  struct HeapOps {
+    static Fn* self(void* s) noexcept {
+      return *std::launder(reinterpret_cast<Fn**>(s));
+    }
+    static void invoke(void* s) { (*self(s))(); }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) Fn*(self(src));
+    }
+    static void destroy(void* s) noexcept { delete self(s); }
+    static constexpr VTable vtable{&invoke, &relocate, &destroy, false};
+  };
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
+
+}  // namespace rapids

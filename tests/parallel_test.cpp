@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "rapids/parallel/thread_pool.hpp"
@@ -149,6 +152,140 @@ TEST(ParallelFor, SingleThreadPoolStillWorks) {
   std::vector<int> hits(100, 0);
   pool.parallel_for(0, hits.size(), [&](u64 i) { hits[i] += 1; });
   EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 100);
+}
+
+TEST(Task, SmallCallableStaysInline) {
+  int x = 0;
+  Task small([&x] { x = 7; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(Task, LargeCallableGoesToHeap) {
+  std::array<char, 128> big{};
+  big[0] = 3;
+  int out = 0;
+  Task large([big, &out] { out = big[0]; });
+  EXPECT_FALSE(large.is_inline());
+  large();
+  EXPECT_EQ(out, 3);
+}
+
+TEST(Task, MoveTransfersCallable) {
+  int calls = 0;
+  Task a([&calls] { ++calls; });
+  Task b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  Task c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Task, MoveOnlyCallableAccepted) {
+  auto p = std::make_unique<int>(5);
+  int out = 0;
+  Task t([p = std::move(p), &out] { out = *p; });
+  t();
+  EXPECT_EQ(out, 5);
+}
+
+TEST(TaskGroup, WaitJoinsAllForkedTasks) {
+  ThreadPool pool(4);
+  TaskGroup group(&pool);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 64; ++i) group.run([&count] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 64);
+  // Reusable after wait().
+  group.run([&count] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 65);
+}
+
+TEST(TaskGroup, WaitRethrowsFirstException) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i)
+    group.run([&ran, i] {
+      if (i == 3) throw std::runtime_error("forked failure");
+      ran.fetch_add(1);
+    });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // The non-throwing siblings all still ran.
+  EXPECT_EQ(ran.load(), 7);
+}
+
+TEST(TaskGroup, NestedGroupsInsideTasksComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> leaves{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 4; ++i)
+    outer.run([&pool, &leaves] {
+      // Fork/join from inside a pool task: the waiter must help, not block.
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 8; ++j) inner.run([&leaves] { leaves.fetch_add(1); });
+      inner.wait();
+    });
+  outer.wait();
+  EXPECT_EQ(leaves.load(), 32);
+}
+
+// Regression: a task submitted to the pool that itself runs parallel_for on
+// the same pool must complete even when every worker is occupied by such a
+// task — waiters cooperatively execute pending chunks instead of blocking.
+TEST(ThreadPool, NestedParallelForInsideSubmittedTaskDoesNotDeadlock) {
+  for (unsigned workers : {1u, 2u, 4u}) {
+    ThreadPool pool(workers);
+    std::atomic<u64> total{0};
+    std::vector<std::future<void>> futs;
+    for (unsigned t = 0; t < 2 * workers; ++t)
+      futs.push_back(pool.submit([&pool, &total] {
+        pool.parallel_for(0, 500,
+                          [&total](u64) { total.fetch_add(1, std::memory_order_relaxed); });
+      }));
+    for (auto& f : futs) f.get();
+    EXPECT_EQ(total.load(), 2 * workers * 500u) << "workers=" << workers;
+  }
+}
+
+TEST(ThreadPool, StealingOccursUnderImbalance) {
+  ThreadPool pool(4);
+  // Pin a burst of work onto one worker's deque: a single submitted task
+  // forks many children, which land LIFO on its own queue — the only way the
+  // other three workers can make progress is by stealing.
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  pool.submit([&] {
+      for (int i = 0; i < 256; ++i)
+        group.run([&count] {
+          count.fetch_add(1);
+          // A little work so the forker does not drain its own queue first.
+          volatile u64 x = 0;
+          for (u64 k = 0; k < 20000; ++k) x = x + k;
+        });
+    }).get();
+  group.wait();
+  EXPECT_EQ(count.load(), 256);
+  EXPECT_GT(pool.steal_count(), 0u);
+}
+
+TEST(ThreadPool, TryRunOneDrainsQueuedWork) {
+  ThreadPool pool(1);
+  // Saturate the single worker so at least one queued task is observable
+  // from the outside, then help from the calling thread.
+  std::atomic<int> count{0};
+  TaskGroup group(&pool);
+  for (int i = 0; i < 32; ++i) group.run([&count] { count.fetch_add(1); });
+  while (count.load() < 32)
+    if (!pool.try_run_one()) std::this_thread::yield();
+  group.wait();
+  EXPECT_EQ(count.load(), 32);
+  EXPECT_FALSE(pool.on_worker_thread());
 }
 
 TEST(GlobalPool, ConvenienceWrappersWork) {

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <utility>
+#include <vector>
 
 #include "rapids/kvstore/replicated_db.hpp"
 
@@ -53,6 +55,28 @@ TEST_F(ReplicatedDbTest, WritesLandOnAllUpReplicas) {
   db->put("k", "v");
   for (u32 i = 0; i < 3; ++i)
     EXPECT_TRUE(db->replica(i).get("k").has_value()) << "replica " << i;
+}
+
+TEST_F(ReplicatedDbTest, PutBatchLandsOnAllUpReplicas) {
+  auto db = ReplicatedDb::open(prefix_, 3, 2, 2);
+  const std::vector<std::pair<std::string, std::string>> entries = {
+      {"frag/a/0/0", "3"}, {"frag/a/0/1", "7"}, {"frag/a/0/2", "11"}};
+  db->put_batch(entries);
+  for (const auto& [k, v] : entries) {
+    EXPECT_EQ(db->get(k).value(), v);
+    for (u32 i = 0; i < 3; ++i)
+      EXPECT_TRUE(db->replica(i).get(k).has_value()) << "replica " << i;
+  }
+}
+
+TEST_F(ReplicatedDbTest, PutBatchRespectsWriteQuorum) {
+  auto db = ReplicatedDb::open(prefix_, 3, 2, 2);
+  db->set_replica_up(0, false);
+  const std::vector<std::pair<std::string, std::string>> entries = {{"k", "v"}};
+  db->put_batch(entries);  // 2 of 3 still satisfies W = 2
+  EXPECT_EQ(db->get("k").value(), "v");
+  db->set_replica_up(1, false);
+  EXPECT_THROW(db->put_batch(entries), quorum_error);
 }
 
 TEST_F(ReplicatedDbTest, SurvivesMinorityOutage) {
