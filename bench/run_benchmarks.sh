@@ -38,3 +38,14 @@ if [[ -x "$PIPE_BIN" ]]; then
 else
   echo "warning: $PIPE_BIN not found — skipping pipeline throughput" >&2
 fi
+
+# Chaos resilience: restore throughput, simulated gather-latency p50/p99, and
+# achieved-vs-reported error bound at 0/5/15% transient get-failure rates and
+# under a straggler profile, each with hedged reads on and off.
+CHAOS_BIN="$BUILD_DIR/bench/chaos_resilience"
+CHAOS_OUT="$(dirname "$OUT")/BENCH_chaos.json"
+if [[ -x "$CHAOS_BIN" ]]; then
+  "$CHAOS_BIN" "$CHAOS_OUT"
+else
+  echo "warning: $CHAOS_BIN not found — skipping chaos resilience" >&2
+fi

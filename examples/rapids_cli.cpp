@@ -143,7 +143,23 @@ int cmd_restore(int argc, char** argv) {
                                flat + ".frag";
       if (!std::filesystem::exists(path)) continue;
       const auto raw = read_file(path);
-      ws.cluster->system(sys).put(ec::Fragment::deserialize(as_bytes_view(raw)));
+      ec::Fragment frag;
+      try {
+        frag = ec::Fragment::deserialize(as_bytes_view(raw));
+      } catch (const io_error&) {
+        // Damaged container (bad magic / truncated header): register a
+        // CRC-mismatched placeholder under the recorded id so restore sees
+        // detectable damage and replans/repairs, instead of dying here.
+        const std::string rel = key.substr(5);  // strip "frag/"
+        const auto last = rel.rfind('/');
+        const auto prev = rel.rfind('/', last - 1);
+        frag.id = ec::FragmentId{
+            rel.substr(0, prev),
+            static_cast<u32>(std::stoul(rel.substr(prev + 1, last - prev - 1))),
+            static_cast<u32>(std::stoul(rel.substr(last + 1)))};
+        frag.payload_crc = ~ec::fragment_crc(frag.payload);
+      }
+      ws.cluster->system(sys).put(frag);
     }
   }
 

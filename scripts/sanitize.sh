@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Sanitizer sweep over the concurrency- and fault-sensitive test suites.
+#
+# Two build trees (ASan+UBSan and TSan cannot share one binary):
+#   build-asan : -DRAPIDS_SANITIZE=address,undefined
+#   build-tsan : -DRAPIDS_SANITIZE=thread
+#
+# Each runs the parallel executor tests, the batch/pipeline suites, and the
+# chaos suite (ctest label `chaos`), where the data races worth finding live:
+# concurrent prepare/restore/scrub under fault injection and availability
+# flips from failure drills.
+#
+# Usage: scripts/sanitize.sh [asan|tsan|all]   (default: all)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-all}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+# The suites where shared mutable state is exercised; everything else is
+# covered by the plain tier-1 run.
+SUITES=(parallel_test pipeline_test pipeline_batch_test storage_test
+        fault_injector_test chaos_test)
+
+run_tree() {
+  local dir="$1" sanitize="$2"
+  echo "=== ${dir}: -DRAPIDS_SANITIZE=${sanitize} ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DRAPIDS_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${dir}" -j "${JOBS}" --target "${SUITES[@]}"
+  local t
+  for t in "${SUITES[@]}"; do
+    echo "--- ${dir}/tests/${t}"
+    "${dir}/tests/${t}"
+  done
+}
+
+case "${MODE}" in
+  asan) run_tree build-asan "address,undefined" ;;
+  tsan) TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+          run_tree build-tsan "thread" ;;
+  all)
+    run_tree build-asan "address,undefined"
+    TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" run_tree build-tsan "thread"
+    ;;
+  *) echo "usage: $0 [asan|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "sanitize: all requested trees passed"

@@ -1,6 +1,7 @@
 #include "rapids/core/pipeline.hpp"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "rapids/core/baselines.hpp"
@@ -18,6 +19,14 @@ std::string object_key(const std::string& name) { return "obj/" + name; }
 
 std::span<const u8> payload_u8(const Bytes& payload) {
   return {reinterpret_cast<const u8*>(payload.data()), payload.size()};
+}
+
+f64 median_of(std::vector<f64> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t mid = values.size() / 2;
+  if (values.size() % 2 == 1) return values[mid];
+  return 0.5 * (values[mid - 1] + values[mid]);
 }
 }  // namespace
 
@@ -157,7 +166,10 @@ PrepareReport RapidsPipeline::do_prepare(std::span<const f32> data,
   // 5-6) Distribute one fragment of every level to every system and persist
   // the object record. Shared-state stage: cluster and metadata store are
   // not thread-safe, so it runs under io_mu_ (and never touches the pool
-  // while holding it). Fragment locations go to the store as one batch per
+  // while holding it). Transient put failures are retried with deterministic
+  // backoff; a system that keeps failing gets its fragment re-placed on the
+  // least-loaded healthy system, and the metadata records where the fragment
+  // actually landed. Fragment locations go to the store as one batch per
   // level instead of one put per fragment.
   t.reset();
   {
@@ -167,9 +179,49 @@ PrepareReport RapidsPipeline::do_prepare(std::span<const f32> data,
       locations.clear();
       locations.reserve(per_level[j].size());
       for (u32 idx = 0; idx < per_level[j].size(); ++idx) {
-        const u32 sys = storage::place_fragment(config_.placement, n, j, idx);
-        cluster_.system(sys).put(per_level[j][idx]);
-        locations.emplace_back(per_level[j][idx].id.key(), std::to_string(sys));
+        const ec::Fragment& frag = per_level[j][idx];
+        const u32 preferred = storage::place_fragment(config_.placement, n, j, idx);
+
+        const auto try_put = [&](u32 sys, u64 salt) {
+          const auto r = retry_io(
+              config_.retry, stable_hash(name, (u64{j} << 32) | idx, salt),
+              [&] {
+                cluster_.system(sys).put(frag);
+                return true;
+              });
+          report.put_retries += r.attempts > 0 ? r.attempts - 1 : 0;
+          report.backoff_seconds += r.backoff_seconds;
+          record_health(sys, r.ok());
+          return r.ok();
+        };
+
+        u32 target = preferred;
+        bool stored = try_put(preferred, 0xA0);
+        if (!stored) {
+          // Persistent failure: re-place on the least-loaded available
+          // system (deterministic order: health-allowed first, then fewest
+          // fragments, then lowest id) and record the new home.
+          ++report.relocations;
+          std::vector<std::tuple<u32, u64, u32>> candidates;  // (bad, load, id)
+          for (u32 s = 0; s < n; ++s) {
+            if (s == preferred || !cluster_.system(s).available()) continue;
+            const u32 bad =
+                config_.health_tracking && !health().allow(s) ? 1u : 0u;
+            candidates.emplace_back(bad, cluster_.system(s).fragment_count(), s);
+          }
+          std::sort(candidates.begin(), candidates.end());
+          for (const auto& [bad, load, s] : candidates) {
+            if (try_put(s, 0xB0)) {
+              target = s;
+              stored = true;
+              break;
+            }
+          }
+        }
+        if (!stored)
+          throw io_error("prepare: no storage system accepted fragment " +
+                         frag.id.key());
+        locations.emplace_back(frag.id.key(), std::to_string(target));
         ++report.fragments_stored;
       }
       db_.put_batch(locations);
@@ -177,6 +229,7 @@ PrepareReport RapidsPipeline::do_prepare(std::span<const f32> data,
     db_.put(object_key(name),
             std::string(reinterpret_cast<const char*>(record_bytes.data()),
                         record_bytes.size()));
+    persist_health();
   }
   report.store_seconds = t.seconds();
 
@@ -233,6 +286,45 @@ void RapidsPipeline::persist_tracker() {
           std::string(reinterpret_cast<const char*>(wire.data()), wire.size()));
 }
 
+storage::SystemHealth& RapidsPipeline::health() {
+  if (!health_) {
+    const auto raw = db_.get("net/system_health");
+    if (raw && raw->size() > 0) {
+      try {
+        health_ = storage::SystemHealth::deserialize(
+            {reinterpret_cast<const std::byte*>(raw->data()), raw->size()});
+      } catch (const io_error&) {
+        health_.reset();
+      }
+      if (health_ && health_->size() != cluster_.size()) health_.reset();
+    }
+    if (!health_)
+      health_ = storage::SystemHealth(cluster_.size(), config_.health);
+  }
+  return *health_;
+}
+
+void RapidsPipeline::persist_health() {
+  if (!health_ || !config_.health_tracking) return;
+  const Bytes wire = health_->serialize();
+  db_.put("net/system_health",
+          std::string(reinterpret_cast<const char*>(wire.data()), wire.size()));
+}
+
+storage::SystemHealth& RapidsPipeline::system_health() {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return health();
+}
+
+void RapidsPipeline::record_health(u32 system, bool ok,
+                                   f64 latency_multiplier) {
+  if (!config_.health_tracking) return;
+  if (ok)
+    health().record_success(system, latency_multiplier);
+  else
+    health().record_failure(system);
+}
+
 std::vector<f64> RapidsPipeline::bandwidth_estimates() const {
   if (config_.adapt_bandwidth && tracker_) return tracker_->estimates();
   return cluster_.bandwidths();
@@ -250,6 +342,36 @@ GatherPlan RapidsPipeline::plan_gather(const GatherProblem& problem) const {
       return optimized_plan(problem, config_.aco);
   }
   throw invariant_error("restore: unknown gather strategy");
+}
+
+RapidsPipeline::FetchOutcome RapidsPipeline::fetch_with_retry(
+    u32 system, const ec::FragmentId& id) {
+  FetchOutcome out;
+  Backoff backoff(config_.retry, stable_hash(id.key(), system, 0xFE7C4ull));
+  u32 attempts = 0;
+  for (;;) {
+    ++attempts;
+    bool transient = false;
+    try {
+      auto frag = cluster_.system(system).get(id.key());
+      if (!frag) {
+        out.missing = true;  // permanent: retrying cannot materialize it
+      } else if (frag->verify()) {
+        out.fragment = std::move(frag);
+      } else {
+        // In-flight corruption (or at-rest damage): a re-read may verify.
+        transient = true;
+      }
+    } catch (const io_error&) {
+      transient = true;  // outage / crash window / injected transient error
+    }
+    if (!transient) break;  // success or permanent miss: no retry
+    backoff.record_failure();
+    if (backoff.exhausted()) break;
+  }
+  out.attempts = attempts;
+  out.backoff_seconds = backoff.total_backoff_s();
+  return out;
 }
 
 RestoreReport RapidsPipeline::restore(const std::string& name) {
@@ -296,59 +418,178 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
     problem.available.resize(n);
     for (u32 i = 0; i < n; ++i)
       problem.available[i] = cluster_.system(i).available();
+    // Route around circuit-open systems — but only when skipping them does
+    // not shrink the recoverable prefix (degradation must stay availability-
+    // driven, never health-heuristic-driven). allow() doubles as the
+    // half-open transition, so cooled-down systems get their probe here.
+    if (config_.health_tracking) {
+      std::vector<bool> healthy = problem.available;
+      bool any_excluded = false;
+      for (u32 i = 0; i < n; ++i) {
+        if (healthy[i] && !health().allow(i)) {
+          healthy[i] = false;
+          any_excluded = true;
+        }
+      }
+      if (any_excluded) {
+        GatherProblem alt = problem;
+        alt.available = healthy;
+        if (alt.recoverable_levels() == problem.recoverable_levels())
+          problem.available = std::move(healthy);
+      }
+    }
   }
 
-  // Plan + fetch, replanning (bounded) when a planned fragment is missing or
-  // damaged: the offending system is treated as unavailable and the
-  // remaining tolerance absorbs it, exactly like one more concurrent outage.
+  // Plan + fetch, replanning (bounded) when a planned fragment stays missing
+  // or damaged after retry and hedging: the offending system is treated as
+  // unavailable and the remaining tolerance absorbs it, exactly like one
+  // more concurrent outage. On exhaustion the restore degrades to the
+  // documented lost report instead of throwing.
   Timer t;
   std::vector<Bytes> payloads;
-  for (u32 attempt = 0; attempt <= n; ++attempt) {
+  bool fetched = false;
+  for (u32 attempt = 0; attempt <= n && !fetched; ++attempt) {
     report.levels_used = problem.recoverable_levels();
     if (report.levels_used == 0) {
       log::warn("pipeline", "object ", name, " unrecoverable: too many outages");
       report.rel_error_bound = 1.0;  // the paper's e_0 penalty
+      report.data.clear();
       return report;
     }
     report.rel_error_bound = record->meta.rel_error_bound(report.levels_used);
 
     report.plan = plan_gather(problem);  // pure: runs outside the lock
     report.planning_seconds += report.plan.planning_seconds;
-    report.gather_latency = report.plan.latency;
 
-    // Fetch the planned fragments (real bytes; the WAN time above is the
-    // simulated clock for those very transfers). Shared-state stage: the
-    // location scans and cluster reads run under io_mu_; decoding happens
-    // after the lock drops.
+    // Fetch the planned fragments (real bytes; the simulated clock below is
+    // the WAN time for those very transfers, with injected stragglers and
+    // retry backoff folded in). Shared-state stage: location scans, cluster
+    // reads, and health updates run under io_mu_; decode happens after the
+    // lock drops.
     t.reset();
-    payloads.clear();
     std::optional<u32> bad_system;
     std::vector<std::vector<ec::Fragment>> level_frags(report.levels_used);
+    f64 observed_latency = 0.0;
     {
       std::lock_guard<std::mutex> lock(io_mu_);
+
+      // Resolve the plan into (level, system, index, bytes) fetches; a
+      // metadata miss (no fragment recorded on a planned system) forces an
+      // immediate replan without charging the system's health.
+      struct PlannedFetch {
+        u32 level = 0;
+        u32 system = 0;
+        u32 index = 0;
+        u64 bytes = 0;
+      };
+      std::vector<PlannedFetch> fetches;
+      std::vector<std::map<u32, u32>> locations(report.levels_used);
       for (u32 j = 0; j < report.levels_used && !bad_system; ++j) {
-        const auto locations = fragment_locations(name, j);
+        locations[j] = fragment_locations(name, j);
         for (u32 sys : report.plan.systems_per_level[j]) {
-          const auto loc = locations.find(sys);
-          if (loc == locations.end()) {
+          const auto loc = locations[j].find(sys);
+          if (loc == locations[j].end()) {
             log::warn("pipeline", "no level-", j, " fragment recorded on system ",
                       sys, "; replanning");
             bad_system = sys;
             break;
           }
-          const u32 idx = loc->second;
-          auto frag = cluster_.system(sys).get(ec::FragmentId{name, j, idx}.key());
-          if (!frag || !frag->verify()) {
-            log::warn("pipeline", "fragment ", name, "/", j, "/", idx,
-                      " missing or damaged on system ", sys, "; replanning");
-            bad_system = sys;
-            break;
-          }
-          level_frags[j].push_back(std::move(*frag));
+          fetches.push_back(
+              {j, sys, loc->second, problem.fragment_bytes(j + 1)});
         }
       }
+
+      if (!bad_system) {
+        // Simulated transfer clock: equal-share contention over the whole
+        // plan, scaled by each transfer's sampled straggler multiplier.
+        std::vector<net::Transfer> transfers;
+        std::vector<f64> mults;
+        transfers.reserve(fetches.size());
+        mults.reserve(fetches.size());
+        for (const auto& f : fetches) {
+          transfers.push_back(net::Transfer{f.system, f.bytes});
+          mults.push_back(cluster_.system(f.system).sample_transfer_multiplier());
+        }
+        std::vector<f64> times = net::equal_share_times_scaled(
+            transfers, problem.bandwidths, mults);
+        const f64 median = median_of(times);
+        const f64 hedge_launch = config_.hedge_threshold * median;
+
+        // Per level, the systems already serving a fragment (planned or
+        // hedge), so hedges never duplicate a fragment index.
+        std::vector<std::set<u32>> used(report.levels_used);
+        for (const auto& f : fetches) used[f.level].insert(f.system);
+
+        for (std::size_t i = 0; i < fetches.size() && !bad_system; ++i) {
+          const auto& f = fetches[i];
+          auto primary = fetch_with_retry(f.system, {name, f.level, f.index});
+          report.fetch_retries += primary.attempts - 1;
+          report.backoff_seconds += primary.backoff_seconds;
+          const bool ok = primary.fragment.has_value();
+          if (!primary.missing) record_health(f.system, ok, mults[i]);
+
+          f64 effective = times[i];
+          std::optional<ec::Fragment> winner = std::move(primary.fragment);
+
+          const bool straggling =
+              times[i] > hedge_launch ||
+              (config_.retry.op_timeout_s > 0.0 &&
+               times[i] > config_.retry.op_timeout_s);
+          if (config_.hedged_reads && (straggling || !ok)) {
+            // Hedge: duplicate the read against the fastest unplanned holder
+            // of a *sibling* fragment of the same level (any k distinct
+            // fragments decode). The hedge launches at hedge_launch on the
+            // simulated clock and runs at an exclusive share.
+            std::optional<u32> spare;
+            for (const auto& [sys2, idx2] : locations[f.level]) {
+              if (used[f.level].contains(sys2)) continue;
+              if (!cluster_.system(sys2).available()) continue;
+              if (config_.health_tracking && !health().allow(sys2)) continue;
+              if (!spare ||
+                  problem.bandwidths[sys2] > problem.bandwidths[*spare])
+                spare = sys2;
+            }
+            if (spare) {
+              ++report.hedged_fetches;
+              used[f.level].insert(*spare);
+              const u32 spare_index = locations[f.level][*spare];
+              auto hedge =
+                  fetch_with_retry(*spare, {name, f.level, spare_index});
+              report.fetch_retries += hedge.attempts - 1;
+              report.backoff_seconds += hedge.backoff_seconds;
+              if (!hedge.missing)
+                record_health(*spare, hedge.fragment.has_value());
+              if (hedge.fragment) {
+                const f64 spare_mult =
+                    cluster_.system(*spare).sample_transfer_multiplier();
+                const f64 hedge_time =
+                    hedge_launch + static_cast<f64>(f.bytes) /
+                                       problem.bandwidths[*spare] * spare_mult;
+                if (!ok || hedge_time < effective) {
+                  winner = std::move(hedge.fragment);
+                  effective = ok ? std::min(effective, hedge_time) : hedge_time;
+                  ++report.hedge_wins;
+                }
+              }
+            }
+          }
+
+          if (!winner) {
+            log::warn("pipeline", "fragment ", name, "/", f.level, "/", f.index,
+                      " missing or damaged on system ", f.system,
+                      "; replanning");
+            bad_system = f.system;
+            break;
+          }
+          level_frags[f.level].push_back(std::move(*winner));
+          observed_latency = std::max(observed_latency, effective);
+        }
+      }
+      persist_health();
     }
+
     if (!bad_system) {
+      report.gather_latency = observed_latency + report.backoff_seconds;
       // Decode every fetched level; levels are independent, so each one is
       // forked as its own task when a pool is available.
       payloads.resize(report.levels_used);
@@ -366,10 +607,22 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
       } else {
         for (u32 j = 0; j < report.levels_used; ++j) decode_level(j);
       }
+      fetched = true;
       break;
     }
     problem.available[*bad_system] = false;
-    RAPIDS_REQUIRE_MSG(attempt < n, "restore: replanning did not converge");
+    ++report.replans;
+  }
+  if (!fetched) {
+    // Replanning exhausted every system without converging. Per the
+    // RestoreReport contract this is the degraded outcome, not a crash: the
+    // caller gets empty data and the honest e_0 = 1 penalty.
+    log::warn("pipeline", "restore: replanning did not converge for ", name,
+              "; returning degraded report");
+    report.data.clear();
+    report.levels_used = 0;
+    report.rel_error_bound = 1.0;
+    return report;
   }
   report.decode_seconds = t.seconds();
 
@@ -403,9 +656,14 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
 
 void RapidsPipeline::repair_fragment(const std::string& name, u32 level,
                                      u32 index, u32 target_system) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  repair_fragment_locked(name, level, index, target_system);
+}
+
+void RapidsPipeline::repair_fragment_locked(const std::string& name, u32 level,
+                                            u32 index, u32 target_system) {
   const auto record = lookup(name);
   RAPIDS_REQUIRE_MSG(record.has_value(), "repair: unknown object " + name);
-  const u32 n = cluster_.size();
   const ec::ReedSolomon rs = codec_for(*record, level);
 
   std::vector<ec::Fragment> survivors;
@@ -413,13 +671,25 @@ void RapidsPipeline::repair_fragment(const std::string& name, u32 level,
     if (survivors.size() >= rs.k()) break;
     if (!cluster_.system(sys).available()) continue;
     if (idx == index) continue;  // the lost one
-    auto frag = cluster_.system(sys).get(ec::FragmentId{name, level, idx}.key());
-    if (frag && frag->verify()) survivors.push_back(std::move(*frag));
+    auto out = fetch_with_retry(sys, {name, level, idx});
+    if (!out.missing) record_health(sys, out.fragment.has_value());
+    if (out.fragment) survivors.push_back(std::move(*out.fragment));
   }
   RAPIDS_REQUIRE_MSG(survivors.size() >= rs.k(),
                      "repair: not enough surviving fragments");
-  ec::Fragment rebuilt = rs.reconstruct_fragment(survivors, index, pool_);
-  cluster_.system(target_system).put(rebuilt);
+  // Pool-free while io_mu_ is held: a helping waiter could steal a task
+  // that needs this very lock.
+  ec::Fragment rebuilt = rs.reconstruct_fragment(survivors, index, nullptr);
+  const auto put = retry_io(
+      config_.retry, stable_hash(rebuilt.id.key(), target_system, 0x9E9Aull),
+      [&] {
+        cluster_.system(target_system).put(rebuilt);
+        return true;
+      });
+  record_health(target_system, put.ok());
+  if (!put.ok())
+    throw io_error("repair: target system rejected rebuilt fragment " +
+                   rebuilt.id.key() + ": " + put.last_error);
   const std::pair<std::string, std::string> location{
       rebuilt.id.key(), std::to_string(target_system)};
   db_.put_batch({&location, 1});
@@ -434,29 +704,47 @@ std::vector<std::string> RapidsPipeline::list_objects() const {
 
 RapidsPipeline::ScrubReport RapidsPipeline::scrub(const std::string& name,
                                                   bool repair) {
-  const auto record = lookup(name);
+  std::optional<ObjectRecord> record;
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    record = lookup(name);
+  }
   RAPIDS_REQUIRE_MSG(record.has_value(), "scrub: unknown object " + name);
   ScrubReport report;
   for (u32 level = 0; level < record->ft.size(); ++level) {
-    for (const auto& [sys, idx] : fragment_locations(name, level)) {
-      auto& host = cluster_.system(sys);
-      if (!host.available()) continue;  // outage, not damage
+    std::map<u32, u32> locations;
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      locations = fragment_locations(name, level);
+    }
+    for (const auto& [sys, idx] : locations) {
+      // Fine-grained locking: one fragment's check+repair per critical
+      // section, so concurrent batch traffic interleaves with a long scrub.
+      std::lock_guard<std::mutex> lock(io_mu_);
+      if (!cluster_.system(sys).available()) continue;  // outage, not damage
       ++report.fragments_checked;
-      const auto frag = host.get(ec::FragmentId{name, level, idx}.key());
-      if (frag && frag->verify()) continue;
+      auto out = fetch_with_retry(sys, {name, level, idx});
+      if (!out.missing) record_health(sys, out.fragment.has_value());
+      if (out.fragment) continue;
       report.damaged.emplace_back(level, idx, sys);
       log::warn("pipeline", "scrub: fragment ", name, "/", level, "/", idx,
-                " on system ", sys, frag ? " is corrupt" : " is missing");
+                " on system ", sys,
+                out.missing ? " is missing" : " is damaged or unreadable");
       if (repair) {
-        repair_fragment(name, level, idx, sys);
+        repair_fragment_locked(name, level, idx, sys);
         ++report.repaired;
       }
     }
+  }
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    persist_health();
   }
   return report;
 }
 
 u64 RapidsPipeline::age_object(const std::string& name, u32 keep_levels) {
+  std::lock_guard<std::mutex> lock(io_mu_);
   auto record = lookup(name);
   RAPIDS_REQUIRE_MSG(record.has_value(), "age: unknown object " + name);
   const u32 current = static_cast<u32>(record->ft.size());
@@ -492,6 +780,7 @@ u64 RapidsPipeline::age_object(const std::string& name, u32 keep_levels) {
 }
 
 u32 RapidsPipeline::evacuate_system(const std::string& name, u32 system) {
+  std::lock_guard<std::mutex> lock(io_mu_);
   const auto record = lookup(name);
   RAPIDS_REQUIRE_MSG(record.has_value(), "evacuate: unknown object " + name);
   const u32 n = cluster_.size();
@@ -519,16 +808,24 @@ u32 RapidsPipeline::evacuate_system(const std::string& name, u32 system) {
     RAPIDS_REQUIRE_MSG(target != system && cluster_.system(target).available(),
                        "evacuate: no destination system available");
 
-    // Prefer a direct move; fall back to rebuilding from survivors if the
-    // source copy is unreadable.
-    const auto frag = cluster_.system(system).available()
-                          ? cluster_.system(system).get(key)
-                          : std::nullopt;
-    if (frag && frag->verify()) {
-      cluster_.system(target).put(*frag);
-    } else {
-      repair_fragment(name, level, idx, target);
+    // Prefer a direct move (with retry around both sides); fall back to
+    // rebuilding from survivors if the source copy is unreadable.
+    std::optional<ec::Fragment> frag;
+    if (cluster_.system(system).available()) {
+      auto out = fetch_with_retry(system, {name, level, idx});
+      frag = std::move(out.fragment);
     }
+    bool moved_direct = false;
+    if (frag) {
+      const auto put = retry_io(
+          config_.retry, stable_hash(key, target, 0xE7A0ull), [&] {
+            cluster_.system(target).put(*frag);
+            return true;
+          });
+      record_health(target, put.ok());
+      moved_direct = put.ok();
+    }
+    if (!moved_direct) repair_fragment_locked(name, level, idx, target);
     cluster_.system(system).erase(key);
     new_locations.emplace_back(key, std::to_string(target));
     ++moved;
@@ -536,6 +833,7 @@ u32 RapidsPipeline::evacuate_system(const std::string& name, u32 system) {
   // One metadata batch for the whole evacuation. (The repair fallback above
   // already wrote the same key -> target, so the batch only confirms it.)
   db_.put_batch(new_locations);
+  persist_health();
   return moved;
 }
 

@@ -32,7 +32,9 @@
 #include "rapids/net/bandwidth_tracker.hpp"
 #include "rapids/storage/cluster.hpp"
 #include "rapids/storage/placement.hpp"
+#include "rapids/storage/system_health.hpp"
 #include "rapids/util/common.hpp"
+#include "rapids/util/retry.hpp"
 
 namespace rapids::core {
 
@@ -52,6 +54,28 @@ struct PipelineConfig {
   /// Section 4.3) and persist the estimates in the metadata store, so
   /// gathering plans adapt to network variation across restores.
   bool adapt_bandwidth = true;
+
+  // --- resilient I/O policy (fault model: transient / permanent / corrupt /
+  //     straggler; see DESIGN.md "Fault model and resilience policy") ---
+
+  /// Bounded retry with deterministic backoff for every remote storage op
+  /// (distribution puts, restore/repair/scrub gets). Backoff runs on the
+  /// simulated clock; jitter seeds derive from the op identity, so retry
+  /// schedules are reproducible under any thread interleaving.
+  RetryPolicy retry;
+  /// Hedge fetches whose simulated transfer time exceeds hedge_threshold ×
+  /// the plan median: a duplicate read of a sibling fragment of the same
+  /// level is issued to the fastest unplanned holder, and the faster of the
+  /// two completions wins. Also rescues persistently failed fetches without
+  /// a full replan.
+  bool hedged_reads = true;
+  f64 hedge_threshold = 2.0;
+  /// Track per-system success/failure/latency in a SystemHealth circuit
+  /// breaker (persisted next to the bandwidth tracker) and exclude
+  /// circuit-open systems from gathering plans when that does not reduce
+  /// the recoverable level count.
+  bool health_tracking = true;
+  storage::HealthOptions health;
 };
 
 /// Everything persisted about one prepared object (the metadata record).
@@ -78,6 +102,9 @@ struct PrepareReport {
   f64 encode_seconds = 0.0;
   f64 store_seconds = 0.0;
   u64 fragments_stored = 0;
+  u32 put_retries = 0;       ///< transient put failures absorbed by retry
+  u32 relocations = 0;       ///< fragments re-placed after persistent failure
+  f64 backoff_seconds = 0.0; ///< simulated backoff charged to distribution
 };
 
 /// One object of a prepare_batch(): the caller keeps `data` alive until the
@@ -94,10 +121,17 @@ struct RestoreReport {
   u32 levels_used = 0;          ///< retrieval levels that survived the outage
   f64 rel_error_bound = 1.0;    ///< guaranteed bound for levels_used (1 = lost)
   GatherPlan plan;              ///< chosen gathering plan
-  f64 gather_latency = 0.0;     ///< simulated WAN latency of the plan
+  f64 gather_latency = 0.0;     ///< simulated WAN latency actually observed
+                                ///< (stragglers, hedges, retry backoff folded
+                                ///< in; equals the plan latency when healthy)
   f64 planning_seconds = 0.0;   ///< optimizer wall time
   f64 decode_seconds = 0.0;
   f64 reconstruct_seconds = 0.0;
+  u32 fetch_retries = 0;        ///< fetch attempts beyond the first
+  u32 hedged_fetches = 0;       ///< hedge reads launched against stragglers
+  u32 hedge_wins = 0;           ///< hedges that beat or rescued the primary
+  u32 replans = 0;              ///< gathering replans forced by bad systems
+  f64 backoff_seconds = 0.0;    ///< simulated retry backoff (in gather_latency)
 };
 
 /// The orchestrator.
@@ -124,9 +158,14 @@ class RapidsPipeline {
   std::vector<PrepareReport> prepare_batch(std::span<const PrepareRequest> requests);
 
   /// Full data-restoration phase under the cluster's *current* availability.
-  /// If a planned fragment turns out missing or damaged, the affected system
-  /// is excluded and the gathering is replanned (bounded retries) instead of
-  /// failing the restore.
+  /// Transient fetch failures and in-flight corruption are retried with
+  /// deterministic backoff; stragglers are hedged against sibling fragment
+  /// holders; if a planned fragment stays missing or damaged, the affected
+  /// system is excluded and the gathering is replanned (bounded) instead of
+  /// failing the restore. Degradation is levels-first, never wrong: the
+  /// returned rel_error_bound always holds for levels_used, and exhausted
+  /// replanning yields the documented degraded report (empty data,
+  /// rel_error_bound = 1.0) rather than a throw.
   RestoreReport restore(const std::string& name);
 
   /// Restore a batch of objects concurrently (one task per object; planning,
@@ -142,6 +181,11 @@ class RapidsPipeline {
 
   /// Metadata lookup (nullopt if the object was never prepared).
   std::optional<ObjectRecord> lookup(const std::string& name) const;
+
+  /// The per-system health tracker (circuit breakers + error/latency
+  /// counters), lazily loaded from the metadata store. Mutating it directly
+  /// is for tests/tools; the pipeline records outcomes on its own.
+  storage::SystemHealth& system_health();
 
   /// Rebuild one lost/damaged fragment from survivors and re-store it on
   /// `target_system` (the repair flow of Section 4.2). Throws if fewer than
@@ -192,6 +236,26 @@ class RapidsPipeline {
   ec::ReedSolomon codec_for(const ObjectRecord& record, u32 level) const;
   net::BandwidthTracker& tracker();
   void persist_tracker();
+  storage::SystemHealth& health();
+  void persist_health();
+  /// Record one storage-op outcome in the health tracker (no-op when
+  /// health_tracking is off). Must be called under io_mu_.
+  void record_health(u32 system, bool ok, f64 latency_multiplier = 1.0);
+  /// Fetch one fragment with bounded retry, classifying failures: io_error
+  /// is transient (retried with backoff), a missing fragment is permanent
+  /// (no retry), a CRC mismatch is in-flight corruption (retried — a
+  /// re-read may come back clean). Must be called under io_mu_.
+  struct FetchOutcome {
+    std::optional<ec::Fragment> fragment;  ///< set iff a verified copy landed
+    u32 attempts = 1;
+    f64 backoff_seconds = 0.0;
+    bool missing = false;  ///< permanent: no fragment recorded/stored
+  };
+  FetchOutcome fetch_with_retry(u32 system, const ec::FragmentId& id);
+  /// repair_fragment body; caller must hold io_mu_ (runs pool-free: a
+  /// helping waiter inside the lock could steal a task that needs it).
+  void repair_fragment_locked(const std::string& name, u32 level, u32 index,
+                              u32 target_system);
   GatherPlan plan_gather(const GatherProblem& problem) const;
   /// Fragment locations of one level from the metadata store: system -> the
   /// fragment index it hosts (the authoritative map; placement only seeds it
@@ -203,8 +267,10 @@ class RapidsPipeline {
   PipelineConfig config_;
   ThreadPool* pool_;
   std::optional<net::BandwidthTracker> tracker_;
+  std::optional<storage::SystemHealth> health_;
   /// Serializes shared-state stages when batch objects run concurrently.
-  /// Maintenance APIs (repair, scrub, evacuate, age) remain serial-only.
+  /// Maintenance APIs (repair, scrub, evacuate, age) take it too, so chaos
+  /// runs may scrub while batches are in flight.
   std::mutex io_mu_;
 };
 

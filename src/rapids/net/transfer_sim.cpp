@@ -31,6 +31,18 @@ std::vector<f64> equal_share_times(std::span<const Transfer> transfers,
   return out;
 }
 
+std::vector<f64> equal_share_times_scaled(std::span<const Transfer> transfers,
+                                          std::span<const f64> bandwidths,
+                                          std::span<const f64> multipliers) {
+  RAPIDS_REQUIRE(multipliers.size() == transfers.size());
+  std::vector<f64> out = equal_share_times(transfers, bandwidths);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    RAPIDS_REQUIRE(multipliers[i] >= 1.0);
+    out[i] *= multipliers[i];
+  }
+  return out;
+}
+
 f64 equal_share_latency(std::span<const Transfer> transfers,
                         std::span<const f64> bandwidths) {
   f64 latest = 0.0;

@@ -33,6 +33,16 @@ struct Transfer {
 std::vector<f64> equal_share_times(std::span<const Transfer> transfers,
                                    std::span<const f64> bandwidths);
 
+/// Equal-share completion times with a per-transfer latency multiplier
+/// (>= 1) applied on top of the contention share — how injected stragglers
+/// and degraded endpoints are fed into the simulated transfer clock.
+/// `multipliers` is indexed like `transfers` (one sampled draw per transfer,
+/// not per system, so two fetches from one flaky endpoint can straggle
+/// independently).
+std::vector<f64> equal_share_times_scaled(std::span<const Transfer> transfers,
+                                          std::span<const f64> bandwidths,
+                                          std::span<const f64> multipliers);
+
 /// Slowest completion under the static equal-share model (the paper's
 /// overall transfer latency).
 f64 equal_share_latency(std::span<const Transfer> transfers,

@@ -11,33 +11,33 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
       config.max_bandwidth);
   systems_.reserve(config.num_systems);
   for (u32 i = 0; i < config.num_systems; ++i)
-    systems_.emplace_back(i, "gcs-" + std::to_string(i), bw[i],
-                          config.failure_prob);
+    systems_.push_back(std::make_unique<StorageSystem>(
+        i, "gcs-" + std::to_string(i), bw[i], config.failure_prob));
 }
 
 std::vector<f64> Cluster::bandwidths() const {
   std::vector<f64> out;
   out.reserve(systems_.size());
-  for (const auto& s : systems_) out.push_back(s.bandwidth());
+  for (const auto& s : systems_) out.push_back(s->bandwidth());
   return out;
 }
 
 std::vector<u32> Cluster::available_systems() const {
   std::vector<u32> out;
   for (const auto& s : systems_)
-    if (s.available()) out.push_back(s.id());
+    if (s->available()) out.push_back(s->id());
   return out;
 }
 
 u32 Cluster::num_failed() const {
   u32 n = 0;
   for (const auto& s : systems_)
-    if (!s.available()) ++n;
+    if (!s->available()) ++n;
   return n;
 }
 
 void Cluster::restore_all() {
-  for (auto& s : systems_) s.set_available(true);
+  for (auto& s : systems_) s->set_available(true);
 }
 
 }  // namespace rapids::storage

@@ -5,6 +5,7 @@
 /// Construction samples per-system WAN bandwidths from the Globus-log model
 /// (net/bandwidth.hpp) and assigns a common outage probability p.
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,8 +32,8 @@ class Cluster {
   u32 size() const { return static_cast<u32>(systems_.size()); }
   const ClusterConfig& config() const { return config_; }
 
-  StorageSystem& system(u32 i) { return systems_.at(i); }
-  const StorageSystem& system(u32 i) const { return systems_.at(i); }
+  StorageSystem& system(u32 i) { return *systems_.at(i); }
+  const StorageSystem& system(u32 i) const { return *systems_.at(i); }
 
   /// Per-system bandwidth vector (bytes/s), indexed by system id.
   std::vector<f64> bandwidths() const;
@@ -43,14 +44,16 @@ class Cluster {
   /// Number of currently unavailable systems (the paper's N).
   u32 num_failed() const;
 
-  /// Mark systems unavailable / restore them.
-  void fail(u32 i) { systems_.at(i).set_available(false); }
-  void restore(u32 i) { systems_.at(i).set_available(true); }
+  /// Mark systems unavailable / restore them. Safe to call from a failure
+  /// drill thread while data paths run (the flag is atomic).
+  void fail(u32 i) { systems_.at(i)->set_available(false); }
+  void restore(u32 i) { systems_.at(i)->set_available(true); }
   void restore_all();
 
  private:
   ClusterConfig config_;
-  std::vector<StorageSystem> systems_;
+  // unique_ptr: StorageSystem owns a mutex + atomic, so it is not movable.
+  std::vector<std::unique_ptr<StorageSystem>> systems_;
 };
 
 }  // namespace rapids::storage

@@ -1,0 +1,146 @@
+#include "rapids/storage/fault_injector.hpp"
+
+#include "rapids/storage/cluster.hpp"
+
+namespace rapids::storage {
+
+namespace {
+void require_prob(f64 p) { RAPIDS_REQUIRE(p >= 0.0 && p <= 1.0); }
+}  // namespace
+
+FaultProfile::FaultProfile(FaultSpec spec) : spec_(spec), rng_(spec.seed) {
+  require_prob(spec.put_fail_prob);
+  require_prob(spec.get_fail_prob);
+  require_prob(spec.torn_put_prob);
+  require_prob(spec.corrupt_get_prob);
+  require_prob(spec.straggler_prob);
+  RAPIDS_REQUIRE(spec.straggler_mult >= 1.0);
+  RAPIDS_REQUIRE(spec.latency_mult >= 1.0);
+}
+
+bool FaultProfile::in_crash_window() const {
+  if (spec_.crash_for_ops == 0) return false;
+  // counters_.ops was already advanced for the op being decided, so the op
+  // indices seen here are 1-based; the window covers ops
+  // (crash_after_ops, crash_after_ops + crash_for_ops].
+  return counters_.ops > spec_.crash_after_ops &&
+         counters_.ops <= spec_.crash_after_ops + spec_.crash_for_ops;
+}
+
+PutFault FaultProfile::next_put_fault() {
+  ++counters_.ops;
+  if (in_crash_window()) {
+    ++counters_.crashed_ops;
+    ++counters_.transient_puts;
+    return PutFault::kTransient;
+  }
+  if (spec_.fail_next_puts > 0) {
+    --spec_.fail_next_puts;
+    ++counters_.transient_puts;
+    return PutFault::kTransient;
+  }
+  // One draw per knob regardless of earlier outcomes, so the RNG stream
+  // position is a pure function of the op count.
+  const bool transient = rng_.bernoulli(spec_.put_fail_prob);
+  const bool torn = rng_.bernoulli(spec_.torn_put_prob);
+  if (transient) {
+    ++counters_.transient_puts;
+    return PutFault::kTransient;
+  }
+  if (torn) {
+    ++counters_.torn_puts;
+    return PutFault::kTorn;
+  }
+  return PutFault::kNone;
+}
+
+GetFault FaultProfile::next_get_fault() {
+  ++counters_.ops;
+  if (in_crash_window()) {
+    ++counters_.crashed_ops;
+    ++counters_.transient_gets;
+    return GetFault::kTransient;
+  }
+  if (spec_.fail_next_gets > 0) {
+    --spec_.fail_next_gets;
+    ++counters_.transient_gets;
+    return GetFault::kTransient;
+  }
+  if (spec_.corrupt_next_gets > 0) {
+    --spec_.corrupt_next_gets;
+    ++counters_.corrupt_gets;
+    return GetFault::kCorrupt;
+  }
+  const bool transient = rng_.bernoulli(spec_.get_fail_prob);
+  const bool corrupt = rng_.bernoulli(spec_.corrupt_get_prob);
+  if (transient) {
+    ++counters_.transient_gets;
+    return GetFault::kTransient;
+  }
+  if (corrupt) {
+    ++counters_.corrupt_gets;
+    return GetFault::kCorrupt;
+  }
+  return GetFault::kNone;
+}
+
+f64 FaultProfile::next_transfer_multiplier() {
+  f64 mult = spec_.latency_mult;
+  if (spec_.straggler_prob > 0.0 && rng_.bernoulli(spec_.straggler_prob)) {
+    ++counters_.stragglers;
+    mult *= spec_.straggler_mult;
+  }
+  return mult;
+}
+
+void FaultProfile::corrupt_payload(std::vector<u8>& payload) {
+  if (payload.empty()) return;
+  const u64 at = rng_.next_below(payload.size());
+  payload[at] ^= static_cast<u8>(1 + rng_.next_below(255));
+}
+
+void FaultInjector::set_spec(u32 system, const FaultSpec& spec) {
+  profiles_[system] = std::make_shared<FaultProfile>(spec);
+}
+
+void FaultInjector::set_all(u32 num_systems, const FaultSpec& spec) {
+  for (u32 i = 0; i < num_systems; ++i) {
+    FaultSpec per = spec;
+    per.seed = spec.seed ^ (0x9E3779B97F4A7C15ull * (i + 1));
+    set_spec(i, per);
+  }
+}
+
+void FaultInjector::install(Cluster& cluster) const {
+  for (const auto& [system, profile] : profiles_) {
+    RAPIDS_REQUIRE(system < cluster.size());
+    cluster.system(system).attach_fault_profile(profile);
+  }
+}
+
+void FaultInjector::uninstall(Cluster& cluster) {
+  for (u32 i = 0; i < cluster.size(); ++i)
+    cluster.system(i).attach_fault_profile(nullptr);
+}
+
+std::shared_ptr<FaultProfile> FaultInjector::profile(u32 system) const {
+  const auto it = profiles_.find(system);
+  return it == profiles_.end() ? nullptr : it->second;
+}
+
+FaultCounters FaultInjector::total_counters() const {
+  FaultCounters total;
+  for (const auto& [system, profile] : profiles_) {
+    const FaultCounters& c = profile->counters();
+    total.ops += c.ops;
+    total.transient_puts += c.transient_puts;
+    total.transient_gets += c.transient_gets;
+    total.torn_puts += c.torn_puts;
+    total.corrupt_gets += c.corrupt_gets;
+    total.crashed_ops += c.crashed_ops;
+    total.stragglers += c.stragglers;
+  }
+  return total;
+}
+
+}  // namespace rapids::storage

@@ -1,0 +1,126 @@
+#pragma once
+
+/// \file fault_injector.hpp
+/// Deterministic, programmable fault injection for the storage substrate.
+/// Real Globus/GridFTP endpoints fail in richer ways than the binary
+/// available flag: transient request errors, straggling transfers, silent
+/// in-flight corruption, torn writes, and crash-recover windows. A
+/// FaultProfile scripts all of these per system from a seeded RNG plus op
+/// counters, so a chaos run is a pure function of its seeds — the same
+/// profile replays the same fault schedule bit-for-bit.
+///
+/// Wiring: StorageSystem::attach_fault_profile() routes every put/get (and
+/// transfer-time sampling) through the profile; FaultInjector is the
+/// cluster-level convenience that builds and installs per-system profiles
+/// and aggregates injection counters for reports.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "rapids/util/common.hpp"
+#include "rapids/util/rng.hpp"
+
+namespace rapids::storage {
+
+class Cluster;
+
+/// What to inject on one storage system. All probabilities are per-op
+/// Bernoulli draws; the *_next_* counters are exact fail-next-K semantics
+/// that trigger before any probabilistic draw (deterministic tests use them
+/// to script precise scenarios).
+struct FaultSpec {
+  f64 put_fail_prob = 0.0;   ///< transient put failure (io_error, no write)
+  f64 get_fail_prob = 0.0;   ///< transient get failure (io_error)
+  u32 fail_next_puts = 0;    ///< fail exactly the next K puts
+  u32 fail_next_gets = 0;    ///< fail exactly the next K gets
+  f64 torn_put_prob = 0.0;   ///< put persists a truncated payload, then errors
+  f64 corrupt_get_prob = 0.0;  ///< get returns a bit-flipped payload copy
+  u32 corrupt_next_gets = 0;   ///< corrupt exactly the next K gets
+  f64 straggler_prob = 0.0;    ///< this transfer is slowed by straggler_mult
+  f64 straggler_mult = 8.0;    ///< latency multiplier while straggling
+  f64 latency_mult = 1.0;      ///< permanent slowdown on every transfer
+  /// Crash-recover window on the profile's op counter: ops
+  /// [crash_after_ops, crash_after_ops + crash_for_ops) fail as if the
+  /// endpoint process crashed, then the system recovers on its own.
+  u64 crash_after_ops = 0;
+  u64 crash_for_ops = 0;
+  u64 seed = 0x5eedfa17ull;  ///< RNG seed for every probabilistic draw
+};
+
+/// Outcome the profile injects into one put / one get.
+enum class PutFault : u8 { kNone, kTransient, kTorn };
+enum class GetFault : u8 { kNone, kTransient, kCorrupt };
+
+/// Counters of what a profile actually injected (for reports and tests).
+struct FaultCounters {
+  u64 ops = 0;               ///< puts + gets routed through the profile
+  u64 transient_puts = 0;
+  u64 transient_gets = 0;
+  u64 torn_puts = 0;
+  u64 corrupt_gets = 0;
+  u64 crashed_ops = 0;
+  u64 stragglers = 0;
+};
+
+/// Per-system deterministic fault schedule. Not internally synchronized:
+/// StorageSystem calls it under its own per-system mutex.
+class FaultProfile {
+ public:
+  explicit FaultProfile(FaultSpec spec);
+
+  /// Decide the fate of the next put/get. Advances the op counter and RNG.
+  PutFault next_put_fault();
+  GetFault next_get_fault();
+
+  /// Sample the latency multiplier for one transfer (>= latency_mult; the
+  /// straggler draw stacks on top). Advances the RNG, not the op counter.
+  f64 next_transfer_multiplier();
+
+  /// Deterministically flip one payload byte (no-op on empty payloads).
+  void corrupt_payload(std::vector<u8>& payload);
+
+  const FaultSpec& spec() const { return spec_; }
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  /// True while the op counter sits inside the crash window. Call after
+  /// advancing the counter.
+  bool in_crash_window() const;
+
+  FaultSpec spec_;
+  Rng rng_;
+  FaultCounters counters_;
+};
+
+/// Builds FaultProfiles from specs and installs them on a cluster. Profiles
+/// are shared_ptr-owned so a cluster outliving the injector keeps working.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  /// Script one system. Replaces any previous spec for it.
+  void set_spec(u32 system, const FaultSpec& spec);
+
+  /// Script every system of an n-system cluster with `spec`, deriving the
+  /// per-system seed from spec.seed ^ system so streams are independent.
+  void set_all(u32 num_systems, const FaultSpec& spec);
+
+  /// Attach the scripted profiles to their systems (systems without a spec
+  /// are left untouched).
+  void install(Cluster& cluster) const;
+
+  /// Detach profiles from every system of the cluster.
+  static void uninstall(Cluster& cluster);
+
+  /// The profile scripted for `system` (nullptr if none).
+  std::shared_ptr<FaultProfile> profile(u32 system) const;
+
+  /// Sum of injection counters over all scripted profiles.
+  FaultCounters total_counters() const;
+
+ private:
+  std::map<u32, std::shared_ptr<FaultProfile>> profiles_;
+};
+
+}  // namespace rapids::storage

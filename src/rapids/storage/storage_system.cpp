@@ -28,9 +28,40 @@ std::string StorageSystem::file_path(const std::string& key) const {
 }
 
 void StorageSystem::put(const ec::Fragment& fragment) {
-  if (!available_) throw io_error("storage system " + name_ + " is unavailable");
+  if (!available())
+    throw io_error("storage system " + name_ + " is unavailable");
+  std::lock_guard<std::mutex> lock(mu_);
+  PutFault fault = PutFault::kNone;
+  if (fault_profile_) fault = fault_profile_->next_put_fault();
+  if (fault == PutFault::kTransient)
+    throw io_error("storage system " + name_ + ": transient put failure");
+
   const std::string key = fragment.id.key();
-  erase(key);  // replace semantics
+  erase_locked(key);  // replace semantics
+
+  if (fault == PutFault::kTorn) {
+    // Persist a truncated payload: the old value is gone, the new one is
+    // damaged in a CRC-detectable way, and the caller sees an error — the
+    // classic torn-write outcome.
+    ec::Fragment torn = fragment;
+    torn.payload.resize(fragment.payload.size() / 2);
+    used_bytes_ += torn.payload.size();
+    if (dir_.empty()) {
+      store_[key] = std::move(torn);
+    } else {
+      write_file(file_path(key), as_bytes_view(torn.serialize()));
+      ec::Fragment placeholder;
+      placeholder.id = fragment.id;
+      placeholder.k = fragment.k;
+      placeholder.m = fragment.m;
+      placeholder.level_bytes = fragment.level_bytes;
+      placeholder.payload_crc = fragment.payload_crc;
+      store_[key] = std::move(placeholder);
+      sizes_[key] = fragment.payload.size() / 2;
+    }
+    throw io_error("storage system " + name_ + ": torn write of " + key);
+  }
+
   used_bytes_ += fragment.payload.size();
   if (dir_.empty()) {
     store_[key] = fragment;
@@ -48,19 +79,47 @@ void StorageSystem::put(const ec::Fragment& fragment) {
 }
 
 std::optional<ec::Fragment> StorageSystem::get(const std::string& key) const {
-  if (!available_) throw io_error("storage system " + name_ + " is unavailable");
+  if (!available())
+    throw io_error("storage system " + name_ + " is unavailable");
+  std::lock_guard<std::mutex> lock(mu_);
+  GetFault fault = GetFault::kNone;
+  if (fault_profile_) fault = fault_profile_->next_get_fault();
+  if (fault == GetFault::kTransient)
+    throw io_error("storage system " + name_ + ": transient get failure");
+
   auto it = store_.find(key);
   if (it == store_.end()) return std::nullopt;
-  if (dir_.empty()) return it->second;
-  const Bytes raw = read_file(file_path(key));
-  return ec::Fragment::deserialize(as_bytes_view(raw));
+
+  std::optional<ec::Fragment> out;
+  if (dir_.empty()) {
+    out = it->second;
+  } else {
+    try {
+      const Bytes raw = read_file(file_path(key));
+      out = ec::Fragment::deserialize(as_bytes_view(raw));
+    } catch (const io_error&) {
+      // A torn/unparseable on-disk fragment surfaces as CRC damage (the
+      // placeholder header with an empty payload), the same way bit rot
+      // does, so replan/scrub/repair handle both paths identically.
+      out = it->second;
+    }
+  }
+  if (fault == GetFault::kCorrupt && out.has_value())
+    fault_profile_->corrupt_payload(out->payload);
+  return out;
 }
 
 bool StorageSystem::has(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return store_.contains(key);
 }
 
 void StorageSystem::erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  erase_locked(key);
+}
+
+void StorageSystem::erase_locked(const std::string& key) {
   auto it = store_.find(key);
   if (it == store_.end()) return;
   if (dir_.empty()) {
@@ -74,10 +133,37 @@ void StorageSystem::erase(const std::string& key) {
   store_.erase(it);
 }
 
+u64 StorageSystem::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_bytes_;
+}
+
+u64 StorageSystem::fragment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.size();
+}
+
 void StorageSystem::attach_directory(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mu_);
   RAPIDS_REQUIRE_MSG(store_.empty(), "attach_directory: store must be empty");
   std::filesystem::create_directories(dir);
   dir_ = dir;
+}
+
+void StorageSystem::attach_fault_profile(std::shared_ptr<FaultProfile> profile) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_profile_ = std::move(profile);
+}
+
+std::shared_ptr<FaultProfile> StorageSystem::fault_profile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fault_profile_;
+}
+
+f64 StorageSystem::sample_transfer_multiplier() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fault_profile_) return 1.0;
+  return fault_profile_->next_transfer_multiplier();
 }
 
 }  // namespace rapids::storage

@@ -7,12 +7,23 @@
 /// toggled by the failure injector. The store is in-memory by default;
 /// attach_directory() spills fragments to disk as self-contained files so the
 /// full pipeline can be exercised against a real filesystem.
+///
+/// Thread safety: the availability flag is atomic (failure drills flip it
+/// from other threads while restores run) and store mutations are guarded by
+/// a per-system mutex, so concurrent put/get/erase/fail are data-race-free.
+/// Richer failure modes — transient errors, torn writes, in-flight
+/// corruption, crash windows, stragglers — are scripted by an attached
+/// FaultProfile (fault_injector.hpp).
 
+#include <atomic>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "rapids/ec/fragment.hpp"
+#include "rapids/storage/fault_injector.hpp"
 #include "rapids/util/common.hpp"
 
 namespace rapids::storage {
@@ -35,15 +46,24 @@ class StorageSystem {
   void set_bandwidth(f64 bandwidth);
 
   /// Availability flag (flipped by FailureInjector / maintenance windows).
-  bool available() const { return available_; }
-  void set_available(bool available) { available_ = available; }
+  /// Atomic: failure drills toggle it concurrently with data access.
+  bool available() const { return available_.load(std::memory_order_acquire); }
+  void set_available(bool available) {
+    available_.store(available, std::memory_order_release);
+  }
 
-  /// Store a fragment. Throws io_error if the system is unavailable.
+  /// Store a fragment. Throws io_error if the system is unavailable or the
+  /// attached fault profile injects a failure; a torn-write fault persists a
+  /// truncated payload (detectable via Fragment::verify) before throwing.
   void put(const ec::Fragment& fragment);
 
   /// Fetch a fragment by key. Returns nullopt if absent; throws io_error if
-  /// the system is unavailable. Fragments read back from a spill directory
-  /// are re-parsed and CRC-verifiable.
+  /// the system is unavailable or a transient fault is injected. An injected
+  /// corruption fault bit-flips the returned copy (the stored bytes stay
+  /// intact), which Fragment::verify detects. Fragments read back from a
+  /// spill directory are re-parsed; unparseable (torn) files come back as a
+  /// fragment that fails verify() instead of throwing, so damage surfaces
+  /// uniformly through the CRC path.
   std::optional<ec::Fragment> get(const std::string& key) const;
 
   /// True if a fragment with this key is stored (queryable even while the
@@ -54,28 +74,44 @@ class StorageSystem {
   void erase(const std::string& key);
 
   /// Total bytes of stored fragment payloads.
-  u64 used_bytes() const { return used_bytes_; }
+  u64 used_bytes() const;
 
   /// Number of stored fragments.
-  u64 fragment_count() const { return store_.size(); }
+  u64 fragment_count() const;
 
   /// Spill fragments to `dir` (created if needed) instead of RAM.
   void attach_directory(const std::string& dir);
 
+  /// Attach (or with nullptr, detach) a scripted fault profile. The profile
+  /// is consulted on every put/get and transfer-time sample.
+  void attach_fault_profile(std::shared_ptr<FaultProfile> profile);
+
+  /// The attached profile (nullptr when none).
+  std::shared_ptr<FaultProfile> fault_profile() const;
+
+  /// Latency multiplier for one simulated transfer from this system: 1.0
+  /// without a profile, else the profile's deterministic straggler draw.
+  f64 sample_transfer_multiplier() const;
+
  private:
   std::string file_path(const std::string& key) const;
+  void erase_locked(const std::string& key);
 
   u32 id_;
   std::string name_;
   f64 bandwidth_;
   f64 failure_prob_;
-  bool available_ = true;
+  std::atomic<bool> available_{true};
   std::string dir_;  // empty = in-memory
+  /// Guards store_/sizes_/used_bytes_/fault_profile_ (and the profile's RNG:
+  /// all profile calls happen under this mutex).
+  mutable std::mutex mu_;
   // In-memory: key -> fragment. Directory mode: key -> empty placeholder
   // (payload lives on disk).
   std::map<std::string, ec::Fragment> store_;
   std::map<std::string, u64> sizes_;  // directory mode: logical payload bytes
   u64 used_bytes_ = 0;
+  std::shared_ptr<FaultProfile> fault_profile_;
 };
 
 }  // namespace rapids::storage

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file system_health.hpp
+/// Per-system health tracking: a consecutive-failure circuit breaker with
+/// half-open probes plus error/latency counters. The pipeline records every
+/// put/get outcome here and excludes circuit-open systems from gathering
+/// plans (when doing so does not reduce the recoverable level count), so a
+/// flaky endpoint stops eating retry budget until its cooldown elapses and a
+/// half-open probe shows it recovered. Serializable, persisted in the
+/// metadata store next to the bandwidth tracker.
+///
+/// Time base: the breaker runs on a logical event counter (one tick per
+/// recorded outcome across all systems), not wall time — deterministic and
+/// consistent with the simulated transfer clock.
+
+#include <vector>
+
+#include "rapids/util/bytes.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::storage {
+
+/// Breaker/EWMA knobs.
+struct HealthOptions {
+  u32 failure_threshold = 3;    ///< consecutive failures that open the circuit
+  u64 open_cooldown_events = 16;  ///< recorded events before a half-open probe
+  f64 latency_alpha = 0.3;      ///< EWMA weight for latency multipliers
+};
+
+/// Health state for every system of a cluster.
+class SystemHealth {
+ public:
+  explicit SystemHealth(u32 num_systems, HealthOptions options = {});
+
+  u32 size() const { return static_cast<u32>(states_.size()); }
+  const HealthOptions& options() const { return options_; }
+
+  /// Record one successful operation against `system`, optionally with the
+  /// observed latency multiplier of its transfer. Closes a half-open
+  /// circuit; resets the consecutive-failure count.
+  void record_success(u32 system, f64 latency_multiplier = 1.0);
+
+  /// Record one failed operation. Opens the circuit at the threshold; a
+  /// failure during half-open re-opens immediately.
+  void record_failure(u32 system);
+
+  /// True if callers should route work to `system` now: circuit closed, or
+  /// open with the cooldown elapsed (which transitions to half-open — the
+  /// caller's next recorded outcome decides whether it closes or re-opens).
+  bool allow(u32 system);
+
+  /// True while the circuit is open and the cooldown has not elapsed
+  /// (non-mutating peek).
+  bool is_open(u32 system) const;
+
+  u64 failures(u32 system) const { return states_.at(system).failures; }
+  u64 successes(u32 system) const { return states_.at(system).successes; }
+  u32 consecutive_failures(u32 system) const {
+    return states_.at(system).consecutive_failures;
+  }
+  /// EWMA of observed latency multipliers (1.0 = nominal speed).
+  f64 latency_ewma(u32 system) const { return states_.at(system).latency_ewma; }
+  /// Times the circuit opened over the tracker's lifetime.
+  u64 circuit_opens(u32 system) const { return states_.at(system).opens; }
+
+  Bytes serialize() const;
+  static SystemHealth deserialize(std::span<const std::byte> data);
+
+ private:
+  enum class Circuit : u8 { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct State {
+    u64 failures = 0;
+    u64 successes = 0;
+    u32 consecutive_failures = 0;
+    Circuit circuit = Circuit::kClosed;
+    u64 opened_at_event = 0;
+    f64 latency_ewma = 1.0;
+    u64 opens = 0;
+  };
+
+  HealthOptions options_;
+  std::vector<State> states_;
+  u64 events_ = 0;  ///< global logical clock: one tick per recorded outcome
+};
+
+}  // namespace rapids::storage

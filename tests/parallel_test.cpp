@@ -255,22 +255,24 @@ TEST(ThreadPool, NestedParallelForInsideSubmittedTaskDoesNotDeadlock) {
 
 TEST(ThreadPool, StealingOccursUnderImbalance) {
   ThreadPool pool(4);
-  // Pin a burst of work onto one worker's deque: a single submitted task
-  // forks many children, which land LIFO on its own queue — the only way the
-  // other three workers can make progress is by stealing.
-  std::atomic<int> count{0};
+  // Both children land on the forking worker's deque and each blocks until
+  // the other has started, so that worker cannot drain its own queue alone:
+  // the second child must be taken from a foreign deque (by another worker,
+  // or by the main thread helping inside wait() — either counts as a
+  // steal). Guarantees a steal regardless of scheduling, where a plain
+  // work burst let the forker drain everything itself on slow/1-core runs.
+  std::atomic<int> started{0};
   TaskGroup group(&pool);
   pool.submit([&] {
-      for (int i = 0; i < 256; ++i)
-        group.run([&count] {
-          count.fetch_add(1);
-          // A little work so the forker does not drain its own queue first.
-          volatile u64 x = 0;
-          for (u64 k = 0; k < 20000; ++k) x = x + k;
+      for (int i = 0; i < 2; ++i)
+        group.run([&started] {
+          started.fetch_add(1, std::memory_order_acq_rel);
+          while (started.load(std::memory_order_acquire) < 2)
+            std::this_thread::yield();
         });
     }).get();
   group.wait();
-  EXPECT_EQ(count.load(), 256);
+  EXPECT_EQ(started.load(), 2);
   EXPECT_GT(pool.steal_count(), 0u);
 }
 
