@@ -39,6 +39,16 @@ else
   echo "warning: $PIPE_BIN not found — skipping pipeline throughput" >&2
 fi
 
+# Progressive refinement: repeated from-scratch restores at tightening bounds
+# vs one incremental refine() session over the same 4-rung ladder.
+PROG_BIN="$BUILD_DIR/bench/progressive_refinement"
+PROG_OUT="$(dirname "$OUT")/BENCH_progressive.json"
+if [[ -x "$PROG_BIN" ]]; then
+  "$PROG_BIN" "$PROG_OUT"
+else
+  echo "warning: $PROG_BIN not found — skipping progressive refinement" >&2
+fi
+
 # Chaos resilience: restore throughput, simulated gather-latency p50/p99, and
 # achieved-vs-reported error bound at 0/5/15% transient get-failure rates and
 # under a straggler profile, each with hedged reads on and off.

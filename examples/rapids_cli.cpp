@@ -10,6 +10,10 @@
 //       refactor + optimize + erasure-code + distribute + record metadata
 //   rapids_cli restore <workspace> <name> <out.f32> [down,sys,ids]
 //       plan gathering, fetch, decode, reconstruct under the given outages
+//   rapids_cli refine <workspace> <name> <out_prefix> <bound[,bound...]> [down,sys,ids]
+//       walk a refinement ladder in one session: each bound fetches only the
+//       retrieval levels past the previous rung and decodes only the new
+//       bitplanes; rung r's field goes to <out_prefix>.r.f32
 //   rapids_cli info <workspace> [name]
 //       list objects, or show one object's configuration and level profile
 //
@@ -17,6 +21,7 @@
 //   rapids_cli generate SCALE:PRES 65 65 33 pres.f32
 //   rapids_cli prepare ws pres.f32 65 65 33 run1/PRES 0.4
 //   rapids_cli restore ws run1/PRES out.f32 3,11
+//   rapids_cli refine ws run1/PRES out 4e-3,5e-4,1e-6
 //   rapids_cli info ws run1/PRES
 
 #include <cstdio>
@@ -113,6 +118,59 @@ int cmd_prepare(int argc, char** argv) {
   return 0;
 }
 
+/// Rebuild each system's fragment index from the metadata records so get()
+/// can serve files written by a previous process. Returns false when the
+/// object is unknown.
+bool rebuild_fragment_index(Workspace& ws, const std::string& wsdir,
+                            const std::string& name) {
+  core::PipelineConfig probe_cfg;
+  core::RapidsPipeline probe(*ws.cluster, *ws.db, probe_cfg);
+  const auto record = probe.lookup(name);
+  if (!record) {
+    std::fprintf(stderr, "unknown object: %s\n", name.c_str());
+    return false;
+  }
+  for (const auto& [key, sys_str] : ws.db->scan_prefix("frag/" + name + "/")) {
+    const u32 sys = static_cast<u32>(std::stoul(sys_str));
+    std::string flat = key;
+    for (char& c : flat)
+      if (c == '/') c = '_';
+    const std::string path =
+        wsdir + "/sys" + std::to_string(sys) + "/" + flat + ".frag";
+    if (!std::filesystem::exists(path)) continue;
+    const auto raw = read_file(path);
+    ec::Fragment frag;
+    try {
+      frag = ec::Fragment::deserialize(as_bytes_view(raw));
+    } catch (const io_error&) {
+      // Damaged container (bad magic / truncated header): register a
+      // CRC-mismatched placeholder under the recorded id so restore sees
+      // detectable damage and replans/repairs, instead of dying here.
+      const std::string rel = key.substr(5);  // strip "frag/"
+      const auto last = rel.rfind('/');
+      const auto prev = rel.rfind('/', last - 1);
+      frag.id = ec::FragmentId{
+          rel.substr(0, prev),
+          static_cast<u32>(std::stoul(rel.substr(prev + 1, last - prev - 1))),
+          static_cast<u32>(std::stoul(rel.substr(last + 1)))};
+      frag.payload_crc = ~ec::fragment_crc(frag.payload);
+    }
+    ws.cluster->system(sys).put(frag);
+  }
+  return true;
+}
+
+void apply_outages(Workspace& ws, const char* spec) {
+  for (const char* p = spec; *p != '\0';) {
+    char* end = nullptr;
+    const u32 sys = static_cast<u32>(std::strtoul(p, &end, 10));
+    ws.cluster->fail(sys);
+    std::printf("outage: system %u down\n", sys);
+    if (*end == '\0') break;
+    p = end + 1;
+  }
+}
+
 int cmd_restore(int argc, char** argv) {
   if (argc < 5) {
     std::fprintf(stderr,
@@ -123,56 +181,8 @@ int cmd_restore(int argc, char** argv) {
   const std::string wsdir = argv[2];
   const std::string name = argv[3];
   auto ws = open_workspace(wsdir);
-
-  // Rebuild each system's fragment index from the metadata records so get()
-  // can serve files written by a previous process.
-  {
-    core::PipelineConfig probe_cfg;
-    core::RapidsPipeline probe(*ws.cluster, *ws.db, probe_cfg);
-    const auto record = probe.lookup(name);
-    if (!record) {
-      std::fprintf(stderr, "unknown object: %s\n", name.c_str());
-      return 1;
-    }
-    for (const auto& [key, sys_str] : ws.db->scan_prefix("frag/" + name + "/")) {
-      const u32 sys = static_cast<u32>(std::stoul(sys_str));
-      std::string flat = key;
-      for (char& c : flat)
-        if (c == '/') c = '_';
-      const std::string path = wsdir + "/sys" + std::to_string(sys) + "/" +
-                               flat + ".frag";
-      if (!std::filesystem::exists(path)) continue;
-      const auto raw = read_file(path);
-      ec::Fragment frag;
-      try {
-        frag = ec::Fragment::deserialize(as_bytes_view(raw));
-      } catch (const io_error&) {
-        // Damaged container (bad magic / truncated header): register a
-        // CRC-mismatched placeholder under the recorded id so restore sees
-        // detectable damage and replans/repairs, instead of dying here.
-        const std::string rel = key.substr(5);  // strip "frag/"
-        const auto last = rel.rfind('/');
-        const auto prev = rel.rfind('/', last - 1);
-        frag.id = ec::FragmentId{
-            rel.substr(0, prev),
-            static_cast<u32>(std::stoul(rel.substr(prev + 1, last - prev - 1))),
-            static_cast<u32>(std::stoul(rel.substr(last + 1)))};
-        frag.payload_crc = ~ec::fragment_crc(frag.payload);
-      }
-      ws.cluster->system(sys).put(frag);
-    }
-  }
-
-  if (argc > 5) {
-    for (const char* p = argv[5]; *p != '\0';) {
-      char* end = nullptr;
-      const u32 sys = static_cast<u32>(std::strtoul(p, &end, 10));
-      ws.cluster->fail(sys);
-      std::printf("outage: system %u down\n", sys);
-      if (*end == '\0') break;
-      p = end + 1;
-    }
-  }
+  if (!rebuild_fragment_index(ws, wsdir, name)) return 1;
+  if (argc > 5) apply_outages(ws, argv[5]);
 
   ThreadPool pool;
   core::PipelineConfig config;
@@ -190,6 +200,63 @@ int cmd_restore(int argc, char** argv) {
   std::printf("  simulated gather latency: %.3fs; decode %.3fs, reconstruct %.3fs\n",
               report.gather_latency, report.decode_seconds,
               report.reconstruct_seconds);
+  return 0;
+}
+
+int cmd_refine(int argc, char** argv) {
+  if (argc < 6) {
+    std::fprintf(stderr,
+                 "usage: rapids_cli refine <workspace> <name> <out_prefix> "
+                 "<bound[,bound...]> [down,sys,ids]\n");
+    return 2;
+  }
+  const std::string wsdir = argv[2];
+  const std::string name = argv[3];
+  const std::string prefix = argv[4];
+
+  std::vector<f64> bounds;
+  for (const char* p = argv[5]; *p != '\0';) {
+    char* end = nullptr;
+    bounds.push_back(std::strtod(p, &end));
+    if (end == p || *end == '\0') break;
+    p = end + 1;
+  }
+  if (bounds.empty()) {
+    std::fprintf(stderr, "no bounds given\n");
+    return 2;
+  }
+
+  auto ws = open_workspace(wsdir);
+  if (!rebuild_fragment_index(ws, wsdir, name)) return 1;
+  if (argc > 6) apply_outages(ws, argv[6]);
+
+  ThreadPool pool;
+  core::PipelineConfig config;
+  config.aco.time_budget_seconds = 0.5;
+  core::RapidsPipeline pipeline(*ws.cluster, *ws.db, config, &pool);
+  auto session = pipeline.begin_refine(name);
+
+  std::printf("refining %s through %zu bound%s\n", name.c_str(), bounds.size(),
+              bounds.size() == 1 ? "" : "s");
+  for (std::size_t r = 0; r < bounds.size(); ++r) {
+    const auto report = pipeline.refine(*session, bounds[r]);
+    if (report.levels_used == 0) {
+      std::fprintf(stderr, "rung %zu: unrecoverable, too many systems down\n",
+                   r + 1);
+      return 1;
+    }
+    const std::string out = prefix + "." + std::to_string(r + 1) + ".f32";
+    data::save_f32(out, report.data);
+    std::printf("  rung %zu: bound <= %.3e (asked %.3e), levels %u -> %s\n",
+                r + 1, report.rel_error_bound, bounds[r], report.levels_used,
+                out.c_str());
+    std::printf(
+        "    WAN bytes %llu, planes decoded %llu, cache %u hit / %u miss%s%s\n",
+        (unsigned long long)report.bytes_transferred,
+        (unsigned long long)report.planes_decoded, report.cache_hits,
+        report.cache_misses, report.plan_reused ? ", plan reused" : "",
+        report.cache_corrupt ? ", corrupt entries refetched" : "");
+  }
   return 0;
 }
 
@@ -232,13 +299,14 @@ int main(int argc, char** argv) {
   try {
     if (argc < 2) {
       std::fprintf(stderr,
-                   "usage: rapids_cli <generate|prepare|restore|info> ...\n");
+                   "usage: rapids_cli <generate|prepare|restore|refine|info> ...\n");
       return 2;
     }
     const std::string cmd = argv[1];
     if (cmd == "generate") return cmd_generate(argc, argv);
     if (cmd == "prepare") return cmd_prepare(argc, argv);
     if (cmd == "restore") return cmd_restore(argc, argv);
+    if (cmd == "refine") return cmd_refine(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;

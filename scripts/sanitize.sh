@@ -19,7 +19,7 @@ MODE="${1:-all}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 # The suites where shared mutable state is exercised; everything else is
 # covered by the plain tier-1 run.
-SUITES=(parallel_test pipeline_test pipeline_batch_test storage_test
+SUITES=(parallel_test pipeline_test pipeline_batch_test progressive_test storage_test
         fault_injector_test chaos_test)
 
 run_tree() {

@@ -1,6 +1,7 @@
 #include "rapids/core/pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 #include <utility>
 
@@ -28,7 +29,34 @@ f64 median_of(std::vector<f64> values) {
   if (values.size() % 2 == 1) return values[mid];
   return 0.5 * (values[mid - 1] + values[mid]);
 }
+
+/// Deepest restorable prefix when some levels are already on hand: a cached
+/// level needs no fragments, so it only requires the levels before it —
+/// during a total outage an object can still be served entirely from cache.
+u32 recoverable_prefix(const GatherProblem& problem,
+                       const std::vector<bool>& cached) {
+  u32 failed = 0;
+  for (const bool a : problem.available) failed += a ? 0 : 1;
+  u32 j = 0;
+  while (j < problem.m.size() && (cached[j] || failed <= problem.m[j])) ++j;
+  return j;
+}
 }  // namespace
+
+u32 RefineSession::levels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cursor_;
+}
+
+f64 RefineSession::rel_error_bound() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bound_;
+}
+
+std::vector<f32> RefineSession::data() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return data_;
+}
 
 Bytes ObjectRecord::serialize() const {
   ByteWriter w;
@@ -68,7 +96,11 @@ ObjectRecord ObjectRecord::deserialize(std::span<const std::byte> data) {
 
 RapidsPipeline::RapidsPipeline(storage::Cluster& cluster, kv::KvStore& db,
                                PipelineConfig config, ThreadPool* pool)
-    : cluster_(cluster), db_(db), config_(std::move(config)), pool_(pool) {}
+    : cluster_(cluster),
+      db_(db),
+      config_(std::move(config)),
+      pool_(pool),
+      restore_cache_(config_.restore_cache_bytes) {}
 
 ec::ReedSolomon RapidsPipeline::codec_for(const ObjectRecord& record,
                                           u32 level) const {
@@ -233,6 +265,10 @@ PrepareReport RapidsPipeline::do_prepare(std::span<const f32> data,
   }
   report.store_seconds = t.seconds();
 
+  // The object's payloads may have changed: cached levels from a previous
+  // prepare of the same name are stale now.
+  restore_cache_.invalidate(name);
+
   report.expected_error = solution->expected_error;
   report.storage_overhead = solution->storage_overhead;
   report.network_overhead = ft_network_overhead(
@@ -396,70 +432,101 @@ std::vector<RestoreReport> RapidsPipeline::restore_batch(
   return reports;
 }
 
-RestoreReport RapidsPipeline::do_restore(const std::string& name) {
+void RapidsPipeline::snapshot_problem(const std::string& name,
+                                      std::optional<ObjectRecord>& record,
+                                      GatherProblem& problem) {
   const u32 n = cluster_.size();
-
-  RestoreReport report;
-
   // Build the gathering problem from current availability; bandwidths come
   // from the learned tracker when adaptation is on (paper Section 4.3).
   // Metadata lookup + availability/bandwidth snapshot touch shared state.
-  std::optional<ObjectRecord> record;
-  GatherProblem problem;
-  {
-    std::lock_guard<std::mutex> lock(io_mu_);
-    record = lookup(name);
-    RAPIDS_REQUIRE_MSG(record.has_value(), "restore: unknown object " + name);
-    problem.n = n;
-    problem.m = record->ft;
-    problem.level_sizes = record->level_sizes;
-    problem.bandwidths =
-        config_.adapt_bandwidth ? tracker().estimates() : cluster_.bandwidths();
-    problem.available.resize(n);
-    for (u32 i = 0; i < n; ++i)
-      problem.available[i] = cluster_.system(i).available();
-    // Route around circuit-open systems — but only when skipping them does
-    // not shrink the recoverable prefix (degradation must stay availability-
-    // driven, never health-heuristic-driven). allow() doubles as the
-    // half-open transition, so cooled-down systems get their probe here.
-    if (config_.health_tracking) {
-      std::vector<bool> healthy = problem.available;
-      bool any_excluded = false;
-      for (u32 i = 0; i < n; ++i) {
-        if (healthy[i] && !health().allow(i)) {
-          healthy[i] = false;
-          any_excluded = true;
-        }
-      }
-      if (any_excluded) {
-        GatherProblem alt = problem;
-        alt.available = healthy;
-        if (alt.recoverable_levels() == problem.recoverable_levels())
-          problem.available = std::move(healthy);
+  std::lock_guard<std::mutex> lock(io_mu_);
+  record = lookup(name);
+  RAPIDS_REQUIRE_MSG(record.has_value(), "restore: unknown object " + name);
+  problem.n = n;
+  problem.m = record->ft;
+  problem.level_sizes = record->level_sizes;
+  problem.bandwidths =
+      config_.adapt_bandwidth ? tracker().estimates() : cluster_.bandwidths();
+  problem.available.resize(n);
+  for (u32 i = 0; i < n; ++i)
+    problem.available[i] = cluster_.system(i).available();
+  // Route around circuit-open systems — but only when skipping them does
+  // not shrink the recoverable prefix (degradation must stay availability-
+  // driven, never health-heuristic-driven). allow() doubles as the
+  // half-open transition, so cooled-down systems get their probe here.
+  if (config_.health_tracking) {
+    std::vector<bool> healthy = problem.available;
+    bool any_excluded = false;
+    for (u32 i = 0; i < n; ++i) {
+      if (healthy[i] && !health().allow(i)) {
+        healthy[i] = false;
+        any_excluded = true;
       }
     }
+    if (any_excluded) {
+      GatherProblem alt = problem;
+      alt.available = healthy;
+      if (alt.recoverable_levels() == problem.recoverable_levels())
+        problem.available = std::move(healthy);
+    }
   }
+}
+
+bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
+                                  const std::string& name,
+                                  GatherProblem& problem,
+                                  const std::vector<u32>& levels,
+                                  const solver::Selection* preplanned,
+                                  RestoreReport& report,
+                                  std::vector<Bytes>& payloads) {
+  if (levels.empty()) return true;
+  const u32 n = cluster_.size();
+  const u32 nsub = static_cast<u32>(levels.size());
+  Timer t;
 
   // Plan + fetch, replanning (bounded) when a planned fragment stays missing
   // or damaged after retry and hedging: the offending system is treated as
   // unavailable and the remaining tolerance absorbs it, exactly like one
-  // more concurrent outage. On exhaustion the restore degrades to the
-  // documented lost report instead of throwing.
-  Timer t;
-  std::vector<Bytes> payloads;
-  bool fetched = false;
-  for (u32 attempt = 0; attempt <= n && !fetched; ++attempt) {
-    report.levels_used = problem.recoverable_levels();
-    if (report.levels_used == 0) {
-      log::warn("pipeline", "object ", name, " unrecoverable: too many outages");
-      report.rel_error_bound = 1.0;  // the paper's e_0 penalty
-      report.data.clear();
-      return report;
-    }
-    report.rel_error_bound = record->meta.rel_error_bound(report.levels_used);
+  // more concurrent outage.
+  for (u32 attempt = 0; attempt <= n; ++attempt) {
+    // Every requested level must still be recoverable; when one is not, the
+    // caller decides how to degrade (shrink the prefix, keep the session's
+    // current state, ...).
+    u32 failed = 0;
+    for (const bool a : problem.available) failed += a ? 0 : 1;
+    for (const u32 j : levels)
+      if (failed > problem.m[j]) return false;
 
-    report.plan = plan_gather(problem);  // pure: runs outside the lock
-    report.planning_seconds += report.plan.planning_seconds;
+    // Gathering sub-problem over exactly the requested levels. Level order
+    // is preserved, so the m_j stay strictly decreasing and the FT config
+    // remains valid.
+    GatherProblem sub;
+    sub.n = problem.n;
+    sub.bandwidths = problem.bandwidths;
+    sub.available = problem.available;
+    for (const u32 j : levels) {
+      sub.m.push_back(problem.m[j]);
+      sub.level_sizes.push_back(problem.level_sizes[j]);
+    }
+
+    // Reuse the caller's rows when they are still placeable (first attempt
+    // only: an internal replan means availability moved under the plan).
+    GatherPlan plan;
+    bool planned = false;
+    if (preplanned != nullptr && attempt == 0 && preplanned->size() == nsub) {
+      bool usable = true;
+      for (u32 i = 0; i < nsub && usable; ++i) {
+        usable = (*preplanned)[i].size() == sub.n - sub.m[i];
+        for (const u32 sys : (*preplanned)[i])
+          usable = usable && sys < sub.n && sub.available[sys];
+      }
+      if (usable) {
+        plan = evaluate_plan(sub, *preplanned);  // score only, no optimizer
+        planned = true;
+      }
+    }
+    if (!planned) plan = plan_gather(sub);  // pure: runs outside the lock
+    report.planning_seconds += plan.planning_seconds;
 
     // Fetch the planned fragments (real bytes; the simulated clock below is
     // the WAN time for those very transfers, with injected stragglers and
@@ -468,8 +535,9 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
     // lock drops.
     t.reset();
     std::optional<u32> bad_system;
-    std::vector<std::vector<ec::Fragment>> level_frags(report.levels_used);
+    std::vector<std::vector<ec::Fragment>> level_frags(nsub);
     f64 observed_latency = 0.0;
+    u64 landed_bytes = 0;
     {
       std::lock_guard<std::mutex> lock(io_mu_);
 
@@ -477,25 +545,24 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
       // metadata miss (no fragment recorded on a planned system) forces an
       // immediate replan without charging the system's health.
       struct PlannedFetch {
-        u32 level = 0;
+        u32 level = 0;  ///< index into `levels`/`sub`, not the real level
         u32 system = 0;
         u32 index = 0;
         u64 bytes = 0;
       };
       std::vector<PlannedFetch> fetches;
-      std::vector<std::map<u32, u32>> locations(report.levels_used);
-      for (u32 j = 0; j < report.levels_used && !bad_system; ++j) {
-        locations[j] = fragment_locations(name, j);
-        for (u32 sys : report.plan.systems_per_level[j]) {
+      std::vector<std::map<u32, u32>> locations(nsub);
+      for (u32 j = 0; j < nsub && !bad_system; ++j) {
+        locations[j] = fragment_locations(name, levels[j]);
+        for (u32 sys : plan.systems_per_level[j]) {
           const auto loc = locations[j].find(sys);
           if (loc == locations[j].end()) {
-            log::warn("pipeline", "no level-", j, " fragment recorded on system ",
-                      sys, "; replanning");
+            log::warn("pipeline", "no level-", levels[j],
+                      " fragment recorded on system ", sys, "; replanning");
             bad_system = sys;
             break;
           }
-          fetches.push_back(
-              {j, sys, loc->second, problem.fragment_bytes(j + 1)});
+          fetches.push_back({j, sys, loc->second, sub.fragment_bytes(j + 1)});
         }
       }
 
@@ -517,15 +584,17 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
 
         // Per level, the systems already serving a fragment (planned or
         // hedge), so hedges never duplicate a fragment index.
-        std::vector<std::set<u32>> used(report.levels_used);
+        std::vector<std::set<u32>> used(nsub);
         for (const auto& f : fetches) used[f.level].insert(f.system);
 
         for (std::size_t i = 0; i < fetches.size() && !bad_system; ++i) {
           const auto& f = fetches[i];
-          auto primary = fetch_with_retry(f.system, {name, f.level, f.index});
+          auto primary =
+              fetch_with_retry(f.system, {name, levels[f.level], f.index});
           report.fetch_retries += primary.attempts - 1;
           report.backoff_seconds += primary.backoff_seconds;
           const bool ok = primary.fragment.has_value();
+          if (ok) landed_bytes += primary.fragment->payload.size();
           if (!primary.missing) record_health(f.system, ok, mults[i]);
 
           f64 effective = times[i];
@@ -553,10 +622,12 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
               ++report.hedged_fetches;
               used[f.level].insert(*spare);
               const u32 spare_index = locations[f.level][*spare];
-              auto hedge =
-                  fetch_with_retry(*spare, {name, f.level, spare_index});
+              auto hedge = fetch_with_retry(
+                  *spare, {name, levels[f.level], spare_index});
               report.fetch_retries += hedge.attempts - 1;
               report.backoff_seconds += hedge.backoff_seconds;
+              if (hedge.fragment)
+                landed_bytes += hedge.fragment->payload.size();
               if (!hedge.missing)
                 record_health(*spare, hedge.fragment.has_value());
               if (hedge.fragment) {
@@ -575,8 +646,8 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
           }
 
           if (!winner) {
-            log::warn("pipeline", "fragment ", name, "/", f.level, "/", f.index,
-                      " missing or damaged on system ", f.system,
+            log::warn("pipeline", "fragment ", name, "/", levels[f.level], "/",
+                      f.index, " missing or damaged on system ", f.system,
                       "; replanning");
             bad_system = f.system;
             break;
@@ -590,68 +661,322 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
 
     if (!bad_system) {
       report.gather_latency = observed_latency + report.backoff_seconds;
+      report.bytes_transferred += landed_bytes;
+      report.plan = std::move(plan);
       // Decode every fetched level; levels are independent, so each one is
       // forked as its own task when a pool is available.
-      payloads.resize(report.levels_used);
-      const auto decode_level = [&](u32 j) {
-        const ec::ReedSolomon rs = codec_for(*record, j);
-        const std::vector<u8> level = rs.decode(level_frags[j], pool_);
+      const auto decode_level = [&](u32 i) {
+        const ec::ReedSolomon rs = codec_for(record, levels[i]);
+        const std::vector<u8> level = rs.decode(level_frags[i], pool_);
         const auto* p = reinterpret_cast<const std::byte*>(level.data());
-        payloads[j] = Bytes(p, p + level.size());
+        payloads[levels[i]] = Bytes(p, p + level.size());
       };
-      if (pool_ != nullptr && pool_->size() > 1 && report.levels_used > 1) {
+      if (pool_ != nullptr && pool_->size() > 1 && nsub > 1) {
         TaskGroup group(pool_);
-        for (u32 j = 0; j < report.levels_used; ++j)
-          group.run([&decode_level, j] { decode_level(j); });
+        for (u32 i = 0; i < nsub; ++i)
+          group.run([&decode_level, i] { decode_level(i); });
         group.wait();
       } else {
-        for (u32 j = 0; j < report.levels_used; ++j) decode_level(j);
+        for (u32 i = 0; i < nsub; ++i) decode_level(i);
       }
-      fetched = true;
-      break;
+      report.decode_seconds += t.seconds();
+
+      // Fold the observed (simulated-WAN) per-transfer throughput back into
+      // the tracker so later plans adapt to bandwidth changes.
+      if (config_.adapt_bandwidth) {
+        const auto transfers = plan_transfers(sub, report.plan.systems_per_level);
+        std::vector<u32> load(n, 0);
+        for (const auto& tr : transfers) load[tr.system] += 1;
+        std::lock_guard<std::mutex> lock(io_mu_);
+        const auto times =
+            net::equal_share_times(transfers, cluster_.bandwidths());
+        for (std::size_t i = 0; i < transfers.size(); ++i) {
+          // Undo the contention share so the observation estimates the
+          // nominal endpoint bandwidth, not this plan's slice of it.
+          const f64 exclusive_seconds =
+              times[i] / static_cast<f64>(load[transfers[i].system]);
+          if (exclusive_seconds > 0.0)
+            tracker().observe(transfers[i].system, transfers[i].bytes,
+                              exclusive_seconds);
+        }
+        persist_tracker();
+      }
+      return true;
     }
     problem.available[*bad_system] = false;
     ++report.replans;
   }
-  if (!fetched) {
-    // Replanning exhausted every system without converging. Per the
-    // RestoreReport contract this is the degraded outcome, not a crash: the
-    // caller gets empty data and the honest e_0 = 1 penalty.
-    log::warn("pipeline", "restore: replanning did not converge for ", name,
-              "; returning degraded report");
-    report.data.clear();
-    report.levels_used = 0;
-    report.rel_error_bound = 1.0;
-    return report;
-  }
-  report.decode_seconds = t.seconds();
+  // Replanning exhausted every system without converging; the caller holds
+  // the availability the loop degraded to and decides what is still possible.
+  log::warn("pipeline", "restore: replanning did not converge for ", name);
+  return false;
+}
 
-  // Fold the observed (simulated-WAN) per-transfer throughput back into the
-  // tracker so later plans adapt to bandwidth changes.
-  if (config_.adapt_bandwidth) {
-    const auto transfers = plan_transfers(problem, report.plan.systems_per_level);
-    std::vector<u32> load(n, 0);
-    for (const auto& tr : transfers) load[tr.system] += 1;
-    std::lock_guard<std::mutex> lock(io_mu_);
-    const auto times = net::equal_share_times(transfers, cluster_.bandwidths());
-    for (std::size_t i = 0; i < transfers.size(); ++i) {
-      // Undo the contention share so the observation estimates the nominal
-      // endpoint bandwidth, not this plan's slice of it.
-      const f64 exclusive_seconds =
-          times[i] / static_cast<f64>(load[transfers[i].system]);
-      if (exclusive_seconds > 0.0)
-        tracker().observe(transfers[i].system, transfers[i].bytes,
-                          exclusive_seconds);
+RestoreReport RapidsPipeline::do_restore(const std::string& name) {
+  RestoreReport report;
+
+  std::optional<ObjectRecord> record;
+  GatherProblem problem;
+  snapshot_problem(name, record, problem);
+  const u32 nlevels = static_cast<u32>(record->ft.size());
+
+  // Consult the restore cache before planning: cached levels skip the WAN
+  // fetch and erasure decode entirely; a CRC mismatch evicts the entry and
+  // falls through to a normal fetch.
+  std::vector<Bytes> payloads(nlevels);
+  std::vector<bool> cached(nlevels, false);
+  for (u32 j = 0; j < nlevels; ++j) {
+    Bytes hit;
+    switch (restore_cache_.get(name, j, hit)) {
+      case storage::RestoreCache::Outcome::kHit:
+        payloads[j] = std::move(hit);
+        cached[j] = true;
+        ++report.cache_hits;
+        break;
+      case storage::RestoreCache::Outcome::kCorrupt:
+        ++report.cache_corrupt;
+        [[fallthrough]];
+      case storage::RestoreCache::Outcome::kMiss:
+        ++report.cache_misses;
+        break;
     }
-    persist_tracker();
   }
+
+  u32 levels_used = 0;
+  for (;;) {
+    // Cached levels need no fragments, so the usable prefix extends through
+    // them even under outages that would make a fetch impossible.
+    levels_used = recoverable_prefix(problem, cached);
+    if (levels_used == 0) {
+      // Per the RestoreReport contract this is the degraded outcome, not a
+      // crash: the caller gets empty data and the honest e_0 = 1 penalty.
+      log::warn("pipeline", "object ", name,
+                " unrecoverable: too many outages");
+      report.rel_error_bound = 1.0;  // the paper's e_0 penalty
+      report.data.clear();
+      return report;
+    }
+    std::vector<u32> uncached;
+    for (u32 j = 0; j < levels_used; ++j)
+      if (!cached[j]) uncached.push_back(j);
+    if (fetch_levels(*record, name, problem, uncached, nullptr, report,
+                     payloads))
+      break;
+    // fetch_levels marked at least one more system unavailable, so the
+    // recoverable prefix strictly shrinks and this loop terminates.
+  }
+  report.levels_used = levels_used;
+  report.rel_error_bound = record->meta.rel_error_bound(levels_used);
+
+  // Freshly fetched levels feed the cache for later restores and refinements.
+  for (u32 j = 0; j < levels_used; ++j)
+    if (!cached[j]) restore_cache_.put(name, j, payloads[j]);
+
+  const std::span<const Bytes> prefix(payloads.data(), levels_used);
+  report.planes_decoded = mgard::count_magnitude_segments(prefix);
 
   // Reconstruct the approximation from the recovered prefix.
-  t.reset();
+  Timer t;
   const mgard::Refactorer refactorer(config_.refactor, pool_);
-  report.data = refactorer.reconstruct(record->meta, payloads);
+  report.data = refactorer.reconstruct(record->meta, prefix);
   report.reconstruct_seconds = t.seconds();
   return report;
+}
+
+std::shared_ptr<RefineSession> RapidsPipeline::begin_refine(
+    const std::string& name) {
+  return std::make_shared<RefineSession>(name);
+}
+
+RestoreReport RapidsPipeline::refine(const std::string& name, f64 rel_bound) {
+  std::shared_ptr<RefineSession> session;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto it = sessions_.find(name);
+    if (it == sessions_.end())
+      it = sessions_.emplace(name, std::make_shared<RefineSession>(name)).first;
+    session = it->second;
+  }
+  return refine(*session, rel_bound);
+}
+
+void RapidsPipeline::end_refine(const std::string& name) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(name);
+}
+
+RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound) {
+  std::lock_guard<std::mutex> session_lock(session.mu_);
+  RestoreReport report;
+
+  std::optional<ObjectRecord> record;
+  GatherProblem problem;
+  snapshot_problem(session.name_, record, problem);
+  const u32 nlevels = static_cast<u32>(record->ft.size());
+
+  // Resolve the requested bound to a target prefix: the fewest retrieval
+  // levels whose guaranteed e_j meets it, or all of them when even the full
+  // representation cannot.
+  u32 target = nlevels;
+  for (u32 j = 1; j <= nlevels; ++j) {
+    if (record->meta.rel_error_bound(j) <= rel_bound) {
+      target = j;
+      break;
+    }
+  }
+
+  const auto current_state = [&](u32 used) {
+    report.levels_used = used;
+    report.rel_error_bound =
+        used == 0 ? 1.0 : record->meta.rel_error_bound(used);
+    report.data = session.data_;
+    return report;
+  };
+
+  // Already refined at least this far: nothing to transfer or decode.
+  if (target <= session.cursor_) return current_state(session.cursor_);
+
+  // Consult the shared cache for the levels this rung needs. Levels below
+  // the cursor are already materialized in the session's plane sets.
+  std::vector<Bytes> payloads(nlevels);
+  std::vector<bool> cached(nlevels, false);
+  for (u32 j = 0; j < session.cursor_; ++j) cached[j] = true;
+  for (u32 j = session.cursor_; j < target; ++j) {
+    Bytes hit;
+    switch (restore_cache_.get(session.name_, j, hit)) {
+      case storage::RestoreCache::Outcome::kHit:
+        payloads[j] = std::move(hit);
+        cached[j] = true;
+        ++report.cache_hits;
+        break;
+      case storage::RestoreCache::Outcome::kCorrupt:
+        ++report.cache_corrupt;
+        [[fallthrough]];
+      case storage::RestoreCache::Outcome::kMiss:
+        ++report.cache_misses;
+        break;
+    }
+  }
+
+  u32 usable = 0;
+  std::vector<u32> fetched_levels;
+  for (;;) {
+    usable = std::min(target, recoverable_prefix(problem, cached));
+    if (usable <= session.cursor_) {
+      // Outages block any improvement. Hold the session's current state —
+      // degraded but monotone — rather than going backwards or throwing.
+      log::warn("pipeline", "refine: object ", session.name_,
+                " cannot improve past ", session.cursor_,
+                " levels under current outages");
+      return current_state(session.cursor_);
+    }
+    std::vector<u32> uncached;
+    for (u32 j = session.cursor_; j < usable; ++j)
+      if (!cached[j]) uncached.push_back(j);
+    if (uncached.empty()) {
+      fetched_levels.clear();
+      break;
+    }
+
+    // Reuse the session's ladder plan when it covers these levels and
+    // neither availability nor the learned bandwidths drifted materially
+    // since it was computed; otherwise plan the whole remaining ladder once
+    // so later rungs can slice rows out of it without re-running the
+    // optimizer.
+    solver::Selection pre;
+    bool have_pre = false;
+    if (!session.planned_rows_.empty() &&
+        session.plan_available_ == problem.available &&
+        session.plan_bandwidths_.size() == problem.bandwidths.size()) {
+      f64 max_delta = 0.0;
+      for (std::size_t i = 0; i < problem.bandwidths.size(); ++i) {
+        const f64 ref = std::max(std::fabs(session.plan_bandwidths_[i]), 1e-12);
+        max_delta = std::max(
+            max_delta,
+            std::fabs(problem.bandwidths[i] - session.plan_bandwidths_[i]) / ref);
+      }
+      if (max_delta <= config_.plan_reuse_bw_tolerance) {
+        have_pre = true;
+        for (const u32 j : uncached) {
+          const auto it = session.planned_rows_.find(j);
+          if (it == session.planned_rows_.end()) {
+            have_pre = false;
+            break;
+          }
+          pre.push_back(it->second);
+        }
+        if (!have_pre) pre.clear();
+      }
+    }
+    if (!have_pre) {
+      session.clear_plan();
+      const u32 reach = recoverable_prefix(problem, cached);
+      std::vector<u32> ladder;
+      for (u32 j = session.cursor_; j < reach; ++j)
+        if (!cached[j]) ladder.push_back(j);
+      GatherProblem sub;
+      sub.n = problem.n;
+      sub.bandwidths = problem.bandwidths;
+      sub.available = problem.available;
+      for (const u32 j : ladder) {
+        sub.m.push_back(problem.m[j]);
+        sub.level_sizes.push_back(problem.level_sizes[j]);
+      }
+      GatherPlan ladder_plan = plan_gather(sub);
+      report.planning_seconds += ladder_plan.planning_seconds;
+      for (std::size_t i = 0; i < ladder.size(); ++i)
+        session.planned_rows_[ladder[i]] =
+            std::move(ladder_plan.systems_per_level[i]);
+      session.plan_bandwidths_ = problem.bandwidths;
+      session.plan_available_ = problem.available;
+      for (const u32 j : uncached) pre.push_back(session.planned_rows_[j]);
+    }
+    report.plan_reused = have_pre;
+
+    const u32 replans_before = report.replans;
+    if (fetch_levels(*record, session.name_, problem, uncached, &pre, report,
+                     payloads)) {
+      if (report.replans != replans_before) {
+        // Availability moved mid-fetch; the remaining ladder rows are stale.
+        session.clear_plan();
+      } else {
+        for (const u32 j : uncached) session.planned_rows_.erase(j);
+      }
+      fetched_levels = uncached;
+      break;
+    }
+    session.clear_plan();  // prefix shrank; recompute next iteration
+  }
+
+  // Newly fetched levels feed the shared cache.
+  for (const u32 j : fetched_levels)
+    restore_cache_.put(session.name_, j, payloads[j]);
+
+  // Grow the session's plane sets with the new levels only and decode just
+  // the bitplanes those levels added; everything below the cursor keeps its
+  // already-decoded quantized state.
+  if (session.plane_sets_.empty()) {
+    session.plane_sets_.resize(record->meta.dlevels.size());
+    for (std::size_t d = 0; d < session.plane_sets_.size(); ++d) {
+      session.plane_sets_[d].count = record->meta.dlevels[d].count;
+      session.plane_sets_[d].max_abs = record->meta.dlevels[d].max_abs;
+      session.plane_sets_[d].exponent = record->meta.dlevels[d].exponent;
+    }
+  }
+  const std::span<const Bytes> fresh(payloads.data() + session.cursor_,
+                                     usable - session.cursor_);
+  report.planes_decoded = mgard::count_magnitude_segments(fresh);
+  mgard::append_plane_sets(session.plane_sets_, fresh);
+
+  Timer t;
+  const mgard::Refactorer refactorer(config_.refactor, pool_);
+  session.data_ = refactorer.reconstruct_incremental(
+      record->meta, session.plane_sets_, session.pstates_);
+  report.reconstruct_seconds = t.seconds();
+
+  session.cursor_ = usable;
+  session.bound_ = record->meta.rel_error_bound(usable);
+  return current_state(usable);
 }
 
 void RapidsPipeline::repair_fragment(const std::string& name, u32 level,
@@ -774,6 +1099,8 @@ u64 RapidsPipeline::age_object(const std::string& name, u32 keep_levels) {
   const Bytes wire = record->serialize();
   db_.put(object_key(name),
           std::string(reinterpret_cast<const char*>(wire.data()), wire.size()));
+  // Cached payloads of the dropped levels must never serve again.
+  restore_cache_.invalidate_from(name, keep_levels);
   log::info("pipeline", "aged ", name, " to ", keep_levels,
             " levels, reclaimed ", reclaimed, " bytes");
   return reclaimed;

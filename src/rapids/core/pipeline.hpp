@@ -16,6 +16,7 @@
 /// between prepare and restore and examples can persist across runs.
 
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -32,6 +33,7 @@
 #include "rapids/net/bandwidth_tracker.hpp"
 #include "rapids/storage/cluster.hpp"
 #include "rapids/storage/placement.hpp"
+#include "rapids/storage/restore_cache.hpp"
 #include "rapids/storage/system_health.hpp"
 #include "rapids/util/common.hpp"
 #include "rapids/util/retry.hpp"
@@ -76,6 +78,19 @@ struct PipelineConfig {
   /// the recoverable level count.
   bool health_tracking = true;
   storage::HealthOptions health;
+
+  // --- progressive refinement (restore cache + refine sessions) ---
+
+  /// Byte budget of the CRC-verified LRU cache of fetched retrieval-level
+  /// payloads, shared across restores and refine sessions. Consulted before
+  /// gather planning; a hit skips the WAN fetch and erasure decode for that
+  /// level. 0 disables caching (every restore refetches, the pre-cache
+  /// behavior).
+  u64 restore_cache_bytes = 256ull << 20;
+  /// A refine session reuses its cached gathering plan while availability is
+  /// unchanged and no system's bandwidth estimate has drifted by more than
+  /// this relative tolerance; beyond it the ladder is replanned.
+  f64 plan_reuse_bw_tolerance = 0.25;
 };
 
 /// Everything persisted about one prepared object (the metadata record).
@@ -132,6 +147,63 @@ struct RestoreReport {
   u32 hedge_wins = 0;           ///< hedges that beat or rescued the primary
   u32 replans = 0;              ///< gathering replans forced by bad systems
   f64 backoff_seconds = 0.0;    ///< simulated retry backoff (in gather_latency)
+  u64 bytes_transferred = 0;    ///< fragment payload bytes fetched over the
+                                ///< (simulated) WAN, hedges included — zero
+                                ///< for levels served from the restore cache
+  u64 planes_decoded = 0;       ///< magnitude bitplane segments decoded (a
+                                ///< refine rung decodes only its new planes)
+  u32 cache_hits = 0;           ///< retrieval levels served from the cache
+  u32 cache_misses = 0;         ///< levels that had to be fetched
+  u32 cache_corrupt = 0;        ///< cached levels evicted on CRC mismatch
+  bool plan_reused = false;     ///< gathering plan reused from the session
+};
+
+/// A progressive-refinement session: everything already materialized for one
+/// object — the accumulated plane sets of fetched retrieval levels, the
+/// per-decomposition-level ProgressiveState, the last recomposed field, and
+/// the cached gathering plan for the levels still to come — so each
+/// RapidsPipeline::refine() rung pays only for retrieval levels beyond the
+/// previous cursor. Obtain via begin_refine(); safe to share across threads
+/// (refine serializes on the session's mutex).
+class RefineSession {
+ public:
+  explicit RefineSession(std::string name) : name_(std::move(name)) {}
+
+  RefineSession(const RefineSession&) = delete;
+  RefineSession& operator=(const RefineSession&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Retrieval levels fetched and decoded so far (the refinement cursor).
+  u32 levels() const;
+  /// Guaranteed relative error bound of data() (1.0 before the first rung).
+  f64 rel_error_bound() const;
+  /// The last recomposed field (empty before the first successful rung).
+  std::vector<f32> data() const;
+
+ private:
+  friend class RapidsPipeline;
+
+  /// Forget the cached ladder plan (availability or bandwidths moved).
+  void clear_plan() {
+    planned_rows_.clear();
+    plan_bandwidths_.clear();
+    plan_available_.clear();
+  }
+
+  mutable std::mutex mu_;
+  const std::string name_;
+  u32 cursor_ = 0;   ///< retrieval levels materialized into data_
+  f64 bound_ = 1.0;  ///< rel error bound at cursor_
+  std::vector<f32> data_;
+  std::vector<mgard::PlaneSet> plane_sets_;
+  std::vector<mgard::ProgressiveState> pstates_;
+  /// Ladder plan computed once for all then-remaining levels: row of serving
+  /// systems per retrieval level, plus the bandwidth/availability snapshot it
+  /// was computed against (for the staleness check).
+  std::map<u32, std::vector<u32>> planned_rows_;
+  std::vector<f64> plan_bandwidths_;
+  std::vector<bool> plan_available_;
 };
 
 /// The orchestrator.
@@ -174,6 +246,33 @@ class RapidsPipeline {
   /// concurrently with prepare_batch on the same pipeline. Reconstructed data
   /// is byte-identical to serial restore() calls. Reports in request order.
   std::vector<RestoreReport> restore_batch(std::span<const std::string> names);
+
+  /// Open a progressive-refinement session for `name`. refine() on the
+  /// returned handle fetches only retrieval levels beyond the session's
+  /// cursor. Multiple sessions — even for the same object — may be active
+  /// concurrently, and all share the pipeline's restore cache.
+  std::shared_ptr<RefineSession> begin_refine(const std::string& name);
+
+  /// Advance `session` until its guaranteed bound is <= rel_bound (or to the
+  /// object's deepest level when no level bound is that tight): consult the
+  /// restore cache, fetch only the uncached levels past the cursor (reusing
+  /// the session's gathering plan while bandwidth estimates have not drifted
+  /// past plan_reuse_bw_tolerance), decode only the new bitplanes, and
+  /// recompose. The returned field is byte-identical to a from-scratch
+  /// restore of the same level prefix. If outages put the requested bound
+  /// out of reach, the rung degrades to the deepest reachable level —
+  /// possibly the session's current state — instead of throwing.
+  RestoreReport refine(RefineSession& session, f64 rel_bound);
+
+  /// Convenience overload against a pipeline-owned session for `name`,
+  /// created on first use and dropped by end_refine().
+  RestoreReport refine(const std::string& name, f64 rel_bound);
+
+  /// Drop the pipeline-owned refine session for `name` (no-op when absent).
+  void end_refine(const std::string& name);
+
+  /// The shared CRC-verified retrieval-level payload cache.
+  storage::RestoreCache& restore_cache() { return restore_cache_; }
 
   /// The pipeline's current per-system bandwidth estimates: the tracker's
   /// learned values when adapt_bandwidth is on, else the cluster's.
@@ -261,6 +360,22 @@ class RapidsPipeline {
   /// fragment index it hosts (the authoritative map; placement only seeds it
   /// at prepare time, repair/evacuation may move fragments afterwards).
   std::map<u32, u32> fragment_locations(const std::string& name, u32 level) const;
+  /// Metadata lookup + gathering-problem snapshot (availability, bandwidth
+  /// estimates, health exclusions) under io_mu_. Throws on unknown objects.
+  void snapshot_problem(const std::string& name,
+                        std::optional<ObjectRecord>& record,
+                        GatherProblem& problem);
+  /// Plan, fetch, and erasure-decode the given retrieval levels (0-based,
+  /// ascending) into payloads[level], replanning internally around bad
+  /// systems (mutates problem.available, counts into report.replans).
+  /// `preplanned`, when non-null, carries one row of serving systems per
+  /// requested level to reuse instead of planning. Returns false when some
+  /// requested level stopped being recoverable — the caller decides how to
+  /// degrade; payloads are untouched in that case.
+  bool fetch_levels(const ObjectRecord& record, const std::string& name,
+                    GatherProblem& problem, const std::vector<u32>& levels,
+                    const solver::Selection* preplanned, RestoreReport& report,
+                    std::vector<Bytes>& payloads);
 
   storage::Cluster& cluster_;
   kv::KvStore& db_;
@@ -272,6 +387,13 @@ class RapidsPipeline {
   /// Maintenance APIs (repair, scrub, evacuate, age) take it too, so chaos
   /// runs may scrub while batches are in flight.
   std::mutex io_mu_;
+  /// Retrieval-level payload cache (self-locking; a leaf in the lock order:
+  /// never held while taking io_mu_ or a session mutex).
+  storage::RestoreCache restore_cache_;
+  /// Pipeline-owned sessions for the refine(name, bound) convenience API.
+  /// Lock order: session.mu_ -> io_mu_; sessions_mu_ only guards the map.
+  std::mutex sessions_mu_;
+  std::map<std::string, std::shared_ptr<RefineSession>> sessions_;
 };
 
 }  // namespace rapids::core

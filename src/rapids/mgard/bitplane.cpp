@@ -99,34 +99,77 @@ class BitWriter {
   u32 fill_ = 0;
 };
 
-/// Bounds-checked bit stream reader matching BitWriter's layout.
+/// Bounds-checked bit stream reader matching BitWriter's layout. Reads stage
+/// up to 64 bits at a time (Rice gap decoding is the hot segment mode), so
+/// get_bits is a mask+shift and get_unary a countr_zero instead of per-bit
+/// byte loads. Truncation still throws: a read that needs more bits than the
+/// buffer has left fails at the refill.
 class BitReader {
  public:
   explicit BitReader(std::span<const std::byte> data) : data_(data) {}
 
-  u32 get_bit() {
-    const u64 byte = bit_ >> 3;
-    if (byte >= data_.size()) throw io_error("bitplane: truncated bit stream");
-    const u32 bit = (static_cast<u8>(data_[byte]) >> (bit_ & 7)) & 1u;
-    ++bit_;
-    return bit;
-  }
+  u32 get_bit() { return static_cast<u32>(get_bits(1)); }
 
   u64 get_bits(u32 count) {
     u64 v = 0;
-    for (u32 i = 0; i < count; ++i) v |= static_cast<u64>(get_bit()) << i;
+    u32 got = 0;
+    while (got < count) {  // at most two iterations for count <= 64
+      if (avail_ == 0) refill();
+      const u32 take = std::min(count - got, avail_);
+      v |= (acc_ & mask(take)) << got;
+      consume(take);
+      got += take;
+    }
     return v;
   }
 
   u64 get_unary() {
     u64 q = 0;
-    while (get_bit() == 0) ++q;
-    return q;
+    for (;;) {
+      if (avail_ == 0) refill();
+      if (acc_ == 0) {
+        // Every staged bit is zero: the run continues into the next word.
+        q += avail_;
+        avail_ = 0;
+        continue;
+      }
+      const u32 z = static_cast<u32>(std::countr_zero(acc_));
+      q += z;
+      consume(z + 1);
+      return q;
+    }
   }
 
  private:
+  static u64 mask(u32 bits) {
+    return bits >= 64 ? ~u64{0} : (u64{1} << bits) - 1;
+  }
+
+  void consume(u32 bits) {
+    acc_ = bits >= 64 ? 0 : acc_ >> bits;
+    avail_ -= bits;
+  }
+
+  /// Stage the next 1..8 bytes. Unloaded high bytes stay zero, so a zero
+  /// accumulator near the stream tail never fabricates bits past the end —
+  /// the next refill on an empty buffer throws instead.
+  void refill() {
+    const std::size_t left = data_.size() - pos_;
+    if (left == 0) throw io_error("bitplane: truncated bit stream");
+    const std::size_t load = std::min<std::size_t>(8, left);
+    u64 word = 0;
+    std::memcpy(&word, data_.data() + pos_, load);
+    if constexpr (std::endian::native == std::endian::big)
+      word = __builtin_bswap64(word);
+    acc_ = word;
+    avail_ = static_cast<u32>(load * 8);
+    pos_ += load;
+  }
+
   std::span<const std::byte> data_;
-  u64 bit_ = 0;
+  std::size_t pos_ = 0;
+  u64 acc_ = 0;   ///< next bits, LSB first
+  u32 avail_ = 0; ///< valid bits in acc_
 };
 
 /// Rice parameter for gap coding at a given mean gap: k ~ log2(mean).
@@ -352,48 +395,84 @@ PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes,
 
 std::vector<f64> decode_planes(const PlaneSet& ps, u32 num_planes,
                                ThreadPool* pool) {
+  // Single code path with the incremental decoder: a throwaway state starting
+  // at zero planes is exactly the from-scratch decode, which is what makes
+  // incremental refinement provably byte-identical to it.
+  ProgressiveState scratch;
+  return decode_planes_incremental(ps, num_planes, scratch, pool);
+}
+
+std::vector<f64> decode_planes_incremental(const PlaneSet& ps, u32 num_planes,
+                                           ProgressiveState& state,
+                                           ThreadPool* pool) {
   RAPIDS_REQUIRE(num_planes <= ps.planes.size() ||
                  (ps.max_abs == 0.0 && ps.count > 0));
+  if (!state.initialized) {
+    state.count = ps.count;
+    state.initialized = true;
+  }
+  RAPIDS_REQUIRE_MSG(state.count == ps.count,
+                     "bitplane: progressive state belongs to another plane set");
+  RAPIDS_REQUIRE_MSG(num_planes >= state.planes_decoded,
+                     "bitplane: progressive decode cannot drop planes");
+
   std::vector<f64> out(ps.count, 0.0);
-  if (ps.count == 0 || ps.max_abs == 0.0 || num_planes == 0) return out;
+  if (ps.count == 0 || ps.max_abs == 0.0 || num_planes == 0) {
+    state.planes_decoded = num_planes;
+    return out;
+  }
 
   const u64 n = ps.count;
-  std::vector<u32> q(n, 0);
-
-  // Decode planes and merge (parallel across planes would race on q; decode
-  // segments in parallel, then merge serially per plane).
-  std::vector<std::vector<u64>> plane_words(num_planes);
-  auto decode_one = [&](u64 p) {
-    plane_words[p] = decode_segment(ps.planes[p], n);
-  };
-  if (pool != nullptr && num_planes > 1) {
-    pool->parallel_for(0, num_planes, decode_one);
-  } else {
-    for (u64 p = 0; p < num_planes; ++p) decode_one(p);
-  }
-
-  // Blocked merge mirroring the encoder's transpose.
   const u64 nwords = words_for_bits(n);
-  auto merge = [&](u64 wlo, u64 whi) {
-    u64 block[64];
-    for (u64 w = wlo; w < whi; ++w) {
-      const u64 base = w * 64;
-      const u32 valid = static_cast<u32>(std::min<u64>(64, n - base));
-      std::fill(std::begin(block), std::end(block), 0);
-      for (u32 p = 0; p < num_planes; ++p) block[31 - p] = plane_words[p][w];
-      transpose64(block);  // involution: rows become per-coefficient values
-      for (u32 i = 0; i < valid; ++i) q[base + i] = static_cast<u32>(block[i]);
+  if (state.q.empty()) state.q.assign(n, 0);
+  if (state.sign_words.empty()) state.sign_words = decode_segment(ps.sign, n);
+
+  const u32 p0 = state.planes_decoded;
+  const u32 delta = num_planes - p0;
+  if (delta > 0) {
+    // Decode only the new planes' segments (parallel across planes; merging
+    // in parallel would race on q, so it stays a blocked pass below).
+    std::vector<std::vector<u64>> plane_words(delta);
+    auto decode_one = [&](u64 i) {
+      plane_words[i] = decode_segment(ps.planes[p0 + i], n);
+    };
+    if (pool != nullptr && delta > 1) {
+      pool->parallel_for(0, delta, decode_one);
+    } else {
+      for (u64 i = 0; i < delta; ++i) decode_one(i);
     }
-  };
-  if (pool != nullptr && nwords > 64) {
-    pool->parallel_for_chunks(0, nwords, merge, 0);
-  } else {
-    merge(0, nwords);
+
+    // Blocked merge mirroring the encoder's transpose. The new planes occupy
+    // bit positions of q that previous planes never touched, so OR-ing the
+    // transposed block in reproduces a full decode exactly.
+    std::vector<u32>& q = state.q;
+    auto merge = [&](u64 wlo, u64 whi) {
+      u64 block[64];
+      for (u64 w = wlo; w < whi; ++w) {
+        const u64 base = w * 64;
+        const u32 valid = static_cast<u32>(std::min<u64>(64, n - base));
+        std::fill(std::begin(block), std::end(block), 0);
+        for (u32 i = 0; i < delta; ++i)
+          block[31 - (p0 + i)] = plane_words[i][w];
+        transpose64(block);  // involution: rows become per-coefficient values
+        for (u32 i = 0; i < valid; ++i)
+          q[base + i] |= static_cast<u32>(block[i]);
+      }
+    };
+    if (pool != nullptr && nwords > 64) {
+      pool->parallel_for_chunks(0, nwords, merge, 0);
+    } else {
+      merge(0, nwords);
+    }
+    state.planes_decoded = num_planes;
   }
 
-  const std::vector<u64> sign_words = decode_segment(ps.sign, n);
+  const std::vector<u32>& q = state.q;
+  const std::vector<u64>& sign_words = state.sign_words;
   const f64 inv_scale = std::ldexp(1.0, ps.exponent - 32);
   // Midpoint of the truncated tail: half of the last decoded plane's weight.
+  // Applied at materialization only — q itself stays raw, so the next
+  // refinement can re-derive the midpoint for its own plane count.
   const u32 mid = num_planes < 32 ? (1u << (31 - num_planes)) : 0u;
   auto reconstruct = [&](u64 lo, u64 hi) {
     for (u64 i = lo; i < hi; ++i) {

@@ -68,6 +68,29 @@ PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes = kMagnitudeP
 std::vector<f64> decode_planes(const PlaneSet& ps, u32 num_planes,
                                ThreadPool* pool = nullptr);
 
+/// Carry-over state for incremental plane decoding: the raw quantized values
+/// and sign words accumulated so far for one decomposition level. Planes
+/// occupy disjoint bit positions of q, so merging later planes is a pure OR;
+/// the truncated-tail midpoint is applied fresh at every materialization and
+/// never baked into q, which is what makes refining p0 -> p1 byte-identical
+/// to a from-scratch decode_planes(p1).
+struct ProgressiveState {
+  u64 count = 0;             ///< coefficients (fixed at first use)
+  u32 planes_decoded = 0;    ///< planes already merged into q
+  bool initialized = false;
+  std::vector<u32> q;          ///< quantized magnitudes, no midpoint applied
+  std::vector<u64> sign_words; ///< decoded sign plane (decoded once)
+};
+
+/// Incremental decode_planes: advance `state` from its current plane count to
+/// `num_planes` by decoding and OR-merging only the new planes of `ps`, then
+/// materialize the coefficients. For any refinement chain ending at p, the
+/// result is bit-for-bit identical to decode_planes(ps, p) — decode_planes
+/// itself is implemented as this function with a throwaway state.
+std::vector<f64> decode_planes_incremental(const PlaneSet& ps, u32 num_planes,
+                                           ProgressiveState& state,
+                                           ThreadPool* pool = nullptr);
+
 /// Low-level plane codecs, exposed for tests and benches. ///
 
 /// Pack a bit-per-coefficient plane and compress it (raw vs sparse,

@@ -93,26 +93,39 @@ std::vector<T> apply_load(const std::vector<T>& src, Dims sdims, u32 axis,
                           ThreadPool* pool) {
   const Dims odims = coarsen_axis(sdims, axis);
   std::vector<T> out(odims.total());
-  // Iterate output lines; fetch from the matching source line.
-  u64 slen = axis == 0 ? sdims.nx : axis == 1 ? sdims.ny : sdims.nz;
+  const u64 slen = axis == 0 ? sdims.nx : axis == 1 ? sdims.ny : sdims.nz;
   RAPIDS_REQUIRE_MSG(slen >= 3 && slen % 2 == 1,
                      "apply_load: axis must be odd-sized >= 3");
-  for_each_line(odims, axis, pool, [&](u64 obase, u64 ostride, u64 olen) {
-    // Recover the (a, b) cross-axis position from obase to find the source
-    // line base. Cross-axis strides are identical in src and out except the
-    // flattening constants differ, so recompute directly.
-    // obase = a*s1 + b*s2 in out coords; map via per-axis coordinates.
-    u64 oi[3];
-    oi[2] = obase / (odims.nx * odims.ny);
-    const u64 rem = obase % (odims.nx * odims.ny);
-    oi[1] = rem / odims.nx;
-    oi[0] = rem % odims.nx;
-    // Along `axis` the base coordinate is 0 for a line base.
-    const u64 sbase = (oi[2] * sdims.ny + oi[1]) * sdims.nx + oi[0];
-    const u64 sstride = axis == 0 ? 1 : axis == 1 ? sdims.nx : sdims.nx * sdims.ny;
+
+  // Line geometry in both grids. The cross-axis (a, b) iteration is shared —
+  // only `axis` is coarsened, so the cross extents match and just the
+  // flattening strides differ between the output and the source.
+  u64 olen = 0, ostride = 0, sstride = 0;
+  u64 o1 = 0, s1o = 0, s1s = 0;  // inner cross axis: count + strides
+  u64 o2 = 0, s2o = 0, s2s = 0;  // outer cross axis: count + strides
+  switch (axis) {
+    case 0:  // x lines: iterate (z, y)
+      olen = odims.nx; ostride = 1; sstride = 1;
+      o1 = odims.ny; s1o = odims.nx; s1s = sdims.nx;
+      o2 = odims.nz; s2o = odims.nx * odims.ny; s2s = sdims.nx * sdims.ny;
+      break;
+    case 1:  // y lines: iterate (z, x)
+      olen = odims.ny; ostride = odims.nx; sstride = sdims.nx;
+      o1 = odims.nx; s1o = 1; s1s = 1;
+      o2 = odims.nz; s2o = odims.nx * odims.ny; s2s = sdims.nx * sdims.ny;
+      break;
+    default:  // z lines: iterate (y, x)
+      olen = odims.nz; ostride = odims.nx * odims.ny;
+      sstride = sdims.nx * sdims.ny;
+      o1 = odims.nx; s1o = 1; s1s = 1;
+      o2 = odims.ny; s2o = odims.nx; s2s = sdims.nx;
+      break;
+  }
+
+  const T c6 = static_cast<T>(1.0 / 6.0);
+  auto line = [&](u64 obase, u64 sbase) {
     const T* v = src.data() + sbase;
     T* o = out.data() + obase;
-    const T c6 = static_cast<T>(1.0 / 6.0);
     // Boundary i = 0.
     o[0] = c6 * (static_cast<T>(2.5) * v[0] + 3 * v[sstride] +
                  static_cast<T>(0.5) * v[2 * sstride]);
@@ -129,7 +142,34 @@ std::vector<T> apply_load(const std::vector<T>& src, Dims sdims, u32 axis,
     o[(olen - 1) * ostride] =
         c6 * (static_cast<T>(2.5) * e[0] + 3 * e[-static_cast<i64>(sstride)] +
               static_cast<T>(0.5) * e[-2 * static_cast<i64>(sstride)]);
-  });
+  };
+
+  const u64 num_lines = o1 * o2;
+  auto run = [&](u64 lo, u64 hi) {
+    // One div/mod to seed (a, b) per chunk, then step both grids' line bases
+    // incrementally — the same scheme as for_each_line's run.
+    u64 a = lo % o1;
+    u64 b = lo / o1;
+    u64 obase = a * s1o + b * s2o;
+    u64 sbase = a * s1s + b * s2s;
+    for (u64 li = lo; li < hi; ++li) {
+      line(obase, sbase);
+      if (++a == o1) {
+        a = 0;
+        ++b;
+        obase = b * s2o;
+        sbase = b * s2s;
+      } else {
+        obase += s1o;
+        sbase += s1s;
+      }
+    }
+  };
+  if (pool != nullptr && num_lines > 1) {
+    pool->parallel_for_chunks(0, num_lines, run, /*grain=*/0);
+  } else {
+    run(0, num_lines);
+  }
   return out;
 }
 

@@ -136,18 +136,35 @@ std::vector<f32> Refactorer::reconstruct(
   RAPIDS_REQUIRE_MSG(!level_payloads.empty(),
                      "reconstruct: need at least retrieval level 1");
   RAPIDS_REQUIRE(level_payloads.size() <= meta.levels.size());
+  const std::vector<PlaneSet> sets =
+      collect_plane_sets(meta.dlevels, level_payloads);
+  return reconstruct_from_sets(meta, sets, nullptr);
+}
 
+std::vector<f32> Refactorer::reconstruct_incremental(
+    const RefactoredObject& meta, const std::vector<PlaneSet>& sets,
+    std::vector<ProgressiveState>& states) const {
+  if (states.empty()) states.resize(sets.size());
+  RAPIDS_REQUIRE_MSG(states.size() == sets.size(),
+                     "reconstruct: progressive states do not match plane sets");
+  return reconstruct_from_sets(meta, sets, &states);
+}
+
+std::vector<f32> Refactorer::reconstruct_from_sets(
+    const RefactoredObject& meta, const std::vector<PlaneSet>& sets,
+    std::vector<ProgressiveState>* states) const {
   const GridHierarchy h(meta.dims, meta.decomp_levels);
-  std::vector<PlaneSet> sets = collect_plane_sets(meta.dlevels, level_payloads);
   RAPIDS_REQUIRE(sets.size() == h.num_decomp_levels());
 
   std::vector<f64> padded(h.padded().total(), 0.0);
   for (u32 d = 0; d < sets.size(); ++d) {
     const u32 avail = static_cast<u32>(sets[d].planes.size());
-    std::vector<f64> coeffs =
-        sets[d].count == 0
-            ? std::vector<f64>{}
-            : decode_planes(sets[d], avail, pool_);
+    std::vector<f64> coeffs;
+    if (sets[d].count != 0) {
+      coeffs = states != nullptr
+                   ? decode_planes_incremental(sets[d], avail, (*states)[d], pool_)
+                   : decode_planes(sets[d], avail, pool_);
+    }
     if (coeffs.empty() && sets[d].count > 0)
       coeffs.assign(sets[d].count, 0.0);
     scatter_level(padded, h, d, coeffs);

@@ -87,7 +87,23 @@ class Refactorer {
   std::vector<f32> reconstruct(const RefactoredObject& meta,
                                std::span<const Bytes> level_payloads) const;
 
+  /// Incremental counterpart of reconstruct() for refinement sessions.
+  /// `sets` are the accumulated plane sets of a retrieval prefix (grown with
+  /// append_plane_sets); `states` (initially empty, owned by the caller
+  /// across rungs) lets the bitplane decode pay only for planes added since
+  /// the last call — the recompose itself still runs over the full grid.
+  /// Bit-identical to reconstruct() over the same prefix.
+  std::vector<f32> reconstruct_incremental(
+      const RefactoredObject& meta, const std::vector<PlaneSet>& sets,
+      std::vector<ProgressiveState>& states) const;
+
  private:
+  /// Shared tail of the two reconstruct flavors: decode (incrementally when
+  /// `states` is non-null), scatter, recompose, crop.
+  std::vector<f32> reconstruct_from_sets(
+      const RefactoredObject& meta, const std::vector<PlaneSet>& sets,
+      std::vector<ProgressiveState>* states) const;
+
   RefactorOptions options_;
   ThreadPool* pool_;
 };

@@ -1,0 +1,95 @@
+#include "rapids/storage/restore_cache.hpp"
+
+#include "rapids/util/crc32c.hpp"
+
+namespace rapids::storage {
+
+RestoreCache::Outcome RestoreCache::get(const std::string& name, u32 level,
+                                        Bytes& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(Key{name, level});
+  if (it == index_.end()) {
+    ++misses_;
+    return Outcome::kMiss;
+  }
+  Entry& entry = *it->second;
+  if (crc32c(as_bytes_view(entry.payload)) != entry.crc) {
+    ++corrupt_evictions_;
+    drop(it->second);
+    return Outcome::kCorrupt;
+  }
+  out = entry.payload;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++hits_;
+  return Outcome::kHit;
+}
+
+void RestoreCache::put(const std::string& name, u32 level,
+                       std::span<const std::byte> payload) {
+  if (payload.size() > budget_) return;  // covers budget_ == 0 (disabled)
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{name, level};
+  if (const auto it = index_.find(key); it != index_.end()) drop(it->second);
+  while (bytes_ + payload.size() > budget_ && !lru_.empty()) {
+    ++evictions_;
+    drop(std::prev(lru_.end()));
+  }
+  lru_.push_front(Entry{key, Bytes(payload.begin(), payload.end()),
+                        crc32c(payload)});
+  index_.emplace(key, lru_.begin());
+  bytes_ += payload.size();
+  ++inserts_;
+}
+
+void RestoreCache::invalidate(const std::string& name) {
+  invalidate_from(name, 0);
+}
+
+void RestoreCache::invalidate_from(const std::string& name, u32 first_level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Keys order (name, level) lexicographically, so the object's doomed levels
+  // form one contiguous map range.
+  auto it = index_.lower_bound(Key{name, first_level});
+  while (it != index_.end() && it->first.first == name) {
+    auto victim = it++;
+    drop(victim->second);
+  }
+}
+
+void RestoreCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+RestoreCache::Stats RestoreCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.inserts = inserts_;
+  s.evictions = evictions_;
+  s.corrupt_evictions = corrupt_evictions_;
+  s.bytes = bytes_;
+  s.entries = index_.size();
+  return s;
+}
+
+bool RestoreCache::corrupt_entry_for_test(const std::string& name, u32 level,
+                                          u64 byte_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(Key{name, level});
+  if (it == index_.end() || it->second->payload.empty()) return false;
+  Bytes& payload = it->second->payload;
+  payload[byte_index % payload.size()] ^= std::byte{0x40};
+  return true;
+}
+
+void RestoreCache::drop(LruList::iterator it) {
+  bytes_ -= it->payload.size();
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace rapids::storage

@@ -1,0 +1,102 @@
+#pragma once
+
+/// \file restore_cache.hpp
+/// Byte-budgeted LRU cache of fetched retrieval-level payloads, keyed by
+/// (object name, retrieval level). The restore path consults it *before*
+/// gather planning: a hit skips the WAN fetch and erasure decode for that
+/// level entirely, which is what makes repeated restores and the refinement
+/// ladder pay only for bytes they have not seen yet.
+///
+/// Every entry stores the CRC-32C of its payload, recomputed on every get.
+/// A mismatch (bit rot, or a fault injector scribbling on memory it should
+/// not reach) evicts the entry and reports kCorrupt, so the caller falls
+/// through to a normal fetch — a stale or damaged cache can cost time but
+/// never correctness.
+
+#include <list>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "rapids/util/bytes.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::storage {
+
+class RestoreCache {
+ public:
+  /// `byte_budget` caps the summed payload bytes; 0 disables the cache
+  /// (every get misses, every put is dropped).
+  explicit RestoreCache(u64 byte_budget) : budget_(byte_budget) {}
+
+  RestoreCache(const RestoreCache&) = delete;
+  RestoreCache& operator=(const RestoreCache&) = delete;
+
+  enum class Outcome {
+    kMiss,     ///< not cached
+    kHit,      ///< payload copied into `out`, CRC verified
+    kCorrupt,  ///< was cached but failed CRC; entry evicted, `out` untouched
+  };
+
+  /// Look up (name, level); a verified hit copies the payload into `out` and
+  /// refreshes the entry's LRU position.
+  Outcome get(const std::string& name, u32 level, Bytes& out);
+
+  /// Insert or refresh (name, level). Entries larger than the whole budget
+  /// are not cached; otherwise least-recently-used entries are evicted until
+  /// the new total fits.
+  void put(const std::string& name, u32 level, std::span<const std::byte> payload);
+
+  /// Drop every cached level of `name` (the object was re-prepared).
+  void invalidate(const std::string& name);
+
+  /// Drop cached levels >= `first_level` of `name` (the object was aged).
+  void invalidate_from(const std::string& name, u32 first_level);
+
+  /// Drop everything.
+  void clear();
+
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 inserts = 0;
+    u64 evictions = 0;          ///< LRU evictions (budget pressure)
+    u64 corrupt_evictions = 0;  ///< CRC-mismatch evictions
+    u64 bytes = 0;              ///< current cached payload bytes
+    u64 entries = 0;            ///< current entry count
+  };
+  Stats stats() const;
+
+  u64 byte_budget() const { return budget_; }
+
+  /// Test hook: flip one bit of a cached payload in place (returns false if
+  /// the entry is absent or empty). Lets chaos tests inject silent cache
+  /// corruption without reaching into private state.
+  bool corrupt_entry_for_test(const std::string& name, u32 level,
+                              u64 byte_index = 0);
+
+ private:
+  using Key = std::pair<std::string, u32>;
+  struct Entry {
+    Key key;
+    Bytes payload;
+    u32 crc = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  /// Remove `it` from the map+list and release its bytes. Caller holds mu_.
+  void drop(LruList::iterator it);
+
+  const u64 budget_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< front = most recently used
+  std::map<Key, LruList::iterator> index_;
+  u64 bytes_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+  u64 inserts_ = 0;
+  u64 evictions_ = 0;
+  u64 corrupt_evictions_ = 0;
+};
+
+}  // namespace rapids::storage

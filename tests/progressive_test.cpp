@@ -1,0 +1,468 @@
+// Tests for incremental progressive refinement: the incremental bitplane
+// decoder (decode_planes_incremental must be bit-identical to a from-scratch
+// decode at every prefix), the CRC-verified restore cache, and the pipeline's
+// refine() sessions (byte-identical refinement ladder, per-rung transfer
+// accounting, plan reuse, cache corruption recovery, outage degradation).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "rapids/core/pipeline.hpp"
+#include "rapids/data/datasets.hpp"
+#include "rapids/data/stats.hpp"
+#include "rapids/kvstore/db.hpp"
+#include "rapids/mgard/bitplane.hpp"
+#include "rapids/parallel/thread_pool.hpp"
+#include "rapids/storage/restore_cache.hpp"
+#include "rapids/util/rng.hpp"
+
+namespace rapids::mgard {
+namespace {
+
+bool bit_identical(const std::vector<f64>& a, const std::vector<f64>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(f64)) == 0);
+}
+
+bool bit_identical(const std::vector<f32>& a, const std::vector<f32>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(f32)) == 0);
+}
+
+std::vector<f64> mixed_sign_coeffs(std::size_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<f64> coeffs(n);
+  for (auto& c : coeffs) c = rng.normal(0.0, 25.0);
+  if (!coeffs.empty()) coeffs[0] = 0.0;  // exercise the zero fast path too
+  return coeffs;
+}
+
+// --- incremental bitplane decode ---
+
+TEST(ProgressiveDecode, EveryPlanePairBitIdentical) {
+  const std::size_t lengths[] = {1, 63, 64, 65, 4097};
+  const u32 stops[] = {0, 1, 2, 5, 31, 32};
+  for (std::size_t li = 0; li < std::size(lengths); ++li) {
+    const auto coeffs = mixed_sign_coeffs(lengths[li], 1000 + li);
+    const PlaneSet ps = encode_planes(coeffs);
+    for (u32 p0 : stops) {
+      for (u32 p1 : stops) {
+        if (p0 >= p1) continue;
+        ProgressiveState state;
+        const auto first = decode_planes_incremental(ps, p0, state, nullptr);
+        ASSERT_TRUE(bit_identical(first, decode_planes(ps, p0)))
+            << "n=" << lengths[li] << " p0=" << p0;
+        const auto second = decode_planes_incremental(ps, p1, state, nullptr);
+        ASSERT_TRUE(bit_identical(second, decode_planes(ps, p1)))
+            << "n=" << lengths[li] << " p0=" << p0 << " p1=" << p1;
+      }
+    }
+  }
+}
+
+TEST(ProgressiveDecode, ChainedRefinementMatchesEveryPrefix) {
+  const auto coeffs = mixed_sign_coeffs(2500, 77);
+  const PlaneSet ps = encode_planes(coeffs);
+  ProgressiveState state;
+  for (u32 p : {0u, 1u, 2u, 5u, 13u, 31u, 32u}) {
+    const auto inc = decode_planes_incremental(ps, p, state, nullptr);
+    ASSERT_TRUE(bit_identical(inc, decode_planes(ps, p))) << "planes=" << p;
+    EXPECT_EQ(state.planes_decoded, p);
+  }
+}
+
+TEST(ProgressiveDecode, ParallelMatchesSerial) {
+  ThreadPool pool(4);
+  const auto coeffs = mixed_sign_coeffs(1u << 17, 5);
+  const PlaneSet ps = encode_planes(coeffs);
+  ProgressiveState serial, parallel;
+  for (u32 p : {3u, 17u, 32u}) {
+    const auto a = decode_planes_incremental(ps, p, serial, nullptr);
+    const auto b = decode_planes_incremental(ps, p, parallel, &pool);
+    ASSERT_TRUE(bit_identical(a, b)) << "planes=" << p;
+  }
+}
+
+TEST(ProgressiveDecode, AllZeroLevel) {
+  const std::vector<f64> coeffs(129, 0.0);
+  const PlaneSet ps = encode_planes(coeffs);
+  ProgressiveState state;
+  const auto a = decode_planes_incremental(ps, 0, state, nullptr);
+  const auto b = decode_planes_incremental(ps, 32, state, nullptr);
+  EXPECT_TRUE(bit_identical(a, std::vector<f64>(129, 0.0)));
+  EXPECT_TRUE(bit_identical(b, std::vector<f64>(129, 0.0)));
+}
+
+TEST(ProgressiveDecode, RejectsShrinkingPlaneCount) {
+  const auto coeffs = mixed_sign_coeffs(100, 9);
+  const PlaneSet ps = encode_planes(coeffs);
+  ProgressiveState state;
+  (void)decode_planes_incremental(ps, 8, state, nullptr);
+  EXPECT_THROW(decode_planes_incremental(ps, 4, state, nullptr),
+               std::exception);
+}
+
+// The word-at-a-time BitReader must still detect truncated streams instead
+// of reading past the end. A Rice-coded segment (mode byte 3) exercises both
+// get_unary and get_bits refill paths.
+TEST(ProgressiveDecode, TruncatedSegmentThrows) {
+  Rng rng(11);
+  std::vector<f64> coeffs(5000, 0.0);
+  for (std::size_t i = 0; i < coeffs.size(); i += 97)
+    coeffs[i] = rng.normal(0.0, 3.0);  // sparse: gap coding kicks in
+  PlaneSet ps = encode_planes(coeffs);
+  bool truncated_one = false;
+  for (auto& plane : ps.planes) {
+    if (plane.data.size() < 8) continue;
+    PlaneSet damaged = ps;
+    auto& seg =
+        damaged.planes[static_cast<std::size_t>(&plane - ps.planes.data())];
+    seg.data.resize(seg.data.size() / 2);
+    EXPECT_THROW(decode_planes(damaged, kMagnitudePlanes), std::exception);
+    truncated_one = true;
+    break;
+  }
+  EXPECT_TRUE(truncated_one);
+}
+
+}  // namespace
+}  // namespace rapids::mgard
+
+namespace rapids::storage {
+namespace {
+
+Bytes make_payload(std::size_t n, u8 fill) {
+  return Bytes(n, std::byte{fill});
+}
+
+TEST(RestoreCache, HitMissAndLru) {
+  RestoreCache cache(1024);
+  Bytes out;
+  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kMiss);
+  cache.put("a", 0, make_payload(100, 1));
+  cache.put("a", 1, make_payload(100, 2));
+  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(out, make_payload(100, 1));
+  EXPECT_EQ(cache.get("a", 1, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(out, make_payload(100, 2));
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.bytes, 200u);
+}
+
+TEST(RestoreCache, EvictsLeastRecentlyUsedUnderBudget) {
+  RestoreCache cache(300);
+  cache.put("a", 0, make_payload(100, 1));
+  cache.put("a", 1, make_payload(100, 2));
+  cache.put("a", 2, make_payload(100, 3));
+  Bytes out;
+  // Touch level 0 so level 1 becomes the LRU victim.
+  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kHit);
+  cache.put("a", 3, make_payload(100, 4));
+  EXPECT_EQ(cache.get("a", 1, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 2, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 3, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_LE(cache.stats().bytes, 300u);
+}
+
+TEST(RestoreCache, CorruptEntryEvictedThenMisses) {
+  RestoreCache cache(1024);
+  cache.put("a", 0, make_payload(64, 9));
+  ASSERT_TRUE(cache.corrupt_entry_for_test("a", 0));
+  Bytes out;
+  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kCorrupt);
+  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.stats().corrupt_evictions, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(RestoreCache, InvalidateFromDropsDeepLevelsOnly) {
+  RestoreCache cache(1024);
+  for (u32 j = 0; j < 4; ++j) cache.put("a", j, make_payload(10, u8(j)));
+  cache.put("b", 3, make_payload(10, 50));
+  cache.invalidate_from("a", 2);
+  Bytes out;
+  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 1, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 2, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.get("a", 3, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.get("b", 3, out), RestoreCache::Outcome::kHit);
+  cache.invalidate("a");
+  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.get("b", 3, out), RestoreCache::Outcome::kHit);
+}
+
+TEST(RestoreCache, OversizePayloadAndZeroBudgetRejected) {
+  RestoreCache cache(100);
+  cache.put("a", 0, make_payload(101, 1));
+  Bytes out;
+  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kMiss);
+  RestoreCache off(0);
+  off.put("a", 0, make_payload(1, 1));
+  EXPECT_EQ(off.get("a", 0, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(off.stats().inserts, 0u);
+}
+
+}  // namespace
+}  // namespace rapids::storage
+
+namespace rapids::core {
+namespace {
+
+namespace fs = std::filesystem;
+using mgard::Dims;
+
+class RefineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (fs::temp_directory_path() /
+            ("rapids_refine_" + std::string(::testing::UnitTest::GetInstance()
+                                                ->current_test_info()
+                                                ->name())))
+               .string();
+    fs::remove_all(dir_);
+    cluster_ = std::make_unique<storage::Cluster>(
+        storage::ClusterConfig{16, 0.0, 42});
+    db_ = kv::Db::open(dir_);
+  }
+  void TearDown() override {
+    db_.reset();
+    fs::remove_all(dir_);
+  }
+
+  // Deterministic byte accounting: no stragglers (prob 0 above), no hedges,
+  // no bandwidth adaptation, so every fetch of level j costs exactly
+  // k_j x fragment_bytes(j) regardless of plan or ordering.
+  PipelineConfig refine_config() {
+    PipelineConfig cfg;
+    cfg.refactor.decomp_levels = 3;
+    cfg.refactor.num_retrieval_levels = 4;
+    cfg.refactor.target_rel_errors = {4e-3, 5e-4, 6e-5, 1e-6};
+    cfg.aco.iterations = 20;
+    cfg.adapt_bandwidth = false;
+    cfg.hedged_reads = false;
+    return cfg;
+  }
+
+  // Expected field for a j-level prefix, reconstructed directly from the
+  // prepared payloads (no network, no cache).
+  std::vector<f32> expected_prefix(const PrepareReport& prep, u32 j) const {
+    std::vector<Bytes> payloads;
+    for (u32 i = 0; i < j; ++i)
+      payloads.push_back(prep.record.meta.levels[i].payload);
+    const mgard::Refactorer refactorer(config_used_);
+    return refactorer.reconstruct(prep.record.meta, payloads);
+  }
+
+  bool bit_identical(const std::vector<f32>& a,
+                     const std::vector<f32>& b) const {
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(f32)) == 0);
+  }
+
+  std::string dir_;
+  std::unique_ptr<storage::Cluster> cluster_;
+  std::unique_ptr<kv::Db> db_;
+  mgard::RefactorOptions config_used_;
+};
+
+TEST_F(RefineTest, LadderBitIdenticalToFullRestoreAtEveryRung) {
+  auto cfg = refine_config();
+  config_used_ = cfg.refactor;
+  RapidsPipeline pipeline(*cluster_, *db_, cfg);
+  const Dims dims{33, 33, 17};
+  const auto field = data::hurricane_pressure(dims, 1);
+  const auto prep = pipeline.prepare(field, dims, "hp");
+
+  // Full-restore byte baseline from a cache-disabled pipeline.
+  auto cold = cfg;
+  cold.restore_cache_bytes = 0;
+  RapidsPipeline baseline(*cluster_, *db_, cold);
+  const auto full = baseline.restore("hp");
+  ASSERT_EQ(full.levels_used, 4u);
+  ASSERT_GT(full.bytes_transferred, 0u);
+
+  auto session = pipeline.begin_refine("hp");
+  u64 cumulative = 0;
+  u32 rung = 0;
+  for (f64 bound : {4e-3, 5e-4, 6e-5, 1e-6}) {
+    const auto report = pipeline.refine(*session, bound);
+    ++rung;
+    ASSERT_EQ(report.levels_used, rung) << "bound=" << bound;
+    EXPECT_LE(report.rel_error_bound, bound);
+    // Each rung transfers strictly less than the equivalent full restore:
+    // only the new levels' fragments move.
+    EXPECT_GT(report.bytes_transferred, 0u);
+    EXPECT_LT(report.bytes_transferred, full.bytes_transferred);
+    EXPECT_GT(report.planes_decoded, 0u);
+    cumulative += report.bytes_transferred;
+    ASSERT_TRUE(bit_identical(report.data, expected_prefix(prep, rung)))
+        << "rung " << rung;
+    EXPECT_EQ(session->levels(), rung);
+    const f64 err = data::relative_linf_error(field, report.data);
+    EXPECT_LE(err, report.rel_error_bound);
+  }
+  // The whole ladder moves exactly the bytes of one full restore.
+  EXPECT_EQ(cumulative, full.bytes_transferred);
+  ASSERT_TRUE(bit_identical(session->data(), full.data));
+}
+
+TEST_F(RefineTest, SecondRungReusesLadderPlan) {
+  auto cfg = refine_config();
+  RapidsPipeline pipeline(*cluster_, *db_, cfg);
+  const Dims dims{33, 33, 17};
+  const auto field = data::scale_temperature(dims, 3);
+  pipeline.prepare(field, dims, "st");
+
+  auto session = pipeline.begin_refine("st");
+  const auto first = pipeline.refine(*session, 4e-3);
+  EXPECT_FALSE(first.plan_reused);  // ladder planned on the first rung
+  const auto second = pipeline.refine(*session, 6e-5);
+  EXPECT_TRUE(second.plan_reused);
+  EXPECT_EQ(second.levels_used, 3u);
+  EXPECT_LT(second.planning_seconds, first.planning_seconds + 1e-9);
+}
+
+TEST_F(RefineTest, MetBoundTransfersNothing) {
+  RapidsPipeline pipeline(*cluster_, *db_, refine_config());
+  const Dims dims{17, 17, 9};
+  const auto field = data::scale_temperature(dims, 4);
+  pipeline.prepare(field, dims, "st");
+
+  const auto first = pipeline.refine("st", 5e-4);
+  ASSERT_EQ(first.levels_used, 2u);
+  const auto again = pipeline.refine("st", 4e-3);  // looser: already met
+  EXPECT_EQ(again.levels_used, 2u);
+  EXPECT_EQ(again.bytes_transferred, 0u);
+  EXPECT_EQ(again.planes_decoded, 0u);
+  EXPECT_TRUE(bit_identical(again.data, first.data));
+  pipeline.end_refine("st");
+}
+
+TEST_F(RefineTest, RepeatRestoreServedFromCache) {
+  RapidsPipeline pipeline(*cluster_, *db_, refine_config());
+  const Dims dims{33, 17, 9};
+  const auto field = data::hurricane_pressure(dims, 2);
+  pipeline.prepare(field, dims, "hp");
+
+  const auto first = pipeline.restore("hp");
+  ASSERT_EQ(first.levels_used, 4u);
+  EXPECT_GT(first.bytes_transferred, 0u);
+  EXPECT_EQ(first.cache_hits, 0u);
+
+  const auto second = pipeline.restore("hp");
+  EXPECT_EQ(second.cache_hits, 4u);
+  EXPECT_EQ(second.bytes_transferred, 0u);
+  EXPECT_TRUE(bit_identical(second.data, first.data));
+}
+
+TEST_F(RefineTest, CacheServesFullQualityDuringTotalOutage) {
+  RapidsPipeline pipeline(*cluster_, *db_, refine_config());
+  const Dims dims{17, 17, 9};
+  const auto field = data::scale_temperature(dims, 5);
+  pipeline.prepare(field, dims, "st");
+  const auto warm = pipeline.restore("st");
+  ASSERT_EQ(warm.levels_used, 4u);
+
+  for (u32 i = 0; i < cluster_->size(); ++i) cluster_->fail(i);
+  const auto outage = pipeline.restore("st");
+  EXPECT_EQ(outage.levels_used, 4u);
+  EXPECT_EQ(outage.bytes_transferred, 0u);
+  EXPECT_TRUE(bit_identical(outage.data, warm.data));
+  for (u32 i = 0; i < cluster_->size(); ++i) cluster_->restore(i);
+}
+
+TEST_F(RefineTest, CorruptedCacheEntryRefetchedAndBoundStillHolds) {
+  RapidsPipeline pipeline(*cluster_, *db_, refine_config());
+  const Dims dims{33, 33, 9};
+  const auto field = data::hurricane_pressure(dims, 6);
+  pipeline.prepare(field, dims, "hp");
+  const auto first = pipeline.restore("hp");
+  ASSERT_EQ(first.levels_used, 4u);
+
+  ASSERT_TRUE(pipeline.restore_cache().corrupt_entry_for_test("hp", 1, 7));
+  const auto second = pipeline.restore("hp");
+  EXPECT_EQ(second.cache_corrupt, 1u);
+  EXPECT_EQ(second.cache_hits, 3u);
+  EXPECT_GT(second.bytes_transferred, 0u);  // level 1 refetched
+  EXPECT_LT(second.bytes_transferred, first.bytes_transferred);
+  EXPECT_TRUE(bit_identical(second.data, first.data));
+  const f64 err = data::relative_linf_error(field, second.data);
+  EXPECT_LE(err, second.rel_error_bound);
+}
+
+TEST_F(RefineTest, RefineDegradesGracefullyUnderOutageThenRecovers) {
+  RapidsPipeline pipeline(*cluster_, *db_, refine_config());
+  const Dims dims{17, 17, 9};
+  const auto field = data::scale_temperature(dims, 8);
+  pipeline.prepare(field, dims, "st");
+
+  auto session = pipeline.begin_refine("st");
+  for (u32 i = 0; i < cluster_->size(); ++i) cluster_->fail(i);
+  const auto blocked = pipeline.refine(*session, 1e-6);
+  EXPECT_EQ(blocked.levels_used, 0u);
+  EXPECT_TRUE(blocked.data.empty());
+  EXPECT_EQ(blocked.rel_error_bound, 1.0);
+
+  for (u32 i = 0; i < cluster_->size(); ++i) cluster_->restore(i);
+  const auto healed = pipeline.refine(*session, 1e-6);
+  EXPECT_EQ(healed.levels_used, 4u);
+  const f64 err = data::relative_linf_error(field, healed.data);
+  EXPECT_LE(err, healed.rel_error_bound);
+}
+
+TEST_F(RefineTest, AgingInvalidatesDroppedCacheLevels) {
+  RapidsPipeline pipeline(*cluster_, *db_, refine_config());
+  const Dims dims{17, 17, 9};
+  const auto field = data::scale_temperature(dims, 9);
+  pipeline.prepare(field, dims, "st");
+  (void)pipeline.restore("st");  // warm the cache with all 4 levels
+
+  pipeline.age_object("st", 2);
+  const auto after = pipeline.restore("st");
+  EXPECT_EQ(after.levels_used, 2u);
+  EXPECT_EQ(after.cache_hits, 2u);       // kept levels still served
+  EXPECT_EQ(after.bytes_transferred, 0u);
+}
+
+TEST_F(RefineTest, ConcurrentSessionsConvergeIdentically) {
+  auto cfg = refine_config();
+  RapidsPipeline pipeline(*cluster_, *db_, cfg);
+  const Dims dims{33, 17, 9};
+  const auto field = data::hurricane_pressure(dims, 10);
+  pipeline.prepare(field, dims, "hp");
+
+  auto s1 = pipeline.begin_refine("hp");
+  auto s2 = pipeline.begin_refine("hp");
+  const f64 ladder[] = {4e-3, 5e-4, 6e-5, 1e-6};
+  auto drive = [&](RefineSession& s) {
+    for (const f64 bound : ladder) {
+      const auto report = pipeline.refine(s, bound);
+      ASSERT_LE(report.rel_error_bound, bound);
+    }
+  };
+  std::thread t1([&] { drive(*s1); });
+  std::thread t2([&] { drive(*s2); });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(s1->levels(), 4u);
+  EXPECT_EQ(s2->levels(), 4u);
+  ASSERT_TRUE(bit_identical(s1->data(), s2->data()));
+
+  config_used_ = cfg.refactor;
+  const auto full = pipeline.restore("hp");
+  ASSERT_TRUE(bit_identical(s1->data(), full.data));
+}
+
+}  // namespace
+}  // namespace rapids::core
