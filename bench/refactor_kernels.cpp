@@ -1,0 +1,548 @@
+// Refactor-kernel throughput: the panel-major multigrid kernels, scalar
+// reference vs the dispatched ISA tier, plus the whole single-thread
+// decompose/recompose at three implementation stages:
+//
+//   seed       — the pre-panel per-line implementation (embedded below),
+//   panel      — the rebuilt sweeps pinned to the scalar kernel tier,
+//   dispatched — the same sweeps through the active ISA tier (AVX2 here).
+//
+// `dispatched vs seed` is the headline number the issue tracks (>= 4x on
+// AVX2); `panel vs seed` isolates the restructuring from the vectorization.
+//
+// Usage: refactor_kernels [output.json]
+//   Prints the tables; with an argument also writes BENCH_refactor.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rapids/mgard/bitplane.hpp"
+#include "rapids/mgard/decompose.hpp"
+#include "rapids/mgard/grid.hpp"
+#include "rapids/mgard/kernels/kernels.hpp"
+#include "rapids/mgard/workspace.hpp"
+#include "rapids/simd/cpu_features.hpp"
+#include "rapids/util/rng.hpp"
+#include "rapids/util/timer.hpp"
+
+namespace rapids::bench {
+namespace {
+
+using mgard::Dims;
+using mgard::GridHierarchy;
+using simd::IsaLevel;
+
+// --- seed reference: the pre-panel per-line transform, kept verbatim -------
+
+namespace seedref {
+
+template <typename Body>
+void for_each_line(Dims dims, u32 axis, const Body& body) {
+  u64 len = 0, stride = 0, o1 = 0, s1 = 0, o2 = 0, s2 = 0;
+  switch (axis) {
+    case 0:
+      len = dims.nx; stride = 1;
+      o1 = dims.ny; s1 = dims.nx;
+      o2 = dims.nz; s2 = dims.nx * dims.ny;
+      break;
+    case 1:
+      len = dims.ny; stride = dims.nx;
+      o1 = dims.nx; s1 = 1;
+      o2 = dims.nz; s2 = dims.nx * dims.ny;
+      break;
+    default:
+      len = dims.nz; stride = dims.nx * dims.ny;
+      o1 = dims.nx; s1 = 1;
+      o2 = dims.ny; s2 = dims.nx;
+      break;
+  }
+  for (u64 b = 0; b < o2; ++b)
+    for (u64 a = 0; a < o1; ++a) body(a * s1 + b * s2, stride, len);
+}
+
+template <typename T>
+void cascade(std::vector<T>& w, Dims dims, u32 axis, T sign) {
+  for_each_line(dims, axis, [&](u64 base, u64 stride, u64 len) {
+    T* v = w.data() + base;
+    for (u64 i = 1; i + 1 < len; i += 2)
+      v[i * stride] += sign * static_cast<T>(0.5) *
+                       (v[(i - 1) * stride] + v[(i + 1) * stride]);
+  });
+}
+
+Dims coarsen_axis(Dims d, u32 axis) {
+  auto shrink = [](u64 s) { return s <= 1 ? s : (s - 1) / 2 + 1; };
+  if (axis == 0) d.nx = shrink(d.nx);
+  else if (axis == 1) d.ny = shrink(d.ny);
+  else d.nz = shrink(d.nz);
+  return d;
+}
+
+template <typename T>
+std::vector<T> apply_load(const std::vector<T>& src, Dims sdims, u32 axis) {
+  const Dims odims = coarsen_axis(sdims, axis);
+  std::vector<T> out(odims.total());
+  const u64 slen = axis == 0 ? sdims.nx : axis == 1 ? sdims.ny : sdims.nz;
+  u64 olen = 0, ostride = 0, sstride = 0;
+  u64 o1 = 0, s1o = 0, s1s = 0, o2 = 0, s2o = 0, s2s = 0;
+  switch (axis) {
+    case 0:
+      olen = odims.nx; ostride = 1; sstride = 1;
+      o1 = odims.ny; s1o = odims.nx; s1s = sdims.nx;
+      o2 = odims.nz; s2o = odims.nx * odims.ny; s2s = sdims.nx * sdims.ny;
+      break;
+    case 1:
+      olen = odims.ny; ostride = odims.nx; sstride = sdims.nx;
+      o1 = odims.nx; s1o = 1; s1s = 1;
+      o2 = odims.nz; s2o = odims.nx * odims.ny; s2s = sdims.nx * sdims.ny;
+      break;
+    default:
+      olen = odims.nz; ostride = odims.nx * odims.ny;
+      sstride = sdims.nx * sdims.ny;
+      o1 = odims.nx; s1o = 1; s1s = 1;
+      o2 = odims.ny; s2o = odims.nx; s2s = sdims.nx;
+      break;
+  }
+  const T c6 = static_cast<T>(1.0 / 6.0);
+  auto line = [&](u64 obase, u64 sbase) {
+    const T* v = src.data() + sbase;
+    T* o = out.data() + obase;
+    o[0] = c6 * (static_cast<T>(2.5) * v[0] + 3 * v[sstride] +
+                 static_cast<T>(0.5) * v[2 * sstride]);
+    for (u64 i = 1; i + 1 < olen; ++i) {
+      const T* p = v + 2 * i * sstride;
+      o[i * ostride] =
+          c6 * (static_cast<T>(0.5) * p[-2 * static_cast<i64>(sstride)] +
+                3 * p[-static_cast<i64>(sstride)] + 5 * p[0] + 3 * p[sstride] +
+                static_cast<T>(0.5) * p[2 * sstride]);
+    }
+    const T* e = v + (slen - 1) * sstride;
+    o[(olen - 1) * ostride] =
+        c6 * (static_cast<T>(2.5) * e[0] + 3 * e[-static_cast<i64>(sstride)] +
+              static_cast<T>(0.5) * e[-2 * static_cast<i64>(sstride)]);
+  };
+  for (u64 b = 0; b < o2; ++b)
+    for (u64 a = 0; a < o1; ++a) line(a * s1o + b * s2o, a * s1s + b * s2s);
+  return out;
+}
+
+template <typename T>
+void mass_solve(std::vector<T>& g, Dims dims, u32 axis) {
+  const u64 n = axis == 0 ? dims.nx : axis == 1 ? dims.ny : dims.nz;
+  if (n <= 1) return;
+  for_each_line(dims, axis, [&](u64 base, u64 stride, u64 len) {
+    T* v = g.data() + base;
+    constexpr f64 off = 1.0 / 3.0;
+    std::vector<f64> cp(len);
+    f64 diag0 = 2.0 / 3.0;
+    cp[0] = off / diag0;
+    v[0] = static_cast<T>(v[0] / diag0);
+    for (u64 i = 1; i < len; ++i) {
+      const f64 diag = (i + 1 == len) ? 2.0 / 3.0 : 4.0 / 3.0;
+      const f64 denom = diag - off * cp[i - 1];
+      cp[i] = off / denom;
+      v[i * stride] =
+          static_cast<T>((v[i * stride] - off * v[(i - 1) * stride]) / denom);
+    }
+    for (u64 i = len - 1; i-- > 0;)
+      v[i * stride] -= static_cast<T>(cp[i] * v[(i + 1) * stride]);
+  });
+}
+
+template <typename T>
+std::vector<T> compute_correction(const std::vector<T>& w, Dims adims) {
+  std::vector<T> r = w;
+  const u64 sx = adims.nx > 1 ? 2 : 1;
+  const u64 sy = adims.ny > 1 ? 2 : 1;
+  const u64 sz = adims.nz > 1 ? 2 : 1;
+  for (u64 k = 0; k < adims.nz; k += sz)
+    for (u64 j = 0; j < adims.ny; j += sy)
+      for (u64 i = 0; i < adims.nx; i += sx)
+        r[(k * adims.ny + j) * adims.nx + i] = 0;
+  Dims cur = adims;
+  for (u32 axis = 0; axis < 3; ++axis) {
+    const u64 extent = axis == 0 ? cur.nx : axis == 1 ? cur.ny : cur.nz;
+    if (extent <= 1) continue;
+    r = apply_load(r, cur, axis);
+    cur = coarsen_axis(cur, axis);
+  }
+  for (u32 axis = 0; axis < 3; ++axis) {
+    const u64 extent = axis == 0 ? cur.nx : axis == 1 ? cur.ny : cur.nz;
+    if (extent <= 1) continue;
+    mass_solve(r, cur, axis);
+  }
+  return r;
+}
+
+template <typename T>
+std::vector<T> gather_active(const std::vector<T>& full, Dims pdims,
+                             Dims adims, u64 stride) {
+  std::vector<T> w(adims.total());
+  for (u64 k = 0; k < adims.nz; ++k)
+    for (u64 j = 0; j < adims.ny; ++j) {
+      const T* src =
+          full.data() + ((k * stride) * pdims.ny + j * stride) * pdims.nx;
+      T* dst = w.data() + (k * adims.ny + j) * adims.nx;
+      for (u64 i = 0; i < adims.nx; ++i) dst[i] = src[i * stride];
+    }
+  return w;
+}
+
+template <typename T>
+void scatter_active(std::vector<T>& full, Dims pdims, const std::vector<T>& w,
+                    Dims adims, u64 stride) {
+  for (u64 k = 0; k < adims.nz; ++k)
+    for (u64 j = 0; j < adims.ny; ++j) {
+      T* dst = full.data() + ((k * stride) * pdims.ny + j * stride) * pdims.nx;
+      const T* src = w.data() + (k * adims.ny + j) * adims.nx;
+      for (u64 i = 0; i < adims.nx; ++i) dst[i * stride] = src[i];
+    }
+}
+
+template <typename T>
+void apply_correction(std::vector<T>& w, Dims adims, const std::vector<T>& z,
+                      Dims cdims, T sign) {
+  const u64 sx = adims.nx > 1 ? 2 : 1;
+  const u64 sy = adims.ny > 1 ? 2 : 1;
+  const u64 sz = adims.nz > 1 ? 2 : 1;
+  for (u64 k = 0; k < cdims.nz; ++k)
+    for (u64 j = 0; j < cdims.ny; ++j) {
+      const T* src = z.data() + (k * cdims.ny + j) * cdims.nx;
+      T* dst = w.data() + ((k * sz) * adims.ny + j * sy) * adims.nx;
+      for (u64 i = 0; i < cdims.nx; ++i) dst[i * sx] += sign * src[i];
+    }
+}
+
+template <typename T>
+void decompose(std::vector<T>& data, const GridHierarchy& h) {
+  const Dims pdims = h.padded();
+  for (u32 t = 1; t <= h.levels(); ++t) {
+    const Dims adims = h.grid_at_step(t - 1);
+    const u64 stride = u64{1} << (t - 1);
+    std::vector<T> w = gather_active(data, pdims, adims, stride);
+    for (u32 axis = 0; axis < 3; ++axis) {
+      const u64 extent = axis == 0 ? adims.nx : axis == 1 ? adims.ny : adims.nz;
+      if (extent > 1) cascade(w, adims, axis, static_cast<T>(-1));
+    }
+    const std::vector<T> z = compute_correction(w, adims);
+    apply_correction(w, adims, z, h.grid_at_step(t), static_cast<T>(1));
+    scatter_active(data, pdims, w, adims, stride);
+  }
+}
+
+template <typename T>
+void recompose(std::vector<T>& data, const GridHierarchy& h) {
+  const Dims pdims = h.padded();
+  for (u32 t = h.levels(); t >= 1; --t) {
+    const Dims adims = h.grid_at_step(t - 1);
+    const u64 stride = u64{1} << (t - 1);
+    std::vector<T> w = gather_active(data, pdims, adims, stride);
+    const std::vector<T> z = compute_correction(w, adims);
+    apply_correction(w, adims, z, h.grid_at_step(t), static_cast<T>(-1));
+    for (u32 axis = 3; axis-- > 0;) {
+      const u64 extent = axis == 0 ? adims.nx : axis == 1 ? adims.ny : adims.nz;
+      if (extent > 1) cascade(w, adims, axis, static_cast<T>(1));
+    }
+    scatter_active(data, pdims, w, adims, stride);
+  }
+}
+
+}  // namespace seedref
+
+// --- harness ---------------------------------------------------------------
+
+std::vector<f64> random_field(u64 n, u64 seed) {
+  Rng rng(seed);
+  std::vector<f64> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+template <typename F>
+f64 best_seconds(F&& fn, int reps) {
+  f64 best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+struct KernelResult {
+  std::string name;
+  f64 scalar_gbps = 0.0;
+  f64 dispatched_gbps = 0.0;
+  f64 speedup() const {
+    return scalar_gbps > 0 ? dispatched_gbps / scalar_gbps : 0.0;
+  }
+};
+
+struct TransformResult {
+  std::string name;       // seed / panel_scalar / dispatched
+  f64 decompose_mbps = 0.0;
+  f64 recompose_mbps = 0.0;
+};
+
+// One row-kernel measurement: run `calls` invocations moving `bytes_per_call`
+// through memory, report GB/s at the given tier.
+template <typename Fn>
+f64 kernel_gbps(const Fn& call, int calls, u64 bytes_per_call) {
+  call();  // warm
+  const f64 s = best_seconds([&] { for (int c = 0; c < calls; ++c) call(); }, 5);
+  return static_cast<f64>(bytes_per_call) * calls / s / 1e9;
+}
+
+std::vector<KernelResult> bench_row_kernels(IsaLevel vec_tier) {
+  using mgard::kernels::row_ops_at;
+  const auto& S = mgard::kernels::row_ops_scalar<f64>();
+  const auto& V = row_ops_at<f64>(vec_tier);
+  const u64 n = 1 << 15;  // one row: 256 KiB of f64, beyond L1 but L2-warm
+  const int calls = 400;
+  auto a = random_field(n, 1), lo = random_field(n, 2), hi = random_field(n, 3);
+  auto m2 = random_field(n, 4), p2 = random_field(n, 5);
+  std::vector<f64> out(n);
+  std::vector<KernelResult> rows;
+
+  auto add = [&](std::string name, auto&& sc, auto&& vc, u64 bytes) {
+    KernelResult r;
+    r.name = std::move(name);
+    r.scalar_gbps = kernel_gbps(sc, calls, bytes);
+    r.dispatched_gbps = kernel_gbps(vc, calls, bytes);
+    rows.push_back(r);
+  };
+
+  add("cascade_fwd(row)",
+      [&] { S.cascade_fwd(a.data(), lo.data(), hi.data(), n); },
+      [&] { V.cascade_fwd(a.data(), lo.data(), hi.data(), n); }, 4 * n * 8);
+  add("load_interior(row)",
+      [&] {
+        S.load_interior(out.data(), m2.data(), lo.data(), a.data(), hi.data(),
+                        p2.data(), n);
+      },
+      [&] {
+        V.load_interior(out.data(), m2.data(), lo.data(), a.data(), hi.data(),
+                        p2.data(), n);
+      },
+      6 * n * 8);
+  add("thomas_fwd(row)",
+      [&] { S.thomas_fwd(a.data(), lo.data(), 1.0 / 3.0, 1.25, n); },
+      [&] { V.thomas_fwd(a.data(), lo.data(), 1.0 / 3.0, 1.25, n); },
+      3 * n * 8);
+  add("thomas_bwd(row)",
+      [&] { S.thomas_bwd(a.data(), hi.data(), 0.3, n); },
+      [&] { V.thomas_bwd(a.data(), hi.data(), 0.3, n); }, 3 * n * 8);
+  add("cascade_x(fwd+inv)",
+      [&] {
+        S.cascade_fwd_x(a.data(), n - 1);  // odd length
+        S.cascade_inv_x(a.data(), n - 1);
+      },
+      [&] {
+        V.cascade_fwd_x(a.data(), n - 1);
+        V.cascade_inv_x(a.data(), n - 1);
+      },
+      4 * n * 8);
+  add("load_x(line)",
+      [&] { S.load_x(out.data(), a.data(), (n - 1) / 2 + 1, n - 1); },
+      [&] { V.load_x(out.data(), a.data(), (n - 1) / 2 + 1, n - 1); },
+      n * 8 + (n / 2) * 8);
+  add("gather(stride2)",
+      [&] { S.gather_stride(out.data(), a.data(), n / 2, 2); },
+      [&] { V.gather_stride(out.data(), a.data(), n / 2, 2); },
+      (n / 2) * 16);
+  add("pack_panel(16xN)",
+      [&] { S.pack_panel(out.data(), a.data(), 16, n / 16, n / 16); },
+      [&] { V.pack_panel(out.data(), a.data(), 16, n / 16, n / 16); },
+      2 * (n / 16) * 16 * 8);
+
+  // Bitplane kernels.
+  const auto& BS = mgard::kernels::bitplane_ops_scalar();
+  const auto& BV = mgard::kernels::bitplane_ops_at(vec_tier);
+  const u64 nb = n - (n % 64);
+  std::vector<u64> block(64), signs(nb / 64);
+  std::vector<u32> q(nb);
+  Rng qr(9);
+  for (auto& x : q) x = static_cast<u32>(qr.next_u64());
+  for (auto& w : signs) w = qr.next_u64();
+  std::vector<f64> deq(nb);
+  const f64 scale = 0x1p30;
+  add("max_abs",
+      [&] { (void)BS.max_abs(a.data(), n); },
+      [&] { (void)BV.max_abs(a.data(), n); }, n * 8);
+  {
+    // The lambda loops the whole buffer, so fewer outer calls than the row
+    // kernels above.
+    KernelResult r;
+    r.name = "quantize64+transpose";
+    r.scalar_gbps = kernel_gbps(
+        [&] {
+          u64 sw;
+          for (u64 b = 0; b < nb; b += 64) {
+            BS.quantize64(a.data() + b, 64, scale, block.data(), &sw);
+            BS.transpose64(block.data());
+          }
+        },
+        40, nb * 16);
+    r.dispatched_gbps = kernel_gbps(
+        [&] {
+          u64 sw;
+          for (u64 b = 0; b < nb; b += 64) {
+            BV.quantize64(a.data() + b, 64, scale, block.data(), &sw);
+            BV.transpose64(block.data());
+          }
+        },
+        40, nb * 16);
+    rows.push_back(r);
+  }
+  add("dequantize",
+      [&] {
+        BS.dequantize(deq.data(), q.data(), signs.data(), 0x1p-32, 1u << 19,
+                      nb);
+      },
+      [&] {
+        BV.dequantize(deq.data(), q.data(), signs.data(), 0x1p-32, 1u << 19,
+                      nb);
+      },
+      nb * 12);
+  return rows;
+}
+
+int main_impl(int argc, char** argv) {
+  const IsaLevel best = simd::active_isa();
+  std::printf("refactor_kernels: dispatched tier = %s\n\n",
+              simd::isa_name(best));
+
+  // --- per-kernel table ---
+  std::vector<KernelResult> kernels = bench_row_kernels(best);
+  std::printf("%-24s %12s %14s %9s\n", "kernel", "scalar GB/s",
+              "dispatched GB/s", "speedup");
+  for (const auto& k : kernels)
+    std::printf("%-24s %12.2f %14.2f %8.2fx\n", k.name.c_str(), k.scalar_gbps,
+                k.dispatched_gbps, k.speedup());
+
+  // --- whole transform, single thread ---
+  const Dims dims{129, 129, 129};
+  const u32 levels = 4;
+  const GridHierarchy h(dims, levels);
+  const u64 bytes = h.padded().total() * sizeof(f64);
+  const f64 mb = static_cast<f64>(bytes) / 1e6;
+  const auto field = random_field(h.padded().total(), 77);
+  const int reps = 3;
+
+  std::vector<TransformResult> transforms;
+  std::vector<f64> coeffs = field;  // decomposed form, reused by all variants
+  seedref::decompose(coeffs, h);
+
+  {
+    TransformResult r;
+    r.name = "seed";
+    r.decompose_mbps = mb / best_seconds(
+        [&] { std::vector<f64> w = field; seedref::decompose(w, h); }, reps);
+    r.recompose_mbps = mb / best_seconds(
+        [&] { std::vector<f64> w = coeffs; seedref::recompose(w, h); }, reps);
+    transforms.push_back(r);
+  }
+  mgard::RefactorWorkspace ws;
+  {
+    simd::set_isa_override(IsaLevel::kScalar);
+    TransformResult r;
+    r.name = "panel_scalar";
+    r.decompose_mbps = mb / best_seconds(
+        [&] { std::vector<f64> w = field; mgard::decompose(w, h, {}, nullptr, &ws); },
+        reps);
+    r.recompose_mbps = mb / best_seconds(
+        [&] { std::vector<f64> w = coeffs; mgard::recompose(w, h, {}, nullptr, &ws); },
+        reps);
+    transforms.push_back(r);
+    simd::set_isa_override(std::nullopt);
+  }
+  {
+    TransformResult r;
+    r.name = "dispatched";
+    r.decompose_mbps = mb / best_seconds(
+        [&] { std::vector<f64> w = field; mgard::decompose(w, h, {}, nullptr, &ws); },
+        reps);
+    r.recompose_mbps = mb / best_seconds(
+        [&] { std::vector<f64> w = coeffs; mgard::recompose(w, h, {}, nullptr, &ws); },
+        reps);
+    transforms.push_back(r);
+  }
+
+  std::printf("\nwhole transform, single thread, %llux%llux%llu f64, L=%u\n",
+              static_cast<unsigned long long>(dims.nx),
+              static_cast<unsigned long long>(dims.ny),
+              static_cast<unsigned long long>(dims.nz), levels);
+  std::printf("%-14s %16s %16s\n", "variant", "decompose MB/s",
+              "recompose MB/s");
+  for (const auto& t : transforms)
+    std::printf("%-14s %16.1f %16.1f\n", t.name.c_str(), t.decompose_mbps,
+                t.recompose_mbps);
+
+  const auto& seed = transforms[0];
+  const auto& panel = transforms[1];
+  const auto& disp = transforms[2];
+  const f64 sp_dec = disp.decompose_mbps / seed.decompose_mbps;
+  const f64 sp_rec = disp.recompose_mbps / seed.recompose_mbps;
+  const f64 sp_panel =
+      (panel.decompose_mbps + panel.recompose_mbps) /
+      (seed.decompose_mbps + seed.recompose_mbps);
+  const f64 sp_total =
+      (disp.decompose_mbps + disp.recompose_mbps) /
+      (seed.decompose_mbps + seed.recompose_mbps);
+  std::printf("\nspeedup vs seed: decompose %.2fx, recompose %.2fx, "
+              "combined %.2fx (panel restructuring alone: %.2fx)\n",
+              sp_dec, sp_rec, sp_total, sp_panel);
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"context\": {\n");
+    std::fprintf(f, "    \"dispatched_isa\": \"%s\",\n", simd::isa_name(best));
+    std::fprintf(f, "    \"field\": \"%llux%llux%llu f64\",\n",
+                 static_cast<unsigned long long>(dims.nx),
+                 static_cast<unsigned long long>(dims.ny),
+                 static_cast<unsigned long long>(dims.nz));
+    std::fprintf(f, "    \"decomp_levels\": %u,\n", levels);
+    std::fprintf(f, "    \"threads\": 1\n");
+    std::fprintf(f, "  },\n");
+    std::fprintf(f, "  \"kernels\": [\n");
+    for (std::size_t i = 0; i < kernels.size(); ++i) {
+      const auto& k = kernels[i];
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"scalar_gbps\": %.3f, "
+                   "\"dispatched_gbps\": %.3f, \"speedup\": %.3f}%s\n",
+                   k.name.c_str(), k.scalar_gbps, k.dispatched_gbps,
+                   k.speedup(), i + 1 == kernels.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"transform\": [\n");
+    for (std::size_t i = 0; i < transforms.size(); ++i) {
+      const auto& t = transforms[i];
+      std::fprintf(f,
+                   "    {\"variant\": \"%s\", \"decompose_mbps\": %.1f, "
+                   "\"recompose_mbps\": %.1f}%s\n",
+                   t.name.c_str(), t.decompose_mbps, t.recompose_mbps,
+                   i + 1 == transforms.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"speedup_decompose_vs_seed\": %.3f,\n", sp_dec);
+    std::fprintf(f, "  \"speedup_recompose_vs_seed\": %.3f,\n", sp_rec);
+    std::fprintf(f, "  \"speedup_combined_vs_seed\": %.3f,\n", sp_total);
+    std::fprintf(f, "  \"speedup_panel_scalar_vs_seed\": %.3f\n", sp_panel);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", argv[1]);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace rapids::bench
+
+int main(int argc, char** argv) { return rapids::bench::main_impl(argc, argv); }

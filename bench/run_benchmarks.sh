@@ -59,3 +59,14 @@ if [[ -x "$CHAOS_BIN" ]]; then
 else
   echo "warning: $CHAOS_BIN not found — skipping chaos resilience" >&2
 fi
+
+# Refactor kernels: panel-major multigrid row kernels scalar vs dispatched
+# (GB/s) plus whole single-thread decompose/recompose MB/s at the seed /
+# panel-scalar / dispatched stages, with speedups recorded in the same run.
+RK_BIN="$BUILD_DIR/bench/refactor_kernels"
+RK_OUT="$(dirname "$OUT")/BENCH_refactor.json"
+if [[ -x "$RK_BIN" ]]; then
+  "$RK_BIN" "$RK_OUT"
+else
+  echo "warning: $RK_BIN not found — skipping refactor kernels" >&2
+fi

@@ -18,9 +18,11 @@ cd "$(dirname "$0")/.."
 MODE="${1:-all}"
 JOBS="$(nproc 2>/dev/null || echo 4)"
 # The suites where shared mutable state is exercised; everything else is
-# covered by the plain tier-1 run.
+# covered by the plain tier-1 run. kernel_test and mgard_test ride along for
+# the vectorized refactor kernels: ASan/UBSan over the intrinsics paths and
+# TSan over the panel-parallel sweeps.
 SUITES=(parallel_test pipeline_test pipeline_batch_test progressive_test storage_test
-        fault_injector_test chaos_test)
+        fault_injector_test chaos_test kernel_test mgard_test)
 
 run_tree() {
   local dir="$1" sanitize="$2"
@@ -34,6 +36,12 @@ run_tree() {
     echo "--- ${dir}/tests/${t}"
     "${dir}/tests/${t}"
   done
+  # Whole-transform round trip with the dispatcher pinned to the scalar
+  # reference tier — proves the env-var escape hatch still covers the full
+  # refactor path after the vectorized kernels landed.
+  echo "--- ${dir}/tests/kernel_test (RAPIDS_FORCE_SCALAR=1)"
+  RAPIDS_FORCE_SCALAR=1 "${dir}/tests/kernel_test" \
+    --gtest_filter='Transform.*:Planes.*:Levels.*'
 }
 
 case "${MODE}" in

@@ -100,6 +100,7 @@ RapidsPipeline::RapidsPipeline(storage::Cluster& cluster, kv::KvStore& db,
       db_(db),
       config_(std::move(config)),
       pool_(pool),
+      refactorer_(config_.refactor, pool),
       restore_cache_(config_.restore_cache_bytes) {}
 
 ec::ReedSolomon RapidsPipeline::codec_for(const ObjectRecord& record,
@@ -144,8 +145,7 @@ PrepareReport RapidsPipeline::do_prepare(std::span<const f32> data,
   Timer t;
 
   // 1-2) Read + refactor into the hierarchical representation.
-  const mgard::Refactorer refactorer(config_.refactor, pool_);
-  mgard::RefactoredObject obj = refactorer.refactor(data, dims, name);
+  mgard::RefactoredObject obj = refactorer_.refactor(data, dims, name);
   report.refactor_seconds = t.seconds();
 
   // 3) Optimize the fault-tolerance configuration (Algorithm 1).
@@ -777,8 +777,7 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
 
   // Reconstruct the approximation from the recovered prefix.
   Timer t;
-  const mgard::Refactorer refactorer(config_.refactor, pool_);
-  report.data = refactorer.reconstruct(record->meta, prefix);
+  report.data = refactorer_.reconstruct(record->meta, prefix);
   report.reconstruct_seconds = t.seconds();
   return report;
 }
@@ -969,8 +968,7 @@ RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound) {
   mgard::append_plane_sets(session.plane_sets_, fresh);
 
   Timer t;
-  const mgard::Refactorer refactorer(config_.refactor, pool_);
-  session.data_ = refactorer.reconstruct_incremental(
+  session.data_ = refactorer_.reconstruct_incremental(
       record->meta, session.plane_sets_, session.pstates_);
   report.reconstruct_seconds = t.seconds();
 

@@ -381,6 +381,10 @@ class RapidsPipeline {
   kv::KvStore& db_;
   PipelineConfig config_;
   ThreadPool* pool_;
+  /// Shared across prepare/restore/refine calls (it is stateless apart from
+  /// options and pool) instead of being rebuilt per call; the heavy per-call
+  /// scratch lives in the WorkspacePool the refactorer leases from.
+  mgard::Refactorer refactorer_;
   std::optional<net::BandwidthTracker> tracker_;
   std::optional<storage::SystemHealth> health_;
   /// Serializes shared-state stages when batch objects run concurrently.

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "rapids/mgard/kernels/kernels.hpp"
 #include "rapids/parallel/thread_pool.hpp"
 
 namespace rapids::mgard {
@@ -17,19 +18,6 @@ constexpr u8 kModeZero = 2;
 constexpr u8 kModeRice = 3;
 
 u64 words_for_bits(u64 bits) { return ceil_div(bits, 64); }
-
-/// In-place transpose of a 64x64 bit matrix (rows = words, bit b of row r =
-/// M[r][b]); Hacker's Delight 7-7 style recursive block swap. Involution.
-void transpose64(u64 a[64]) {
-  u64 m = 0x00000000FFFFFFFFull;
-  for (u32 j = 32; j != 0; j >>= 1, m ^= m << j) {
-    for (u32 k = 0; k < 64; k = (k + j + 1) & ~j) {
-      const u64 t = ((a[k] >> j) ^ a[k + j]) & m;
-      a[k] ^= t << j;
-      a[k + j] ^= t;
-    }
-  }
-}
 
 /// Append-only bit stream (LSB-first within bytes) with a 64-bit staging
 /// accumulator so the common path is shift+or, not per-bit byte writes.
@@ -316,8 +304,8 @@ PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes,
   ps.count = coeffs.size();
   if (coeffs.empty()) return ps;
 
-  f64 max_abs = 0.0;
-  for (f64 c : coeffs) max_abs = std::max(max_abs, std::fabs(c));
+  const kernels::BitplaneOps& ops = kernels::bitplane_ops();
+  const f64 max_abs = ops.max_abs(coeffs.data(), coeffs.size());
   ps.max_abs = max_abs;
   if (max_abs == 0.0) {
     // All-zero level: a zero sign plane and no magnitude planes needed, but
@@ -333,32 +321,15 @@ PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes,
   ps.exponent = std::ilogb(max_abs) + 1;
   const f64 scale = std::ldexp(1.0, 32 - ps.exponent);  // |c| * scale in [0, 2^32)
 
-  // Quantize.
+  // Quantize, extract signs, and slice planes in one fused blocked pass:
+  // each 64-coefficient block is quantized straight into the transpose
+  // scratch (no intermediate q[] array and no separate sign pass), bit-
+  // transposed, and contributes one 64-bit word to every plane plus one sign
+  // word. Blocks own disjoint sign/plane words, so the pass parallelizes
+  // without the 64-aligned-grain footwork the split passes needed.
   const u64 n = ps.count;
-  std::vector<u32> q(n);
-  std::vector<u64> sign_words(words_for_bits(n), 0);
-  auto quantize = [&](u64 lo, u64 hi) {
-    for (u64 i = lo; i < hi; ++i) {
-      const f64 c = coeffs[i];
-      f64 m = std::fabs(c) * scale;
-      if (m >= 4294967295.0) m = 4294967295.0;
-      q[i] = static_cast<u32>(m);
-      if (std::signbit(c)) sign_words[i >> 6] |= u64{1} << (i & 63);
-    }
-  };
-  // Sign-word writes race across chunk boundaries if chunks are not multiples
-  // of 64 coefficients; use 64-aligned grain.
-  if (pool != nullptr && n > (1u << 16)) {
-    pool->parallel_for_chunks(0, n, quantize, /*grain=*/round_up(n / 64, 64));
-  } else {
-    quantize(0, n);
-  }
-  ps.sign = encode_segment(sign_words, n);
-
-  // Slice planes with a blocked transpose: each 64-coefficient block is
-  // loaded once and contributes one 64-bit word to every plane, keeping the
-  // working set in registers/L1 instead of streaming q[] once per plane.
   const u64 nwords = words_for_bits(n);
+  std::vector<u64> sign_words(nwords, 0);
   std::vector<std::vector<u64>> plane_words(max_planes);
   for (auto& w : plane_words) w.assign(nwords, 0);
   auto slice_blocks = [&](u64 wlo, u64 whi) {
@@ -366,11 +337,11 @@ PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes,
     for (u64 w = wlo; w < whi; ++w) {
       const u64 base = w * 64;
       const u32 valid = static_cast<u32>(std::min<u64>(64, n - base));
-      for (u32 i = 0; i < valid; ++i) block[i] = q[base + i];
-      for (u32 i = valid; i < 64; ++i) block[i] = 0;
+      ops.quantize64(coeffs.data() + base, valid, scale, block,
+                     &sign_words[w]);
       // After the bit transpose, row b holds bit b of every coefficient:
       // plane p (MSB-first) is row 31-p.
-      transpose64(block);
+      ops.transpose64(block);
       for (u32 p = 0; p < max_planes; ++p)
         plane_words[p][w] = block[31 - p];
     }
@@ -380,6 +351,7 @@ PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes,
   } else {
     slice_blocks(0, nwords);
   }
+  ps.sign = encode_segment(sign_words, n);
 
   ps.planes.resize(max_planes);
   auto compress_plane = [&](u64 p) {
@@ -445,6 +417,7 @@ std::vector<f64> decode_planes_incremental(const PlaneSet& ps, u32 num_planes,
     // Blocked merge mirroring the encoder's transpose. The new planes occupy
     // bit positions of q that previous planes never touched, so OR-ing the
     // transposed block in reproduces a full decode exactly.
+    const kernels::BitplaneOps& mops = kernels::bitplane_ops();
     std::vector<u32>& q = state.q;
     auto merge = [&](u64 wlo, u64 whi) {
       u64 block[64];
@@ -454,7 +427,7 @@ std::vector<f64> decode_planes_incremental(const PlaneSet& ps, u32 num_planes,
         std::fill(std::begin(block), std::end(block), 0);
         for (u32 i = 0; i < delta; ++i)
           block[31 - (p0 + i)] = plane_words[i][w];
-        transpose64(block);  // involution: rows become per-coefficient values
+        mops.transpose64(block);  // involution: rows become coefficient values
         for (u32 i = 0; i < valid; ++i)
           q[base + i] |= static_cast<u32>(block[i]);
       }
@@ -474,20 +447,19 @@ std::vector<f64> decode_planes_incremental(const PlaneSet& ps, u32 num_planes,
   // Applied at materialization only — q itself stays raw, so the next
   // refinement can re-derive the midpoint for its own plane count.
   const u32 mid = num_planes < 32 ? (1u << (31 - num_planes)) : 0u;
-  auto reconstruct = [&](u64 lo, u64 hi) {
-    for (u64 i = lo; i < hi; ++i) {
-      u32 qi = q[i];
-      if (qi == 0) continue;  // insignificant: stays exactly zero
-      qi += mid;
-      f64 m = static_cast<f64>(qi) * inv_scale;
-      if (sign_words[i >> 6] & (u64{1} << (i & 63))) m = -m;
-      out[i] = m;
-    }
+  // Chunk over whole sign words so the dispatched kernel's relative sign
+  // indexing lines up with absolute coefficient positions.
+  const kernels::BitplaneOps& rops = kernels::bitplane_ops();
+  auto reconstruct = [&](u64 wlo, u64 whi) {
+    const u64 lo = wlo * 64;
+    const u64 hi = std::min(n, whi * 64);
+    rops.dequantize(out.data() + lo, q.data() + lo, sign_words.data() + wlo,
+                    inv_scale, mid, hi - lo);
   };
-  if (pool != nullptr && n > (1u << 16)) {
-    pool->parallel_for_chunks(0, n, reconstruct, 0);
+  if (pool != nullptr && nwords > (1u << 10)) {
+    pool->parallel_for_chunks(0, nwords, reconstruct, 0);
   } else {
-    reconstruct(0, n);
+    reconstruct(0, nwords);
   }
   return out;
 }

@@ -1,79 +1,31 @@
 #include "rapids/mgard/decompose.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "rapids/mgard/kernels/kernels.hpp"
+#include "rapids/mgard/workspace.hpp"
 #include "rapids/parallel/thread_pool.hpp"
+
+// Panel-major implementation of the multigrid transform: every sweep along y
+// and z walks whole contiguous x-rows through the dispatched unit-stride row
+// kernels (kernels/kernels.hpp), the x-axis Thomas solve batches
+// kThomasPanelWidth independent lines per register sweep via a panel
+// transpose, and the gather/scatter against the padded array is fused with
+// the adjacent x cascade. Per-element arithmetic order is identical to the
+// pre-panel per-line code, so results are bit-identical to it and across ISA
+// tiers (tests/kernel_test.cpp holds both properties).
 
 namespace rapids::mgard {
 
 namespace {
 
-/// Run body(line) for every 1-D line of `dims` along `axis`, possibly in
-/// parallel. body receives (base_index, stride, length) of the line in the
-/// flattened row-major array.
-template <typename Body>
-void for_each_line(Dims dims, u32 axis, ThreadPool* pool, const Body& body) {
-  u64 len = 0, stride = 0, o1 = 0, s1 = 0, o2 = 0, s2 = 0;
-  switch (axis) {
-    case 0:  // x lines: iterate (z, y)
-      len = dims.nx; stride = 1;
-      o1 = dims.ny; s1 = dims.nx;           // y
-      o2 = dims.nz; s2 = dims.nx * dims.ny; // z
-      break;
-    case 1:  // y lines: iterate (z, x)
-      len = dims.ny; stride = dims.nx;
-      o1 = dims.nx; s1 = 1;
-      o2 = dims.nz; s2 = dims.nx * dims.ny;
-      break;
-    default:  // z lines: iterate (y, x)
-      len = dims.nz; stride = dims.nx * dims.ny;
-      o1 = dims.nx; s1 = 1;
-      o2 = dims.ny; s2 = dims.nx;
-      break;
-  }
-  const u64 num_lines = o1 * o2;
-  auto run = [&](u64 lo, u64 hi) {
-    // One div/mod to seed the (a, b) coordinates at `lo`, then step them
-    // incrementally — the quotient/remainder per line was the hot spot.
-    u64 a = lo % o1;
-    u64 b = lo / o1;
-    u64 base = a * s1 + b * s2;
-    for (u64 li = lo; li < hi; ++li) {
-      body(base, stride, len);
-      if (++a == o1) {
-        a = 0;
-        base = ++b * s2;
-      } else {
-        base += s1;
-      }
-    }
-  };
-  if (pool != nullptr && num_lines > 1) {
-    pool->parallel_for_chunks(0, num_lines, run, /*grain=*/0);
-  } else {
-    run(0, num_lines);
-  }
-}
+using kernels::grain_for_lines;
+using kernels::kThomasPanelWidth;
+using kernels::RowOps;
 
-/// Forward cascade along one axis: odd positions become interpolation
-/// residuals.
-template <typename T>
-void cascade_forward(std::vector<T>& w, Dims dims, u32 axis, ThreadPool* pool) {
-  for_each_line(dims, axis, pool, [&w](u64 base, u64 stride, u64 len) {
-    T* v = w.data() + base;
-    for (u64 i = 1; i + 1 < len; i += 2)
-      v[i * stride] -= static_cast<T>(0.5) * (v[(i - 1) * stride] + v[(i + 1) * stride]);
-  });
-}
-
-/// Inverse cascade along one axis.
-template <typename T>
-void cascade_inverse(std::vector<T>& w, Dims dims, u32 axis, ThreadPool* pool) {
-  for_each_line(dims, axis, pool, [&w](u64 base, u64 stride, u64 len) {
-    T* v = w.data() + base;
-    for (u64 i = 1; i + 1 < len; i += 2)
-      v[i * stride] += static_cast<T>(0.5) * (v[(i - 1) * stride] + v[(i + 1) * stride]);
-  });
+u64 axis_extent(Dims d, u32 axis) {
+  return axis == 0 ? d.nx : axis == 1 ? d.ny : d.nz;
 }
 
 /// Coarsened extents along `axis` only.
@@ -85,285 +37,525 @@ Dims coarsen_axis(Dims d, u32 axis) {
   return d;
 }
 
-/// Apply the 1-D load operator along `axis`: out has coarsened extent along
-/// that axis. Stencil (1/6)[0.5 3 5 3 0.5] interior, (1/6)[2.5 3 0.5] at the
-/// boundary (mirrored at the far end).
+/// body(lo, hi) over [0, n), striped across the pool in chunks of ~grain.
+template <typename Body>
+void run_chunked(ThreadPool* pool, u64 n, u64 grain, const Body& body) {
+  if (n == 0) return;
+  if (pool != nullptr && n > 1) {
+    pool->parallel_for_chunks(0, n, body, grain);
+  } else {
+    body(0, n);
+  }
+}
+
+/// Interpolation cascade along one axis, forward (odd nodes become residuals)
+/// or inverse. Axis 0 runs the in-line kernel per row; axis 1 feeds each odd
+/// row and its two even neighbors to the row kernel; axis 2 does the same
+/// with whole contiguous planes.
 template <typename T>
-std::vector<T> apply_load(const std::vector<T>& src, Dims sdims, u32 axis,
-                          ThreadPool* pool) {
+void cascade_axis(T* w, Dims dims, u32 axis, bool forward, ThreadPool* pool) {
+  const RowOps<T>& ops = kernels::row_ops<T>();
+  const u64 nx = dims.nx, ny = dims.ny, nz = dims.nz;
+  if (axis == 0) {
+    const auto fn = forward ? ops.cascade_fwd_x : ops.cascade_inv_x;
+    run_chunked(pool, ny * nz, grain_for_lines(nx * sizeof(T)),
+                [&](u64 lo, u64 hi) {
+                  for (u64 l = lo; l < hi; ++l) fn(w + l * nx, nx);
+                });
+    return;
+  }
+  const auto fn = forward ? ops.cascade_fwd : ops.cascade_inv;
+  if (axis == 1) {
+    const u64 hy = (ny - 1) / 2;  // odd-j rows per z-slab
+    run_chunked(pool, nz * hy, grain_for_lines(3 * nx * sizeof(T)),
+                [&](u64 lo, u64 hi) {
+                  for (u64 idx = lo; idx < hi; ++idx) {
+                    const u64 k = idx / hy;
+                    const u64 j = 2 * (idx % hy) + 1;
+                    T* base = w + (k * ny + j) * nx;
+                    fn(base, base - nx, base + nx, nx);
+                  }
+                });
+  } else {
+    const u64 hz = (nz - 1) / 2;  // odd planes
+    const u64 plane = nx * ny;
+    run_chunked(pool, hz, 1, [&](u64 lo, u64 hi) {
+      for (u64 m = lo; m < hi; ++m) {
+        T* base = w + (2 * m + 1) * plane;
+        fn(base, base - plane, base + plane, plane);
+      }
+    });
+  }
+}
+
+/// Apply the 1-D load operator along `axis` into `out` (coarsened extent
+/// along that axis). Stencil (1/6)[0.5 3 5 3 0.5] interior, (1/6)[2.5 3 0.5]
+/// at the boundary (mirrored at the far end). Axes 1/2 are pure row kernels
+/// over contiguous rows/planes; axis 0 uses the strided in-line kernel.
+template <typename T>
+void apply_load_axis(const T* src, Dims sdims, u32 axis, T* out,
+                     ThreadPool* pool) {
+  const RowOps<T>& ops = kernels::row_ops<T>();
   const Dims odims = coarsen_axis(sdims, axis);
-  std::vector<T> out(odims.total());
-  const u64 slen = axis == 0 ? sdims.nx : axis == 1 ? sdims.ny : sdims.nz;
+  const u64 slen = axis_extent(sdims, axis);
   RAPIDS_REQUIRE_MSG(slen >= 3 && slen % 2 == 1,
                      "apply_load: axis must be odd-sized >= 3");
-
-  // Line geometry in both grids. The cross-axis (a, b) iteration is shared —
-  // only `axis` is coarsened, so the cross extents match and just the
-  // flattening strides differ between the output and the source.
-  u64 olen = 0, ostride = 0, sstride = 0;
-  u64 o1 = 0, s1o = 0, s1s = 0;  // inner cross axis: count + strides
-  u64 o2 = 0, s2o = 0, s2s = 0;  // outer cross axis: count + strides
-  switch (axis) {
-    case 0:  // x lines: iterate (z, y)
-      olen = odims.nx; ostride = 1; sstride = 1;
-      o1 = odims.ny; s1o = odims.nx; s1s = sdims.nx;
-      o2 = odims.nz; s2o = odims.nx * odims.ny; s2s = sdims.nx * sdims.ny;
-      break;
-    case 1:  // y lines: iterate (z, x)
-      olen = odims.ny; ostride = odims.nx; sstride = sdims.nx;
-      o1 = odims.nx; s1o = 1; s1s = 1;
-      o2 = odims.nz; s2o = odims.nx * odims.ny; s2s = sdims.nx * sdims.ny;
-      break;
-    default:  // z lines: iterate (y, x)
-      olen = odims.nz; ostride = odims.nx * odims.ny;
-      sstride = sdims.nx * sdims.ny;
-      o1 = odims.nx; s1o = 1; s1s = 1;
-      o2 = odims.ny; s2o = odims.nx; s2s = sdims.nx;
-      break;
-  }
-
-  const T c6 = static_cast<T>(1.0 / 6.0);
-  auto line = [&](u64 obase, u64 sbase) {
-    const T* v = src.data() + sbase;
-    T* o = out.data() + obase;
-    // Boundary i = 0.
-    o[0] = c6 * (static_cast<T>(2.5) * v[0] + 3 * v[sstride] +
-                 static_cast<T>(0.5) * v[2 * sstride]);
-    // Interior.
-    for (u64 i = 1; i + 1 < olen; ++i) {
-      const T* p = v + 2 * i * sstride;
-      o[i * ostride] =
-          c6 * (static_cast<T>(0.5) * p[-2 * static_cast<i64>(sstride)] +
-                3 * p[-static_cast<i64>(sstride)] + 5 * p[0] + 3 * p[sstride] +
-                static_cast<T>(0.5) * p[2 * sstride]);
-    }
-    // Boundary i = olen-1.
-    const T* e = v + (slen - 1) * sstride;
-    o[(olen - 1) * ostride] =
-        c6 * (static_cast<T>(2.5) * e[0] + 3 * e[-static_cast<i64>(sstride)] +
-              static_cast<T>(0.5) * e[-2 * static_cast<i64>(sstride)]);
-  };
-
-  const u64 num_lines = o1 * o2;
-  auto run = [&](u64 lo, u64 hi) {
-    // One div/mod to seed (a, b) per chunk, then step both grids' line bases
-    // incrementally — the same scheme as for_each_line's run.
-    u64 a = lo % o1;
-    u64 b = lo / o1;
-    u64 obase = a * s1o + b * s2o;
-    u64 sbase = a * s1s + b * s2s;
-    for (u64 li = lo; li < hi; ++li) {
-      line(obase, sbase);
-      if (++a == o1) {
-        a = 0;
-        ++b;
-        obase = b * s2o;
-        sbase = b * s2s;
-      } else {
-        obase += s1o;
-        sbase += s1s;
-      }
-    }
-  };
-  if (pool != nullptr && num_lines > 1) {
-    pool->parallel_for_chunks(0, num_lines, run, /*grain=*/0);
+  if (axis == 0) {
+    run_chunked(pool, sdims.ny * sdims.nz,
+                grain_for_lines(sdims.nx * sizeof(T)), [&](u64 lo, u64 hi) {
+                  for (u64 l = lo; l < hi; ++l)
+                    ops.load_x(out + l * odims.nx, src + l * sdims.nx,
+                               odims.nx, sdims.nx);
+                });
+  } else if (axis == 1) {
+    const u64 nx = sdims.nx, sny = sdims.ny, ony = odims.ny;
+    run_chunked(pool, sdims.nz * ony, grain_for_lines(6 * nx * sizeof(T)),
+                [&](u64 lo, u64 hi) {
+                  for (u64 idx = lo; idx < hi; ++idx) {
+                    const u64 k = idx / ony;
+                    const u64 j = idx % ony;
+                    const T* sb = src + k * sny * nx;
+                    T* o = out + (k * ony + j) * nx;
+                    if (j == 0) {
+                      ops.load_boundary(o, sb, sb + nx, sb + 2 * nx, nx);
+                    } else if (j + 1 == ony) {
+                      ops.load_boundary(o, sb + (sny - 1) * nx,
+                                        sb + (sny - 2) * nx,
+                                        sb + (sny - 3) * nx, nx);
+                    } else {
+                      const T* c = sb + 2 * j * nx;
+                      ops.load_interior(o, c - 2 * nx, c - nx, c, c + nx,
+                                        c + 2 * nx, nx);
+                    }
+                  }
+                });
   } else {
-    run(0, num_lines);
+    const u64 pw = sdims.nx * sdims.ny, snz = sdims.nz, onz = odims.nz;
+    run_chunked(pool, onz, 1, [&](u64 lo, u64 hi) {
+      for (u64 j = lo; j < hi; ++j) {
+        T* o = out + j * pw;
+        if (j == 0) {
+          ops.load_boundary(o, src, src + pw, src + 2 * pw, pw);
+        } else if (j + 1 == onz) {
+          ops.load_boundary(o, src + (snz - 1) * pw, src + (snz - 2) * pw,
+                            src + (snz - 3) * pw, pw);
+        } else {
+          const T* c = src + 2 * j * pw;
+          ops.load_interior(o, c - 2 * pw, c - pw, c, c + pw, c + 2 * pw, pw);
+        }
+      }
+    });
   }
-  return out;
+}
+
+/// Column width for the cross-axis Thomas sweeps such that the forward plus
+/// backward pass over all `len` rows of one column panel stays ~L2-resident.
+u64 thomas_chunk_width(u64 len, u64 row_width, u64 elem_size) {
+  const u64 target = (192 * 1024) / (elem_size * (len == 0 ? 1 : len));
+  return std::min(row_width, std::max<u64>(target, 16));
 }
 
 /// Thomas solve of the coarse mass system along `axis`, in place.
-/// Tridiagonal: diag 4/3 interior / 2/3 boundary, off-diagonals 1/3.
+/// Tridiagonal: diag 4/3 interior / 2/3 boundary, off-diagonals 1/3. The c'
+/// and denominator sweeps depend only on (i, len), so they are precomputed
+/// once per call into the workspace (values identical to the per-line
+/// recurrence) instead of per line.
 template <typename T>
-void mass_solve(std::vector<T>& g, Dims dims, u32 axis, ThreadPool* pool) {
-  const u64 n = axis == 0 ? dims.nx : axis == 1 ? dims.ny : dims.nz;
-  if (n <= 1) return;
-  for_each_line(dims, axis, pool, [&](u64 base, u64 stride, u64 len) {
-    T* v = g.data() + base;
-    // Thomas with constant coefficients; scratch on stack-ish vector per line.
-    // c' and d' sweeps specialized for our symmetric tridiagonal.
-    constexpr f64 off = 1.0 / 3.0;
-    std::vector<f64> cp(len);
-    f64 diag0 = 2.0 / 3.0;
-    cp[0] = off / diag0;
-    v[0] = static_cast<T>(v[0] / diag0);
-    for (u64 i = 1; i < len; ++i) {
-      const f64 diag = (i + 1 == len) ? 2.0 / 3.0 : 4.0 / 3.0;
-      const f64 denom = diag - off * cp[i - 1];
-      cp[i] = off / denom;
-      v[i * stride] =
-          static_cast<T>((v[i * stride] - off * v[(i - 1) * stride]) / denom);
-    }
-    for (u64 i = len - 1; i-- > 0;)
-      v[i * stride] -= static_cast<T>(cp[i] * v[(i + 1) * stride]);
-  });
+void mass_solve_axis(T* g, Dims dims, u32 axis, RefactorWorkspace& ws,
+                     ThreadPool* pool) {
+  const u64 len = axis_extent(dims, axis);
+  if (len <= 1) return;
+  const RowOps<T>& ops = kernels::row_ops<T>();
+  constexpr f64 off = 1.0 / 3.0;
+  constexpr f64 kDiagBoundary = 2.0 / 3.0;
+  ws.cp.resize(len);
+  ws.denom.resize(len);
+  ws.cp[0] = off / kDiagBoundary;
+  ws.denom[0] = kDiagBoundary;
+  for (u64 i = 1; i < len; ++i) {
+    const f64 diag = (i + 1 == len) ? kDiagBoundary : 4.0 / 3.0;
+    ws.denom[i] = diag - off * ws.cp[i - 1];
+    ws.cp[i] = off / ws.denom[i];
+  }
+  const f64* cp = ws.cp.data();
+  const f64* denom = ws.denom.data();
+
+  const u64 nx = dims.nx, ny = dims.ny, nz = dims.nz;
+  if (axis == 0) {
+    // The solve direction is the contiguous one: batch kThomasPanelWidth
+    // consecutive x-lines through a panel transpose so each register sweep
+    // advances all lines of the panel by one solve step.
+    const u64 lines = ny * nz;
+    const u64 groups = ceil_div(lines, kThomasPanelWidth);
+    run_chunked(
+        pool, groups, grain_for_lines(kThomasPanelWidth * nx * sizeof(T)),
+        [&](u64 lo, u64 hi) {
+          static thread_local std::vector<T> panel;
+          panel.resize(kThomasPanelWidth * nx);
+          T* p = panel.data();
+          for (u64 gi = lo; gi < hi; ++gi) {
+            const u64 first = gi * kThomasPanelWidth;
+            const u64 w = std::min<u64>(kThomasPanelWidth, lines - first);
+            T* base = g + first * nx;
+            ops.pack_panel(p, base, w, nx, nx);
+            ops.thomas_first(p, kDiagBoundary, w);
+            for (u64 i = 1; i < nx; ++i)
+              ops.thomas_fwd(p + i * w, p + (i - 1) * w, off, denom[i], w);
+            for (u64 i = nx - 1; i-- > 0;)
+              ops.thomas_bwd(p + i * w, p + (i + 1) * w, cp[i], w);
+            ops.unpack_panel(base, p, w, nx, nx);
+          }
+        });
+  } else if (axis == 1) {
+    const u64 cw = thomas_chunk_width(len, nx, sizeof(T));
+    const u64 npan = ceil_div(nx, cw);
+    run_chunked(pool, nz * npan, 1, [&](u64 lo, u64 hi) {
+      for (u64 idx = lo; idx < hi; ++idx) {
+        const u64 x0 = (idx % npan) * cw;
+        const u64 cn = std::min(cw, nx - x0);
+        T* s = g + (idx / npan) * ny * nx + x0;
+        ops.thomas_first(s, kDiagBoundary, cn);
+        for (u64 i = 1; i < len; ++i)
+          ops.thomas_fwd(s + i * nx, s + (i - 1) * nx, off, denom[i], cn);
+        for (u64 i = len - 1; i-- > 0;)
+          ops.thomas_bwd(s + i * nx, s + (i + 1) * nx, cp[i], cn);
+      }
+    });
+  } else {
+    const u64 pw = nx * ny;
+    const u64 cw = thomas_chunk_width(len, pw, sizeof(T));
+    const u64 npan = ceil_div(pw, cw);
+    run_chunked(pool, npan, 1, [&](u64 lo, u64 hi) {
+      for (u64 pidx = lo; pidx < hi; ++pidx) {
+        const u64 c0 = pidx * cw;
+        const u64 cn = std::min(cw, pw - c0);
+        T* s = g + c0;
+        ops.thomas_first(s, kDiagBoundary, cn);
+        for (u64 i = 1; i < len; ++i)
+          ops.thomas_fwd(s + i * pw, s + (i - 1) * pw, off, denom[i], cn);
+        for (u64 i = len - 1; i-- > 0;)
+          ops.thomas_bwd(s + i * pw, s + (i + 1) * pw, cp[i], cn);
+      }
+    });
+  }
 }
 
 /// Compute the L2 correction from the residual field `w` (coarse nodes of `w`
 /// are at even positions in every axis and are *not* part of the residual).
-/// Returns the correction on the coarse grid.
+/// Returns the correction on the coarse grid; the buffer belongs to `ws` and
+/// stays valid until the next correction uses the workspace.
 template <typename T>
-std::vector<T> compute_correction(const std::vector<T>& w, Dims adims,
-                                  ThreadPool* pool) {
-  // Residual copy with zeros at coarse (even-in-all-axes) nodes.
-  std::vector<T> r = w;
-  const u64 sx = adims.nx > 1 ? 2 : 1;
-  const u64 sy = adims.ny > 1 ? 2 : 1;
-  const u64 sz = adims.nz > 1 ? 2 : 1;
-  for (u64 k = 0; k < adims.nz; k += sz)
-    for (u64 j = 0; j < adims.ny; j += sy)
-      for (u64 i = 0; i < adims.nx; i += sx)
-        r[(k * adims.ny + j) * adims.nx + i] = 0;
+std::pair<const T*, Dims> compute_correction(const T* w, Dims adims,
+                                             RefactorWorkspace& ws,
+                                             ThreadPool* pool) {
+  auto& bufs = ws.bufs<T>();
+  const RowOps<T>& ops = kernels::row_ops<T>();
+  const u64 nx = adims.nx, ny = adims.ny, nz = adims.nz;
+  const u64 sx = nx > 1 ? 2 : 1;
+  const u64 sy = ny > 1 ? 2 : 1;
+  const u64 sz = nz > 1 ? 2 : 1;
 
-  // Load along each non-degenerate axis, then mass solves on the coarse grid.
+  // Residual copy with zeros at coarse (even-in-all-axes) nodes, one fused
+  // pass per row.
+  bufs.resid.resize(adims.total());
+  T* resid = bufs.resid.data();
+  run_chunked(pool, ny * nz, grain_for_lines(2 * nx * sizeof(T)),
+              [&](u64 lo, u64 hi) {
+                for (u64 l = lo; l < hi; ++l) {
+                  const u64 j = l % ny;
+                  const u64 k = l / ny;
+                  const T* s = w + l * nx;
+                  T* d = resid + l * nx;
+                  if (k % sz == 0 && j % sy == 0) {
+                    ops.copy_zero(d, s, nx, sx);
+                  } else {
+                    ops.gather_stride(d, s, nx, 1);
+                  }
+                }
+              });
+
+  // Load along each non-degenerate axis (ping-ponging between the two
+  // workspace buffers), then mass solves in place on the coarse grid.
+  const T* src = resid;
   Dims cur = adims;
+  std::vector<T>* next = &bufs.load_a;
+  std::vector<T>* other = &bufs.load_b;
   for (u32 axis = 0; axis < 3; ++axis) {
-    const u64 extent = axis == 0 ? cur.nx : axis == 1 ? cur.ny : cur.nz;
-    if (extent <= 1) continue;
-    r = apply_load(r, cur, axis, pool);
-    cur = coarsen_axis(cur, axis);
+    if (axis_extent(cur, axis) <= 1) continue;
+    const Dims odims = coarsen_axis(cur, axis);
+    next->resize(odims.total());
+    apply_load_axis(src, cur, axis, next->data(), pool);
+    src = next->data();
+    cur = odims;
+    std::swap(next, other);
   }
-  for (u32 axis = 0; axis < 3; ++axis) {
-    const u64 extent = axis == 0 ? cur.nx : axis == 1 ? cur.ny : cur.nz;
-    if (extent <= 1) continue;
-    mass_solve(r, cur, axis, pool);
-  }
-  return r;
-}
-
-/// Gather the active sub-grid (stride 2^(t-1)) into a contiguous buffer.
-template <typename T>
-std::vector<T> gather_active(const std::vector<T>& full, Dims pdims, Dims adims,
-                             u64 stride, ThreadPool* pool) {
-  std::vector<T> w(adims.total());
-  auto run = [&](u64 lo, u64 hi) {
-    for (u64 line = lo; line < hi; ++line) {
-      const u64 j = line % adims.ny;
-      const u64 k = line / adims.ny;
-      const T* src = full.data() + ((k * stride) * pdims.ny + j * stride) * pdims.nx;
-      T* dst = w.data() + (k * adims.ny + j) * adims.nx;
-      for (u64 i = 0; i < adims.nx; ++i) dst[i] = src[i * stride];
-    }
-  };
-  const u64 lines = adims.ny * adims.nz;
-  if (pool != nullptr && lines > 1) pool->parallel_for_chunks(0, lines, run, 0);
-  else run(0, lines);
-  return w;
-}
-
-/// Scatter the active sub-grid buffer back into the full array.
-template <typename T>
-void scatter_active(std::vector<T>& full, Dims pdims, const std::vector<T>& w,
-                    Dims adims, u64 stride, ThreadPool* pool) {
-  auto run = [&](u64 lo, u64 hi) {
-    for (u64 line = lo; line < hi; ++line) {
-      const u64 j = line % adims.ny;
-      const u64 k = line / adims.ny;
-      T* dst = full.data() + ((k * stride) * pdims.ny + j * stride) * pdims.nx;
-      const T* src = w.data() + (k * adims.ny + j) * adims.nx;
-      for (u64 i = 0; i < adims.nx; ++i) dst[i * stride] = src[i];
-    }
-  };
-  const u64 lines = adims.ny * adims.nz;
-  if (pool != nullptr && lines > 1) pool->parallel_for_chunks(0, lines, run, 0);
-  else run(0, lines);
+  T* corr = const_cast<T*>(src);  // always one of the load buffers by now
+  for (u32 axis = 0; axis < 3; ++axis)
+    if (axis_extent(cur, axis) > 1) mass_solve_axis(corr, cur, axis, ws, pool);
+  return {corr, cur};
 }
 
 /// Add (sign=+1) or subtract (sign=-1) the coarse-grid correction into the
 /// coarse nodes of the active buffer (even positions per decomposed axis).
 template <typename T>
-void apply_correction(std::vector<T>& w, Dims adims, const std::vector<T>& z,
-                      Dims cdims, T sign) {
+void apply_correction(T* w, Dims adims, const T* z, Dims cdims, T sign,
+                      ThreadPool* pool) {
   const u64 sx = adims.nx > 1 ? 2 : 1;
   const u64 sy = adims.ny > 1 ? 2 : 1;
   const u64 sz = adims.nz > 1 ? 2 : 1;
-  for (u64 k = 0; k < cdims.nz; ++k)
-    for (u64 j = 0; j < cdims.ny; ++j) {
-      const T* src = z.data() + (k * cdims.ny + j) * cdims.nx;
-      T* dst = w.data() + ((k * sz) * adims.ny + j * sy) * adims.nx;
-      for (u64 i = 0; i < cdims.nx; ++i) dst[i * sx] += sign * src[i];
-    }
+  run_chunked(pool, cdims.ny * cdims.nz,
+              grain_for_lines(3 * cdims.nx * sizeof(T)), [&](u64 lo, u64 hi) {
+                for (u64 r = lo; r < hi; ++r) {
+                  const u64 j = r % cdims.ny;
+                  const u64 k = r / cdims.ny;
+                  const T* src = z + r * cdims.nx;
+                  T* dst = w + ((k * sz) * adims.ny + j * sy) * adims.nx;
+                  for (u64 i = 0; i < cdims.nx; ++i) dst[i * sx] += sign * src[i];
+                }
+              });
+}
+
+/// Gather the active sub-grid (stride 2^(t-1)) into `w`; when `cascade_x` is
+/// set, the first forward x cascade runs on each line while it is cache-hot.
+template <typename T>
+void gather_active_cascade(const T* full, Dims pdims, T* w, Dims adims,
+                           u64 stride, bool cascade_x, ThreadPool* pool) {
+  const RowOps<T>& ops = kernels::row_ops<T>();
+  run_chunked(pool, adims.ny * adims.nz,
+              grain_for_lines(adims.nx * sizeof(T)), [&](u64 lo, u64 hi) {
+                for (u64 l = lo; l < hi; ++l) {
+                  const u64 j = l % adims.ny;
+                  const u64 k = l / adims.ny;
+                  const T* src = full + ((k * stride) * pdims.ny + j * stride) *
+                                            pdims.nx;
+                  T* dst = w + l * adims.nx;
+                  ops.gather_stride(dst, src, adims.nx, stride);
+                  if (cascade_x) ops.cascade_fwd_x(dst, adims.nx);
+                }
+              });
+}
+
+/// Scatter the active buffer back into the full array; when `cascade_x` is
+/// set, the last inverse x cascade runs on each line just before the scatter.
+template <typename T>
+void cascade_scatter_active(T* full, Dims pdims, T* w, Dims adims, u64 stride,
+                            bool cascade_x, ThreadPool* pool) {
+  const RowOps<T>& ops = kernels::row_ops<T>();
+  run_chunked(pool, adims.ny * adims.nz,
+              grain_for_lines(adims.nx * sizeof(T)), [&](u64 lo, u64 hi) {
+                for (u64 l = lo; l < hi; ++l) {
+                  const u64 j = l % adims.ny;
+                  const u64 k = l / adims.ny;
+                  T* src = w + l * adims.nx;
+                  T* dst = full + ((k * stride) * pdims.ny + j * stride) *
+                                      pdims.nx;
+                  if (cascade_x) ops.cascade_inv_x(src, adims.nx);
+                  ops.scatter_stride(dst, src, adims.nx, stride);
+                }
+              });
+}
+
+/// Closed-form geometry of one decomposition level: the level's nodes are
+/// the stride-2^c sub-grid (c = L for d = 0, L-d otherwise) minus, for
+/// d >= 1, its even-in-all-axes subset. Rows (kk, jj) with jj or kk odd keep
+/// every ii; both-even rows keep odd ii only. Row offsets are closed-form,
+/// so rows gather/scatter independently and in parallel, in exactly
+/// level_nodes(d) order (ascending flattened index).
+struct LevelGeom {
+  u64 stride;          ///< node stride in the padded grid
+  u64 ex, ey, ez;      ///< sub-grid extents
+  u64 half;            ///< odd-ii count per both-even row
+  u64 ejy;             ///< even-jj count per slab
+  bool base;           ///< d == 0: no even-in-all-axes exclusion
+  u64 total;           ///< node count of the level
+
+  u64 row_offset(u64 kk, u64 jj) const {
+    const u64 r = kk * ey + jj;
+    if (base) return r * ex;
+    // Rows before (kk, jj) with both coordinates even.
+    const u64 be = ((kk + 1) / 2) * ejy + ((kk & 1) == 0 ? (jj + 1) / 2 : 0);
+    return (r - be) * ex + be * half;
+  }
+};
+
+LevelGeom level_geometry(const GridHierarchy& h, u32 d) {
+  const u32 levels = h.levels();
+  RAPIDS_REQUIRE(d <= levels);
+  const u32 c = d == 0 ? levels : levels - d;
+  const Dims p = h.padded();
+  auto sub = [&](u64 s) { return s <= 1 ? u64{1} : ((s - 1) >> c) + 1; };
+  LevelGeom g;
+  g.stride = u64{1} << c;
+  g.ex = sub(p.nx);
+  g.ey = sub(p.ny);
+  g.ez = sub(p.nz);
+  g.half = g.ex / 2;
+  g.ejy = (g.ey + 1) / 2;
+  g.base = d == 0;
+  if (g.base) {
+    g.total = g.ex * g.ey * g.ez;
+  } else {
+    const u64 be_rows = g.ejy * ((g.ez + 1) / 2);
+    g.total = (g.ey * g.ez - be_rows) * g.ex + be_rows * g.half;
+  }
+  return g;
 }
 
 }  // namespace
 
 template <typename T>
 void decompose(std::vector<T>& data, const GridHierarchy& h,
-               const DecomposeOptions& opt, ThreadPool* pool) {
+               const DecomposeOptions& opt, ThreadPool* pool,
+               RefactorWorkspace* ws) {
   RAPIDS_REQUIRE(data.size() == h.padded().total());
+  RefactorWorkspace local_ws;
+  RefactorWorkspace& work = ws != nullptr ? *ws : local_ws;
+  auto& bufs = work.bufs<T>();
   const Dims pdims = h.padded();
   for (u32 t = 1; t <= h.levels(); ++t) {
     const Dims adims = h.grid_at_step(t - 1);
     const u64 stride = u64{1} << (t - 1);
-    std::vector<T> w = gather_active(data, pdims, adims, stride, pool);
-    for (u32 axis = 0; axis < 3; ++axis) {
-      const u64 extent = axis == 0 ? adims.nx : axis == 1 ? adims.ny : adims.nz;
-      if (extent > 1) cascade_forward(w, adims, axis, pool);
+    T* w;
+    if (stride == 1) {
+      // Active grid == padded grid: transform in place, no copy.
+      w = data.data();
+      if (adims.nx > 1) cascade_axis(w, adims, 0, /*forward=*/true, pool);
+    } else {
+      bufs.active.resize(adims.total());
+      w = bufs.active.data();
+      gather_active_cascade(data.data(), pdims, w, adims, stride,
+                            adims.nx > 1, pool);
     }
+    if (adims.ny > 1) cascade_axis(w, adims, 1, true, pool);
+    if (adims.nz > 1) cascade_axis(w, adims, 2, true, pool);
     if (opt.l2_correction) {
-      const std::vector<T> z = compute_correction(w, adims, pool);
-      apply_correction(w, adims, z, h.grid_at_step(t), static_cast<T>(1));
+      const auto [z, cdims] = compute_correction(w, adims, work, pool);
+      apply_correction(w, adims, z, cdims, static_cast<T>(1), pool);
     }
-    scatter_active(data, pdims, w, adims, stride, pool);
+    if (stride != 1) {
+      cascade_scatter_active(data.data(), pdims, w, adims, stride,
+                             /*cascade_x=*/false, pool);
+    }
   }
 }
 
 template <typename T>
 void recompose(std::vector<T>& data, const GridHierarchy& h,
-               const DecomposeOptions& opt, ThreadPool* pool) {
+               const DecomposeOptions& opt, ThreadPool* pool,
+               RefactorWorkspace* ws) {
   RAPIDS_REQUIRE(data.size() == h.padded().total());
+  RefactorWorkspace local_ws;
+  RefactorWorkspace& work = ws != nullptr ? *ws : local_ws;
+  auto& bufs = work.bufs<T>();
   const Dims pdims = h.padded();
   for (u32 t = h.levels(); t >= 1; --t) {
     const Dims adims = h.grid_at_step(t - 1);
     const u64 stride = u64{1} << (t - 1);
-    std::vector<T> w = gather_active(data, pdims, adims, stride, pool);
+    T* w;
+    if (stride == 1) {
+      w = data.data();
+    } else {
+      bufs.active.resize(adims.total());
+      w = bufs.active.data();
+      gather_active_cascade(data.data(), pdims, w, adims, stride,
+                            /*cascade_x=*/false, pool);
+    }
     if (opt.l2_correction) {
-      const std::vector<T> z = compute_correction(w, adims, pool);
-      apply_correction(w, adims, z, h.grid_at_step(t), static_cast<T>(-1));
+      const auto [z, cdims] = compute_correction(w, adims, work, pool);
+      apply_correction(w, adims, z, cdims, static_cast<T>(-1), pool);
     }
-    for (u32 axis = 3; axis-- > 0;) {
-      const u64 extent = axis == 0 ? adims.nx : axis == 1 ? adims.ny : adims.nz;
-      if (extent > 1) cascade_inverse(w, adims, axis, pool);
+    if (adims.nz > 1) cascade_axis(w, adims, 2, /*forward=*/false, pool);
+    if (adims.ny > 1) cascade_axis(w, adims, 1, false, pool);
+    if (stride == 1) {
+      if (adims.nx > 1) cascade_axis(w, adims, 0, false, pool);
+    } else {
+      cascade_scatter_active(data.data(), pdims, w, adims, stride,
+                             adims.nx > 1, pool);
     }
-    scatter_active(data, pdims, w, adims, stride, pool);
   }
 }
 
 template <typename T>
 std::vector<T> gather_level(const std::vector<T>& data, const GridHierarchy& h,
-                            u32 d) {
+                            u32 d, ThreadPool* pool) {
   RAPIDS_REQUIRE(data.size() == h.padded().total());
-  const auto& nodes = h.level_nodes(d);
-  std::vector<T> out(nodes.size());
-  for (u64 i = 0; i < nodes.size(); ++i) out[i] = data[nodes[i]];
+  const LevelGeom g = level_geometry(h, d);
+  RAPIDS_REQUIRE(g.total == h.decomp_level_size(d));
+  const Dims p = h.padded();
+  const RowOps<T>& ops = kernels::row_ops<T>();
+  std::vector<T> out(g.total);
+  const T* src0 = data.data();
+  T* o = out.data();
+  run_chunked(pool, g.ey * g.ez, grain_for_lines(2 * g.ex * sizeof(T)),
+              [&](u64 lo, u64 hi) {
+                for (u64 row = lo; row < hi; ++row) {
+                  const u64 jj = row % g.ey;
+                  const u64 kk = row / g.ey;
+                  const T* src =
+                      src0 +
+                      ((kk * g.stride) * p.ny + jj * g.stride) * p.nx;
+                  T* dst = o + g.row_offset(kk, jj);
+                  if (g.base || ((jj | kk) & 1)) {
+                    ops.gather_stride(dst, src, g.ex, g.stride);
+                  } else {
+                    ops.gather_stride(dst, src + g.stride, g.half,
+                                      2 * g.stride);
+                  }
+                }
+              });
   return out;
 }
 
 template <typename T>
 void scatter_level(std::vector<T>& data, const GridHierarchy& h, u32 d,
-                   const std::vector<T>& coeffs) {
+                   const std::vector<T>& coeffs, ThreadPool* pool) {
   RAPIDS_REQUIRE(data.size() == h.padded().total());
-  const auto& nodes = h.level_nodes(d);
-  RAPIDS_REQUIRE(coeffs.size() == nodes.size());
-  for (u64 i = 0; i < nodes.size(); ++i) data[nodes[i]] = coeffs[i];
+  const LevelGeom g = level_geometry(h, d);
+  RAPIDS_REQUIRE(g.total == h.decomp_level_size(d));
+  RAPIDS_REQUIRE(coeffs.size() == g.total);
+  const Dims p = h.padded();
+  const RowOps<T>& ops = kernels::row_ops<T>();
+  T* dst0 = data.data();
+  const T* src0 = coeffs.data();
+  run_chunked(pool, g.ey * g.ez, grain_for_lines(2 * g.ex * sizeof(T)),
+              [&](u64 lo, u64 hi) {
+                for (u64 row = lo; row < hi; ++row) {
+                  const u64 jj = row % g.ey;
+                  const u64 kk = row / g.ey;
+                  T* dst = dst0 +
+                           ((kk * g.stride) * p.ny + jj * g.stride) * p.nx;
+                  const T* src = src0 + g.row_offset(kk, jj);
+                  if (g.base || ((jj | kk) & 1)) {
+                    ops.scatter_stride(dst, src, g.ex, g.stride);
+                  } else {
+                    ops.scatter_stride(dst + g.stride, src, g.half,
+                                       2 * g.stride);
+                  }
+                }
+              });
 }
 
 template void decompose<f32>(std::vector<f32>&, const GridHierarchy&,
-                             const DecomposeOptions&, ThreadPool*);
+                             const DecomposeOptions&, ThreadPool*,
+                             RefactorWorkspace*);
 template void decompose<f64>(std::vector<f64>&, const GridHierarchy&,
-                             const DecomposeOptions&, ThreadPool*);
+                             const DecomposeOptions&, ThreadPool*,
+                             RefactorWorkspace*);
 template void recompose<f32>(std::vector<f32>&, const GridHierarchy&,
-                             const DecomposeOptions&, ThreadPool*);
+                             const DecomposeOptions&, ThreadPool*,
+                             RefactorWorkspace*);
 template void recompose<f64>(std::vector<f64>&, const GridHierarchy&,
-                             const DecomposeOptions&, ThreadPool*);
+                             const DecomposeOptions&, ThreadPool*,
+                             RefactorWorkspace*);
 template std::vector<f32> gather_level<f32>(const std::vector<f32>&,
-                                            const GridHierarchy&, u32);
+                                            const GridHierarchy&, u32,
+                                            ThreadPool*);
 template std::vector<f64> gather_level<f64>(const std::vector<f64>&,
-                                            const GridHierarchy&, u32);
+                                            const GridHierarchy&, u32,
+                                            ThreadPool*);
 template void scatter_level<f32>(std::vector<f32>&, const GridHierarchy&, u32,
-                                 const std::vector<f32>&);
+                                 const std::vector<f32>&, ThreadPool*);
 template void scatter_level<f64>(std::vector<f64>&, const GridHierarchy&, u32,
-                                 const std::vector<f64>&);
+                                 const std::vector<f64>&, ThreadPool*);
 
 }  // namespace rapids::mgard

@@ -21,7 +21,18 @@
 /// The full decomposition repeats this step L times on grids of stride
 /// 2^(t-1). Everything is in place over the padded array; per-step working
 /// copies of the active sub-grid keep the kernels contiguous and
-/// cache-friendly. All heavy loops stripe across an optional ThreadPool.
+/// cache-friendly (at step 1, where active == padded, the transform runs
+/// directly in place and skips the copy entirely).
+///
+/// Execution model (see kernels/kernels.hpp): every sweep is panel-major —
+/// cross-axis passes along y and z walk whole contiguous x-rows through the
+/// dispatched unit-stride row kernels, and the x-axis Thomas solve batches
+/// kThomasPanelWidth independent lines per register sweep via a small panel
+/// transpose. The gather from the padded array is fused with the first x
+/// cascade (decompose) and the last inverse x cascade is fused with the
+/// scatter back (recompose). All heavy loops stripe across an optional
+/// ThreadPool with an L2-sized chunk grain. Results are bit-identical across
+/// ISA tiers and to the pre-panel per-line implementation.
 
 #include <vector>
 
@@ -34,6 +45,8 @@ class ThreadPool;
 
 namespace rapids::mgard {
 
+struct RefactorWorkspace;
+
 /// Tuning knobs for the transform.
 struct DecomposeOptions {
   /// Apply the L2 correction (true = full MGARD-style projection; false =
@@ -44,24 +57,31 @@ struct DecomposeOptions {
 /// In-place multilevel decomposition of `data` (padded extents of `h`).
 /// After the call, the coarse base values live at stride-2^L nodes and the
 /// detail coefficients of decomposition level d at their nodes (see grid.hpp).
+/// Pass a RefactorWorkspace to reuse the per-level scratch buffers across
+/// calls; omitted, the call allocates a private one.
 template <typename T>
 void decompose(std::vector<T>& data, const GridHierarchy& h,
-               const DecomposeOptions& opt = {}, ThreadPool* pool = nullptr);
+               const DecomposeOptions& opt = {}, ThreadPool* pool = nullptr,
+               RefactorWorkspace* ws = nullptr);
 
 /// Exact inverse of decompose() (up to floating-point rounding).
 template <typename T>
 void recompose(std::vector<T>& data, const GridHierarchy& h,
-               const DecomposeOptions& opt = {}, ThreadPool* pool = nullptr);
+               const DecomposeOptions& opt = {}, ThreadPool* pool = nullptr,
+               RefactorWorkspace* ws = nullptr);
 
 /// Gather the coefficients of decomposition level `d` into a contiguous
-/// vector ordered by the hierarchy's level_nodes(d) map.
+/// vector ordered exactly like the hierarchy's level_nodes(d) map. Walks the
+/// level geometry directly (strided sub-grid rows minus their even-in-all-
+/// axes prefix) instead of chasing the index vector, so it parallelizes and
+/// never materializes level_nodes.
 template <typename T>
 std::vector<T> gather_level(const std::vector<T>& data, const GridHierarchy& h,
-                            u32 d);
+                            u32 d, ThreadPool* pool = nullptr);
 
 /// Scatter a contiguous coefficient vector back into the full array.
 template <typename T>
 void scatter_level(std::vector<T>& data, const GridHierarchy& h, u32 d,
-                   const std::vector<T>& coeffs);
+                   const std::vector<T>& coeffs, ThreadPool* pool = nullptr);
 
 }  // namespace rapids::mgard

@@ -1,0 +1,249 @@
+#include "rapids/mgard/kernels/kernels.hpp"
+
+#include <cmath>
+
+// Scalar reference kernels and the dispatch glue. This translation unit is
+// compiled with -fno-tree-vectorize (see src/CMakeLists.txt): these loops are
+// the bit-identity arbiter for every SIMD tier and the baseline the
+// benchmarks report speedups against, so they must stay honestly scalar.
+
+namespace rapids::mgard::kernels {
+
+namespace {
+
+template <typename T>
+void cascade_fwd_s(T* odd, const T* lo, const T* hi, u64 n) {
+  for (u64 i = 0; i < n; ++i)
+    odd[i] -= static_cast<T>(0.5) * (lo[i] + hi[i]);
+}
+
+template <typename T>
+void cascade_inv_s(T* odd, const T* lo, const T* hi, u64 n) {
+  for (u64 i = 0; i < n; ++i)
+    odd[i] += static_cast<T>(0.5) * (lo[i] + hi[i]);
+}
+
+template <typename T>
+void load_interior_s(T* out, const T* m2, const T* m1, const T* c0,
+                     const T* p1, const T* p2, u64 n) {
+  const T c6 = static_cast<T>(1.0 / 6.0);
+  for (u64 i = 0; i < n; ++i)
+    out[i] = c6 * (static_cast<T>(0.5) * m2[i] + 3 * m1[i] + 5 * c0[i] +
+                   3 * p1[i] + static_cast<T>(0.5) * p2[i]);
+}
+
+template <typename T>
+void load_boundary_s(T* out, const T* v0, const T* v1, const T* v2, u64 n) {
+  const T c6 = static_cast<T>(1.0 / 6.0);
+  for (u64 i = 0; i < n; ++i)
+    out[i] = c6 * (static_cast<T>(2.5) * v0[i] + 3 * v1[i] +
+                   static_cast<T>(0.5) * v2[i]);
+}
+
+template <typename T>
+void thomas_first_s(T* v, f64 diag, u64 n) {
+  for (u64 i = 0; i < n; ++i) v[i] = static_cast<T>(v[i] / diag);
+}
+
+template <typename T>
+void thomas_fwd_s(T* cur, const T* prev, f64 off, f64 denom, u64 n) {
+  for (u64 i = 0; i < n; ++i)
+    cur[i] = static_cast<T>((cur[i] - off * prev[i]) / denom);
+}
+
+template <typename T>
+void thomas_bwd_s(T* cur, const T* next, f64 cp, u64 n) {
+  for (u64 i = 0; i < n; ++i) cur[i] -= static_cast<T>(cp * next[i]);
+}
+
+template <typename T>
+void cascade_fwd_x_s(T* v, u64 len) {
+  for (u64 i = 1; i + 1 < len; i += 2)
+    v[i] -= static_cast<T>(0.5) * (v[i - 1] + v[i + 1]);
+}
+
+template <typename T>
+void cascade_inv_x_s(T* v, u64 len) {
+  for (u64 i = 1; i + 1 < len; i += 2)
+    v[i] += static_cast<T>(0.5) * (v[i - 1] + v[i + 1]);
+}
+
+template <typename T>
+void load_x_s(T* out, const T* src, u64 olen, u64 slen) {
+  const T c6 = static_cast<T>(1.0 / 6.0);
+  out[0] = c6 * (static_cast<T>(2.5) * src[0] + 3 * src[1] +
+                 static_cast<T>(0.5) * src[2]);
+  for (u64 i = 1; i + 1 < olen; ++i) {
+    const T* p = src + 2 * i;
+    out[i] = c6 * (static_cast<T>(0.5) * p[-2] + 3 * p[-1] + 5 * p[0] +
+                   3 * p[1] + static_cast<T>(0.5) * p[2]);
+  }
+  if (olen > 1) {
+    const T* e = src + (slen - 1);
+    out[olen - 1] = c6 * (static_cast<T>(2.5) * e[0] + 3 * e[-1] +
+                          static_cast<T>(0.5) * e[-2]);
+  }
+}
+
+template <typename T>
+void gather_stride_s(T* dst, const T* src, u64 n, u64 stride) {
+  for (u64 i = 0; i < n; ++i) dst[i] = src[i * stride];
+}
+
+template <typename T>
+void scatter_stride_s(T* dst, const T* src, u64 n, u64 stride) {
+  for (u64 i = 0; i < n; ++i) dst[i * stride] = src[i];
+}
+
+template <typename T>
+void copy_zero_s(T* dst, const T* src, u64 n, u64 zstride) {
+  for (u64 i = 0; i < n; ++i) dst[i] = src[i];
+  for (u64 i = 0; i < n; i += zstride) dst[i] = 0;
+}
+
+template <typename T>
+void pack_panel_s(T* dst, const T* src, u64 w, u64 len, u64 line_stride) {
+  // Blocked over i so each line contributes a short contiguous run per step
+  // (w lines' cache lines stay resident instead of thrashing).
+  constexpr u64 kBlock = 16;
+  for (u64 i0 = 0; i0 < len; i0 += kBlock) {
+    const u64 i1 = i0 + kBlock < len ? i0 + kBlock : len;
+    for (u64 l = 0; l < w; ++l)
+      for (u64 i = i0; i < i1; ++i) dst[i * w + l] = src[l * line_stride + i];
+  }
+}
+
+template <typename T>
+void unpack_panel_s(T* dst, const T* src, u64 w, u64 len, u64 line_stride) {
+  constexpr u64 kBlock = 16;
+  for (u64 i0 = 0; i0 < len; i0 += kBlock) {
+    const u64 i1 = i0 + kBlock < len ? i0 + kBlock : len;
+    for (u64 l = 0; l < w; ++l)
+      for (u64 i = i0; i < i1; ++i) dst[l * line_stride + i] = src[i * w + l];
+  }
+}
+
+f64 max_abs_s(const f64* v, u64 n) {
+  f64 m = 0.0;
+  for (u64 i = 0; i < n; ++i) m = m < std::fabs(v[i]) ? std::fabs(v[i]) : m;
+  return m;
+}
+
+void quantize64_s(const f64* c, u32 valid, f64 scale, u64 block[64],
+                  u64* sign_word) {
+  u64 sw = 0;
+  for (u32 i = 0; i < valid; ++i) {
+    f64 m = std::fabs(c[i]) * scale;
+    if (m >= 4294967295.0) m = 4294967295.0;
+    block[i] = static_cast<u64>(static_cast<u32>(m));
+    if (std::signbit(c[i])) sw |= u64{1} << i;
+  }
+  for (u32 i = valid; i < 64; ++i) block[i] = 0;
+  *sign_word = sw;
+}
+
+/// Hacker's Delight 7-7 style recursive block swap. Involution.
+void transpose64_s(u64 a[64]) {
+  u64 m = 0x00000000FFFFFFFFull;
+  for (u32 j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (u32 k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const u64 t = ((a[k] >> j) ^ a[k + j]) & m;
+      a[k] ^= t << j;
+      a[k + j] ^= t;
+    }
+  }
+}
+
+void dequantize_s(f64* out, const u32* q, const u64* sign_words, f64 inv_scale,
+                  u32 mid, u64 n) {
+  for (u64 i = 0; i < n; ++i) {
+    u32 qi = q[i];
+    if (qi == 0) {
+      out[i] = 0.0;  // insignificant: stays exactly zero
+      continue;
+    }
+    qi += mid;
+    f64 m = static_cast<f64>(qi) * inv_scale;
+    if (sign_words[i >> 6] & (u64{1} << (i & 63))) m = -m;
+    out[i] = m;
+  }
+}
+
+template <typename T>
+constexpr RowOps<T> make_scalar_row_ops() {
+  RowOps<T> ops{};
+  ops.cascade_fwd = &cascade_fwd_s<T>;
+  ops.cascade_inv = &cascade_inv_s<T>;
+  ops.load_interior = &load_interior_s<T>;
+  ops.load_boundary = &load_boundary_s<T>;
+  ops.thomas_first = &thomas_first_s<T>;
+  ops.thomas_fwd = &thomas_fwd_s<T>;
+  ops.thomas_bwd = &thomas_bwd_s<T>;
+  ops.cascade_fwd_x = &cascade_fwd_x_s<T>;
+  ops.cascade_inv_x = &cascade_inv_x_s<T>;
+  ops.load_x = &load_x_s<T>;
+  ops.gather_stride = &gather_stride_s<T>;
+  ops.scatter_stride = &scatter_stride_s<T>;
+  ops.copy_zero = &copy_zero_s<T>;
+  ops.pack_panel = &pack_panel_s<T>;
+  ops.unpack_panel = &unpack_panel_s<T>;
+  return ops;
+}
+
+constexpr BitplaneOps kScalarBitplaneOps{&max_abs_s, &quantize64_s,
+                                         &transpose64_s, &dequantize_s};
+
+}  // namespace
+
+template <typename T>
+const RowOps<T>& row_ops_scalar() {
+  static constexpr RowOps<T> ops = make_scalar_row_ops<T>();
+  return ops;
+}
+
+const BitplaneOps& bitplane_ops_scalar() { return kScalarBitplaneOps; }
+
+template <typename T>
+const RowOps<T>& row_ops_at(simd::IsaLevel level) {
+  switch (level) {
+    case simd::IsaLevel::kAvx2:
+      return detail::row_ops_avx2<T>();
+    case simd::IsaLevel::kNeon:
+      return detail::row_ops_neon<T>();
+    case simd::IsaLevel::kSsse3:  // no float tier between SSE2 and AVX2 here
+    case simd::IsaLevel::kScalar:
+      break;
+  }
+  return row_ops_scalar<T>();
+}
+
+const BitplaneOps& bitplane_ops_at(simd::IsaLevel level) {
+  switch (level) {
+    case simd::IsaLevel::kAvx2:
+      return detail::bitplane_ops_avx2();
+    case simd::IsaLevel::kNeon:
+      return detail::bitplane_ops_neon();
+    case simd::IsaLevel::kSsse3:
+    case simd::IsaLevel::kScalar:
+      break;
+  }
+  return bitplane_ops_scalar();
+}
+
+template <typename T>
+const RowOps<T>& row_ops() {
+  return row_ops_at<T>(simd::active_isa());
+}
+
+const BitplaneOps& bitplane_ops() {
+  return bitplane_ops_at(simd::active_isa());
+}
+
+template const RowOps<f32>& row_ops_scalar<f32>();
+template const RowOps<f64>& row_ops_scalar<f64>();
+template const RowOps<f32>& row_ops_at<f32>(simd::IsaLevel);
+template const RowOps<f64>& row_ops_at<f64>(simd::IsaLevel);
+template const RowOps<f32>& row_ops<f32>();
+template const RowOps<f64>& row_ops<f64>();
+
+}  // namespace rapids::mgard::kernels

@@ -1,0 +1,709 @@
+#include "rapids/mgard/kernels/kernels.hpp"
+
+// AVX2 tier of the multigrid refactor kernels. Compiled with -mavx2 (no FMA:
+// fusing a multiply-add would change rounding and break the bit-identity
+// contract with the scalar reference) and reached strictly behind the runtime
+// dispatch in kernels.cpp, so nothing here executes on non-AVX2 machines.
+//
+// Vectorization strategy per kernel family:
+//  - cross-line row kernels: plain unit-stride 4-lane (f64) / 8-lane (f32)
+//    arithmetic, one element per lane, operand order exactly as the scalar
+//    expression;
+//  - in-line x kernels: even/odd de-interleave with unpack+permute so odd
+//    positions update 4 at a time while even positions are rewritten
+//    bit-unchanged;
+//  - Thomas rows: f64 lanes (f32 inputs widened through cvtps/cvtpd like the
+//    scalar code's f64 intermediates) with hardware vdivpd;
+//  - bitplane: fused |c|*scale quantization with the exact-truncation u32
+//    conversion trick, a register-resident 64x64 bit transpose, and magic-
+//    constant exact u32→f64 dequantization.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+namespace rapids::mgard::kernels {
+namespace {
+
+// ---------------------------------------------------------------- f64 rows
+
+void cascade_fwd_d(f64* odd, const f64* lo, const f64* hi, u64 n) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d s = _mm256_add_pd(_mm256_loadu_pd(lo + i), _mm256_loadu_pd(hi + i));
+    _mm256_storeu_pd(odd + i, _mm256_sub_pd(_mm256_loadu_pd(odd + i),
+                                            _mm256_mul_pd(half, s)));
+  }
+  for (; i < n; ++i) odd[i] -= 0.5 * (lo[i] + hi[i]);
+}
+
+void cascade_inv_d(f64* odd, const f64* lo, const f64* hi, u64 n) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d s = _mm256_add_pd(_mm256_loadu_pd(lo + i), _mm256_loadu_pd(hi + i));
+    _mm256_storeu_pd(odd + i, _mm256_add_pd(_mm256_loadu_pd(odd + i),
+                                            _mm256_mul_pd(half, s)));
+  }
+  for (; i < n; ++i) odd[i] += 0.5 * (lo[i] + hi[i]);
+}
+
+/// c6 * ((((0.5*m2 + 3*m1) + 5*c0) + 3*p1) + 0.5*p2), scalar operand order.
+inline __m256d load_stencil(__m256d m2, __m256d m1, __m256d c0, __m256d p1,
+                            __m256d p2) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d three = _mm256_set1_pd(3.0);
+  const __m256d five = _mm256_set1_pd(5.0);
+  const __m256d c6 = _mm256_set1_pd(1.0 / 6.0);
+  __m256d t = _mm256_add_pd(_mm256_mul_pd(half, m2), _mm256_mul_pd(three, m1));
+  t = _mm256_add_pd(t, _mm256_mul_pd(five, c0));
+  t = _mm256_add_pd(t, _mm256_mul_pd(three, p1));
+  t = _mm256_add_pd(t, _mm256_mul_pd(half, p2));
+  return _mm256_mul_pd(c6, t);
+}
+
+void load_interior_d(f64* out, const f64* m2, const f64* m1, const f64* c0,
+                     const f64* p1, const f64* p2, u64 n) {
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     load_stencil(_mm256_loadu_pd(m2 + i), _mm256_loadu_pd(m1 + i),
+                                  _mm256_loadu_pd(c0 + i), _mm256_loadu_pd(p1 + i),
+                                  _mm256_loadu_pd(p2 + i)));
+  }
+  for (; i < n; ++i)
+    out[i] = (1.0 / 6.0) * (0.5 * m2[i] + 3 * m1[i] + 5 * c0[i] + 3 * p1[i] +
+                            0.5 * p2[i]);
+}
+
+void load_boundary_d(f64* out, const f64* v0, const f64* v1, const f64* v2,
+                     u64 n) {
+  const __m256d w0 = _mm256_set1_pd(2.5);
+  const __m256d three = _mm256_set1_pd(3.0);
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d c6 = _mm256_set1_pd(1.0 / 6.0);
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d t = _mm256_add_pd(_mm256_mul_pd(w0, _mm256_loadu_pd(v0 + i)),
+                              _mm256_mul_pd(three, _mm256_loadu_pd(v1 + i)));
+    t = _mm256_add_pd(t, _mm256_mul_pd(half, _mm256_loadu_pd(v2 + i)));
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(c6, t));
+  }
+  for (; i < n; ++i)
+    out[i] = (1.0 / 6.0) * (2.5 * v0[i] + 3 * v1[i] + 0.5 * v2[i]);
+}
+
+void thomas_first_d(f64* v, f64 diag, u64 n) {
+  const __m256d d = _mm256_set1_pd(diag);
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4)
+    _mm256_storeu_pd(v + i, _mm256_div_pd(_mm256_loadu_pd(v + i), d));
+  for (; i < n; ++i) v[i] = v[i] / diag;
+}
+
+void thomas_fwd_d(f64* cur, const f64* prev, f64 off, f64 denom, u64 n) {
+  const __m256d o = _mm256_set1_pd(off);
+  const __m256d d = _mm256_set1_pd(denom);
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = _mm256_sub_pd(_mm256_loadu_pd(cur + i),
+                                    _mm256_mul_pd(o, _mm256_loadu_pd(prev + i)));
+    _mm256_storeu_pd(cur + i, _mm256_div_pd(t, d));
+  }
+  for (; i < n; ++i) cur[i] = (cur[i] - off * prev[i]) / denom;
+}
+
+void thomas_bwd_d(f64* cur, const f64* next, f64 cp, u64 n) {
+  const __m256d c = _mm256_set1_pd(cp);
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(cur + i,
+                     _mm256_sub_pd(_mm256_loadu_pd(cur + i),
+                                   _mm256_mul_pd(c, _mm256_loadu_pd(next + i))));
+  }
+  for (; i < n; ++i) cur[i] -= cp * next[i];
+}
+
+// ------------------------------------------------------------ f64 in-line x
+
+/// {a0,a2,b0,b2} resp. {a1,a3,b1,b3} of two adjacent loads — the de-
+/// interleave halves, back in memory order after the cross-lane permute.
+inline __m256d deint_even(__m256d a, __m256d b) {
+  return _mm256_permute4x64_pd(_mm256_unpacklo_pd(a, b), _MM_SHUFFLE(3, 1, 2, 0));
+}
+inline __m256d deint_odd(__m256d a, __m256d b) {
+  return _mm256_permute4x64_pd(_mm256_unpackhi_pd(a, b), _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+template <bool kForward>
+void cascade_x_d(f64* v, u64 len) {
+  const __m256d half = _mm256_set1_pd(0.5);
+  u64 i = 1;
+  for (; i + 7 < len; i += 8) {
+    // Odd positions i, i+2, i+4, i+6; their even neighbors i-1 .. i+7.
+    const __m256d a = _mm256_loadu_pd(v + i - 1);  // v[i-1 .. i+2]
+    const __m256d b = _mm256_loadu_pd(v + i + 3);  // v[i+3 .. i+6]
+    const __m256d el = deint_even(a, b);           // v[i-1], v[i+1], v[i+3], v[i+5]
+    const __m256d od = deint_odd(a, b);            // v[i],   v[i+2], v[i+4], v[i+6]
+    // Evens shifted one right: v[i+1], v[i+3], v[i+5], v[i+7].
+    const __m256d sh = _mm256_permute4x64_pd(el, _MM_SHUFFLE(3, 3, 2, 1));
+    const __m256d er =
+        _mm256_blend_pd(sh, _mm256_broadcast_sd(v + i + 7), 0b1000);
+    const __m256d s = _mm256_mul_pd(half, _mm256_add_pd(el, er));
+    const __m256d no = kForward ? _mm256_sub_pd(od, s) : _mm256_add_pd(od, s);
+    // Re-interleave (evens bit-unchanged) and store v[i-1 .. i+6].
+    const __m256d tlo = _mm256_unpacklo_pd(el, no);
+    const __m256d thi = _mm256_unpackhi_pd(el, no);
+    _mm256_storeu_pd(v + i - 1, _mm256_permute2f128_pd(tlo, thi, 0x20));
+    _mm256_storeu_pd(v + i + 3, _mm256_permute2f128_pd(tlo, thi, 0x31));
+  }
+  for (; i + 1 < len; i += 2) {
+    if (kForward)
+      v[i] -= 0.5 * (v[i - 1] + v[i + 1]);
+    else
+      v[i] += 0.5 * (v[i - 1] + v[i + 1]);
+  }
+}
+
+void load_x_d(f64* out, const f64* src, u64 olen, u64 slen) {
+  out[0] = (1.0 / 6.0) * (2.5 * src[0] + 3 * src[1] + 0.5 * src[2]);
+  u64 i = 1;
+  // Four interior outputs per sweep need src[2i-2 .. 2i+8] (11 samples).
+  for (; i + 4 <= olen - 1; i += 4) {
+    const __m256d a = _mm256_loadu_pd(src + 2 * i - 2);  // s[2i-2 .. 2i+1]
+    const __m256d b = _mm256_loadu_pd(src + 2 * i + 2);  // s[2i+2 .. 2i+5]
+    const __m256d c = _mm256_loadu_pd(src + 2 * i + 5);  // s[2i+5 .. 2i+8]
+    const __m256d m2 = deint_even(a, b);  // E[i-1 .. i+2]
+    const __m256d m1 = deint_odd(a, b);   // O[i-1 .. i+2]
+    // C0 = E[i .. i+3]: shift m2 left, append E[i+3] = c[1].
+    const __m256d c0 = _mm256_blend_pd(
+        _mm256_permute4x64_pd(m2, _MM_SHUFFLE(3, 3, 2, 1)),
+        _mm256_permute4x64_pd(c, _MM_SHUFFLE(1, 0, 0, 0)), 0b1000);
+    // P1 = O[i .. i+3]: shift m1 left, append O[i+3] = c[2].
+    const __m256d p1 = _mm256_blend_pd(
+        _mm256_permute4x64_pd(m1, _MM_SHUFFLE(3, 3, 2, 1)),
+        _mm256_permute4x64_pd(c, _MM_SHUFFLE(2, 0, 0, 0)), 0b1000);
+    // P2 = E[i+1 .. i+4] = {m2[2], m2[3], c[1], c[3]}.
+    const __m256d p2 = _mm256_blend_pd(
+        _mm256_permute4x64_pd(m2, _MM_SHUFFLE(0, 0, 3, 2)),
+        _mm256_permute4x64_pd(c, _MM_SHUFFLE(3, 1, 0, 0)), 0b1100);
+    _mm256_storeu_pd(out + i, load_stencil(m2, m1, c0, p1, p2));
+  }
+  for (; i + 1 < olen; ++i) {
+    const f64* p = src + 2 * i;
+    out[i] = (1.0 / 6.0) *
+             (0.5 * p[-2] + 3 * p[-1] + 5 * p[0] + 3 * p[1] + 0.5 * p[2]);
+  }
+  if (olen > 1) {
+    const f64* e = src + (slen - 1);
+    out[olen - 1] = (1.0 / 6.0) * (2.5 * e[0] + 3 * e[-1] + 0.5 * e[-2]);
+  }
+}
+
+// ----------------------------------------------------- f64 movement kernels
+
+void gather_stride_d(f64* dst, const f64* src, u64 n, u64 stride) {
+  if (stride == 1) {
+    u64 i = 0;
+    for (; i + 4 <= n; i += 4)
+      _mm256_storeu_pd(dst + i, _mm256_loadu_pd(src + i));
+    for (; i < n; ++i) dst[i] = src[i];
+    return;
+  }
+  for (u64 i = 0; i < n; ++i) dst[i] = src[i * stride];
+}
+
+void scatter_stride_d(f64* dst, const f64* src, u64 n, u64 stride) {
+  if (stride == 1) {
+    u64 i = 0;
+    for (; i + 4 <= n; i += 4)
+      _mm256_storeu_pd(dst + i, _mm256_loadu_pd(src + i));
+    for (; i < n; ++i) dst[i] = src[i];
+    return;
+  }
+  for (u64 i = 0; i < n; ++i) dst[i * stride] = src[i];
+}
+
+void copy_zero_d(f64* dst, const f64* src, u64 n, u64 zstride) {
+  const __m256d zero = _mm256_setzero_pd();
+  if (zstride == 1) {
+    u64 i = 0;
+    for (; i + 4 <= n; i += 4) _mm256_storeu_pd(dst + i, zero);
+    for (; i < n; ++i) dst[i] = 0;
+    return;
+  }
+  if (zstride == 2) {
+    u64 i = 0;
+    for (; i + 4 <= n; i += 4)
+      _mm256_storeu_pd(dst + i,
+                       _mm256_blend_pd(_mm256_loadu_pd(src + i), zero, 0b0101));
+    for (; i < n; ++i) dst[i] = (i % 2 == 0) ? 0 : src[i];
+    return;
+  }
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) _mm256_storeu_pd(dst + i, _mm256_loadu_pd(src + i));
+  for (; i < n; ++i) dst[i] = src[i];
+  for (u64 z = 0; z < n; z += zstride) dst[z] = 0;
+}
+
+void pack_panel_d(f64* dst, const f64* src, u64 w, u64 len, u64 line_stride) {
+  u64 i = 0;
+  if (w % 4 == 0) {
+    for (; i + 4 <= len; i += 4) {
+      for (u64 l = 0; l + 4 <= w; l += 4) {
+        // 4x4 transpose: rows are lines l..l+3 at columns i..i+3.
+        const __m256d r0 = _mm256_loadu_pd(src + (l + 0) * line_stride + i);
+        const __m256d r1 = _mm256_loadu_pd(src + (l + 1) * line_stride + i);
+        const __m256d r2 = _mm256_loadu_pd(src + (l + 2) * line_stride + i);
+        const __m256d r3 = _mm256_loadu_pd(src + (l + 3) * line_stride + i);
+        const __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+        const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+        const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+        const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+        _mm256_storeu_pd(dst + (i + 0) * w + l, _mm256_permute2f128_pd(t0, t2, 0x20));
+        _mm256_storeu_pd(dst + (i + 1) * w + l, _mm256_permute2f128_pd(t1, t3, 0x20));
+        _mm256_storeu_pd(dst + (i + 2) * w + l, _mm256_permute2f128_pd(t0, t2, 0x31));
+        _mm256_storeu_pd(dst + (i + 3) * w + l, _mm256_permute2f128_pd(t1, t3, 0x31));
+      }
+    }
+  }
+  for (; i < len; ++i)
+    for (u64 l = 0; l < w; ++l) dst[i * w + l] = src[l * line_stride + i];
+}
+
+void unpack_panel_d(f64* dst, const f64* src, u64 w, u64 len, u64 line_stride) {
+  u64 i = 0;
+  if (w % 4 == 0) {
+    for (; i + 4 <= len; i += 4) {
+      for (u64 l = 0; l + 4 <= w; l += 4) {
+        const __m256d r0 = _mm256_loadu_pd(src + (i + 0) * w + l);
+        const __m256d r1 = _mm256_loadu_pd(src + (i + 1) * w + l);
+        const __m256d r2 = _mm256_loadu_pd(src + (i + 2) * w + l);
+        const __m256d r3 = _mm256_loadu_pd(src + (i + 3) * w + l);
+        const __m256d t0 = _mm256_unpacklo_pd(r0, r1);
+        const __m256d t1 = _mm256_unpackhi_pd(r0, r1);
+        const __m256d t2 = _mm256_unpacklo_pd(r2, r3);
+        const __m256d t3 = _mm256_unpackhi_pd(r2, r3);
+        _mm256_storeu_pd(dst + (l + 0) * line_stride + i, _mm256_permute2f128_pd(t0, t2, 0x20));
+        _mm256_storeu_pd(dst + (l + 1) * line_stride + i, _mm256_permute2f128_pd(t1, t3, 0x20));
+        _mm256_storeu_pd(dst + (l + 2) * line_stride + i, _mm256_permute2f128_pd(t0, t2, 0x31));
+        _mm256_storeu_pd(dst + (l + 3) * line_stride + i, _mm256_permute2f128_pd(t1, t3, 0x31));
+      }
+    }
+  }
+  for (; i < len; ++i)
+    for (u64 l = 0; l < w; ++l) dst[l * line_stride + i] = src[i * w + l];
+}
+
+// ---------------------------------------------------------------- f32 rows
+
+void cascade_fwd_f(f32* odd, const f32* lo, const f32* hi, u64 n) {
+  const __m256 half = _mm256_set1_ps(0.5f);
+  u64 i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 s = _mm256_add_ps(_mm256_loadu_ps(lo + i), _mm256_loadu_ps(hi + i));
+    _mm256_storeu_ps(odd + i, _mm256_sub_ps(_mm256_loadu_ps(odd + i),
+                                            _mm256_mul_ps(half, s)));
+  }
+  for (; i < n; ++i) odd[i] -= 0.5f * (lo[i] + hi[i]);
+}
+
+void cascade_inv_f(f32* odd, const f32* lo, const f32* hi, u64 n) {
+  const __m256 half = _mm256_set1_ps(0.5f);
+  u64 i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 s = _mm256_add_ps(_mm256_loadu_ps(lo + i), _mm256_loadu_ps(hi + i));
+    _mm256_storeu_ps(odd + i, _mm256_add_ps(_mm256_loadu_ps(odd + i),
+                                            _mm256_mul_ps(half, s)));
+  }
+  for (; i < n; ++i) odd[i] += 0.5f * (lo[i] + hi[i]);
+}
+
+void load_interior_f(f32* out, const f32* m2, const f32* m1, const f32* c0,
+                     const f32* p1, const f32* p2, u64 n) {
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 three = _mm256_set1_ps(3.0f);
+  const __m256 five = _mm256_set1_ps(5.0f);
+  const __m256 c6 = _mm256_set1_ps(static_cast<f32>(1.0 / 6.0));
+  u64 i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 t = _mm256_add_ps(_mm256_mul_ps(half, _mm256_loadu_ps(m2 + i)),
+                             _mm256_mul_ps(three, _mm256_loadu_ps(m1 + i)));
+    t = _mm256_add_ps(t, _mm256_mul_ps(five, _mm256_loadu_ps(c0 + i)));
+    t = _mm256_add_ps(t, _mm256_mul_ps(three, _mm256_loadu_ps(p1 + i)));
+    t = _mm256_add_ps(t, _mm256_mul_ps(half, _mm256_loadu_ps(p2 + i)));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(c6, t));
+  }
+  const f32 c6s = static_cast<f32>(1.0 / 6.0);
+  for (; i < n; ++i)
+    out[i] = c6s * (0.5f * m2[i] + 3 * m1[i] + 5 * c0[i] + 3 * p1[i] +
+                    0.5f * p2[i]);
+}
+
+void load_boundary_f(f32* out, const f32* v0, const f32* v1, const f32* v2,
+                     u64 n) {
+  const __m256 w0 = _mm256_set1_ps(2.5f);
+  const __m256 three = _mm256_set1_ps(3.0f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 c6 = _mm256_set1_ps(static_cast<f32>(1.0 / 6.0));
+  u64 i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 t = _mm256_add_ps(_mm256_mul_ps(w0, _mm256_loadu_ps(v0 + i)),
+                             _mm256_mul_ps(three, _mm256_loadu_ps(v1 + i)));
+    t = _mm256_add_ps(t, _mm256_mul_ps(half, _mm256_loadu_ps(v2 + i)));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(c6, t));
+  }
+  const f32 c6s = static_cast<f32>(1.0 / 6.0);
+  for (; i < n; ++i) out[i] = c6s * (2.5f * v0[i] + 3 * v1[i] + 0.5f * v2[i]);
+}
+
+// f32 Thomas rows run in f64 lanes, mirroring the scalar code's f64
+// intermediates: widen 4 floats, compute in pd, narrow back.
+
+void thomas_first_f(f32* v, f64 diag, u64 n) {
+  const __m256d d = _mm256_set1_pd(diag);
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d x = _mm256_cvtps_pd(_mm_loadu_ps(v + i));
+    _mm_storeu_ps(v + i, _mm256_cvtpd_ps(_mm256_div_pd(x, d)));
+  }
+  for (; i < n; ++i) v[i] = static_cast<f32>(v[i] / diag);
+}
+
+void thomas_fwd_f(f32* cur, const f32* prev, f64 off, f64 denom, u64 n) {
+  const __m256d o = _mm256_set1_pd(off);
+  const __m256d d = _mm256_set1_pd(denom);
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d c = _mm256_cvtps_pd(_mm_loadu_ps(cur + i));
+    const __m256d p = _mm256_cvtps_pd(_mm_loadu_ps(prev + i));
+    const __m256d t = _mm256_div_pd(_mm256_sub_pd(c, _mm256_mul_pd(o, p)), d);
+    _mm_storeu_ps(cur + i, _mm256_cvtpd_ps(t));
+  }
+  for (; i < n; ++i)
+    cur[i] = static_cast<f32>((cur[i] - off * prev[i]) / denom);
+}
+
+void thomas_bwd_f(f32* cur, const f32* next, f64 cp, u64 n) {
+  // rhs = f32(cp * next) in f64, then the subtraction happens in f32.
+  const __m256d c = _mm256_set1_pd(cp);
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nx = _mm256_cvtps_pd(_mm_loadu_ps(next + i));
+    const __m128 rhs = _mm256_cvtpd_ps(_mm256_mul_pd(c, nx));
+    _mm_storeu_ps(cur + i, _mm_sub_ps(_mm_loadu_ps(cur + i), rhs));
+  }
+  for (; i < n; ++i) cur[i] -= static_cast<f32>(cp * next[i]);
+}
+
+// f32 in-line x kernels and movement: the shuffle economics of 8-lane
+// de-interleaves don't pay at the f32 line lengths this code sees (the f64
+// path is the production one); keep the scalar reference semantics.
+
+void cascade_fwd_x_f(f32* v, u64 len) {
+  for (u64 i = 1; i + 1 < len; i += 2) v[i] -= 0.5f * (v[i - 1] + v[i + 1]);
+}
+
+void cascade_inv_x_f(f32* v, u64 len) {
+  for (u64 i = 1; i + 1 < len; i += 2) v[i] += 0.5f * (v[i - 1] + v[i + 1]);
+}
+
+void load_x_f(f32* out, const f32* src, u64 olen, u64 slen) {
+  const f32 c6 = static_cast<f32>(1.0 / 6.0);
+  out[0] = c6 * (2.5f * src[0] + 3 * src[1] + 0.5f * src[2]);
+  for (u64 i = 1; i + 1 < olen; ++i) {
+    const f32* p = src + 2 * i;
+    out[i] = c6 * (0.5f * p[-2] + 3 * p[-1] + 5 * p[0] + 3 * p[1] + 0.5f * p[2]);
+  }
+  if (olen > 1) {
+    const f32* e = src + (slen - 1);
+    out[olen - 1] = c6 * (2.5f * e[0] + 3 * e[-1] + 0.5f * e[-2]);
+  }
+}
+
+void gather_stride_f(f32* dst, const f32* src, u64 n, u64 stride) {
+  if (stride == 1) {
+    u64 i = 0;
+    for (; i + 8 <= n; i += 8)
+      _mm256_storeu_ps(dst + i, _mm256_loadu_ps(src + i));
+    for (; i < n; ++i) dst[i] = src[i];
+    return;
+  }
+  for (u64 i = 0; i < n; ++i) dst[i] = src[i * stride];
+}
+
+void scatter_stride_f(f32* dst, const f32* src, u64 n, u64 stride) {
+  if (stride == 1) {
+    gather_stride_f(dst, src, n, 1);
+    return;
+  }
+  for (u64 i = 0; i < n; ++i) dst[i * stride] = src[i];
+}
+
+void copy_zero_f(f32* dst, const f32* src, u64 n, u64 zstride) {
+  for (u64 i = 0; i < n; ++i) dst[i] = src[i];
+  for (u64 i = 0; i < n; i += zstride) dst[i] = 0;
+}
+
+void pack_panel_f(f32* dst, const f32* src, u64 w, u64 len, u64 line_stride) {
+  constexpr u64 kBlock = 16;
+  for (u64 i0 = 0; i0 < len; i0 += kBlock) {
+    const u64 i1 = i0 + kBlock < len ? i0 + kBlock : len;
+    for (u64 l = 0; l < w; ++l)
+      for (u64 i = i0; i < i1; ++i) dst[i * w + l] = src[l * line_stride + i];
+  }
+}
+
+void unpack_panel_f(f32* dst, const f32* src, u64 w, u64 len, u64 line_stride) {
+  constexpr u64 kBlock = 16;
+  for (u64 i0 = 0; i0 < len; i0 += kBlock) {
+    const u64 i1 = i0 + kBlock < len ? i0 + kBlock : len;
+    for (u64 l = 0; l < w; ++l)
+      for (u64 i = i0; i < i1; ++i) dst[l * line_stride + i] = src[i * w + l];
+  }
+}
+
+// ----------------------------------------------------------------- bitplane
+
+f64 max_abs_avx2(const f64* v, u64 n) {
+  const __m256d absmask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+  __m256d acc = _mm256_setzero_pd();
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4)
+    acc = _mm256_max_pd(acc, _mm256_and_pd(_mm256_loadu_pd(v + i), absmask));
+  alignas(32) f64 lanes[4];
+  _mm256_store_pd(lanes, acc);
+  f64 m = lanes[0];
+  for (int l = 1; l < 4; ++l) m = m < lanes[l] ? lanes[l] : m;
+  for (; i < n; ++i) m = m < std::fabs(v[i]) ? std::fabs(v[i]) : m;
+  return m;
+}
+
+void quantize64_avx2(const f64* c, u32 valid, f64 scale, u64 block[64],
+                     u64* sign_word) {
+  if (valid < 64) {
+    // Partial tail block (once per level): scalar reference semantics.
+    u64 sw = 0;
+    for (u32 i = 0; i < valid; ++i) {
+      f64 m = std::fabs(c[i]) * scale;
+      if (m >= 4294967295.0) m = 4294967295.0;
+      block[i] = static_cast<u64>(static_cast<u32>(m));
+      if (std::signbit(c[i])) sw |= u64{1} << i;
+    }
+    for (u32 i = valid; i < 64; ++i) block[i] = 0;
+    *sign_word = sw;
+    return;
+  }
+  const __m256d absmask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFll));
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d limit = _mm256_set1_pd(4294967295.0);
+  const __m256d two31 = _mm256_set1_pd(2147483648.0);
+  const __m256i pick_hi32 = _mm256_setr_epi32(1, 3, 5, 7, 1, 3, 5, 7);
+  u64 sw = 0;
+  for (u32 i = 0; i < 64; i += 4) {
+    const __m256d x = _mm256_loadu_pd(c + i);
+    sw |= static_cast<u64>(_mm256_movemask_pd(x)) << i;
+    __m256d m = _mm256_mul_pd(_mm256_and_pd(x, absmask), vscale);
+    m = _mm256_min_pd(m, limit);
+    // Exact f64 -> u32 truncation: values >= 2^31 go through an exact
+    // subtract-then-rebias (m - 2^31 is exactly representable here).
+    const __m256d ge = _mm256_cmp_pd(m, two31, _CMP_GE_OQ);
+    const __m128i lo = _mm256_cvttpd_epi32(m);
+    const __m128i hi = _mm_add_epi32(_mm256_cvttpd_epi32(_mm256_sub_pd(m, two31)),
+                                     _mm_set1_epi32(INT32_MIN));
+    const __m128i mask32 = _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(_mm256_castpd_si256(ge), pick_hi32));
+    const __m128i q = _mm_blendv_epi8(lo, hi, mask32);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(block + i),
+                        _mm256_cvtepu32_epi64(q));
+  }
+  *sign_word = sw;
+}
+
+/// 64x64 bit transpose with all 64 rows resident in 16 ymm registers; each
+/// stage applies t = ((x >> j) ^ y) & m; x ^= t << j; y ^= t to row pairs at
+/// distance j (cross-register for j >= 4, in-register shuffles for j = 2, 1).
+void transpose64_avx2(u64 a[64]) {
+  __m256i r[16];
+  for (int k = 0; k < 16; ++k)
+    r[k] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + 4 * k));
+
+  auto stage = [](__m256i& x, __m256i& y, int j, __m256i m) {
+    const __m256i t =
+        _mm256_and_si256(_mm256_xor_si256(_mm256_srli_epi64(x, j), y), m);
+    x = _mm256_xor_si256(x, _mm256_slli_epi64(t, j));
+    y = _mm256_xor_si256(y, t);
+  };
+
+  const __m256i m32 = _mm256_set1_epi64x(0x00000000FFFFFFFFll);
+  const __m256i m16 = _mm256_set1_epi64x(0x0000FFFF0000FFFFll);
+  const __m256i m8 = _mm256_set1_epi64x(0x00FF00FF00FF00FFll);
+  const __m256i m4 = _mm256_set1_epi64x(0x0F0F0F0F0F0F0F0Fll);
+  const __m256i m2 = _mm256_set1_epi64x(0x3333333333333333ll);
+  const __m256i m1 = _mm256_set1_epi64x(0x5555555555555555ll);
+
+  for (int k = 0; k < 8; ++k) stage(r[k], r[k + 8], 32, m32);
+  for (int g = 0; g < 16; g += 8)
+    for (int k = g; k < g + 4; ++k) stage(r[k], r[k + 4], 16, m16);
+  for (int g = 0; g < 16; g += 4)
+    for (int k = g; k < g + 2; ++k) stage(r[k], r[k + 2], 8, m8);
+  for (int k = 0; k < 16; k += 2) stage(r[k], r[k + 1], 4, m4);
+
+  // j = 2: partners are lanes (0,2) and (1,3) of one register.
+  for (int k = 0; k < 16; ++k) {
+    const __m256i y = _mm256_permute4x64_epi64(r[k], _MM_SHUFFLE(1, 0, 3, 2));
+    const __m256i t = _mm256_and_si256(
+        _mm256_xor_si256(_mm256_srli_epi64(r[k], 2), y), m2);
+    // lanes {t0<<2, t1<<2, t0, t1}: valid t lives in lanes 0,1.
+    const __m256i u =
+        _mm256_permute2x128_si256(_mm256_slli_epi64(t, 2), t, 0x20);
+    r[k] = _mm256_xor_si256(r[k], u);
+  }
+  // j = 1: partners are lanes (0,1) and (2,3).
+  for (int k = 0; k < 16; ++k) {
+    const __m256i y = _mm256_permute4x64_epi64(r[k], _MM_SHUFFLE(2, 3, 0, 1));
+    const __m256i t = _mm256_and_si256(
+        _mm256_xor_si256(_mm256_srli_epi64(r[k], 1), y), m1);
+    // lanes {t0<<1, t0, t2<<1, t2}: valid t lives in lanes 0,2.
+    const __m256i u = _mm256_unpacklo_epi64(_mm256_slli_epi64(t, 1), t);
+    r[k] = _mm256_xor_si256(r[k], u);
+  }
+
+  for (int k = 0; k < 16; ++k)
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + 4 * k), r[k]);
+}
+
+void dequantize_avx2(f64* out, const u32* q, const u64* sign_words,
+                     f64 inv_scale, u32 mid, u64 n) {
+  // Sign-flip masks for every 4-bit sign nibble.
+  alignas(32) static const u64 kSignTable[16][4] = {
+#define ROW(n4)                                                      \
+  {((n4) & 1) ? 0x8000000000000000ull : 0, ((n4) & 2) ? 0x8000000000000000ull : 0, \
+   ((n4) & 4) ? 0x8000000000000000ull : 0, ((n4) & 8) ? 0x8000000000000000ull : 0}
+      ROW(0), ROW(1), ROW(2), ROW(3), ROW(4), ROW(5), ROW(6), ROW(7), ROW(8),
+      ROW(9), ROW(10), ROW(11), ROW(12), ROW(13), ROW(14), ROW(15)
+#undef ROW
+  };
+  const __m256i vmid = _mm256_set1_epi32(static_cast<int>(mid));
+  const __m256i magic_i = _mm256_set1_epi64x(0x4330000000000000ll);
+  const __m256d magic_d = _mm256_castsi256_pd(magic_i);
+  const __m256d vinv = _mm256_set1_pd(inv_scale);
+  u64 i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i q4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + i));
+    const __m256i zero64 =
+        _mm256_cvtepi32_epi64(_mm_cmpeq_epi32(q4, _mm_setzero_si128()));
+    const __m128i qm = _mm_add_epi32(q4, _mm256_castsi256_si128(vmid));
+    // Exact u32 -> f64: glue the value into the mantissa of 2^52, subtract.
+    const __m256d f = _mm256_sub_pd(
+        _mm256_castsi256_pd(_mm256_or_si256(_mm256_cvtepu32_epi64(qm), magic_i)),
+        magic_d);
+    __m256d m = _mm256_mul_pd(f, vinv);
+    const u32 nib =
+        static_cast<u32>((sign_words[i >> 6] >> (i & 63)) & 0xF);
+    m = _mm256_xor_pd(m, _mm256_load_pd(
+                             reinterpret_cast<const f64*>(kSignTable[nib])));
+    m = _mm256_andnot_pd(_mm256_castsi256_pd(zero64), m);
+    _mm256_storeu_pd(out + i, m);
+  }
+  for (; i < n; ++i) {
+    u32 qi = q[i];
+    if (qi == 0) {
+      out[i] = 0.0;
+      continue;
+    }
+    qi += mid;
+    f64 m = static_cast<f64>(qi) * inv_scale;
+    if (sign_words[i >> 6] & (u64{1} << (i & 63))) m = -m;
+    out[i] = m;
+  }
+}
+
+template <typename T>
+RowOps<T> make_avx2_row_ops();
+
+template <>
+RowOps<f64> make_avx2_row_ops<f64>() {
+  RowOps<f64> ops{};
+  ops.cascade_fwd = &cascade_fwd_d;
+  ops.cascade_inv = &cascade_inv_d;
+  ops.load_interior = &load_interior_d;
+  ops.load_boundary = &load_boundary_d;
+  ops.thomas_first = &thomas_first_d;
+  ops.thomas_fwd = &thomas_fwd_d;
+  ops.thomas_bwd = &thomas_bwd_d;
+  ops.cascade_fwd_x = &cascade_x_d<true>;
+  ops.cascade_inv_x = &cascade_x_d<false>;
+  ops.load_x = &load_x_d;
+  ops.gather_stride = &gather_stride_d;
+  ops.scatter_stride = &scatter_stride_d;
+  ops.copy_zero = &copy_zero_d;
+  ops.pack_panel = &pack_panel_d;
+  ops.unpack_panel = &unpack_panel_d;
+  return ops;
+}
+
+template <>
+RowOps<f32> make_avx2_row_ops<f32>() {
+  RowOps<f32> ops{};
+  ops.cascade_fwd = &cascade_fwd_f;
+  ops.cascade_inv = &cascade_inv_f;
+  ops.load_interior = &load_interior_f;
+  ops.load_boundary = &load_boundary_f;
+  ops.thomas_first = &thomas_first_f;
+  ops.thomas_fwd = &thomas_fwd_f;
+  ops.thomas_bwd = &thomas_bwd_f;
+  ops.cascade_fwd_x = &cascade_fwd_x_f;
+  ops.cascade_inv_x = &cascade_inv_x_f;
+  ops.load_x = &load_x_f;
+  ops.gather_stride = &gather_stride_f;
+  ops.scatter_stride = &scatter_stride_f;
+  ops.copy_zero = &copy_zero_f;
+  ops.pack_panel = &pack_panel_f;
+  ops.unpack_panel = &unpack_panel_f;
+  return ops;
+}
+
+constexpr BitplaneOps kAvx2BitplaneOps{&max_abs_avx2, &quantize64_avx2,
+                                       &transpose64_avx2, &dequantize_avx2};
+
+}  // namespace
+
+namespace detail {
+
+template <typename T>
+const RowOps<T>& row_ops_avx2() {
+  static const RowOps<T> ops = make_avx2_row_ops<T>();
+  return ops;
+}
+
+const BitplaneOps& bitplane_ops_avx2() { return kAvx2BitplaneOps; }
+
+template const RowOps<f32>& row_ops_avx2<f32>();
+template const RowOps<f64>& row_ops_avx2<f64>();
+
+}  // namespace detail
+}  // namespace rapids::mgard::kernels
+
+#else  // non-x86: forward to the scalar reference.
+
+namespace rapids::mgard::kernels::detail {
+
+template <typename T>
+const RowOps<T>& row_ops_avx2() {
+  return row_ops_scalar<T>();
+}
+
+const BitplaneOps& bitplane_ops_avx2() { return bitplane_ops_scalar(); }
+
+template const RowOps<f32>& row_ops_avx2<f32>();
+template const RowOps<f64>& row_ops_avx2<f64>();
+
+}  // namespace rapids::mgard::kernels::detail
+
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "rapids/mgard/workspace.hpp"
 #include "rapids/parallel/thread_pool.hpp"
 
 namespace rapids::mgard {
@@ -100,12 +101,17 @@ RefactoredObject Refactorer::refactor(std::span<const f32> data, Dims dims,
   field.shrink_to_fit();
 
   DecomposeOptions dopt{options_.l2_correction};
-  decompose(padded, h, dopt, pool_);
+  {
+    // Lease a warm workspace so per-level scratch survives across levels and
+    // across pipeline calls instead of being reallocated.
+    auto ws = WorkspacePool::global().acquire();
+    decompose(padded, h, dopt, pool_, ws.get());
+  }
 
   // Encode every decomposition level's coefficients into planes.
   std::vector<PlaneSet> plane_sets(h.num_decomp_levels());
   for (u32 d = 0; d < h.num_decomp_levels(); ++d) {
-    std::vector<f64> coeffs = gather_level(padded, h, d);
+    std::vector<f64> coeffs = gather_level(padded, h, d, pool_);
     plane_sets[d] = encode_planes(coeffs, options_.max_planes, pool_);
   }
 
@@ -167,11 +173,14 @@ std::vector<f32> Refactorer::reconstruct_from_sets(
     }
     if (coeffs.empty() && sets[d].count > 0)
       coeffs.assign(sets[d].count, 0.0);
-    scatter_level(padded, h, d, coeffs);
+    scatter_level(padded, h, d, coeffs, pool_);
   }
 
   DecomposeOptions dopt{meta.l2_correction};
-  recompose(padded, h, dopt, pool_);
+  {
+    auto ws = WorkspacePool::global().acquire();
+    recompose(padded, h, dopt, pool_, ws.get());
+  }
 
   std::vector<f64> cropped = crop_field(padded, h.padded(), meta.dims);
   std::vector<f32> out(cropped.size());

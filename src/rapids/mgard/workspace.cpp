@@ -1,0 +1,38 @@
+#include "rapids/mgard/workspace.hpp"
+
+namespace rapids::mgard {
+
+WorkspacePool::Lease WorkspacePool::acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<RefactorWorkspace> ws = std::move(free_.back());
+      free_.pop_back();
+      return Lease(this, std::move(ws));
+    }
+    ++created_;
+  }
+  return Lease(this, std::make_unique<RefactorWorkspace>());
+}
+
+void WorkspacePool::release(std::unique_ptr<RefactorWorkspace> ws) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(ws));
+}
+
+u64 WorkspacePool::created() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return created_;
+}
+
+u64 WorkspacePool::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return free_.size();
+}
+
+WorkspacePool& WorkspacePool::global() {
+  static WorkspacePool pool;
+  return pool;
+}
+
+}  // namespace rapids::mgard

@@ -1,0 +1,723 @@
+// Bit-identity tests for the panel-major refactor kernels. Every dispatched
+// kernel (AVX2 / NEON) must produce results byte-identical to the scalar
+// reference on awkward shapes, and the rebuilt decompose/recompose must be
+// byte-identical to the pre-panel per-line implementation (embedded below as
+// `seedref`) — refactored payloads written before this change must restore
+// unchanged after it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "rapids/mgard/bitplane.hpp"
+#include "rapids/mgard/decompose.hpp"
+#include "rapids/mgard/grid.hpp"
+#include "rapids/mgard/kernels/kernels.hpp"
+#include "rapids/mgard/workspace.hpp"
+#include "rapids/parallel/thread_pool.hpp"
+#include "rapids/simd/cpu_features.hpp"
+#include "rapids/util/rng.hpp"
+
+namespace rapids::mgard {
+namespace {
+
+using simd::IsaLevel;
+
+struct IsaOverrideGuard {
+  explicit IsaOverrideGuard(IsaLevel l) { simd::set_isa_override(l); }
+  ~IsaOverrideGuard() { simd::set_isa_override(std::nullopt); }
+};
+
+// The non-scalar tiers to pit against the reference. On x86 kNeon resolves to
+// the scalar forwarder (and vice versa), so testing both everywhere is cheap.
+const IsaLevel kTiers[] = {IsaLevel::kAvx2, IsaLevel::kNeon};
+
+template <typename T>
+std::vector<T> random_field(u64 n, u64 seed) {
+  Rng rng(seed);
+  std::vector<T> v(n);
+  for (auto& x : v) {
+    x = static_cast<T>(rng.uniform(-3.0, 3.0));
+    if (rng.bernoulli(0.05)) x = 0;  // exercise exact-zero handling
+  }
+  return v;
+}
+
+template <typename T>
+::testing::AssertionResult BytesEqual(const std::vector<T>& a,
+                                      const std::vector<T>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure()
+           << "size " << a.size() << " vs " << b.size();
+  if (a.empty() || std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0)
+    return ::testing::AssertionSuccess();
+  for (u64 i = 0; i < a.size(); ++i)
+    if (std::memcmp(&a[i], &b[i], sizeof(T)) != 0)
+      return ::testing::AssertionFailure()
+             << "first mismatch at [" << i << "]: " << a[i] << " vs " << b[i];
+  return ::testing::AssertionFailure() << "memcmp mismatch";
+}
+
+// ---------------------------------------------------------------------------
+// seedref: the pre-panel per-line transform, kept verbatim (minus threading)
+// as the payload-compatibility arbiter. Do not "improve" this code — its
+// arithmetic shape IS the contract.
+// ---------------------------------------------------------------------------
+namespace seedref {
+
+template <typename Body>
+void for_each_line(Dims dims, u32 axis, const Body& body) {
+  u64 len = 0, stride = 0, o1 = 0, s1 = 0, o2 = 0, s2 = 0;
+  switch (axis) {
+    case 0:
+      len = dims.nx; stride = 1;
+      o1 = dims.ny; s1 = dims.nx;
+      o2 = dims.nz; s2 = dims.nx * dims.ny;
+      break;
+    case 1:
+      len = dims.ny; stride = dims.nx;
+      o1 = dims.nx; s1 = 1;
+      o2 = dims.nz; s2 = dims.nx * dims.ny;
+      break;
+    default:
+      len = dims.nz; stride = dims.nx * dims.ny;
+      o1 = dims.nx; s1 = 1;
+      o2 = dims.ny; s2 = dims.nx;
+      break;
+  }
+  for (u64 b = 0; b < o2; ++b)
+    for (u64 a = 0; a < o1; ++a) body(a * s1 + b * s2, stride, len);
+}
+
+template <typename T>
+void cascade(std::vector<T>& w, Dims dims, u32 axis, T sign) {
+  for_each_line(dims, axis, [&](u64 base, u64 stride, u64 len) {
+    T* v = w.data() + base;
+    for (u64 i = 1; i + 1 < len; i += 2)
+      v[i * stride] += sign * static_cast<T>(0.5) *
+                       (v[(i - 1) * stride] + v[(i + 1) * stride]);
+  });
+}
+
+Dims coarsen_axis(Dims d, u32 axis) {
+  auto shrink = [](u64 s) { return s <= 1 ? s : (s - 1) / 2 + 1; };
+  if (axis == 0) d.nx = shrink(d.nx);
+  else if (axis == 1) d.ny = shrink(d.ny);
+  else d.nz = shrink(d.nz);
+  return d;
+}
+
+template <typename T>
+std::vector<T> apply_load(const std::vector<T>& src, Dims sdims, u32 axis) {
+  const Dims odims = coarsen_axis(sdims, axis);
+  std::vector<T> out(odims.total());
+  const u64 slen = axis == 0 ? sdims.nx : axis == 1 ? sdims.ny : sdims.nz;
+  u64 olen = 0, ostride = 0, sstride = 0;
+  u64 o1 = 0, s1o = 0, s1s = 0, o2 = 0, s2o = 0, s2s = 0;
+  switch (axis) {
+    case 0:
+      olen = odims.nx; ostride = 1; sstride = 1;
+      o1 = odims.ny; s1o = odims.nx; s1s = sdims.nx;
+      o2 = odims.nz; s2o = odims.nx * odims.ny; s2s = sdims.nx * sdims.ny;
+      break;
+    case 1:
+      olen = odims.ny; ostride = odims.nx; sstride = sdims.nx;
+      o1 = odims.nx; s1o = 1; s1s = 1;
+      o2 = odims.nz; s2o = odims.nx * odims.ny; s2s = sdims.nx * sdims.ny;
+      break;
+    default:
+      olen = odims.nz; ostride = odims.nx * odims.ny;
+      sstride = sdims.nx * sdims.ny;
+      o1 = odims.nx; s1o = 1; s1s = 1;
+      o2 = odims.ny; s2o = odims.nx; s2s = sdims.nx;
+      break;
+  }
+  const T c6 = static_cast<T>(1.0 / 6.0);
+  auto line = [&](u64 obase, u64 sbase) {
+    const T* v = src.data() + sbase;
+    T* o = out.data() + obase;
+    o[0] = c6 * (static_cast<T>(2.5) * v[0] + 3 * v[sstride] +
+                 static_cast<T>(0.5) * v[2 * sstride]);
+    for (u64 i = 1; i + 1 < olen; ++i) {
+      const T* p = v + 2 * i * sstride;
+      o[i * ostride] =
+          c6 * (static_cast<T>(0.5) * p[-2 * static_cast<i64>(sstride)] +
+                3 * p[-static_cast<i64>(sstride)] + 5 * p[0] + 3 * p[sstride] +
+                static_cast<T>(0.5) * p[2 * sstride]);
+    }
+    const T* e = v + (slen - 1) * sstride;
+    o[(olen - 1) * ostride] =
+        c6 * (static_cast<T>(2.5) * e[0] + 3 * e[-static_cast<i64>(sstride)] +
+              static_cast<T>(0.5) * e[-2 * static_cast<i64>(sstride)]);
+  };
+  for (u64 b = 0; b < o2; ++b)
+    for (u64 a = 0; a < o1; ++a) line(a * s1o + b * s2o, a * s1s + b * s2s);
+  return out;
+}
+
+template <typename T>
+void mass_solve(std::vector<T>& g, Dims dims, u32 axis) {
+  const u64 n = axis == 0 ? dims.nx : axis == 1 ? dims.ny : dims.nz;
+  if (n <= 1) return;
+  for_each_line(dims, axis, [&](u64 base, u64 stride, u64 len) {
+    T* v = g.data() + base;
+    constexpr f64 off = 1.0 / 3.0;
+    std::vector<f64> cp(len);
+    f64 diag0 = 2.0 / 3.0;
+    cp[0] = off / diag0;
+    v[0] = static_cast<T>(v[0] / diag0);
+    for (u64 i = 1; i < len; ++i) {
+      const f64 diag = (i + 1 == len) ? 2.0 / 3.0 : 4.0 / 3.0;
+      const f64 denom = diag - off * cp[i - 1];
+      cp[i] = off / denom;
+      v[i * stride] =
+          static_cast<T>((v[i * stride] - off * v[(i - 1) * stride]) / denom);
+    }
+    for (u64 i = len - 1; i-- > 0;)
+      v[i * stride] -= static_cast<T>(cp[i] * v[(i + 1) * stride]);
+  });
+}
+
+template <typename T>
+std::vector<T> compute_correction(const std::vector<T>& w, Dims adims) {
+  std::vector<T> r = w;
+  const u64 sx = adims.nx > 1 ? 2 : 1;
+  const u64 sy = adims.ny > 1 ? 2 : 1;
+  const u64 sz = adims.nz > 1 ? 2 : 1;
+  for (u64 k = 0; k < adims.nz; k += sz)
+    for (u64 j = 0; j < adims.ny; j += sy)
+      for (u64 i = 0; i < adims.nx; i += sx)
+        r[(k * adims.ny + j) * adims.nx + i] = 0;
+  Dims cur = adims;
+  for (u32 axis = 0; axis < 3; ++axis) {
+    const u64 extent = axis == 0 ? cur.nx : axis == 1 ? cur.ny : cur.nz;
+    if (extent <= 1) continue;
+    r = apply_load(r, cur, axis);
+    cur = coarsen_axis(cur, axis);
+  }
+  for (u32 axis = 0; axis < 3; ++axis) {
+    const u64 extent = axis == 0 ? cur.nx : axis == 1 ? cur.ny : cur.nz;
+    if (extent <= 1) continue;
+    mass_solve(r, cur, axis);
+  }
+  return r;
+}
+
+template <typename T>
+std::vector<T> gather_active(const std::vector<T>& full, Dims pdims,
+                             Dims adims, u64 stride) {
+  std::vector<T> w(adims.total());
+  for (u64 k = 0; k < adims.nz; ++k)
+    for (u64 j = 0; j < adims.ny; ++j) {
+      const T* src =
+          full.data() + ((k * stride) * pdims.ny + j * stride) * pdims.nx;
+      T* dst = w.data() + (k * adims.ny + j) * adims.nx;
+      for (u64 i = 0; i < adims.nx; ++i) dst[i] = src[i * stride];
+    }
+  return w;
+}
+
+template <typename T>
+void scatter_active(std::vector<T>& full, Dims pdims, const std::vector<T>& w,
+                    Dims adims, u64 stride) {
+  for (u64 k = 0; k < adims.nz; ++k)
+    for (u64 j = 0; j < adims.ny; ++j) {
+      T* dst = full.data() + ((k * stride) * pdims.ny + j * stride) * pdims.nx;
+      const T* src = w.data() + (k * adims.ny + j) * adims.nx;
+      for (u64 i = 0; i < adims.nx; ++i) dst[i * stride] = src[i];
+    }
+}
+
+template <typename T>
+void apply_correction(std::vector<T>& w, Dims adims, const std::vector<T>& z,
+                      Dims cdims, T sign) {
+  const u64 sx = adims.nx > 1 ? 2 : 1;
+  const u64 sy = adims.ny > 1 ? 2 : 1;
+  const u64 sz = adims.nz > 1 ? 2 : 1;
+  for (u64 k = 0; k < cdims.nz; ++k)
+    for (u64 j = 0; j < cdims.ny; ++j) {
+      const T* src = z.data() + (k * cdims.ny + j) * cdims.nx;
+      T* dst = w.data() + ((k * sz) * adims.ny + j * sy) * adims.nx;
+      for (u64 i = 0; i < cdims.nx; ++i) dst[i * sx] += sign * src[i];
+    }
+}
+
+template <typename T>
+void decompose(std::vector<T>& data, const GridHierarchy& h, bool l2) {
+  const Dims pdims = h.padded();
+  for (u32 t = 1; t <= h.levels(); ++t) {
+    const Dims adims = h.grid_at_step(t - 1);
+    const u64 stride = u64{1} << (t - 1);
+    std::vector<T> w = gather_active(data, pdims, adims, stride);
+    for (u32 axis = 0; axis < 3; ++axis) {
+      const u64 extent = axis == 0 ? adims.nx : axis == 1 ? adims.ny : adims.nz;
+      if (extent > 1) cascade(w, adims, axis, static_cast<T>(-1));
+    }
+    if (l2) {
+      const std::vector<T> z = compute_correction(w, adims);
+      apply_correction(w, adims, z, h.grid_at_step(t), static_cast<T>(1));
+    }
+    scatter_active(data, pdims, w, adims, stride);
+  }
+}
+
+template <typename T>
+void recompose(std::vector<T>& data, const GridHierarchy& h, bool l2) {
+  const Dims pdims = h.padded();
+  for (u32 t = h.levels(); t >= 1; --t) {
+    const Dims adims = h.grid_at_step(t - 1);
+    const u64 stride = u64{1} << (t - 1);
+    std::vector<T> w = gather_active(data, pdims, adims, stride);
+    if (l2) {
+      const std::vector<T> z = compute_correction(w, adims);
+      apply_correction(w, adims, z, h.grid_at_step(t), static_cast<T>(-1));
+    }
+    for (u32 axis = 3; axis-- > 0;) {
+      const u64 extent = axis == 0 ? adims.nx : axis == 1 ? adims.ny : adims.nz;
+      if (extent > 1) cascade(w, adims, axis, static_cast<T>(1));
+    }
+    scatter_active(data, pdims, w, adims, stride);
+  }
+}
+
+}  // namespace seedref
+
+// ---------------------------------------------------------------------------
+// Per-kernel scalar-vs-dispatched bit identity.
+// ---------------------------------------------------------------------------
+
+const u64 kRowLens[] = {1, 2, 3, 5, 7, 8, 16, 31, 63, 64, 65, 100, 257, 4097};
+
+template <typename T>
+void check_cross_axis_rows(IsaLevel tier) {
+  const auto& s = kernels::row_ops_scalar<T>();
+  const auto& v = kernels::row_ops_at<T>(tier);
+  u64 seed = 17;
+  for (u64 n : kRowLens) {
+    const auto lo = random_field<T>(n, ++seed);
+    const auto hi = random_field<T>(n, ++seed);
+    const auto m2 = random_field<T>(n, ++seed);
+    const auto p2 = random_field<T>(n, ++seed);
+    auto a = random_field<T>(n, ++seed);
+    auto b = a;
+
+    s.cascade_fwd(a.data(), lo.data(), hi.data(), n);
+    v.cascade_fwd(b.data(), lo.data(), hi.data(), n);
+    EXPECT_TRUE(BytesEqual(a, b)) << "cascade_fwd n=" << n;
+    s.cascade_inv(a.data(), lo.data(), hi.data(), n);
+    v.cascade_inv(b.data(), lo.data(), hi.data(), n);
+    EXPECT_TRUE(BytesEqual(a, b)) << "cascade_inv n=" << n;
+
+    std::vector<T> oa(n), ob(n);
+    s.load_interior(oa.data(), m2.data(), lo.data(), a.data(), hi.data(),
+                    p2.data(), n);
+    v.load_interior(ob.data(), m2.data(), lo.data(), b.data(), hi.data(),
+                    p2.data(), n);
+    EXPECT_TRUE(BytesEqual(oa, ob)) << "load_interior n=" << n;
+    s.load_boundary(oa.data(), lo.data(), a.data(), hi.data(), n);
+    v.load_boundary(ob.data(), lo.data(), b.data(), hi.data(), n);
+    EXPECT_TRUE(BytesEqual(oa, ob)) << "load_boundary n=" << n;
+
+    s.thomas_first(a.data(), 2.0 / 3.0, n);
+    v.thomas_first(b.data(), 2.0 / 3.0, n);
+    EXPECT_TRUE(BytesEqual(a, b)) << "thomas_first n=" << n;
+    s.thomas_fwd(a.data(), lo.data(), 1.0 / 3.0, 1.25, n);
+    v.thomas_fwd(b.data(), lo.data(), 1.0 / 3.0, 1.25, n);
+    EXPECT_TRUE(BytesEqual(a, b)) << "thomas_fwd n=" << n;
+    s.thomas_bwd(a.data(), hi.data(), 0.3, n);
+    v.thomas_bwd(b.data(), hi.data(), 0.3, n);
+    EXPECT_TRUE(BytesEqual(a, b)) << "thomas_bwd n=" << n;
+  }
+}
+
+TEST(RowKernels, CrossAxisRowsBitIdentical) {
+  for (IsaLevel tier : kTiers) {
+    check_cross_axis_rows<f32>(tier);
+    check_cross_axis_rows<f64>(tier);
+  }
+}
+
+template <typename T>
+void check_x_kernels(IsaLevel tier) {
+  const auto& s = kernels::row_ops_scalar<T>();
+  const auto& v = kernels::row_ops_at<T>(tier);
+  u64 seed = 99;
+  for (u64 n : kRowLens) {
+    auto a = random_field<T>(n, ++seed);
+    auto b = a;
+    s.cascade_fwd_x(a.data(), n);
+    v.cascade_fwd_x(b.data(), n);
+    EXPECT_TRUE(BytesEqual(a, b)) << "cascade_fwd_x n=" << n;
+    s.cascade_inv_x(a.data(), n);
+    v.cascade_inv_x(b.data(), n);
+    EXPECT_TRUE(BytesEqual(a, b)) << "cascade_inv_x n=" << n;
+  }
+  // load_x needs odd slen >= 3.
+  for (u64 olen : {2ull, 3ull, 5ull, 16ull, 32ull, 33ull, 63ull, 2049ull}) {
+    const u64 slen = 2 * olen - 1;
+    const auto src = random_field<T>(slen, ++seed);
+    std::vector<T> oa(olen), ob(olen);
+    s.load_x(oa.data(), src.data(), olen, slen);
+    v.load_x(ob.data(), src.data(), olen, slen);
+    EXPECT_TRUE(BytesEqual(oa, ob)) << "load_x olen=" << olen;
+  }
+}
+
+TEST(RowKernels, XAxisKernelsBitIdentical) {
+  for (IsaLevel tier : kTiers) {
+    check_x_kernels<f32>(tier);
+    check_x_kernels<f64>(tier);
+  }
+}
+
+template <typename T>
+void check_movement_kernels(IsaLevel tier) {
+  const auto& s = kernels::row_ops_scalar<T>();
+  const auto& v = kernels::row_ops_at<T>(tier);
+  u64 seed = 4242;
+  for (u64 n : kRowLens) {
+    for (u64 stride : {1ull, 2ull, 4ull, 129ull}) {
+      const auto src = random_field<T>(n * stride + 1, ++seed);
+      std::vector<T> da(n, T{-1}), db(n, T{-1});
+      s.gather_stride(da.data(), src.data(), n, stride);
+      v.gather_stride(db.data(), src.data(), n, stride);
+      EXPECT_TRUE(BytesEqual(da, db)) << "gather n=" << n << " s=" << stride;
+
+      std::vector<T> fa(n * stride + 1, T{0}), fb(n * stride + 1, T{0});
+      s.scatter_stride(fa.data(), da.data(), n, stride);
+      v.scatter_stride(fb.data(), db.data(), n, stride);
+      EXPECT_TRUE(BytesEqual(fa, fb)) << "scatter n=" << n << " s=" << stride;
+    }
+    for (u64 zstride : {1ull, 2ull}) {
+      const auto src = random_field<T>(n, ++seed);
+      std::vector<T> da(n, T{7}), db(n, T{7});
+      s.copy_zero(da.data(), src.data(), n, zstride);
+      v.copy_zero(db.data(), src.data(), n, zstride);
+      EXPECT_TRUE(BytesEqual(da, db)) << "copy_zero n=" << n << " z=" << zstride;
+    }
+  }
+  // Panel transpose: pack then unpack must be the identity and match scalar.
+  for (u64 w : {1ull, 3ull, 4ull, 16ull}) {
+    for (u64 len : {1ull, 2ull, 5ull, 64ull, 65ull}) {
+      const u64 line_stride = len + 3;
+      const auto src = random_field<T>(w * line_stride, ++seed);
+      std::vector<T> pa(w * len), pb(w * len);
+      s.pack_panel(pa.data(), src.data(), w, len, line_stride);
+      v.pack_panel(pb.data(), src.data(), w, len, line_stride);
+      EXPECT_TRUE(BytesEqual(pa, pb)) << "pack w=" << w << " len=" << len;
+      std::vector<T> ua(w * line_stride, T{0}), ub(w * line_stride, T{0});
+      s.unpack_panel(ua.data(), pa.data(), w, len, line_stride);
+      v.unpack_panel(ub.data(), pb.data(), w, len, line_stride);
+      EXPECT_TRUE(BytesEqual(ua, ub)) << "unpack w=" << w << " len=" << len;
+      for (u64 l = 0; l < w; ++l)
+        for (u64 i = 0; i < len; ++i)
+          EXPECT_EQ(ua[l * line_stride + i], src[l * line_stride + i]);
+    }
+  }
+}
+
+TEST(RowKernels, MovementKernelsBitIdentical) {
+  for (IsaLevel tier : kTiers) {
+    check_movement_kernels<f32>(tier);
+    check_movement_kernels<f64>(tier);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitplane kernels.
+// ---------------------------------------------------------------------------
+
+TEST(BitplaneKernels, MaxAbsMatchesScalar) {
+  const auto& s = kernels::bitplane_ops_scalar();
+  for (IsaLevel tier : kTiers) {
+    const auto& v = kernels::bitplane_ops_at(tier);
+    for (u64 n : {0ull, 1ull, 3ull, 64ull, 1000ull, 4097ull}) {
+      auto c = random_field<f64>(n, 7 + n);
+      if (n > 0) c[n / 2] = -5.5;  // make the max a negative value
+      EXPECT_EQ(s.max_abs(c.data(), n), v.max_abs(c.data(), n)) << "n=" << n;
+    }
+  }
+}
+
+TEST(BitplaneKernels, Quantize64MatchesScalar) {
+  const auto& s = kernels::bitplane_ops_scalar();
+  Rng rng(333);
+  for (IsaLevel tier : kTiers) {
+    const auto& v = kernels::bitplane_ops_at(tier);
+    for (u32 valid : {0u, 1u, 31u, 32u, 63u, 64u}) {
+      f64 c[64];
+      for (auto& x : c) {
+        x = rng.uniform(-2.0, 2.0);
+        if (rng.bernoulli(0.1)) x = 0.0;
+        if (rng.bernoulli(0.05)) x = -0.0;  // signbit without magnitude
+        if (rng.bernoulli(0.05)) x *= 1e9;  // force the 2^32-1 clamp
+      }
+      const f64 scale = std::ldexp(1.0, 30);
+      u64 ba[64], bb[64], sa = 0, sb = 0;
+      s.quantize64(c, valid, scale, ba, &sa);
+      v.quantize64(c, valid, scale, bb, &sb);
+      EXPECT_EQ(sa, sb) << "sign word, valid=" << valid;
+      EXPECT_EQ(0, std::memcmp(ba, bb, sizeof ba)) << "valid=" << valid;
+    }
+  }
+}
+
+TEST(BitplaneKernels, Transpose64InvolutionAndDispatchIdentity) {
+  Rng rng(555);
+  u64 ref[64];
+  for (auto& w : ref) w = rng.next_u64();
+  u64 a[64];
+  std::memcpy(a, ref, sizeof ref);
+  kernels::bitplane_ops_scalar().transpose64(a);
+  // Definition check against the naive bit walk.
+  for (u32 i = 0; i < 64; ++i)
+    for (u32 j = 0; j < 64; ++j)
+      ASSERT_EQ((a[i] >> j) & 1, (ref[j] >> i) & 1);
+  for (IsaLevel tier : kTiers) {
+    u64 b[64];
+    std::memcpy(b, ref, sizeof ref);
+    kernels::bitplane_ops_at(tier).transpose64(b);
+    EXPECT_EQ(0, std::memcmp(a, b, sizeof a));
+    kernels::bitplane_ops_at(tier).transpose64(b);
+    EXPECT_EQ(0, std::memcmp(b, ref, sizeof ref)) << "involution";
+  }
+}
+
+TEST(BitplaneKernels, DequantizeMatchesScalar) {
+  const auto& s = kernels::bitplane_ops_scalar();
+  Rng rng(777);
+  for (IsaLevel tier : kTiers) {
+    const auto& v = kernels::bitplane_ops_at(tier);
+    for (u64 n : {1ull, 4ull, 63ull, 64ull, 65ull, 100ull, 4113ull}) {
+      std::vector<u32> q(n);
+      for (auto& x : q) {
+        x = static_cast<u32>(rng.next_u64());
+        if (rng.bernoulli(0.3)) x = 0;  // exact-zero path
+      }
+      std::vector<u64> signs((n + 63) / 64);
+      for (auto& w : signs) w = rng.next_u64();
+      for (u32 mid : {0u, 1u << 20, 0x80000000u}) {
+        std::vector<f64> oa(n), ob(n);
+        s.dequantize(oa.data(), q.data(), signs.data(), 0x1p-32, mid, n);
+        v.dequantize(ob.data(), q.data(), signs.data(), 0x1p-32, mid, n);
+        EXPECT_TRUE(BytesEqual(oa, ob)) << "n=" << n << " mid=" << mid;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-transform identity: across ISA tiers, against the seed reference,
+// serial vs pooled, and through the plane codec.
+// ---------------------------------------------------------------------------
+
+struct Shape {
+  Dims dims;
+  u32 levels;
+};
+
+const Shape kShapes[] = {
+    {{65, 65, 65}, 4}, {{64, 63, 65}, 3}, {{33, 17, 9}, 3}, {{5, 63, 3}, 2},
+    {{63, 5, 1}, 3},   {{1, 65, 1}, 3},   {{1, 1, 65}, 2},  {{2, 2, 2}, 2},
+    {{1, 2, 3}, 1},    {{5, 5, 5}, 1},    {{3, 1, 65}, 2},
+};
+
+template <typename T>
+void check_transform_identity(bool l2) {
+  const DecomposeOptions opt{l2};
+  for (const Shape& sh : kShapes) {
+    const GridHierarchy h(sh.dims, sh.levels);
+    const auto field = random_field<T>(h.padded().total(), 1234);
+
+    // Seed-reference and scalar-kernel decompositions.
+    std::vector<T> ref = field;
+    seedref::decompose(ref, h, l2);
+    std::vector<T> scal = field;
+    {
+      IsaOverrideGuard g(IsaLevel::kScalar);
+      decompose(scal, h, opt);
+    }
+    EXPECT_TRUE(BytesEqual(ref, scal))
+        << "seedref vs scalar decompose " << sh.dims.nx << "x" << sh.dims.ny
+        << "x" << sh.dims.nz << " l2=" << l2;
+
+    // Every dispatched tier must match bit-for-bit.
+    for (IsaLevel tier : kTiers) {
+      IsaOverrideGuard g(tier);
+      std::vector<T> vec = field;
+      decompose(vec, h, opt);
+      EXPECT_TRUE(BytesEqual(ref, vec))
+          << "tier " << simd::isa_name(tier) << " decompose " << sh.dims.nx
+          << "x" << sh.dims.ny << "x" << sh.dims.nz << " l2=" << l2;
+    }
+
+    // Recompose identity, starting from the decomposed coefficients.
+    std::vector<T> rref = ref;
+    seedref::recompose(rref, h, l2);
+    std::vector<T> rscal = ref;
+    {
+      IsaOverrideGuard g(IsaLevel::kScalar);
+      recompose(rscal, h, opt);
+    }
+    EXPECT_TRUE(BytesEqual(rref, rscal)) << "seedref vs scalar recompose";
+    for (IsaLevel tier : kTiers) {
+      IsaOverrideGuard g(tier);
+      std::vector<T> rvec = ref;
+      recompose(rvec, h, opt);
+      EXPECT_TRUE(BytesEqual(rref, rvec))
+          << "tier " << simd::isa_name(tier) << " recompose " << sh.dims.nx
+          << "x" << sh.dims.ny << "x" << sh.dims.nz << " l2=" << l2;
+    }
+  }
+}
+
+TEST(Transform, BitIdenticalToSeedAndAcrossIsaL2) {
+  check_transform_identity<f64>(true);
+  check_transform_identity<f32>(true);
+}
+
+TEST(Transform, BitIdenticalToSeedAndAcrossIsaInterpOnly) {
+  check_transform_identity<f64>(false);
+  check_transform_identity<f32>(false);
+}
+
+TEST(Transform, PooledMatchesSerialBitForBit) {
+  ThreadPool pool(4);
+  for (const Shape& sh : kShapes) {
+    const GridHierarchy h(sh.dims, sh.levels);
+    const auto field = random_field<f64>(h.padded().total(), 99);
+    std::vector<f64> serial = field, pooled = field;
+    decompose(serial, h, {});
+    decompose(pooled, h, {}, &pool);
+    EXPECT_TRUE(BytesEqual(serial, pooled)) << sh.dims.nx << "x" << sh.dims.ny;
+    recompose(serial, h, {});
+    recompose(pooled, h, {}, &pool);
+    EXPECT_TRUE(BytesEqual(serial, pooled)) << sh.dims.nx << "x" << sh.dims.ny;
+  }
+}
+
+TEST(Transform, WorkspaceReuseIsDeterministic) {
+  const GridHierarchy h(Dims{33, 33, 17}, 3);
+  const auto field = random_field<f64>(h.padded().total(), 5);
+  std::vector<f64> fresh = field;
+  decompose(fresh, h, {});
+
+  RefactorWorkspace ws;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<f64> reused = field;
+    decompose(reused, h, {}, nullptr, &ws);
+    EXPECT_TRUE(BytesEqual(fresh, reused)) << "round " << round;
+    recompose(reused, h, {}, nullptr, &ws);
+    std::vector<f64> rfresh = fresh;
+    recompose(rfresh, h, {});
+    EXPECT_TRUE(BytesEqual(rfresh, reused)) << "round " << round;
+  }
+}
+
+TEST(Transform, WorkspacePoolReusesInsteadOfCreating) {
+  WorkspacePool pool;
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();
+    EXPECT_NE(a.get(), nullptr);
+    EXPECT_NE(b.get(), nullptr);
+    EXPECT_EQ(pool.created(), 2u);
+    EXPECT_EQ(pool.idle(), 0u);
+  }
+  EXPECT_EQ(pool.idle(), 2u);
+  {
+    auto c = pool.acquire();
+    EXPECT_EQ(pool.created(), 2u);  // reused, not created
+    EXPECT_EQ(pool.idle(), 1u);
+  }
+  EXPECT_EQ(pool.idle(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Level gather/scatter against the level_nodes map they replaced.
+// ---------------------------------------------------------------------------
+
+TEST(Levels, GatherScatterMatchLevelNodes) {
+  ThreadPool pool(4);
+  for (const Shape& sh : kShapes) {
+    const GridHierarchy h(sh.dims, sh.levels);
+    const auto field = random_field<f64>(h.padded().total(), 31);
+    std::vector<f64> rebuilt(field.size(), 0.0);
+    u64 covered = 0;
+    for (u32 d = 0; d < h.num_decomp_levels(); ++d) {
+      const auto& nodes = h.level_nodes(d);
+      const std::vector<f64> got = gather_level(field, h, d, &pool);
+      ASSERT_EQ(got.size(), nodes.size());
+      for (u64 i = 0; i < nodes.size(); ++i)
+        ASSERT_EQ(got[i], field[nodes[i]])
+            << "level " << d << " index " << i << " shape " << sh.dims.nx
+            << "x" << sh.dims.ny << "x" << sh.dims.nz;
+      scatter_level(rebuilt, h, d, got, &pool);
+      covered += nodes.size();
+    }
+    EXPECT_EQ(covered, field.size());
+    EXPECT_TRUE(BytesEqual(field, rebuilt));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Plane codec under dispatch: encoded bytes and decoded values must not
+// depend on the ISA tier.
+// ---------------------------------------------------------------------------
+
+TEST(Planes, EncodeDecodeIndependentOfIsa) {
+  ThreadPool pool(4);
+  auto coeffs = random_field<f64>(10000, 2026);
+  coeffs[17] = 0.0;
+  coeffs[4099] = -coeffs[4099];
+
+  PlaneSet base;
+  {
+    IsaOverrideGuard g(IsaLevel::kScalar);
+    base = encode_planes(coeffs, kMagnitudePlanes, &pool);
+  }
+  std::vector<f64> base_dec;
+  {
+    IsaOverrideGuard g(IsaLevel::kScalar);
+    base_dec = decode_planes(base, 12, &pool);
+  }
+
+  for (IsaLevel tier : kTiers) {
+    IsaOverrideGuard g(tier);
+    const PlaneSet ps = encode_planes(coeffs, kMagnitudePlanes, &pool);
+    EXPECT_EQ(ps.count, base.count);
+    EXPECT_EQ(ps.max_abs, base.max_abs);
+    EXPECT_EQ(ps.exponent, base.exponent);
+    ASSERT_EQ(ps.planes.size(), base.planes.size());
+    EXPECT_EQ(ps.sign.data, base.sign.data);
+    for (u64 p = 0; p < ps.planes.size(); ++p)
+      EXPECT_EQ(ps.planes[p].data, base.planes[p].data) << "plane " << p;
+    const std::vector<f64> dec = decode_planes(base, 12, &pool);
+    EXPECT_TRUE(BytesEqual(dec, base_dec));
+  }
+}
+
+// RAPIDS_FORCE_SCALAR must pin the whole transform to the scalar tier — the
+// guarantee scripts/sanitize.sh relies on for its scalar round-trip run.
+TEST(Planes, ForceScalarEnvPinsTransform) {
+  const GridHierarchy h(Dims{33, 33, 9}, 2);
+  const auto field = random_field<f64>(h.padded().total(), 13);
+  std::vector<f64> expect = field;
+  {
+    IsaOverrideGuard g(IsaLevel::kScalar);
+    decompose(expect, h, {});
+  }
+  ::setenv("RAPIDS_FORCE_SCALAR", "1", 1);
+  simd::refresh_force_scalar_for_testing();
+  EXPECT_EQ(simd::active_isa(), IsaLevel::kScalar);
+  std::vector<f64> forced = field;
+  decompose(forced, h, {});
+  ::unsetenv("RAPIDS_FORCE_SCALAR");
+  simd::refresh_force_scalar_for_testing();
+  EXPECT_TRUE(BytesEqual(expect, forced));
+}
+
+}  // namespace
+}  // namespace rapids::mgard
