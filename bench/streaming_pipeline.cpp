@@ -1,0 +1,291 @@
+// Fragment-granular streaming dataflow vs the staged pipeline.
+//
+// Two modes over the same multi-object stream, each against a fresh cluster
+// and metadata store:
+//   staged     config.streaming = false — refactor everything, encode
+//              everything, then distribute; restore waits for the full
+//              gather before decoding anything.
+//   streaming  config.streaming = true — each retrieval level erasure-codes
+//              in stripes and ships while later levels still refactor;
+//              restore decodes and merges each level as its quorum lands.
+//
+// Reported per mode:
+//   prepare    mean simulated end-to-end latency (compute wall + simulated
+//              WAN distribution; streaming overlaps the two) and total wall.
+//   restore    mean time-to-first-byte (simulated latency until retrieval
+//              level 1 was decodable) vs the full-gather latency.
+// Plus the byte-identity audit: records, restored fields, and — via forced
+// outages — the restored field at every recoverable level prefix must match
+// across modes bit for bit.
+//
+// Usage: streaming_pipeline [output.json]
+//   Without an argument only the table is printed; with one, a JSON record
+//   is written for the perf trajectory (bench/run_benchmarks.sh →
+//   BENCH_streaming.json).
+// Environment:
+//   RAPIDS_BENCH_THREADS  pool size (default max(hardware_concurrency, 4))
+//   RAPIDS_BENCH_OBJECTS  stream length (default 6)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rapids/core/pipeline.hpp"
+#include "rapids/kvstore/db.hpp"
+#include "rapids/storage/failure.hpp"
+#include "rapids/util/timer.hpp"
+
+namespace rapids::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct BenchObject {
+  std::string name;
+  mgard::Dims dims;
+  std::vector<f32> field;
+};
+
+struct ModeResult {
+  std::string mode;
+  f64 prepare_wall = 0.0;          // total wall seconds across the stream
+  f64 prepare_latency_mean = 0.0;  // mean simulated end-to-end latency
+  f64 restore_wall = 0.0;
+  f64 ttfb_mean = 0.0;             // mean simulated time-to-first-byte
+  f64 gather_latency_mean = 0.0;   // mean full-gather latency
+  std::vector<Bytes> records;              // serialized ObjectRecord per object
+  std::vector<std::vector<f32>> restored;  // full-depth restore per object
+};
+
+/// One pipeline world for a mode; kept alive so the prefix audit can force
+/// outages and re-restore against the already-distributed fragments.
+struct World {
+  World(const std::string& tag, const core::PipelineConfig& cfg,
+        ThreadPool* pool)
+      : dir((fs::temp_directory_path() / ("rapids_bench_stream_" + tag))
+                .string()),
+        cluster(storage::ClusterConfig{16, 0.0, 42}) {
+    fs::remove_all(dir);
+    db = kv::Db::open(dir);
+    pipeline = std::make_unique<core::RapidsPipeline>(cluster, *db, cfg, pool);
+  }
+  ~World() {
+    pipeline.reset();
+    db.reset();
+    fs::remove_all(dir);
+  }
+  std::string dir;
+  storage::Cluster cluster;
+  std::unique_ptr<kv::Db> db;
+  std::unique_ptr<core::RapidsPipeline> pipeline;
+};
+
+core::PipelineConfig mode_config(bool streaming) {
+  core::PipelineConfig cfg;
+  cfg.refactor.decomp_levels = 3;
+  cfg.refactor.num_retrieval_levels = 4;
+  // A preview ladder: retrieval level 1 is a genuinely small coarse rung
+  // (1e-1) so the streamed restore has something worth delivering early,
+  // which is the whole point of decode-as-stripes-land.
+  cfg.refactor.target_rel_errors = {1e-1, 1e-3, 1e-5, 1e-7};
+  cfg.aco.iterations = 20;
+  cfg.streaming = streaming;
+  // No restore cache: every restore pays its real WAN cost, and the prefix
+  // audit's forced outages actually truncate instead of being served from
+  // cache.
+  cfg.restore_cache_bytes = 0;
+  return cfg;
+}
+
+u64 env_u64(const char* name, u64 fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<u64>(std::strtoull(v, nullptr, 10));
+}
+
+ModeResult run_mode(World& w, const std::vector<BenchObject>& stream,
+                    bool streaming) {
+  ModeResult r;
+  r.mode = streaming ? "streaming" : "staged";
+
+  Timer t;
+  f64 latency_sum = 0.0;
+  for (const auto& obj : stream) {
+    const auto rep = w.pipeline->prepare(obj.field, obj.dims, obj.name);
+    latency_sum += rep.prepare_latency;
+    r.records.push_back(rep.record.serialize());
+  }
+  r.prepare_wall = t.seconds();
+  r.prepare_latency_mean = latency_sum / static_cast<f64>(stream.size());
+
+  t.reset();
+  f64 ttfb_sum = 0.0, gather_sum = 0.0;
+  for (const auto& obj : stream) {
+    auto rep = w.pipeline->restore(obj.name);
+    ttfb_sum += rep.first_level_latency;
+    gather_sum += rep.gather_latency;
+    r.restored.push_back(std::move(rep.data));
+  }
+  r.restore_wall = t.seconds();
+  r.ttfb_mean = ttfb_sum / static_cast<f64>(stream.size());
+  r.gather_latency_mean = gather_sum / static_cast<f64>(stream.size());
+  return r;
+}
+
+bool same_floats(const std::vector<f32>& a, const std::vector<f32>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(f32)) == 0);
+}
+
+/// Force outages that truncate the recoverable prefix to every depth and
+/// check the two modes restore identical bytes at each one.
+u32 prefix_audit(World& staged, World& streaming, const BenchObject& obj,
+                 const core::FtConfig& ft, bool* identical) {
+  u32 checked = 0;
+  for (u32 target = static_cast<u32>(ft.size()); target >= 1; --target) {
+    std::vector<u32> down;
+    for (u32 i = 0; i < ft[target - 1]; ++i) down.push_back(i);
+    storage::fail_exactly(staged.cluster, down);
+    storage::fail_exactly(streaming.cluster, down);
+    const auto a = staged.pipeline->restore(obj.name);
+    const auto b = streaming.pipeline->restore(obj.name);
+    if (a.levels_used != b.levels_used || !same_floats(a.data, b.data))
+      *identical = false;
+    ++checked;
+  }
+  storage::fail_exactly(staged.cluster, {});
+  storage::fail_exactly(streaming.cluster, {});
+  return checked;
+}
+
+void write_json(const std::string& path, unsigned hw, unsigned pool_threads,
+                const std::vector<BenchObject>& stream, const ModeResult& st,
+                const ModeResult& sm, bool identical, u32 prefixes) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  u64 total_bytes = 0;
+  for (const auto& obj : stream) total_bytes += obj.field.size() * sizeof(f32);
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"context\": {\n");
+  std::fprintf(f, "    \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(f, "    \"pool_threads\": %u,\n", pool_threads);
+  std::fprintf(f, "    \"objects\": %zu,\n", stream.size());
+  std::fprintf(f, "    \"total_input_bytes\": %llu\n",
+               static_cast<unsigned long long>(total_bytes));
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (const ModeResult* r : {&st, &sm}) {
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"prepare_%s\",\n", r->mode.c_str());
+    std::fprintf(f, "      \"mode\": \"%s\",\n", r->mode.c_str());
+    std::fprintf(f, "      \"wall_seconds\": %.6f,\n", r->prepare_wall);
+    std::fprintf(f, "      \"prepare_latency_mean_s\": %.9f\n",
+                 r->prepare_latency_mean);
+    std::fprintf(f, "    },\n");
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"restore_%s\",\n", r->mode.c_str());
+    std::fprintf(f, "      \"mode\": \"%s\",\n", r->mode.c_str());
+    std::fprintf(f, "      \"wall_seconds\": %.6f,\n", r->restore_wall);
+    std::fprintf(f, "      \"ttfb_mean_s\": %.9f,\n", r->ttfb_mean);
+    std::fprintf(f, "      \"gather_latency_mean_s\": %.9f\n",
+                 r->gather_latency_mean);
+    std::fprintf(f, "    },\n");
+  }
+  const f64 prep_speedup = sm.prepare_latency_mean > 0
+                               ? st.prepare_latency_mean / sm.prepare_latency_mean
+                               : 0.0;
+  const f64 ttfb_speedup = sm.ttfb_mean > 0 ? st.ttfb_mean / sm.ttfb_mean : 0.0;
+  std::fprintf(f, "    {\n");
+  std::fprintf(f, "      \"name\": \"summary\",\n");
+  std::fprintf(f, "      \"prepare_latency_speedup\": %.4f,\n", prep_speedup);
+  std::fprintf(f, "      \"ttfb_speedup\": %.4f,\n", ttfb_speedup);
+  std::fprintf(f, "      \"byte_identical\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "      \"prefixes_checked\": %u\n", prefixes);
+  std::fprintf(f, "    }\n");
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+int run(int argc, char** argv) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned pool_threads = static_cast<unsigned>(
+      env_u64("RAPIDS_BENCH_THREADS", hw > 4 ? hw : 4));
+  const u64 num_objects = env_u64("RAPIDS_BENCH_OBJECTS", 6);
+  ThreadPool pool(pool_threads);
+
+  banner("Streaming pipeline",
+         "staged refactor->encode->distribute vs fragment-granular "
+         "encode-while-refactor and decode-as-stripes-land");
+  std::printf("hardware_concurrency=%u pool_threads=%u objects=%llu\n\n", hw,
+              pool_threads, static_cast<unsigned long long>(num_objects));
+
+  const mgard::Dims dims{65, 65, 33};
+  std::vector<BenchObject> stream;
+  for (u64 i = 0; i < num_objects; ++i) {
+    BenchObject obj;
+    obj.name = "obj_" + std::to_string(i);
+    obj.dims = dims;
+    obj.field = data::hurricane_pressure(dims, 300 + i, &pool);
+    stream.push_back(std::move(obj));
+  }
+
+  World staged_world("staged", mode_config(false), &pool);
+  World stream_world("streaming", mode_config(true), &pool);
+  const ModeResult st = run_mode(staged_world, stream, false);
+  const ModeResult sm = run_mode(stream_world, stream, true);
+
+  // Byte-identity audit: records + full restores across every object, then
+  // every recoverable level prefix of object 0 under forced outages.
+  bool identical = true;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    if (st.records[i] != sm.records[i]) identical = false;
+    if (!same_floats(st.restored[i], sm.restored[i])) identical = false;
+  }
+  const auto record = core::ObjectRecord::deserialize(st.records[0]);
+  const u32 prefixes =
+      prefix_audit(staged_world, stream_world, stream[0], record.ft, &identical);
+
+  Table table({"mode", "prep wall s", "prep latency ms", "rest wall s",
+               "ttfb ms", "gather ms"});
+  for (const ModeResult* r : {&st, &sm}) {
+    table.add_row({r->mode, fmt("%.3f", r->prepare_wall),
+                   fmt("%.4f", r->prepare_latency_mean * 1e3),
+                   fmt("%.3f", r->restore_wall), fmt("%.4f", r->ttfb_mean * 1e3),
+                   fmt("%.4f", r->gather_latency_mean * 1e3)});
+  }
+  table.print();
+
+  const f64 prep_speedup = sm.prepare_latency_mean > 0
+                               ? st.prepare_latency_mean / sm.prepare_latency_mean
+                               : 0.0;
+  const f64 ttfb_speedup = sm.ttfb_mean > 0 ? st.ttfb_mean / sm.ttfb_mean : 0.0;
+  std::printf("\nprepare latency: streaming %.2fx faster end-to-end (%s)\n",
+              prep_speedup, prep_speedup > 1.0 ? "PASS" : "FAIL");
+  std::printf("restore TTFB:    streaming %.2fx faster than full gather (%s)\n",
+              ttfb_speedup, ttfb_speedup >= 2.0 ? "PASS >=2x" : "FAIL <2x");
+  std::printf("byte identity:   %zu objects + %u level prefixes %s\n",
+              stream.size(), prefixes,
+              identical ? "identical (PASS)" : "DIVERGED (FAIL)");
+
+  if (argc > 1)
+    write_json(argv[1], hw, pool_threads, stream, st, sm, identical, prefixes);
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace rapids::bench
+
+int main(int argc, char** argv) { return rapids::bench::run(argc, argv); }

@@ -111,10 +111,15 @@ int cmd_prepare(int argc, char** argv) {
   std::printf("  fragments: %llu across %u systems under %s/sys*/\n",
               (unsigned long long)report.fragments_stored, kSystems,
               wsdir.c_str());
-  std::printf("  timings: refactor %.2fs, optimize %.4fs, encode %.2fs, "
-              "store %.2fs\n",
-              report.refactor_seconds, report.optimize_seconds,
+  std::printf("  timings: refactor %.2fs (transform %.2fs, planes %.2fs), "
+              "optimize %.4fs, encode %.2fs, store %.2fs\n",
+              report.refactor_seconds, report.transform_seconds,
+              report.plane_encode_seconds, report.optimize_seconds,
               report.encode_seconds, report.store_seconds);
+  std::printf("  streaming: %u level%s overlapped encode/store; simulated "
+              "end-to-end prepare latency %.3fs\n",
+              report.levels_streamed, report.levels_streamed == 1 ? "" : "s",
+              report.prepare_latency);
   return 0;
 }
 
@@ -197,9 +202,15 @@ int cmd_restore(int argc, char** argv) {
   std::printf("restored %s -> %s\n", name.c_str(), argv[4]);
   std::printf("  retrieval levels used: %u\n", report.levels_used);
   std::printf("  guaranteed rel L-inf error <= %.3e\n", report.rel_error_bound);
-  std::printf("  simulated gather latency: %.3fs; decode %.3fs, reconstruct %.3fs\n",
-              report.gather_latency, report.decode_seconds,
+  std::printf("  simulated gather latency: %.3fs (first level %.3fs); "
+              "fetch %.3fs, decode %.3fs, reconstruct %.3fs\n",
+              report.gather_latency, report.first_level_latency,
+              report.fetch_seconds, report.decode_seconds,
               report.reconstruct_seconds);
+  if (report.levels_streamed > 0)
+    std::printf("  streamed %u level%s; first bytes after %.3fs wall\n",
+                report.levels_streamed, report.levels_streamed == 1 ? "" : "s",
+                report.first_byte_seconds);
   return 0;
 }
 

@@ -1,12 +1,15 @@
 #include "rapids/core/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "rapids/core/baselines.hpp"
 
+#include "rapids/parallel/channel.hpp"
 #include "rapids/parallel/thread_pool.hpp"
 #include "rapids/util/logging.hpp"
 #include "rapids/util/timer.hpp"
@@ -140,13 +143,99 @@ std::vector<PrepareReport> RapidsPipeline::prepare_batch(
 PrepareReport RapidsPipeline::do_prepare(std::span<const f32> data,
                                          mgard::Dims dims,
                                          const std::string& name) {
+  if (config_.streaming) return do_prepare_streaming(data, dims, name);
+  return do_prepare_staged(data, dims, name);
+}
+
+void RapidsPipeline::store_level_locked(const std::string& name, u32 level,
+                                        const std::vector<ec::Fragment>& frags,
+                                        u64 stripe_bytes, StoreStats& stats) {
+  const u32 n = cluster_.size();
+  std::vector<std::pair<std::string, std::string>> locations;
+  locations.reserve(frags.size());
+  for (u32 idx = 0; idx < frags.size(); ++idx) {
+    const ec::Fragment& frag = frags[idx];
+    const u32 preferred =
+        storage::place_fragment(config_.placement, n, level, idx);
+
+    const auto try_put = [&](u32 sys, u64 salt) {
+      const auto r = retry_io(
+          config_.retry, stable_hash(name, (u64{level} << 32) | idx, salt),
+          [&] {
+            cluster_.system(sys).put(frag);
+            return true;
+          });
+      stats.put_retries += r.attempts > 0 ? r.attempts - 1 : 0;
+      stats.backoff_seconds += r.backoff_seconds;
+      record_health(sys, r.ok());
+      return r.ok();
+    };
+
+    u32 target = preferred;
+    bool stored = false;
+    if (stripe_bytes > 0 && cluster_.system(preferred).available()) {
+      // Streamed put: the fragment ships stripe by stripe, so a mid-stream
+      // outage or injected fault surfaces before the tail stripes are paid
+      // for. Nothing is visible on the system until the commit; any failure
+      // degrades to the whole-fragment retry/relocate path below.
+      try {
+        auto stream = cluster_.system(preferred).begin_put(frag);
+        const std::span<const u8> payload(frag.payload);
+        for (u64 lo = 0; lo < payload.size(); lo += stripe_bytes)
+          stream.append(payload.subspan(
+              lo, std::min(stripe_bytes, payload.size() - lo)));
+        stream.commit();
+        stored = true;
+        record_health(preferred, true);
+      } catch (const io_error&) {
+        ++stats.fallback_puts;
+        record_health(preferred, false);
+      }
+    }
+    if (!stored) stored = try_put(preferred, 0xA0);
+    if (!stored) {
+      // Persistent failure: re-place on the least-loaded available
+      // system (deterministic order: health-allowed first, then fewest
+      // fragments, then lowest id) and record the new home.
+      ++stats.relocations;
+      std::vector<std::tuple<u32, u64, u32>> candidates;  // (bad, load, id)
+      for (u32 s = 0; s < n; ++s) {
+        if (s == preferred || !cluster_.system(s).available()) continue;
+        const u32 bad = config_.health_tracking && !health().allow(s) ? 1u : 0u;
+        candidates.emplace_back(bad, cluster_.system(s).fragment_count(), s);
+      }
+      std::sort(candidates.begin(), candidates.end());
+      for (const auto& [bad, load, s] : candidates) {
+        if (try_put(s, 0xB0)) {
+          target = s;
+          stored = true;
+          break;
+        }
+      }
+    }
+    if (!stored)
+      throw io_error("prepare: no storage system accepted fragment " +
+                     frag.id.key());
+    locations.emplace_back(frag.id.key(), std::to_string(target));
+    ++stats.fragments_stored;
+    stats.transfers.push_back(net::Transfer{target, frag.payload.size()});
+  }
+  db_.put_batch(locations);
+}
+
+PrepareReport RapidsPipeline::do_prepare_staged(std::span<const f32> data,
+                                                mgard::Dims dims,
+                                                const std::string& name) {
   const u32 n = cluster_.size();
   PrepareReport report;
   Timer t;
 
   // 1-2) Read + refactor into the hierarchical representation.
-  mgard::RefactoredObject obj = refactorer_.refactor(data, dims, name);
+  mgard::RefactorTimings rt;
+  mgard::RefactoredObject obj = refactorer_.refactor(data, dims, name, &rt);
   report.refactor_seconds = t.seconds();
+  report.transform_seconds = rt.transform_seconds;
+  report.plane_encode_seconds = rt.plane_encode_seconds;
 
   // 3) Optimize the fault-tolerance configuration (Algorithm 1).
   t.reset();
@@ -206,58 +295,13 @@ PrepareReport RapidsPipeline::do_prepare(std::span<const f32> data,
   t.reset();
   {
     std::lock_guard<std::mutex> lock(io_mu_);
-    std::vector<std::pair<std::string, std::string>> locations;
-    for (u32 j = 0; j < per_level.size(); ++j) {
-      locations.clear();
-      locations.reserve(per_level[j].size());
-      for (u32 idx = 0; idx < per_level[j].size(); ++idx) {
-        const ec::Fragment& frag = per_level[j][idx];
-        const u32 preferred = storage::place_fragment(config_.placement, n, j, idx);
-
-        const auto try_put = [&](u32 sys, u64 salt) {
-          const auto r = retry_io(
-              config_.retry, stable_hash(name, (u64{j} << 32) | idx, salt),
-              [&] {
-                cluster_.system(sys).put(frag);
-                return true;
-              });
-          report.put_retries += r.attempts > 0 ? r.attempts - 1 : 0;
-          report.backoff_seconds += r.backoff_seconds;
-          record_health(sys, r.ok());
-          return r.ok();
-        };
-
-        u32 target = preferred;
-        bool stored = try_put(preferred, 0xA0);
-        if (!stored) {
-          // Persistent failure: re-place on the least-loaded available
-          // system (deterministic order: health-allowed first, then fewest
-          // fragments, then lowest id) and record the new home.
-          ++report.relocations;
-          std::vector<std::tuple<u32, u64, u32>> candidates;  // (bad, load, id)
-          for (u32 s = 0; s < n; ++s) {
-            if (s == preferred || !cluster_.system(s).available()) continue;
-            const u32 bad =
-                config_.health_tracking && !health().allow(s) ? 1u : 0u;
-            candidates.emplace_back(bad, cluster_.system(s).fragment_count(), s);
-          }
-          std::sort(candidates.begin(), candidates.end());
-          for (const auto& [bad, load, s] : candidates) {
-            if (try_put(s, 0xB0)) {
-              target = s;
-              stored = true;
-              break;
-            }
-          }
-        }
-        if (!stored)
-          throw io_error("prepare: no storage system accepted fragment " +
-                         frag.id.key());
-        locations.emplace_back(frag.id.key(), std::to_string(target));
-        ++report.fragments_stored;
-      }
-      db_.put_batch(locations);
-    }
+    StoreStats stats;
+    for (u32 j = 0; j < per_level.size(); ++j)
+      store_level_locked(name, j, per_level[j], 0, stats);
+    report.fragments_stored = stats.fragments_stored;
+    report.put_retries = stats.put_retries;
+    report.relocations = stats.relocations;
+    report.backoff_seconds = stats.backoff_seconds;
     db_.put(object_key(name),
             std::string(reinterpret_cast<const char*>(record_bytes.data()),
                         record_bytes.size()));
@@ -276,6 +320,247 @@ PrepareReport RapidsPipeline::do_prepare(std::span<const f32> data,
   report.distribution_latency = net::equal_share_latency(
       rfec_distribution_plan(record.level_sizes, solution->m, n),
       cluster_.bandwidths());
+  // Staged distribution starts only after everything is refactored and
+  // encoded, so the end-to-end latency pays the full compute wall first.
+  report.prepare_latency = report.refactor_seconds + report.optimize_seconds +
+                           report.encode_seconds + report.store_seconds +
+                           report.distribution_latency;
+  record.meta.levels = std::move(obj.levels);  // keep payloads in the report
+  report.record = std::move(record);
+  return report;
+}
+
+PrepareReport RapidsPipeline::do_prepare_streaming(std::span<const f32> data,
+                                                   mgard::Dims dims,
+                                                   const std::string& name) {
+  const u32 n = cluster_.size();
+  PrepareReport report;
+  Timer total;
+
+  const bool concurrent = pool_ != nullptr && pool_->size() > 1;
+  const u64 stripe_bytes = std::max<u64>(config_.stream_stripe_bytes, 1);
+
+  struct LevelWork {
+    u32 level = 0;
+    mgard::RetrievalLevel lvl;
+  };
+  struct EncodedLevel {
+    mgard::RetrievalLevel lvl;
+    std::vector<ec::Fragment> frags;
+    f64 encode_seconds = 0.0;
+  };
+
+  // Aggregation state shared by the producer (the refactor thread, which
+  // may help downstream when the channel backs up) and the pump task.
+  // agg_mu guards all of it; io_mu_ is only ever taken with agg_mu released.
+  std::mutex agg_mu;
+  std::optional<FtSolution> solution;  // set by the plan sink before level 0
+  std::vector<mgard::RetrievalLevel> stored_levels;
+  std::map<u32, EncodedLevel> ready;  // encoded, waiting for store order
+  u32 next_store = 0;
+  bool storing = false;
+  StoreStats stats;
+  f64 optimize_seconds = 0.0;
+  f64 encode_seconds = 0.0;
+  f64 store_seconds = 0.0;
+  f64 sim_finish = 0.0;  // max over levels: store-start wall + WAN latency
+  u32 levels_streamed = 0;
+
+  const auto on_plan = [&](const mgard::RefactoredObject& meta,
+                           const std::vector<u64>& level_sizes) {
+    // All level sizes are known from the retrieval plan before any payload
+    // is serialized — the FT optimizer runs here, ahead of the stream.
+    Timer ot;
+    FtProblem problem;
+    problem.n = n;
+    problem.p = cluster_.config().failure_prob;
+    problem.original_size = meta.original_bytes();
+    problem.overhead_budget = config_.overhead_budget;
+    for (u32 j = 0; j < level_sizes.size(); ++j) {
+      problem.level_sizes.push_back(level_sizes[j]);
+      problem.level_errors.push_back(meta.rel_error_bound(j + 1));
+    }
+    auto sol = ft_optimize_heuristic(problem);
+    RAPIDS_REQUIRE_MSG(sol.has_value(),
+                       "prepare: no FT configuration fits the overhead budget");
+    std::lock_guard<std::mutex> al(agg_mu);
+    solution = std::move(*sol);
+    stored_levels.resize(level_sizes.size());
+    optimize_seconds = ot.seconds();
+  };
+
+  const auto process_level = [&](LevelWork&& w) {
+    // Stripe-granular RS encode: fixed-size stripes fan out on the pool, so
+    // this level's parity overlaps the refactorer's next level (and, via the
+    // conveyor below, the previous level's WAN puts).
+    Timer et;
+    const u32 m = solution->m[w.level];
+    const ec::ReedSolomon rs(n - m, m, config_.matrix_kind);
+    const std::span<const u8> payload = payload_u8(w.lvl.payload);
+    std::vector<ec::Fragment> frags =
+        rs.make_fragments(payload.size(), name, w.level);
+    const u64 frag_size = frags.empty() ? 0 : frags[0].payload.size();
+    if (concurrent && frag_size > stripe_bytes) {
+      TaskGroup group(pool_);
+      for (u64 lo = 0; lo < frag_size; lo += stripe_bytes) {
+        const u64 hi = std::min(lo + stripe_bytes, frag_size);
+        group.run([&rs, payload, lo, hi, &frags] {
+          rs.encode_stripe(payload, lo, hi, frags);
+        });
+      }
+      group.wait();
+    } else {
+      rs.encode_stripe(payload, 0, frag_size, frags);
+    }
+    rs.finish_fragments(frags, concurrent ? pool_ : nullptr);
+    const f64 enc = et.seconds();
+
+    // Conveyor: stores run strictly in level order (deterministic fault
+    // draws and location batches, exactly like the staged path), one thread
+    // at a time, while other levels keep encoding.
+    std::unique_lock<std::mutex> al(agg_mu);
+    ready.emplace(w.level,
+                  EncodedLevel{std::move(w.lvl), std::move(frags), enc});
+    if (storing) return;
+    storing = true;
+    for (;;) {
+      const auto it = ready.find(next_store);
+      if (it == ready.end()) break;
+      const u32 level = it->first;
+      EncodedLevel el = std::move(it->second);
+      ready.erase(it);
+      encode_seconds += el.encode_seconds;
+      al.unlock();
+      const f64 begin_wall = total.seconds();
+      Timer st;
+      StoreStats level_stats;
+      {
+        std::lock_guard<std::mutex> lock(io_mu_);
+        store_level_locked(name, level, el.frags, stripe_bytes, level_stats);
+      }
+      const f64 store_wall = st.seconds();
+      const f64 level_latency = net::equal_share_latency(
+          level_stats.transfers, cluster_.bandwidths());
+      al.lock();
+      store_seconds += store_wall;
+      sim_finish = std::max(sim_finish, begin_wall + level_latency);
+      stats.fragments_stored += level_stats.fragments_stored;
+      stats.put_retries += level_stats.put_retries;
+      stats.relocations += level_stats.relocations;
+      stats.fallback_puts += level_stats.fallback_puts;
+      stats.backoff_seconds += level_stats.backoff_seconds;
+      stored_levels[level] = std::move(el.lvl);
+      ++levels_streamed;
+      ++next_store;
+    }
+    storing = false;
+  };
+
+  // Bounded channel refactor -> encode/distribute. Every push forks one
+  // short-lived drain task (pop one item, process it, exit) rather than a
+  // resident consumer loop: TaskGroup::wait() helps by inlining arbitrary
+  // queued tasks, so any task parked in this pool must terminate on its own
+  // — a consumer that loops until close() can be inlined into another
+  // prepare's join and deadlock the two streams against each other. Drain
+  // tasks never block: a failed try_pop means the item was already taken by
+  // the producer's self-pump (below) or an earlier task, and since each of
+  // the P pushes forks a task and try_pop only fails on an empty queue,
+  // all P items are processed before the group joins.
+  std::optional<Channel<LevelWork>> channel;
+  std::optional<TaskGroup> drains;
+  if (concurrent) {
+    channel.emplace(std::max<u32>(config_.stream_level_window, 1));
+    drains.emplace(pool_);
+  }
+
+  mgard::RefactorTimings rt;
+  mgard::RefactoredObject obj;
+  std::exception_ptr err;
+  try {
+    obj = refactorer_.refactor_streaming(
+        data, dims, name, on_plan,
+        [&](u32 j, mgard::RetrievalLevel&& lvl) {
+          LevelWork w{j, std::move(lvl)};
+          if (!concurrent) {
+            process_level(std::move(w));
+            return;
+          }
+          // Self-pump backpressure: a full window turns into work, never a
+          // blocked refactor thread.
+          while (!channel->try_push(std::move(w))) {
+            LevelWork other;
+            if (channel->try_pop(other))
+              process_level(std::move(other));
+            else
+              std::this_thread::yield();
+          }
+          drains->run([&] {
+            LevelWork got;
+            if (channel->try_pop(got)) process_level(std::move(got));
+          });
+        },
+        &rt);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  if (channel) channel->close();
+  if (drains) {
+    try {
+      drains->wait();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+  RAPIDS_REQUIRE_MSG(next_store == stored_levels.size(),
+                     "prepare: streaming dataflow lost a level");
+
+  report.transform_seconds = rt.transform_seconds;
+  report.plane_encode_seconds = rt.plane_encode_seconds;
+  report.refactor_seconds =
+      rt.transform_seconds + rt.plane_encode_seconds + rt.assemble_seconds;
+  report.optimize_seconds = optimize_seconds;
+  report.encode_seconds = encode_seconds;
+  report.store_seconds = store_seconds;
+  report.levels_streamed = levels_streamed;
+  report.fragments_stored = stats.fragments_stored;
+  report.put_retries = stats.put_retries;
+  report.relocations = stats.relocations;
+  report.stream_fallback_puts = stats.fallback_puts;
+  report.backoff_seconds = stats.backoff_seconds;
+
+  // Reattach the streamed payloads so the record (and its serialized bytes)
+  // match the staged path exactly.
+  obj.levels = std::move(stored_levels);
+
+  ObjectRecord record;
+  record.meta = obj;
+  record.ft = solution->m;
+  for (u32 j = 0; j < obj.levels.size(); ++j)
+    record.level_sizes.push_back(obj.level_bytes(j));
+  record.matrix_kind = config_.matrix_kind;
+  record.placement = config_.placement;
+  const Bytes record_bytes = record.serialize();
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    db_.put(object_key(name),
+            std::string(reinterpret_cast<const char*>(record_bytes.data()),
+                        record_bytes.size()));
+    persist_health();
+  }
+  restore_cache_.invalidate(name);
+
+  report.expected_error = solution->expected_error;
+  report.storage_overhead = solution->storage_overhead;
+  report.network_overhead = ft_network_overhead(
+      n, solution->m, record.level_sizes, obj.original_bytes());
+  report.distribution_latency = net::equal_share_latency(
+      rfec_distribution_plan(record.level_sizes, solution->m, n),
+      cluster_.bandwidths());
+  // Each level's puts started while later levels still refactored, so the
+  // end-to-end latency is the worst (store-start wall + that level's WAN
+  // share), not compute-wall + whole-plan latency.
+  report.prepare_latency = sim_finish + stats.backoff_seconds;
   record.meta.levels = std::move(obj.levels);  // keep payloads in the report
   report.record = std::move(record);
   return report;
@@ -478,35 +763,47 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
                                   const std::vector<u32>& levels,
                                   const solver::Selection* preplanned,
                                   RestoreReport& report,
-                                  std::vector<Bytes>& payloads) {
+                                  std::vector<Bytes>& payloads,
+                                  const FetchSink& sink) {
   if (levels.empty()) return true;
   const u32 n = cluster_.size();
-  const u32 nsub = static_cast<u32>(levels.size());
   Timer t;
+
+  // A landed level is decoded, announced through the sink, and never
+  // refetched: replanning around a failed system only covers the levels
+  // still in flight, so streamed consumers keep every level that arrived.
+  std::vector<bool> landed(levels.size(), false);
+  f64 max_effective = 0.0;  // slowest landed transfer across all attempts
 
   // Plan + fetch, replanning (bounded) when a planned fragment stays missing
   // or damaged after retry and hedging: the offending system is treated as
   // unavailable and the remaining tolerance absorbs it, exactly like one
   // more concurrent outage.
   for (u32 attempt = 0; attempt <= n; ++attempt) {
-    // Every requested level must still be recoverable; when one is not, the
+    std::vector<u32> rem;  // indices into `levels` still to fetch
+    for (u32 i = 0; i < levels.size(); ++i)
+      if (!landed[i]) rem.push_back(i);
+    if (rem.empty()) break;
+
+    // Every remaining level must still be recoverable; when one is not, the
     // caller decides how to degrade (shrink the prefix, keep the session's
-    // current state, ...).
+    // current state, ...) — levels that already landed stay delivered.
     u32 failed = 0;
     for (const bool a : problem.available) failed += a ? 0 : 1;
-    for (const u32 j : levels)
-      if (failed > problem.m[j]) return false;
+    for (const u32 i : rem)
+      if (failed > problem.m[levels[i]]) return false;
 
-    // Gathering sub-problem over exactly the requested levels. Level order
+    // Gathering sub-problem over exactly the remaining levels. Level order
     // is preserved, so the m_j stay strictly decreasing and the FT config
     // remains valid.
+    const u32 nsub = static_cast<u32>(rem.size());
     GatherProblem sub;
     sub.n = problem.n;
     sub.bandwidths = problem.bandwidths;
     sub.available = problem.available;
-    for (const u32 j : levels) {
-      sub.m.push_back(problem.m[j]);
-      sub.level_sizes.push_back(problem.level_sizes[j]);
+    for (const u32 i : rem) {
+      sub.m.push_back(problem.m[levels[i]]);
+      sub.level_sizes.push_back(problem.level_sizes[levels[i]]);
     }
 
     // Reuse the caller's rows when they are still placeable (first attempt
@@ -528,36 +825,33 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
     if (!planned) plan = plan_gather(sub);  // pure: runs outside the lock
     report.planning_seconds += plan.planning_seconds;
 
-    // Fetch the planned fragments (real bytes; the simulated clock below is
-    // the WAN time for those very transfers, with injected stragglers and
-    // retry backoff folded in). Shared-state stage: location scans, cluster
-    // reads, and health updates run under io_mu_; decode happens after the
-    // lock drops.
+    // Resolve the plan into (level, system, index, bytes) fetches and start
+    // the simulated transfer clock: equal-share contention over the whole
+    // plan, scaled by per-transfer straggler draws — all sampled up front,
+    // in plan order, exactly as the staged gather did. A metadata miss (no
+    // fragment recorded on a planned system) forces an immediate replan
+    // without charging the system's health.
+    struct PlannedFetch {
+      u32 level = 0;  ///< index into `rem`/`sub`, not the real level
+      u32 system = 0;
+      u32 index = 0;
+      u64 bytes = 0;
+    };
     t.reset();
     std::optional<u32> bad_system;
-    std::vector<std::vector<ec::Fragment>> level_frags(nsub);
-    f64 observed_latency = 0.0;
-    u64 landed_bytes = 0;
+    std::vector<PlannedFetch> fetches;
+    std::vector<std::map<u32, u32>> locations(nsub);
+    std::vector<f64> mults;
+    std::vector<f64> times;
+    f64 hedge_launch = 0.0;
     {
       std::lock_guard<std::mutex> lock(io_mu_);
-
-      // Resolve the plan into (level, system, index, bytes) fetches; a
-      // metadata miss (no fragment recorded on a planned system) forces an
-      // immediate replan without charging the system's health.
-      struct PlannedFetch {
-        u32 level = 0;  ///< index into `levels`/`sub`, not the real level
-        u32 system = 0;
-        u32 index = 0;
-        u64 bytes = 0;
-      };
-      std::vector<PlannedFetch> fetches;
-      std::vector<std::map<u32, u32>> locations(nsub);
       for (u32 j = 0; j < nsub && !bad_system; ++j) {
-        locations[j] = fragment_locations(name, levels[j]);
+        locations[j] = fragment_locations(name, levels[rem[j]]);
         for (u32 sys : plan.systems_per_level[j]) {
           const auto loc = locations[j].find(sys);
           if (loc == locations[j].end()) {
-            log::warn("pipeline", "no level-", levels[j],
+            log::warn("pipeline", "no level-", levels[rem[j]],
                       " fragment recorded on system ", sys, "; replanning");
             bad_system = sys;
             break;
@@ -565,32 +859,43 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
           fetches.push_back({j, sys, loc->second, sub.fragment_bytes(j + 1)});
         }
       }
-
       if (!bad_system) {
-        // Simulated transfer clock: equal-share contention over the whole
-        // plan, scaled by each transfer's sampled straggler multiplier.
         std::vector<net::Transfer> transfers;
-        std::vector<f64> mults;
         transfers.reserve(fetches.size());
         mults.reserve(fetches.size());
         for (const auto& f : fetches) {
           transfers.push_back(net::Transfer{f.system, f.bytes});
-          mults.push_back(cluster_.system(f.system).sample_transfer_multiplier());
+          mults.push_back(
+              cluster_.system(f.system).sample_transfer_multiplier());
         }
-        std::vector<f64> times = net::equal_share_times_scaled(
-            transfers, problem.bandwidths, mults);
-        const f64 median = median_of(times);
-        const f64 hedge_launch = config_.hedge_threshold * median;
+        times = net::equal_share_times_scaled(transfers, problem.bandwidths,
+                                              mults);
+        hedge_launch = config_.hedge_threshold * median_of(times);
+      }
+    }
+    report.fetch_seconds += t.seconds();
 
-        // Per level, the systems already serving a fragment (planned or
-        // hedge), so hedges never duplicate a fragment index.
-        std::vector<std::set<u32>> used(nsub);
-        for (const auto& f : fetches) used[f.level].insert(f.system);
+    // Per level, the systems already serving a fragment (planned or hedge),
+    // so hedges never duplicate a fragment index.
+    std::vector<std::set<u32>> used(nsub);
+    for (const auto& f : fetches) used[f.level].insert(f.system);
 
+    // Fetch and decode level by level, ascending: as soon as a level's
+    // quorum lands it is decoded and announced, while deeper levels are
+    // still in flight — the decode-as-stripes-land half of the streaming
+    // dataflow. io_mu_ is held per level, not across the whole gather.
+    for (u32 j = 0; j < nsub && !bad_system; ++j) {
+      const u32 real = levels[rem[j]];
+      std::vector<ec::Fragment> frags;
+      f64 level_effective = 0.0;
+      u64 landed_bytes = 0;
+      t.reset();
+      {
+        std::lock_guard<std::mutex> lock(io_mu_);
         for (std::size_t i = 0; i < fetches.size() && !bad_system; ++i) {
           const auto& f = fetches[i];
-          auto primary =
-              fetch_with_retry(f.system, {name, levels[f.level], f.index});
+          if (f.level != j) continue;
+          auto primary = fetch_with_retry(f.system, {name, real, f.index});
           report.fetch_retries += primary.attempts - 1;
           report.backoff_seconds += primary.backoff_seconds;
           const bool ok = primary.fragment.has_value();
@@ -622,8 +927,7 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
               ++report.hedged_fetches;
               used[f.level].insert(*spare);
               const u32 spare_index = locations[f.level][*spare];
-              auto hedge = fetch_with_retry(
-                  *spare, {name, levels[f.level], spare_index});
+              auto hedge = fetch_with_retry(*spare, {name, real, spare_index});
               report.fetch_retries += hedge.attempts - 1;
               report.backoff_seconds += hedge.backoff_seconds;
               if (hedge.fragment)
@@ -646,40 +950,38 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
           }
 
           if (!winner) {
-            log::warn("pipeline", "fragment ", name, "/", levels[f.level], "/",
-                      f.index, " missing or damaged on system ", f.system,
+            log::warn("pipeline", "fragment ", name, "/", real, "/", f.index,
+                      " missing or damaged on system ", f.system,
                       "; replanning");
             bad_system = f.system;
             break;
           }
-          level_frags[f.level].push_back(std::move(*winner));
-          observed_latency = std::max(observed_latency, effective);
+          frags.push_back(std::move(*winner));
+          level_effective = std::max(level_effective, effective);
         }
+        persist_health();
       }
-      persist_health();
+      report.fetch_seconds += t.seconds();
+      report.bytes_transferred += landed_bytes;
+      if (bad_system) break;
+
+      // Decode this level outside the lock and hand it downstream while the
+      // next level's fragments are still unfetched.
+      t.reset();
+      const ec::ReedSolomon rs = codec_for(record, real);
+      const std::vector<u8> level = rs.decode(frags, pool_);
+      const auto* p = reinterpret_cast<const std::byte*>(level.data());
+      payloads[real] = Bytes(p, p + level.size());
+      report.decode_seconds += t.seconds();
+      landed[rem[j]] = true;
+      max_effective = std::max(max_effective, level_effective);
+      if (sink) sink(real, payloads[real],
+                     level_effective + report.backoff_seconds);
     }
 
     if (!bad_system) {
-      report.gather_latency = observed_latency + report.backoff_seconds;
-      report.bytes_transferred += landed_bytes;
+      report.gather_latency = max_effective + report.backoff_seconds;
       report.plan = std::move(plan);
-      // Decode every fetched level; levels are independent, so each one is
-      // forked as its own task when a pool is available.
-      const auto decode_level = [&](u32 i) {
-        const ec::ReedSolomon rs = codec_for(record, levels[i]);
-        const std::vector<u8> level = rs.decode(level_frags[i], pool_);
-        const auto* p = reinterpret_cast<const std::byte*>(level.data());
-        payloads[levels[i]] = Bytes(p, p + level.size());
-      };
-      if (pool_ != nullptr && pool_->size() > 1 && nsub > 1) {
-        TaskGroup group(pool_);
-        for (u32 i = 0; i < nsub; ++i)
-          group.run([&decode_level, i] { decode_level(i); });
-        group.wait();
-      } else {
-        for (u32 i = 0; i < nsub; ++i) decode_level(i);
-      }
-      report.decode_seconds += t.seconds();
 
       // Fold the observed (simulated-WAN) per-transfer throughput back into
       // the tracker so later plans adapt to bandwidth changes.
@@ -688,13 +990,13 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
         std::vector<u32> load(n, 0);
         for (const auto& tr : transfers) load[tr.system] += 1;
         std::lock_guard<std::mutex> lock(io_mu_);
-        const auto times =
+        const auto obs_times =
             net::equal_share_times(transfers, cluster_.bandwidths());
         for (std::size_t i = 0; i < transfers.size(); ++i) {
           // Undo the contention share so the observation estimates the
           // nominal endpoint bandwidth, not this plan's slice of it.
           const f64 exclusive_seconds =
-              times[i] / static_cast<f64>(load[transfers[i].system]);
+              obs_times[i] / static_cast<f64>(load[transfers[i].system]);
           if (exclusive_seconds > 0.0)
             tracker().observe(transfers[i].system, transfers[i].bytes,
                               exclusive_seconds);
@@ -714,6 +1016,7 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
 
 RestoreReport RapidsPipeline::do_restore(const std::string& name) {
   RestoreReport report;
+  Timer total;
 
   std::optional<ObjectRecord> record;
   GatherProblem problem;
@@ -724,13 +1027,15 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
   // fetch and erasure decode entirely; a CRC mismatch evicts the entry and
   // falls through to a normal fetch.
   std::vector<Bytes> payloads(nlevels);
-  std::vector<bool> cached(nlevels, false);
+  std::vector<bool> have(nlevels, false);        // cached or streamed in
+  std::vector<bool> from_cache(nlevels, false);  // skip the cache store-back
   for (u32 j = 0; j < nlevels; ++j) {
     Bytes hit;
     switch (restore_cache_.get(name, j, hit)) {
       case storage::RestoreCache::Outcome::kHit:
         payloads[j] = std::move(hit);
-        cached[j] = true;
+        have[j] = true;
+        from_cache[j] = true;
         ++report.cache_hits;
         break;
       case storage::RestoreCache::Outcome::kCorrupt:
@@ -742,11 +1047,55 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
     }
   }
 
+  // Streaming restore state: retrieval levels merge into the plane sets the
+  // moment they (or their cached copies) complete the contiguous prefix, and
+  // the first level triggers an immediate coarse reconstruction — the
+  // time-to-first-byte the staged full gather forfeits. All merging runs on
+  // this thread; reconstruct_incremental keeps the final field bit-identical
+  // to a staged reconstruct of the same prefix.
+  const bool streaming = config_.streaming;
+  std::vector<mgard::PlaneSet> sets;
+  std::vector<mgard::ProgressiveState> pstates;
+  u32 merged = 0;         // contiguous levels merged into `sets`
+  u32 reconstructed = 0;  // value of `merged` at the last recompose
+  bool first_done = false;
+  if (streaming) {
+    sets.resize(record->meta.dlevels.size());
+    for (std::size_t d = 0; d < sets.size(); ++d) {
+      sets[d].count = record->meta.dlevels[d].count;
+      sets[d].max_abs = record->meta.dlevels[d].max_abs;
+      sets[d].exponent = record->meta.dlevels[d].exponent;
+    }
+  }
+  const auto merge_ready = [&](u32 limit) {
+    while (merged < limit && have[merged]) {
+      const std::span<const Bytes> one(payloads.data() + merged, 1);
+      mgard::append_plane_sets(sets, one);
+      ++merged;
+    }
+  };
+  const auto recompose_now = [&] {
+    Timer rt;
+    report.data =
+        refactorer_.reconstruct_incremental(record->meta, sets, pstates);
+    report.reconstruct_seconds += rt.seconds();
+    reconstructed = merged;
+  };
+  const auto first_byte = [&](f64 latency) {
+    if (!first_done && merged >= 1) {
+      first_done = true;
+      report.first_level_latency = latency;
+      recompose_now();
+      report.first_byte_seconds = total.seconds();
+    }
+  };
+
   u32 levels_used = 0;
   for (;;) {
-    // Cached levels need no fragments, so the usable prefix extends through
-    // them even under outages that would make a fetch impossible.
-    levels_used = recoverable_prefix(problem, cached);
+    // Cached (or already-landed) levels need no fragments, so the usable
+    // prefix extends through them even under outages that would make a
+    // fetch impossible.
+    levels_used = recoverable_prefix(problem, have);
     if (levels_used == 0) {
       // Per the RestoreReport contract this is the degraded outcome, not a
       // crash: the caller gets empty data and the honest e_0 = 1 penalty.
@@ -756,29 +1105,52 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
       report.data.clear();
       return report;
     }
+    if (streaming) {
+      merge_ready(levels_used);
+      first_byte(0.0);  // level 1 from cache: no WAN wait at all
+    }
     std::vector<u32> uncached;
     for (u32 j = 0; j < levels_used; ++j)
-      if (!cached[j]) uncached.push_back(j);
+      if (!have[j]) uncached.push_back(j);
+    if (uncached.empty()) break;
+    const u32 limit = levels_used;
+    FetchSink sink;
+    if (streaming) {
+      sink = [&, limit](u32 level, const Bytes& payload, f64 latency) {
+        have[level] = true;
+        ++report.levels_streamed;
+        restore_cache_.put(name, level, payload);
+        merge_ready(limit);
+        first_byte(latency);
+      };
+    }
     if (fetch_levels(*record, name, problem, uncached, nullptr, report,
-                     payloads))
+                     payloads, sink))
       break;
-    // fetch_levels marked at least one more system unavailable, so the
-    // recoverable prefix strictly shrinks and this loop terminates.
+    // fetch_levels marked at least one more system unavailable (landed
+    // levels stay landed), so the recoverable prefix strictly shrinks
+    // beyond them and this loop terminates.
   }
   report.levels_used = levels_used;
   report.rel_error_bound = record->meta.rel_error_bound(levels_used);
 
-  // Freshly fetched levels feed the cache for later restores and refinements.
-  for (u32 j = 0; j < levels_used; ++j)
-    if (!cached[j]) restore_cache_.put(name, j, payloads[j]);
-
   const std::span<const Bytes> prefix(payloads.data(), levels_used);
   report.planes_decoded = mgard::count_magnitude_segments(prefix);
 
-  // Reconstruct the approximation from the recovered prefix.
+  if (streaming) {
+    merge_ready(levels_used);
+    if (reconstructed < merged) recompose_now();
+    return report;
+  }
+
+  // Staged path: fetched levels feed the cache, one reconstruct at the end.
+  for (u32 j = 0; j < levels_used; ++j)
+    if (!from_cache[j]) restore_cache_.put(name, j, payloads[j]);
   Timer t;
   report.data = refactorer_.reconstruct(record->meta, prefix);
   report.reconstruct_seconds = t.seconds();
+  report.first_level_latency = report.gather_latency;
+  report.first_byte_seconds = total.seconds();
   return report;
 }
 
@@ -857,8 +1229,22 @@ RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound) {
     }
   }
 
+  // Levels land one at a time through the fetch sink: each is cached and
+  // marked the moment it decodes, so a replan after a partial fetch only
+  // re-plans the levels still missing and the first delivery's simulated
+  // latency becomes the rung's time-to-first-level.
+  bool first_landed = false;
+  const FetchSink sink = [&](u32 level, const Bytes& payload, f64 latency) {
+    cached[level] = true;
+    ++report.levels_streamed;
+    restore_cache_.put(session.name_, level, payload);
+    if (!first_landed) {
+      first_landed = true;
+      report.first_level_latency = latency;
+    }
+  };
+
   u32 usable = 0;
-  std::vector<u32> fetched_levels;
   for (;;) {
     usable = std::min(target, recoverable_prefix(problem, cached));
     if (usable <= session.cursor_) {
@@ -872,10 +1258,7 @@ RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound) {
     std::vector<u32> uncached;
     for (u32 j = session.cursor_; j < usable; ++j)
       if (!cached[j]) uncached.push_back(j);
-    if (uncached.empty()) {
-      fetched_levels.clear();
-      break;
-    }
+    if (uncached.empty()) break;
 
     // Reuse the session's ladder plan when it covers these levels and
     // neither availability nor the learned bandwidths drifted materially
@@ -934,22 +1317,17 @@ RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound) {
 
     const u32 replans_before = report.replans;
     if (fetch_levels(*record, session.name_, problem, uncached, &pre, report,
-                     payloads)) {
+                     payloads, sink)) {
       if (report.replans != replans_before) {
         // Availability moved mid-fetch; the remaining ladder rows are stale.
         session.clear_plan();
       } else {
         for (const u32 j : uncached) session.planned_rows_.erase(j);
       }
-      fetched_levels = uncached;
       break;
     }
     session.clear_plan();  // prefix shrank; recompute next iteration
   }
-
-  // Newly fetched levels feed the shared cache.
-  for (const u32 j : fetched_levels)
-    restore_cache_.put(session.name_, j, payloads[j]);
 
   // Grow the session's plane sets with the new levels only and decode just
   // the bitplanes those levels added; everything below the cursor keeps its

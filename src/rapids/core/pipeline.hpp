@@ -15,6 +15,7 @@
 /// The cluster and metadata store are injected, so tests can drive outages
 /// between prepare and restore and examples can persist across runs.
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -91,6 +92,24 @@ struct PipelineConfig {
   /// unchanged and no system's bandwidth estimate has drifted by more than
   /// this relative tolerance; beyond it the ladder is replanned.
   f64 plan_reuse_bw_tolerance = 0.25;
+
+  // --- streaming dataflow (fragment-granular pipelining) ---
+
+  /// Stream prepare and restore at retrieval-level/stripe granularity:
+  /// prepare erasure-codes and distributes each level as the refactorer
+  /// materializes it (a bounded channel connects the stages), restore decodes
+  /// and merges each level as its fragment quorum lands instead of waiting
+  /// for the full gather. Outputs are byte-identical to the staged path at
+  /// every level prefix; false restores the staged flow (the bench baseline).
+  bool streaming = true;
+  /// Stripe width for the fragment-granular RS encode and the streamed WAN
+  /// puts: stripe s of a level encodes (and ships) while stripe s+1 is still
+  /// in flight and later levels still refactor.
+  u64 stream_stripe_bytes = 256 * 1024;
+  /// Bounded capacity (in retrieval levels) of the refactor -> encode ->
+  /// distribute channel: the refactorer stalls (backpressure) once this many
+  /// materialized levels are waiting on downstream stages.
+  u32 stream_level_window = 2;
 };
 
 /// Everything persisted about one prepared object (the metadata record).
@@ -112,14 +131,27 @@ struct PrepareReport {
   f64 storage_overhead = 0.0;    ///< Eq. 6 (parity bytes / original bytes)
   f64 network_overhead = 0.0;    ///< shipped bytes / original bytes
   f64 distribution_latency = 0;  ///< simulated WAN latency (equal share)
-  f64 refactor_seconds = 0.0;
+  /// End-to-end prepare latency: wall time of the compute stages plus the
+  /// simulated WAN distribution. Streaming overlaps the two — each level's
+  /// puts start while later levels still refactor — so this is
+  /// max_j(store-start wall of level j + level j's simulated latency);
+  /// staged pays the full compute wall plus the whole-plan latency.
+  f64 prepare_latency = 0.0;
+  f64 refactor_seconds = 0.0;       ///< transform + plane encode + assemble
+  f64 transform_seconds = 0.0;      ///< widen/pad/multigrid share of refactor
+  f64 plane_encode_seconds = 0.0;   ///< bitplane-encode share of refactor
   f64 optimize_seconds = 0.0;
-  f64 encode_seconds = 0.0;
-  f64 store_seconds = 0.0;
+  f64 encode_seconds = 0.0;  ///< RS encode (streaming: summed across levels,
+                             ///< which overlap, so the sum may exceed wall)
+  f64 store_seconds = 0.0;   ///< distribution puts (streaming: summed)
   u64 fragments_stored = 0;
   u32 put_retries = 0;       ///< transient put failures absorbed by retry
   u32 relocations = 0;       ///< fragments re-placed after persistent failure
   f64 backoff_seconds = 0.0; ///< simulated backoff charged to distribution
+  u32 levels_streamed = 0;   ///< levels shipped through the streaming channel
+  u32 stream_fallback_puts = 0;  ///< streamed puts that fell back to a
+                                 ///< whole-fragment retry after a mid-stream
+                                 ///< fault or outage
 };
 
 /// One object of a prepare_batch(): the caller keeps `data` alive until the
@@ -139,7 +171,16 @@ struct RestoreReport {
   f64 gather_latency = 0.0;     ///< simulated WAN latency actually observed
                                 ///< (stragglers, hedges, retry backoff folded
                                 ///< in; equals the plan latency when healthy)
+  /// Simulated time until retrieval level 1 was decodable — the streamed
+  /// restore's time-to-first-byte. 0 when level 1 came from the restore
+  /// cache; equals gather_latency on the staged path (nothing is usable
+  /// before the full gather lands).
+  f64 first_level_latency = 0.0;
+  /// Wall time from restore start until the first (level-1) approximation
+  /// was reconstructed and available to the caller.
+  f64 first_byte_seconds = 0.0;
   f64 planning_seconds = 0.0;   ///< optimizer wall time
+  f64 fetch_seconds = 0.0;      ///< wall time in the fragment-fetch stage
   f64 decode_seconds = 0.0;
   f64 reconstruct_seconds = 0.0;
   u32 fetch_retries = 0;        ///< fetch attempts beyond the first
@@ -156,6 +197,8 @@ struct RestoreReport {
   u32 cache_misses = 0;         ///< levels that had to be fetched
   u32 cache_corrupt = 0;        ///< cached levels evicted on CRC mismatch
   bool plan_reused = false;     ///< gathering plan reused from the session
+  u32 levels_streamed = 0;      ///< levels delivered incrementally as their
+                                ///< fragment quorum landed (streaming restore)
 };
 
 /// A progressive-refinement session: everything already materialized for one
@@ -331,6 +374,34 @@ class RapidsPipeline {
   /// (a helping waiter could steal a task that needs the same lock).
   PrepareReport do_prepare(std::span<const f32> data, mgard::Dims dims,
                            const std::string& name);
+  /// The staged flow: refactor everything, optimize, encode every level,
+  /// then distribute — the pre-streaming baseline (config_.streaming off).
+  PrepareReport do_prepare_staged(std::span<const f32> data, mgard::Dims dims,
+                                  const std::string& name);
+  /// The streaming flow: retrieval levels ride a bounded channel from the
+  /// refactorer into stripe-granular RS encode and distribution, so level
+  /// j's WAN puts start while level j+1 still refactors. Stored bytes,
+  /// metadata record, and report.record are byte-identical to the staged
+  /// flow's.
+  PrepareReport do_prepare_streaming(std::span<const f32> data,
+                                     mgard::Dims dims, const std::string& name);
+  /// Outcome counters of one level's fragment distribution.
+  struct StoreStats {
+    u64 fragments_stored = 0;
+    u32 put_retries = 0;
+    u32 relocations = 0;
+    u32 fallback_puts = 0;
+    f64 backoff_seconds = 0.0;
+    std::vector<net::Transfer> transfers;  ///< (target system, bytes) per put
+  };
+  /// Distribute one level's fragments (placement, retry, relocation, health,
+  /// per-level location batch). Caller holds io_mu_. stripe_bytes > 0 ships
+  /// each fragment through a streamed put in stripes of that size, falling
+  /// back to the whole-fragment retry path on a mid-stream fault;
+  /// stripe_bytes == 0 is the staged whole-fragment put.
+  void store_level_locked(const std::string& name, u32 level,
+                          const std::vector<ec::Fragment>& frags,
+                          u64 stripe_bytes, StoreStats& stats);
   RestoreReport do_restore(const std::string& name);
   ec::ReedSolomon codec_for(const ObjectRecord& record, u32 level) const;
   net::BandwidthTracker& tracker();
@@ -365,17 +436,28 @@ class RapidsPipeline {
   void snapshot_problem(const std::string& name,
                         std::optional<ObjectRecord>& record,
                         GatherProblem& problem);
+  /// Streamed delivery of one landed retrieval level: called (on the calling
+  /// thread, outside io_mu_) the moment `level`'s fragment quorum fetched and
+  /// decoded, strictly ascending over the requested levels. `latency` is the
+  /// simulated time at which the level was decodable (equal-share completion
+  /// of its slowest fragment, stragglers/hedges/backoff folded in).
+  using FetchSink = std::function<void(u32 level, const Bytes& payload,
+                                       f64 latency)>;
   /// Plan, fetch, and erasure-decode the given retrieval levels (0-based,
   /// ascending) into payloads[level], replanning internally around bad
   /// systems (mutates problem.available, counts into report.replans).
-  /// `preplanned`, when non-null, carries one row of serving systems per
-  /// requested level to reuse instead of planning. Returns false when some
+  /// Levels are fetched and decoded one at a time in ascending order and
+  /// announced through `sink`; a landed level survives later replans — a
+  /// replan only covers the levels still in flight. `preplanned`, when
+  /// non-null, carries one row of serving systems per requested level to
+  /// reuse instead of planning. Returns false when some still-unfetched
   /// requested level stopped being recoverable — the caller decides how to
-  /// degrade; payloads are untouched in that case.
+  /// degrade; payloads of landed levels are filled (and announced) even
+  /// then.
   bool fetch_levels(const ObjectRecord& record, const std::string& name,
                     GatherProblem& problem, const std::vector<u32>& levels,
                     const solver::Selection* preplanned, RestoreReport& report,
-                    std::vector<Bytes>& payloads);
+                    std::vector<Bytes>& payloads, const FetchSink& sink = {});
 
   storage::Cluster& cluster_;
   kv::KvStore& db_;

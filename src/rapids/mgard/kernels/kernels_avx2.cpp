@@ -399,22 +399,90 @@ void thomas_bwd_f(f32* cur, const f32* next, f64 cp, u64 n) {
   for (; i < n; ++i) cur[i] -= static_cast<f32>(cp * next[i]);
 }
 
-// f32 in-line x kernels and movement: the shuffle economics of 8-lane
-// de-interleaves don't pay at the f32 line lengths this code sees (the f64
-// path is the production one); keep the scalar reference semantics.
+// f32 in-line x kernels: 8-lane de-interleave of a 16-float window. Lane
+// math uses the exact scalar operand order (mul/add only, no FMA), so the
+// results stay bit-identical to the scalar reference.
 
-void cascade_fwd_x_f(f32* v, u64 len) {
-  for (u64 i = 1; i + 1 < len; i += 2) v[i] -= 0.5f * (v[i - 1] + v[i + 1]);
+/// Even offsets (0,2,..,14) of the 16-float window [a|b] into lanes 0..7.
+inline __m256 deint_even_ps(__m256 a, __m256 b) {
+  const __m256i fix = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+  return _mm256_permutevar8x32_ps(
+      _mm256_shuffle_ps(a, b, _MM_SHUFFLE(2, 0, 2, 0)), fix);
 }
 
-void cascade_inv_x_f(f32* v, u64 len) {
-  for (u64 i = 1; i + 1 < len; i += 2) v[i] += 0.5f * (v[i - 1] + v[i + 1]);
+/// Odd offsets (1,3,..,15) of the 16-float window [a|b] into lanes 0..7.
+inline __m256 deint_odd_ps(__m256 a, __m256 b) {
+  const __m256i fix = _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7);
+  return _mm256_permutevar8x32_ps(
+      _mm256_shuffle_ps(a, b, _MM_SHUFFLE(3, 1, 3, 1)), fix);
 }
+
+/// Shift lanes down by one (lane k takes lane k+1) and feed `last` into the
+/// vacated top lane.
+inline __m256 shift1_ps(__m256 v, f32 last) {
+  const __m256i rot = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 7);
+  return _mm256_blend_ps(_mm256_permutevar8x32_ps(v, rot),
+                         _mm256_set1_ps(last), 0x80);
+}
+
+/// Shared body of the forward/inverse x cascade: each 16-float window holds
+/// 8 odd entries (the lifted values) and their even neighbors; the evens are
+/// stored back unchanged so the interleaved store needs no masking.
+template <bool kForward>
+void cascade_x_f_impl(f32* v, u64 len) {
+  const __m256 half = _mm256_set1_ps(0.5f);
+  u64 i = 1;
+  for (; i + 15 < len; i += 16) {
+    const __m256 a = _mm256_loadu_ps(v + i - 1);
+    const __m256 b = _mm256_loadu_ps(v + i + 7);
+    const __m256 el = deint_even_ps(a, b);        // v[i-1 + 2k]
+    const __m256 od = deint_odd_ps(a, b);         // v[i   + 2k]
+    const __m256 er = shift1_ps(el, v[i + 15]);   // v[i+1 + 2k]
+    const __m256 s = _mm256_mul_ps(half, _mm256_add_ps(el, er));
+    const __m256 no = kForward ? _mm256_sub_ps(od, s) : _mm256_add_ps(od, s);
+    const __m256 t0 = _mm256_unpacklo_ps(el, no);
+    const __m256 t1 = _mm256_unpackhi_ps(el, no);
+    _mm256_storeu_ps(v + i - 1, _mm256_permute2f128_ps(t0, t1, 0x20));
+    _mm256_storeu_ps(v + i + 7, _mm256_permute2f128_ps(t0, t1, 0x31));
+  }
+  for (; i + 1 < len; i += 2) {
+    if (kForward)
+      v[i] -= 0.5f * (v[i - 1] + v[i + 1]);
+    else
+      v[i] += 0.5f * (v[i - 1] + v[i + 1]);
+  }
+}
+
+void cascade_fwd_x_f(f32* v, u64 len) { cascade_x_f_impl<true>(v, len); }
+
+void cascade_inv_x_f(f32* v, u64 len) { cascade_x_f_impl<false>(v, len); }
 
 void load_x_f(f32* out, const f32* src, u64 olen, u64 slen) {
   const f32 c6 = static_cast<f32>(1.0 / 6.0);
   out[0] = c6 * (2.5f * src[0] + 3 * src[1] + 0.5f * src[2]);
-  for (u64 i = 1; i + 1 < olen; ++i) {
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 three = _mm256_set1_ps(3.0f);
+  const __m256 five = _mm256_set1_ps(5.0f);
+  const __m256 vc6 = _mm256_set1_ps(c6);
+  u64 i = 1;
+  // Outputs i..i+7 must all be interior (i+7 <= olen-2); the widest read is
+  // p[16] = src[2(i+8)] <= src[2*olen-2] <= src[slen-1].
+  for (; i + 9 <= olen; i += 8) {
+    const f32* p = src + 2 * i;
+    const __m256 a = _mm256_loadu_ps(p - 2);
+    const __m256 b = _mm256_loadu_ps(p + 6);
+    const __m256 m2 = deint_even_ps(a, b);   // p[-2 + 2k]
+    const __m256 m1 = deint_odd_ps(a, b);    // p[-1 + 2k]
+    const __m256 c0 = shift1_ps(m2, p[14]);  // p[ 0 + 2k]
+    const __m256 p1 = shift1_ps(m1, p[15]);  // p[ 1 + 2k]
+    const __m256 p2 = shift1_ps(c0, p[16]);  // p[ 2 + 2k]
+    __m256 t = _mm256_add_ps(_mm256_mul_ps(half, m2), _mm256_mul_ps(three, m1));
+    t = _mm256_add_ps(t, _mm256_mul_ps(five, c0));
+    t = _mm256_add_ps(t, _mm256_mul_ps(three, p1));
+    t = _mm256_add_ps(t, _mm256_mul_ps(half, p2));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(vc6, t));
+  }
+  for (; i + 1 < olen; ++i) {
     const f32* p = src + 2 * i;
     out[i] = c6 * (0.5f * p[-2] + 3 * p[-1] + 5 * p[0] + 3 * p[1] + 0.5f * p[2]);
   }

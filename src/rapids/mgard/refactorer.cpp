@@ -5,6 +5,7 @@
 
 #include "rapids/mgard/workspace.hpp"
 #include "rapids/parallel/thread_pool.hpp"
+#include "rapids/util/timer.hpp"
 
 namespace rapids::mgard {
 
@@ -77,11 +78,31 @@ RefactoredObject RefactoredObject::deserialize_metadata(
 }
 
 RefactoredObject Refactorer::refactor(std::span<const f32> data, Dims dims,
-                                      const std::string& name) const {
+                                      const std::string& name,
+                                      RefactorTimings* timings) const {
+  // The staged refactor is the streaming one with a collecting sink, so the
+  // two paths cannot drift apart.
+  std::vector<RetrievalLevel> levels;
+  RefactoredObject out = refactor_streaming(
+      data, dims, name, PlanSink{},
+      [&levels](u32 j, RetrievalLevel&& lvl) {
+        if (levels.size() <= j) levels.resize(j + 1);
+        levels[j] = std::move(lvl);
+      },
+      timings);
+  out.levels = std::move(levels);
+  return out;
+}
+
+RefactoredObject Refactorer::refactor_streaming(
+    std::span<const f32> data, Dims dims, const std::string& name,
+    const PlanSink& on_plan, const LevelSink& on_level,
+    RefactorTimings* timings) const {
   RAPIDS_REQUIRE(data.size() == dims.total());
   RAPIDS_REQUIRE(options_.decomp_levels >= 1);
 
   const GridHierarchy h(dims, options_.decomp_levels);
+  Timer t;
 
   // Work in f64: the transform and quantization stay well below f32 noise.
   std::vector<f64> field(data.size());
@@ -107,13 +128,16 @@ RefactoredObject Refactorer::refactor(std::span<const f32> data, Dims dims,
     auto ws = WorkspacePool::global().acquire();
     decompose(padded, h, dopt, pool_, ws.get());
   }
+  if (timings != nullptr) timings->transform_seconds = t.seconds();
 
   // Encode every decomposition level's coefficients into planes.
+  t.reset();
   std::vector<PlaneSet> plane_sets(h.num_decomp_levels());
   for (u32 d = 0; d < h.num_decomp_levels(); ++d) {
     std::vector<f64> coeffs = gather_level(padded, h, d, pool_);
     plane_sets[d] = encode_planes(coeffs, options_.max_planes, pool_);
   }
+  if (timings != nullptr) timings->plane_encode_seconds = t.seconds();
 
   RetrievalOptions ropt;
   ropt.num_levels = options_.num_retrieval_levels;
@@ -133,7 +157,30 @@ RefactoredObject Refactorer::refactor(std::span<const f32> data, Dims dims,
     out.dlevels[d] =
         DLevelMeta{plane_sets[d].count, plane_sets[d].max_abs, plane_sets[d].exponent};
   }
-  out.levels = assemble_retrieval_levels(plane_sets, max_abs, ropt);
+
+  // Plan every retrieval level first — the downstream FT optimizer needs all
+  // level sizes — then materialize and hand off one level at a time so later
+  // levels' serialization overlaps with downstream encode/distribute work.
+  t.reset();
+  const auto plans = plan_retrieval_levels(plane_sets, max_abs, ropt);
+  out.levels.resize(plans.size());
+  std::vector<u64> level_sizes(plans.size());
+  for (u32 j = 0; j < plans.size(); ++j) {
+    out.levels[j].abs_error_bound = plans[j].abs_error_bound;
+    out.levels[j].rel_error_bound = plans[j].rel_error_bound;
+    out.levels[j].segments = plans[j].segments;
+    level_sizes[j] = plans[j].payload_bytes;
+  }
+  f64 assemble = t.seconds();
+  if (on_plan) on_plan(out, level_sizes);
+
+  for (u32 j = 0; j < plans.size(); ++j) {
+    t.reset();
+    RetrievalLevel lvl = materialize_retrieval_level(plane_sets, plans[j]);
+    assemble += t.seconds();
+    if (on_level) on_level(j, std::move(lvl));
+  }
+  if (timings != nullptr) timings->assemble_seconds = assemble;
   return out;
 }
 

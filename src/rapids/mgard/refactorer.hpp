@@ -6,6 +6,7 @@
 /// approximation from any prefix of retrieval levels (reconstruct). This is
 /// the role pMGARD plays in the paper.
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,14 @@ struct RefactoredObject {
   static RefactoredObject deserialize_metadata(std::span<const std::byte> data);
 };
 
+/// Wall-time breakdown of one refactor run (all stages run on the calling
+/// thread; parallel_for fan-out is included in its stage).
+struct RefactorTimings {
+  f64 transform_seconds = 0.0;     ///< widen + pad + multigrid decompose
+  f64 plane_encode_seconds = 0.0;  ///< per-dlevel gather + bitplane encode
+  f64 assemble_seconds = 0.0;      ///< retrieval-level plan + materialize
+};
+
 /// The refactoring engine. Stateless apart from options and the worker pool;
 /// safe to reuse across objects.
 class Refactorer {
@@ -77,9 +86,36 @@ class Refactorer {
   const RefactorOptions& options() const { return options_; }
 
   /// Decompose, quantize, and pack `data` (extents `dims`, row-major,
-  /// x fastest) into a RefactoredObject named `name`.
+  /// x fastest) into a RefactoredObject named `name`. `timings`, when
+  /// non-null, receives the per-stage wall-time breakdown.
   RefactoredObject refactor(std::span<const f32> data, Dims dims,
-                            const std::string& name) const;
+                            const std::string& name,
+                            RefactorTimings* timings = nullptr) const;
+
+  /// Announces the complete object metadata (bounds, dlevels, per-level
+  /// segment plans — payloads still empty) plus the exact serialized size of
+  /// every retrieval level, before any payload exists. The streaming prepare
+  /// path runs its FT optimizer here.
+  using PlanSink =
+      std::function<void(const RefactoredObject& meta,
+                         const std::vector<u64>& level_sizes)>;
+  /// Delivers one materialized retrieval level (0-based, strictly
+  /// ascending). The payload is byte-identical to refactor()'s levels[j].
+  using LevelSink = std::function<void(u32 level, RetrievalLevel&& lvl)>;
+
+  /// Streaming refactor: identical computation to refactor(), but retrieval
+  /// levels are handed to `on_level` one at a time as they materialize, so a
+  /// downstream encode/distribute stage overlaps with the remaining levels'
+  /// serialization. `on_plan` (optional) fires once, before the first level,
+  /// with the metadata and all planned level sizes. Both sinks run on the
+  /// calling thread. The returned object carries the same metadata as
+  /// refactor()'s but its levels' payloads are empty — they were moved into
+  /// `on_level`.
+  RefactoredObject refactor_streaming(std::span<const f32> data, Dims dims,
+                                      const std::string& name,
+                                      const PlanSink& on_plan,
+                                      const LevelSink& on_level,
+                                      RefactorTimings* timings = nullptr) const;
 
   /// Rebuild an approximation using the first `level_payloads.size()`
   /// retrieval levels (must be a prefix: levels 1..j). `meta` may come from

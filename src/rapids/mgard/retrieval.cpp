@@ -22,9 +22,13 @@ void append_segment(ByteWriter& w, std::vector<SegmentRef>& refs, u32 dlevel,
   refs.push_back(SegmentRef{dlevel, plane, seg.size()});
 }
 
+/// Wire bytes one segment occupies in a retrieval payload: dlevel (u32) +
+/// plane (u32) + the u32 length prefix put_bytes writes + the body.
+u64 segment_wire_bytes(u64 body) { return 4 + 4 + 4 + body; }
+
 }  // namespace
 
-std::vector<RetrievalLevel> assemble_retrieval_levels(
+std::vector<RetrievalLevelPlan> plan_retrieval_levels(
     const std::vector<PlaneSet>& plane_sets, f64 data_max_abs,
     const RetrievalOptions& opt) {
   RAPIDS_REQUIRE(opt.num_levels >= 1);
@@ -64,20 +68,13 @@ std::vector<RetrievalLevel> assemble_retrieval_levels(
     RAPIDS_REQUIRE_MSG(targets[j] < targets[j - 1],
                        "target relative errors must strictly decrease");
 
-  std::vector<RetrievalLevel> out;
+  std::vector<RetrievalLevelPlan> out;
   out.reserve(opt.num_levels);
 
-  ByteWriter writer;
-  std::vector<SegmentRef> refs;
-  auto flush_level = [&](f64 abs_bound) {
-    RetrievalLevel lvl;
-    lvl.payload = writer.take();
-    lvl.abs_error_bound = abs_bound;
-    lvl.rel_error_bound = abs_bound / data_max_abs;
-    lvl.segments = std::move(refs);
-    out.push_back(std::move(lvl));
-    writer = ByteWriter{};
-    refs.clear();
+  RetrievalLevelPlan plan;
+  auto take_segment = [&](u32 dlevel, u32 plane, const PlaneSegment& seg) {
+    plan.segments.push_back(SegmentRef{dlevel, plane, seg.size()});
+    plan.payload_bytes += segment_wire_bytes(seg.size());
   };
 
   for (u32 j = 0; j < opt.num_levels; ++j) {
@@ -101,13 +98,50 @@ std::vector<RetrievalLevel> assemble_retrieval_levels(
       }
       if (best == nd) break;  // exhausted: bound is at the quantization floor
       if (cursor[best] == 0)
-        append_segment(writer, refs, best, 0, plane_sets[best].sign);
-      append_segment(writer, refs, best, cursor[best] + 1,
-                     plane_sets[best].planes[cursor[best]]);
+        take_segment(best, 0, plane_sets[best].sign);
+      take_segment(best, cursor[best] + 1,
+                   plane_sets[best].planes[cursor[best]]);
       cursor[best] += 1;
     }
-    flush_level(total_bound());
+    plan.abs_error_bound = total_bound();
+    plan.rel_error_bound = plan.abs_error_bound / data_max_abs;
+    out.push_back(std::move(plan));
+    plan = RetrievalLevelPlan{};
   }
+  return out;
+}
+
+RetrievalLevel materialize_retrieval_level(
+    const std::vector<PlaneSet>& plane_sets, const RetrievalLevelPlan& plan) {
+  RetrievalLevel lvl;
+  ByteWriter writer;
+  std::vector<SegmentRef> refs;
+  refs.reserve(plan.segments.size());
+  for (const SegmentRef& ref : plan.segments) {
+    RAPIDS_REQUIRE_MSG(ref.dlevel < plane_sets.size(),
+                       "materialize: plan references unknown level");
+    const PlaneSet& ps = plane_sets[ref.dlevel];
+    const PlaneSegment& seg =
+        ref.plane == 0 ? ps.sign : ps.planes.at(ref.plane - 1);
+    append_segment(writer, refs, ref.dlevel, ref.plane, seg);
+  }
+  lvl.payload = writer.take();
+  RAPIDS_REQUIRE_MSG(lvl.payload.size() == plan.payload_bytes,
+                     "materialize: payload size disagrees with the plan");
+  lvl.abs_error_bound = plan.abs_error_bound;
+  lvl.rel_error_bound = plan.rel_error_bound;
+  lvl.segments = std::move(refs);
+  return lvl;
+}
+
+std::vector<RetrievalLevel> assemble_retrieval_levels(
+    const std::vector<PlaneSet>& plane_sets, f64 data_max_abs,
+    const RetrievalOptions& opt) {
+  const auto plans = plan_retrieval_levels(plane_sets, data_max_abs, opt);
+  std::vector<RetrievalLevel> out;
+  out.reserve(plans.size());
+  for (const auto& plan : plans)
+    out.push_back(materialize_retrieval_level(plane_sets, plan));
   return out;
 }
 

@@ -1,0 +1,143 @@
+#pragma once
+
+/// \file channel.hpp
+/// Bounded multi-producer / multi-consumer channel — the backpressure link of
+/// the streaming prepare dataflow (refactor -> stripe encode -> distribute).
+/// A producer that outruns its consumers blocks (or, with try_push, helps
+/// drain) once `capacity` items are queued, so the number of retrieval-level
+/// payloads in flight stays bounded no matter how fast the refactorer runs.
+///
+/// Discipline for use with the work-stealing ThreadPool:
+///  - A producer that must not block the pool (it *is* a pool task) uses
+///    try_push and, on a full channel, pops one item and processes it inline
+///    (the "self-pump"): backpressure becomes work, never a blocked worker.
+///  - Consumers are short-lived tasks — fork one try_pop-and-process task
+///    per successful push. Never park a consumer loop that waits for
+///    close() in the pool: TaskGroup::wait() helps by inlining arbitrary
+///    queued tasks, so a resident consumer inlined into another stream's
+///    join deadlocks the two streams against each other.
+/// Plain blocking push/pop/pop_for are for dedicated threads and tests.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace rapids {
+
+template <typename T>
+class Channel {
+ public:
+  /// Outcome of a timed pop.
+  enum class Wait {
+    kItem,     ///< `out` was filled
+    kTimeout,  ///< nothing arrived within the deadline
+    kClosed,   ///< channel closed and fully drained — no item will ever come
+  };
+
+  explicit Channel(std::size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Enqueue without blocking. Returns false (and leaves `v` intact — it is
+  /// only moved from on success) when the channel is full or closed.
+  bool try_push(T&& v) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Enqueue, blocking while full. Returns false iff the channel was closed
+  /// (the item is dropped in that case).
+  bool push(T v) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeue without blocking. Returns false when nothing is queued.
+  bool try_pop(T& out) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Dequeue, waiting up to `timeout`. kClosed only after the queue drains:
+  /// items pushed before close() are always delivered.
+  template <typename Rep, typename Period>
+  Wait pop_for(T& out, std::chrono::duration<Rep, Period> timeout) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait_for(lock, timeout,
+                          [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return closed_ ? Wait::kClosed : Wait::kTimeout;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return Wait::kItem;
+  }
+
+  /// Dequeue, blocking until an item arrives or the channel closes and
+  /// drains. Returns false on closed-and-drained.
+  bool pop(T& out) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// No more pushes will be accepted; queued items remain poppable. Wakes
+  /// every waiter. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace rapids

@@ -1,7 +1,10 @@
 #include "rapids/perf/calibration.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
+#include <string>
 #include <vector>
 
 #include "rapids/data/field_generators.hpp"
@@ -76,8 +79,13 @@ Calibration calibrate(const CalibrationOptions& options) {
   RAPIDS_REQUIRE(decoded == payload);
 
   // --- Local file IO. ---
+  // Per-process scratch name: test binaries calibrate concurrently under
+  // `ctest -j`, and a shared path lets one process delete the file out from
+  // under another's read.
   const std::string path =
-      (std::filesystem::temp_directory_path() / "rapids_calib.bin").string();
+      (std::filesystem::temp_directory_path() /
+       ("rapids_calib." + std::to_string(::getpid()) + ".bin"))
+          .string();
   Bytes blob(options.io_bytes);
   for (u64 i = 0; i < blob.size(); ++i)
     blob[i] = static_cast<std::byte>(i * 2654435761u >> 24);

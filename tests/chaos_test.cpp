@@ -353,5 +353,102 @@ TEST(Chaos, CircuitBreakerShieldsFlakySystem) {
       EXPECT_NE(s, 7u) << "level " << j << " planned the circuit-open system";
 }
 
+TEST(Chaos, StreamingPrepareBoundsHoldUnderTransientPutFaults) {
+  // Pipelined encode-while-refactor with the put stream under cluster-wide
+  // transient faults and stragglers: the retry machinery must absorb the
+  // failures mid-stream and the prepared object must round-trip at full
+  // quality.
+  ThreadPool pool(4);
+  const Dims dims{17, 17, 9};
+  const auto field = data::hurricane_pressure(dims, 11);
+  for (const f64 fail_prob : {0.05, 0.15}) {
+    World w("stream_put_" + std::to_string(int(fail_prob * 100)),
+            chaos_config(), &pool);
+    storage::FaultInjector injector;
+    storage::FaultSpec spec;
+    spec.put_fail_prob = fail_prob;
+    spec.straggler_prob = 0.10;
+    spec.straggler_mult = 6.0;
+    spec.seed = 1234;
+    injector.set_all(w.cluster.size(), spec);
+    injector.install(w.cluster);
+
+    const auto prep = w.pipeline->prepare(field, dims, "sp");
+    EXPECT_GT(prep.put_retries, 0u) << "fail_prob " << fail_prob;
+    EXPECT_GT(prep.levels_streamed, 0u);
+    EXPECT_EQ(prep.levels_streamed, static_cast<u32>(prep.record.ft.size()));
+    u64 total = 0;
+    for (u32 s = 0; s < w.cluster.size(); ++s)
+      total += w.cluster.system(s).fragment_count();
+    EXPECT_EQ(total, prep.fragments_stored);
+
+    const auto report = w.pipeline->restore("sp");
+    EXPECT_EQ(report.levels_used, static_cast<u32>(prep.record.ft.size()));
+    expect_bound_holds(report, field);
+  }
+}
+
+TEST(Chaos, StreamingPrepareRelocatesAndFallsBackMidStream) {
+  // A system that rejects every put kills streamed uploads in flight: the
+  // stream falls back to whole-fragment retries, the breaker-backed
+  // relocation re-places the fragments, and the metadata points at where
+  // they actually landed — all while later levels are still refactoring.
+  ThreadPool pool(4);
+  World w("stream_reloc", chaos_config(), &pool);
+  storage::FaultInjector injector;
+  storage::FaultSpec spec;
+  spec.put_fail_prob = 1.0;
+  injector.set_spec(5, spec);
+  injector.install(w.cluster);
+
+  const Dims dims{17, 17, 9};
+  const auto field = data::nyx_velocity(dims, 12);
+  const auto prep = w.pipeline->prepare(field, dims, "sr");
+  EXPECT_GT(prep.relocations, 0u);
+  EXPECT_GT(prep.put_retries, 0u);
+  EXPECT_GT(prep.stream_fallback_puts, 0u);  // faults landed mid-stream
+  EXPECT_EQ(w.cluster.system(5).fragment_count(), 0u);
+  u64 total = 0;
+  for (u32 s = 0; s < w.cluster.size(); ++s)
+    total += w.cluster.system(s).fragment_count();
+  EXPECT_EQ(total, prep.fragments_stored);
+
+  const auto report = w.pipeline->restore("sr");
+  EXPECT_EQ(report.levels_used, static_cast<u32>(prep.record.ft.size()));
+  expect_bound_holds(report, field);
+}
+
+TEST(Chaos, StreamingPrepareDeterministicUnderFaultsWithPool) {
+  // The conveyor orders streamed stores strictly by level, so the put-fault
+  // draw sequence — and therefore the entire prepared state — is a pure
+  // function of the seeds even with encode/store racing on a pool.
+  ThreadPool pool(4);
+  const Dims dims{17, 17, 9};
+  const auto field = data::scale_temperature(dims, 13);
+
+  const auto run = [&](const std::string& tag) {
+    World w(tag, chaos_config(), &pool);
+    storage::FaultInjector injector;
+    storage::FaultSpec spec;
+    spec.put_fail_prob = 0.10;
+    spec.seed = 4242;
+    injector.set_all(w.cluster.size(), spec);
+    injector.install(w.cluster);
+    const auto prep = w.pipeline->prepare(field, dims, "obj");
+    auto restore = w.pipeline->restore("obj");
+    return std::pair{prep, std::move(restore)};
+  };
+
+  const auto [prep_a, rest_a] = run("stream_det_a");
+  const auto [prep_b, rest_b] = run("stream_det_b");
+  EXPECT_EQ(prep_a.put_retries, prep_b.put_retries);
+  EXPECT_EQ(prep_a.relocations, prep_b.relocations);
+  EXPECT_EQ(prep_a.stream_fallback_puts, prep_b.stream_fallback_puts);
+  EXPECT_EQ(prep_a.fragments_stored, prep_b.fragments_stored);
+  EXPECT_EQ(prep_a.record.serialize(), prep_b.record.serialize());
+  EXPECT_EQ(rest_a.data, rest_b.data);
+  EXPECT_DOUBLE_EQ(rest_a.rel_error_bound, rest_b.rel_error_bound);
+}
+
 }  // namespace
 }  // namespace rapids::core

@@ -528,5 +528,81 @@ TEST(Fragment, VerifyCatchesDamage) {
   EXPECT_FALSE(f.verify());
 }
 
+// --- stripe-ranged encode/decode vs the whole-payload paths ---
+
+// Edge-case payload lengths: 1 byte (all padding), straddling the k=12 row
+// boundary (63/64/65 → fragment sizes 6/6/6 with varying padding), and a
+// multi-stripe payload one past a power of two.
+constexpr u64 kStripeLens[] = {1, 63, 64, 65, 4097};
+
+TEST(ReedSolomonStripes, StitchedEncodeMatchesWholePayloadEncode) {
+  const ReedSolomon rs(12, 4);
+  u64 seed = 40;
+  for (const u64 len : kStripeLens) {
+    const auto data = random_payload(len, seed++);
+    const auto whole = rs.encode(data, "obj", 2);
+    const u64 frag_size = rs.fragment_size(len);
+    for (const u64 stripe : {u64{64}, u64{1000}, frag_size}) {
+      auto frags = rs.make_fragments(len, "obj", 2);
+      // Walk the ranges backwards: stripe order must not matter.
+      u64 hi = frag_size;
+      while (hi > 0) {
+        const u64 lo = hi > stripe ? hi - stripe : 0;
+        rs.encode_stripe(data, lo, hi, frags);
+        hi = lo;
+      }
+      rs.finish_fragments(frags);
+      ASSERT_EQ(frags.size(), whole.size());
+      for (std::size_t i = 0; i < frags.size(); ++i) {
+        EXPECT_EQ(frags[i].serialize(), whole[i].serialize())
+            << "len " << len << " stripe " << stripe << " fragment " << i;
+        EXPECT_TRUE(frags[i].verify());
+      }
+    }
+  }
+}
+
+TEST(ReedSolomonStripes, ClampedAndOutOfRangeStripesAreHarmless) {
+  const ReedSolomon rs(12, 4);
+  const auto data = random_payload(65, 50);
+  const auto whole = rs.encode(data, "obj", 0);
+  const u64 frag_size = rs.fragment_size(data.size());
+  auto frags = rs.make_fragments(data.size(), "obj", 0);
+  rs.encode_stripe(data, 0, frag_size + 100, frags);  // clamped to frag_size
+  rs.encode_stripe(data, frag_size + 5, frag_size + 9, frags);  // no-op
+  rs.encode_stripe(data, 3, 3, frags);                          // empty range
+  rs.finish_fragments(frags);
+  for (std::size_t i = 0; i < frags.size(); ++i)
+    EXPECT_EQ(frags[i].serialize(), whole[i].serialize());
+}
+
+TEST(ReedSolomonStripes, StitchedDecodeMatchesWholePayloadDecode) {
+  ThreadPool pool(4);
+  const ReedSolomon rs(12, 4);
+  u64 seed = 60;
+  for (const u64 len : kStripeLens) {
+    const auto data = random_payload(len, seed++);
+    const auto frags = rs.encode(data, "obj", 1, &pool);
+    // Survivors: drop 4 data fragments so parity rows join the decode.
+    const std::vector<Fragment> survivors(frags.begin() + 4, frags.end());
+    const auto whole = rs.decode(survivors);
+    ASSERT_EQ(whole, data);
+    const u64 frag_size = rs.fragment_size(len);
+    for (const u64 stripe : {u64{64}, u64{1000}, frag_size}) {
+      std::vector<u8> rows(12 * frag_size);
+      for (u64 lo = 0; lo < frag_size; lo += stripe) {
+        const u64 hi = std::min(frag_size, lo + stripe);
+        std::vector<u8> slice(12 * (hi - lo));
+        rs.decode_stripe(survivors, lo, hi, slice);
+        for (u32 row = 0; row < 12; ++row)
+          std::copy_n(slice.begin() + row * (hi - lo), hi - lo,
+                      rows.begin() + row * frag_size + lo);
+      }
+      rows.resize(len);  // truncate padding, row-major == payload order
+      EXPECT_EQ(rows, whole) << "len " << len << " stripe " << stripe;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rapids::ec

@@ -288,7 +288,8 @@ void recompose(std::vector<T>& data, const GridHierarchy& h, bool l2) {
 // Per-kernel scalar-vs-dispatched bit identity.
 // ---------------------------------------------------------------------------
 
-const u64 kRowLens[] = {1, 2, 3, 5, 7, 8, 16, 31, 63, 64, 65, 100, 257, 4097};
+const u64 kRowLens[] = {1,  2,  3,  5,   7,   8,   16,  17,
+                        18, 31, 63, 64,  65,  100, 257, 4097};
 
 template <typename T>
 void check_cross_axis_rows(IsaLevel tier) {
@@ -354,8 +355,10 @@ void check_x_kernels(IsaLevel tier) {
     v.cascade_inv_x(b.data(), n);
     EXPECT_TRUE(BytesEqual(a, b)) << "cascade_inv_x n=" << n;
   }
-  // load_x needs odd slen >= 3.
-  for (u64 olen : {2ull, 3ull, 5ull, 16ull, 32ull, 33ull, 63ull, 2049ull}) {
+  // load_x needs odd slen >= 3. 9..11 straddle the f32 AVX2 path's
+  // one-vector-iteration threshold (interior outputs i..i+7 need i+9<=olen).
+  for (u64 olen : {2ull, 3ull, 5ull, 9ull, 10ull, 11ull, 16ull, 17ull, 32ull,
+                   33ull, 63ull, 2049ull}) {
     const u64 slen = 2 * olen - 1;
     const auto src = random_field<T>(slen, ++seed);
     std::vector<T> oa(olen), ob(olen);

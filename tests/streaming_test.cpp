@@ -1,0 +1,422 @@
+// Tests for the fragment-granular streaming dataflow: the bounded Channel,
+// StorageSystem::PutStream / get_range, and the byte-identity contract of
+// the streaming prepare/restore paths against the staged baseline at every
+// level prefix.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "rapids/core/pipeline.hpp"
+#include "rapids/data/datasets.hpp"
+#include "rapids/data/stats.hpp"
+#include "rapids/ec/fragment.hpp"
+#include "rapids/kvstore/db.hpp"
+#include "rapids/parallel/channel.hpp"
+#include "rapids/parallel/thread_pool.hpp"
+#include "rapids/storage/failure.hpp"
+#include "rapids/storage/storage_system.hpp"
+#include "rapids/util/rng.hpp"
+
+namespace rapids::core {
+namespace {
+
+namespace fs = std::filesystem;
+using mgard::Dims;
+
+// ---------------------------------------------------------------- Channel
+
+TEST(Channel, FifoOrderWithinCapacity) {
+  Channel<int> ch(3);
+  EXPECT_EQ(ch.capacity(), 3u);
+  for (int v : {1, 2, 3}) EXPECT_TRUE(ch.try_push(std::move(v)));
+  int overflow = 4;
+  EXPECT_FALSE(ch.try_push(std::move(overflow)));
+  EXPECT_EQ(overflow, 4);  // full: operand left intact
+  int out = 0;
+  for (int want : {1, 2, 3}) {
+    ASSERT_TRUE(ch.try_pop(out));
+    EXPECT_EQ(out, want);
+  }
+  EXPECT_FALSE(ch.try_pop(out));  // drained
+}
+
+TEST(Channel, CloseDeliversQueuedItemsThenReportsClosed) {
+  Channel<int> ch(4);
+  int a = 7, b = 8;
+  EXPECT_TRUE(ch.try_push(std::move(a)));
+  EXPECT_TRUE(ch.try_push(std::move(b)));
+  ch.close();
+  ch.close();  // idempotent
+  EXPECT_TRUE(ch.closed());
+  int rejected = 9;
+  EXPECT_FALSE(ch.try_push(std::move(rejected)));
+  EXPECT_FALSE(ch.push(10));
+  int out = 0;
+  using Wait = Channel<int>::Wait;
+  EXPECT_EQ(ch.pop_for(out, std::chrono::milliseconds(1)), Wait::kItem);
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(ch.pop(out));
+  EXPECT_EQ(out, 8);
+  EXPECT_EQ(ch.pop_for(out, std::chrono::milliseconds(1)), Wait::kClosed);
+  EXPECT_FALSE(ch.pop(out));
+}
+
+TEST(Channel, PopForTimesOutOnOpenEmptyChannel) {
+  Channel<int> ch(1);
+  int out = 0;
+  EXPECT_EQ(ch.pop_for(out, std::chrono::milliseconds(1)),
+            Channel<int>::Wait::kTimeout);
+}
+
+TEST(Channel, BlockingProducerConsumerAcrossThreads) {
+  // Capacity 2 forces the producer to block on the full window; the consumer
+  // must still receive every item exactly once, in order.
+  Channel<int> ch(2);
+  constexpr int kItems = 200;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) EXPECT_TRUE(ch.push(i));
+    ch.close();
+  });
+  int expected = 0;
+  int out = 0;
+  while (ch.pop(out)) {
+    EXPECT_EQ(out, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, kItems);
+  producer.join();
+}
+
+// --------------------------------------------- PutStream / ranged reads
+
+ec::Fragment make_fragment(const std::string& object, u32 level, u32 index,
+                           u64 bytes, u64 seed) {
+  ec::Fragment f;
+  f.id = {object, level, index};
+  f.k = 12;
+  f.m = 4;
+  f.level_bytes = bytes;
+  f.payload.resize(bytes);
+  Rng rng(seed);
+  for (auto& b : f.payload) b = static_cast<u8>(rng.next_u64());
+  f.payload_crc = ec::fragment_crc(f.payload);
+  return f;
+}
+
+TEST(PutStream, CommitMatchesWholeFragmentPut) {
+  storage::StorageSystem whole(0, "whole", 1e6, 0.0);
+  storage::StorageSystem streamed(1, "streamed", 1e6, 0.0);
+  const auto frag = make_fragment("obj", 2, 5, 10'000, 11);
+
+  whole.put(frag);
+  auto stream = streamed.begin_put(frag);
+  const std::span<const u8> payload(frag.payload);
+  for (u64 lo = 0; lo < payload.size(); lo += 4096) {
+    stream.append(payload.subspan(lo, std::min<u64>(4096, payload.size() - lo)));
+    EXPECT_EQ(stream.staged_bytes(), std::min<u64>(lo + 4096, payload.size()));
+  }
+  stream.commit();
+
+  const auto a = whole.get(frag.id.key());
+  const auto b = streamed.get(frag.id.key());
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->serialize(), b->serialize());
+  EXPECT_TRUE(b->verify());
+  EXPECT_EQ(whole.used_bytes(), streamed.used_bytes());
+}
+
+TEST(PutStream, AppendThrowsOnMidStreamOutageAndAbortLeavesNothing) {
+  storage::StorageSystem sys(0, "s0", 1e6, 0.0);
+  const auto frag = make_fragment("obj", 0, 1, 4096, 12);
+  auto stream = sys.begin_put(frag);
+  const std::span<const u8> payload(frag.payload);
+  stream.append(payload.first(1024));
+  sys.set_available(false);  // outage lands mid-stream
+  EXPECT_THROW(stream.append(payload.subspan(1024, 1024)), io_error);
+  stream.abort();
+  stream.abort();  // idempotent
+  EXPECT_EQ(stream.staged_bytes(), 0u);
+  sys.set_available(true);
+  EXPECT_FALSE(sys.has(frag.id.key()));  // nothing persisted, nothing charged
+  EXPECT_EQ(sys.used_bytes(), 0u);
+  EXPECT_EQ(sys.fragment_count(), 0u);
+}
+
+TEST(PutStream, GetRangeSlicesAndClampsPastEnd) {
+  storage::StorageSystem sys(0, "s0", 1e6, 0.0);
+  const auto frag = make_fragment("obj", 1, 3, 1000, 13);
+  sys.put(frag);
+  const std::string key = frag.id.key();
+
+  const auto whole = sys.get_range(key, 0, 1000);
+  ASSERT_TRUE(whole.has_value());
+  EXPECT_EQ(*whole, frag.payload);
+
+  const auto mid = sys.get_range(key, 100, 250);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_EQ(mid->size(), 250u);
+  EXPECT_TRUE(std::equal(mid->begin(), mid->end(), frag.payload.begin() + 100));
+
+  const auto tail = sys.get_range(key, 900, 500);  // clamps to the last 100
+  ASSERT_TRUE(tail.has_value());
+  EXPECT_EQ(tail->size(), 100u);
+  EXPECT_TRUE(std::equal(tail->begin(), tail->end(), frag.payload.begin() + 900));
+
+  const auto past = sys.get_range(key, 5000, 16);  // fully past the end
+  ASSERT_TRUE(past.has_value());
+  EXPECT_TRUE(past->empty());
+
+  EXPECT_FALSE(sys.get_range("frag/absent/0/0", 0, 16).has_value());
+
+  sys.set_available(false);
+  EXPECT_THROW(sys.get_range(key, 0, 16), io_error);
+}
+
+// ------------------------------------- streaming-vs-staged byte identity
+
+/// One self-contained pipeline environment (cluster + metadata store), so
+/// the staged reference run and the streaming run never share state.
+struct Env {
+  explicit Env(const std::string& tag) {
+    dir = (fs::temp_directory_path() / ("rapids_stream_" + tag)).string();
+    fs::remove_all(dir);
+    cluster = std::make_unique<storage::Cluster>(
+        storage::ClusterConfig{16, 0.01, 42});
+    db = kv::Db::open(dir);
+  }
+  ~Env() {
+    db.reset();
+    fs::remove_all(dir);
+  }
+  std::string dir;
+  std::unique_ptr<storage::Cluster> cluster;
+  std::unique_ptr<kv::Db> db;
+};
+
+PipelineConfig fast_config(bool streaming) {
+  PipelineConfig cfg;
+  cfg.refactor.decomp_levels = 3;
+  cfg.refactor.num_retrieval_levels = 4;
+  cfg.refactor.target_rel_errors = {4e-3, 5e-4, 6e-5, 1e-6};
+  cfg.aco.iterations = 20;
+  cfg.streaming = streaming;
+  cfg.stream_stripe_bytes = 8 * 1024;  // small stripes: many per fragment
+  return cfg;
+}
+
+/// Assert byte-identical prepared state for `name` across two environments:
+/// the serialized object record, every fragment location, and every stored
+/// fragment's serialized bytes (header + payload + CRC).
+void expect_identical_prepared_state(Env& a, Env& b, const std::string& name) {
+  const auto raw_a = a.db->get("obj/" + name);
+  const auto raw_b = b.db->get("obj/" + name);
+  ASSERT_TRUE(raw_a.has_value()) << name;
+  ASSERT_TRUE(raw_b.has_value()) << name;
+  EXPECT_EQ(*raw_a, *raw_b) << "object record bytes differ for " << name;
+  const auto record = ObjectRecord::deserialize(
+      {reinterpret_cast<const std::byte*>(raw_a->data()), raw_a->size()});
+  const u32 n = a.cluster->size();
+  for (u32 j = 0; j < record.level_sizes.size(); ++j) {
+    for (u32 idx = 0; idx < n; ++idx) {
+      const std::string key = ec::FragmentId{name, j, idx}.key();
+      const auto loc_a = a.db->get(key);
+      const auto loc_b = b.db->get(key);
+      ASSERT_TRUE(loc_a.has_value()) << key;
+      ASSERT_TRUE(loc_b.has_value()) << key;
+      EXPECT_EQ(*loc_a, *loc_b) << "location differs for " << key;
+      const u32 sys = static_cast<u32>(std::stoul(*loc_a));
+      const auto frag_a = a.cluster->system(sys).get(key);
+      const auto frag_b = b.cluster->system(sys).get(key);
+      ASSERT_TRUE(frag_a.has_value()) << key;
+      ASSERT_TRUE(frag_b.has_value()) << key;
+      EXPECT_EQ(frag_a->serialize(), frag_b->serialize())
+          << "fragment bytes differ for " << key;
+    }
+  }
+}
+
+bool same_floats(const std::vector<f32>& a, const std::vector<f32>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(f32)) == 0);
+}
+
+TEST(StreamingPrepare, ByteIdenticalToStagedWithAndWithoutPool) {
+  ThreadPool pool(4);
+  const Dims dims{33, 33, 17};
+  const auto field = data::hurricane_pressure(dims, 21);
+
+  Env staged("staged");
+  RapidsPipeline staged_pipe(*staged.cluster, *staged.db, fast_config(false));
+  const auto staged_report = staged_pipe.prepare(field, dims, "hp");
+
+  Env pooled("pooled");
+  RapidsPipeline pooled_pipe(*pooled.cluster, *pooled.db, fast_config(true),
+                             &pool);
+  const auto pooled_report = pooled_pipe.prepare(field, dims, "hp");
+
+  Env serial("serial");  // streaming flow, no pool: the inline path
+  RapidsPipeline serial_pipe(*serial.cluster, *serial.db, fast_config(true));
+  serial_pipe.prepare(field, dims, "hp");
+
+  EXPECT_EQ(pooled_report.record.serialize(), staged_report.record.serialize());
+  EXPECT_EQ(pooled_report.fragments_stored, staged_report.fragments_stored);
+  EXPECT_DOUBLE_EQ(pooled_report.expected_error, staged_report.expected_error);
+  expect_identical_prepared_state(staged, pooled, "hp");
+  expect_identical_prepared_state(staged, serial, "hp");
+  EXPECT_EQ(pooled_report.levels_streamed,
+            static_cast<u32>(staged_report.record.ft.size()));
+  EXPECT_EQ(pooled_report.stream_fallback_puts, 0u);  // healthy cluster
+  // End-to-end latency is populated; the streaming-vs-staged latency win is
+  // asserted in bench/streaming_pipeline (unit-test wall clocks are too noisy).
+  EXPECT_GT(pooled_report.prepare_latency, 0.0);
+}
+
+TEST(StreamingRestore, ByteIdenticalToStagedAtEveryLevelPrefix) {
+  // Knock out progressively more systems so restores run at every usable
+  // level prefix; at each prefix the streamed incremental reconstruction
+  // must match the staged full-gather reconstruction bit for bit.
+  ThreadPool pool(4);
+  const Dims dims{33, 33, 17};
+  const auto field = data::scale_temperature(dims, 22);
+
+  auto cfg_staged = fast_config(false);
+  auto cfg_stream = fast_config(true);
+  // No restore cache: cached levels would mask the outages and keep every
+  // restore at full depth.
+  cfg_staged.restore_cache_bytes = 0;
+  cfg_stream.restore_cache_bytes = 0;
+
+  Env staged("prefix_staged");
+  RapidsPipeline staged_pipe(*staged.cluster, *staged.db, cfg_staged);
+  const auto prep = staged_pipe.prepare(field, dims, "st");
+  Env stream("prefix_stream");
+  RapidsPipeline stream_pipe(*stream.cluster, *stream.db, cfg_stream, &pool);
+  stream_pipe.prepare(field, dims, "st");
+
+  const FtConfig& ft = prep.record.ft;
+  const u32 levels = static_cast<u32>(ft.size());
+  for (u32 target = levels; target >= 1; --target) {
+    // m_target failures keep at least levels 1..target (m is non-increasing);
+    // a deeper level survives only if its m ties m_target.
+    std::vector<u32> down;
+    for (u32 i = 0; i < ft[target - 1]; ++i) down.push_back(i);
+    storage::fail_exactly(*staged.cluster, down);
+    storage::fail_exactly(*stream.cluster, down);
+    u32 expected = target;
+    while (expected < levels && ft[expected] >= ft[target - 1]) ++expected;
+
+    const auto a = staged_pipe.restore("st");
+    const auto b = stream_pipe.restore("st");
+    ASSERT_EQ(a.levels_used, expected);
+    ASSERT_EQ(b.levels_used, expected);
+    EXPECT_DOUBLE_EQ(a.rel_error_bound, b.rel_error_bound);
+    EXPECT_TRUE(same_floats(a.data, b.data))
+        << "restored bytes differ at prefix " << target;
+    const f64 err = data::relative_linf_error(field, b.data);
+    EXPECT_LE(err, b.rel_error_bound);
+  }
+}
+
+TEST(StreamingRestore, StreamsLevelsAndCutsTimeToFirstByte) {
+  ThreadPool pool(4);
+  Env env("ttfb");
+  // A loose first target keeps retrieval level 1 genuinely small so its
+  // fragments land well before the deep levels (the realistic size skew; at
+  // this bench scale the default targets make level 1 the largest level).
+  auto cfg = fast_config(true);
+  cfg.refactor.target_rel_errors = {1e-1, 1e-3, 1e-5, 1e-7};
+  RapidsPipeline pipeline(*env.cluster, *env.db, cfg, &pool);
+  const Dims dims{33, 33, 17};
+  const auto field = data::nyx_temperature(dims, 23);
+  pipeline.prepare(field, dims, "nt");
+
+  const auto first = pipeline.restore("nt");
+  EXPECT_EQ(first.levels_used, 4u);
+  EXPECT_EQ(first.levels_streamed, 4u);  // nothing cached: all streamed in
+  // Level 1 is decodable as soon as its own (small) fragments land — long
+  // before the full gather completes.
+  EXPECT_GT(first.first_level_latency, 0.0);
+  EXPECT_LT(first.first_level_latency, first.gather_latency);
+  EXPECT_GT(first.first_byte_seconds, 0.0);
+  ASSERT_FALSE(first.plan.level_latencies.empty());
+  const f64 err = data::relative_linf_error(field, first.data);
+  EXPECT_LE(err, first.rel_error_bound);
+
+  // Second restore: the cache serves every level, so the first usable
+  // approximation needs no WAN wait at all.
+  const auto second = pipeline.restore("nt");
+  EXPECT_EQ(second.cache_hits, 4u);
+  EXPECT_EQ(second.levels_streamed, 0u);
+  EXPECT_DOUBLE_EQ(second.first_level_latency, 0.0);
+  EXPECT_TRUE(same_floats(first.data, second.data));
+}
+
+TEST(StreamingPrepare, ReportsStageBreakdown) {
+  ThreadPool pool(4);
+  Env env("breakdown");
+  RapidsPipeline pipeline(*env.cluster, *env.db, fast_config(true), &pool);
+  const Dims dims{33, 33, 17};
+  const auto field = data::hurricane_temperature(dims, 24);
+  const auto report = pipeline.prepare(field, dims, "ht");
+  EXPECT_GT(report.transform_seconds, 0.0);
+  EXPECT_GT(report.plane_encode_seconds, 0.0);
+  EXPECT_GE(report.refactor_seconds,
+            report.transform_seconds + report.plane_encode_seconds);
+  EXPECT_GT(report.prepare_latency, 0.0);
+  EXPECT_GT(report.distribution_latency, 0.0);
+}
+
+TEST(StreamingPrepare, BatchMatchesStagedSerialLoop) {
+  ThreadPool pool(4);
+  const Dims dims{33, 33, 17};
+  std::vector<std::string> names;
+  std::vector<std::vector<f32>> fields;
+  for (u32 i = 0; i < 3; ++i) {
+    names.push_back("obj" + std::to_string(i));
+    fields.push_back(data::hurricane_pressure(dims, 30 + i));
+  }
+
+  Env staged("batch_staged");
+  RapidsPipeline staged_pipe(*staged.cluster, *staged.db, fast_config(false));
+  for (u32 i = 0; i < names.size(); ++i)
+    staged_pipe.prepare(fields[i], dims, names[i]);
+
+  Env batch("batch_stream");
+  RapidsPipeline batch_pipe(*batch.cluster, *batch.db, fast_config(true),
+                            &pool);
+  std::vector<PrepareRequest> requests;
+  for (u32 i = 0; i < names.size(); ++i)
+    requests.push_back({fields[i], dims, names[i]});
+  const auto reports = batch_pipe.prepare_batch(requests);
+  ASSERT_EQ(reports.size(), names.size());
+
+  for (const auto& name : names)
+    expect_identical_prepared_state(staged, batch, name);
+}
+
+TEST(StreamingRefine, DeliversLevelsThroughTheSink) {
+  ThreadPool pool(4);
+  Env env("refine");
+  RapidsPipeline pipeline(*env.cluster, *env.db, fast_config(true), &pool);
+  const Dims dims{33, 33, 17};
+  const auto field = data::nyx_velocity(dims, 25);
+  const auto prep = pipeline.prepare(field, dims, "nv");
+
+  auto session = pipeline.begin_refine("nv");
+  const auto first = pipeline.refine(*session, 1e-3);
+  EXPECT_GT(first.levels_streamed, 0u);
+  EXPECT_GT(first.first_level_latency, 0.0);
+  const auto rest = pipeline.refine(*session, 0.0);  // to the deepest level
+  EXPECT_EQ(session->levels(), static_cast<u32>(prep.record.ft.size()));
+  const f64 err = data::relative_linf_error(field, rest.data);
+  EXPECT_LE(err, rest.rel_error_bound);
+}
+
+}  // namespace
+}  // namespace rapids::core
