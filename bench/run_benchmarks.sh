@@ -81,3 +81,15 @@ if [[ -x "$RK_BIN" ]]; then
 else
   echo "warning: $RK_BIN not found — skipping refactor kernels" >&2
 fi
+
+# Control plane: availability-drift re-optimization drill (per-object
+# evaluated error and availability before/after the controller converges,
+# zero tolerated bound violations) plus foreground restore p99 with a
+# rate-limited background migration on vs off.
+CTL_BIN="$BUILD_DIR/bench/control_plane"
+CTL_OUT="$(dirname "$OUT")/BENCH_control.json"
+if [[ -x "$CTL_BIN" ]]; then
+  "$CTL_BIN" "$CTL_OUT"
+else
+  echo "warning: $CTL_BIN not found — skipping control plane" >&2
+fi

@@ -16,6 +16,10 @@
 //       bitplanes; rung r's field goes to <out_prefix>.r.f32
 //   rapids_cli info <workspace> [name]
 //       list objects, or show one object's configuration and level profile
+//   rapids_cli status <workspace>
+//       control-plane view: per-system breaker state and failure-probability
+//       estimates, per-object availability under those estimates, and the
+//       migration journal (pending vs completed background migrations)
 //
 // Example session:
 //   rapids_cli generate SCALE:PRES 65 65 33 pres.f32
@@ -135,7 +139,10 @@ bool rebuild_fragment_index(Workspace& ws, const std::string& wsdir,
     std::fprintf(stderr, "unknown object: %s\n", name.c_str());
     return false;
   }
-  for (const auto& [key, sys_str] : ws.db->scan_prefix("frag/" + name + "/")) {
+  // Fragment keys live under the record's *current generation* name — after
+  // a background migration that is "<name>@g<gen>", not the bare name.
+  const std::string sname = record->storage_name(name);
+  for (const auto& [key, sys_str] : ws.db->scan_prefix("frag/" + sname + "/")) {
     const u32 sys = static_cast<u32>(std::stoul(sys_str));
     std::string flat = key;
     for (char& c : flat)
@@ -304,13 +311,107 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+std::string format_ft(const core::FtConfig& ft) {
+  std::string out = "[";
+  for (std::size_t j = 0; j < ft.size(); ++j) {
+    if (j) out += ',';
+    out += std::to_string(ft[j]);
+  }
+  out += ']';
+  return out;
+}
+
+int cmd_status(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: rapids_cli status <workspace>\n");
+    return 2;
+  }
+  auto ws = open_workspace(argv[2]);
+  core::PipelineConfig config;
+  core::RapidsPipeline pipeline(*ws.cluster, *ws.db, config);
+
+  // Failure/trial counters persist with the workspace ("net/system_health"),
+  // so the probability estimates reflect the workspace's whole history;
+  // breaker state is in-process, so a fresh CLI run reports closed breakers
+  // even for systems that were open when the last process exited. The
+  // journal below is durable and lists every migration ever run here.
+  const auto states = pipeline.breaker_states();
+  const auto probs = pipeline.failure_prob_estimates();
+  const auto bw = pipeline.snapshot_bandwidths();
+  std::printf("systems (%zu):\n", states.size());
+  for (std::size_t s = 0; s < states.size(); ++s) {
+    const char* state =
+        states[s] == storage::CircuitState::kOpen       ? "open"
+        : states[s] == storage::CircuitState::kHalfOpen ? "half-open"
+                                                        : "closed";
+    std::printf("  sys %2zu: breaker %-9s  est. failure prob %.4f"
+                "  bandwidth %7.2f MB/s\n",
+                s, state, probs[s], bw[s] / 1e6);
+  }
+
+  const auto names = pipeline.snapshot_object_names();
+  std::printf("objects (%zu):\n", names.size());
+  for (const auto& name : names) {
+    const auto record = pipeline.snapshot_record(name);
+    if (!record || record->ft.empty()) continue;
+    std::printf("  %s: generation %u, ft %s\n", name.c_str(),
+                record->generation, format_ft(record->ft).c_str());
+    if (probs.size() != ws.cluster->size()) continue;
+    std::vector<f64> errors;
+    for (u32 j = 0; j < record->level_sizes.size(); ++j)
+      errors.push_back(record->meta.rel_error_bound(j + 1));
+    try {
+      const f64 avail = core::ft_level_availability(probs, record->ft.front());
+      const f64 err =
+          core::expected_relative_error_hetero(probs, errors, record->ft);
+      std::printf("    availability (not-total-loss) %.9f under current "
+                  "estimates\n", avail);
+      std::printf("    expected rel error %.3e (planned %.3e)%s\n", err,
+                  record->planned_error,
+                  record->planned_error > 0.0 && err > record->planned_error
+                      ? "  [drifted]"
+                      : "");
+    } catch (const invariant_error&) {
+      // foreign/aged geometry the evaluator rejects: identity only
+    }
+  }
+
+  std::vector<control::MigrationRecord> journal_records;
+  pipeline.with_metadata_lock([&](kv::KvStore& db) {
+    control::MigrationJournal journal(db);
+    journal_records = journal.scan();
+  });
+  u32 pending = 0, completed = 0, rolled_back = 0;
+  for (const auto& rec : journal_records) {
+    if (rec.phase == control::MigrationPhase::kDone) ++completed;
+    else if (rec.phase == control::MigrationPhase::kRolledBack) ++rolled_back;
+    else ++pending;
+  }
+  std::printf("migrations (%zu journaled: %u pending, %u completed, "
+              "%u rolled back):\n",
+              journal_records.size(), pending, completed, rolled_back);
+  for (const auto& rec : journal_records) {
+    std::printf("  #%llu %s: gen %u -> %u, ft %s -> %s, phase %s",
+                (unsigned long long)rec.seq, rec.object.c_str(),
+                rec.old_generation, rec.new_generation,
+                format_ft(rec.old_ft).c_str(), format_ft(rec.new_ft).c_str(),
+                control::migration_phase_name(rec.phase));
+    if (!rec.terminal())
+      std::printf(" (%u/%zu levels written, %u attempts)", rec.levels_written,
+                  rec.new_ft.size(), rec.attempts);
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     if (argc < 2) {
-      std::fprintf(stderr,
-                   "usage: rapids_cli <generate|prepare|restore|refine|info> ...\n");
+      std::fprintf(
+          stderr,
+          "usage: rapids_cli <generate|prepare|restore|refine|info|status> ...\n");
       return 2;
     }
     const std::string cmd = argv[1];
@@ -319,6 +420,7 @@ int main(int argc, char** argv) {
     if (cmd == "restore") return cmd_restore(argc, argv);
     if (cmd == "refine") return cmd_refine(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
+    if (cmd == "status") return cmd_status(argc, argv);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {

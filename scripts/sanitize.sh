@@ -22,7 +22,8 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # the vectorized refactor kernels: ASan/UBSan over the intrinsics paths and
 # TSan over the panel-parallel sweeps.
 SUITES=(parallel_test pipeline_test pipeline_batch_test progressive_test storage_test
-        fault_injector_test chaos_test kernel_test mgard_test streaming_test)
+        fault_injector_test chaos_test kernel_test mgard_test streaming_test
+        control_test control_chaos_test)
 
 run_tree() {
   local dir="$1" sanitize="$2"

@@ -122,4 +122,59 @@ f64 ft_network_overhead(u32 n, const FtConfig& m, std::span<const u64> level_siz
   return shipped / static_cast<f64>(original_size);
 }
 
+std::vector<f64> poisson_binomial_pmf(std::span<const f64> probs) {
+  // Classic DP: fold systems in one at a time; after processing i systems,
+  // pmf[j] = P[j failures among them]. Exact, O(n^2), all terms nonnegative
+  // so there is no cancellation to worry about.
+  std::vector<f64> pmf(probs.size() + 1, 0.0);
+  pmf[0] = 1.0;
+  std::size_t used = 0;
+  for (f64 p : probs) {
+    RAPIDS_REQUIRE_MSG(p >= 0.0 && p <= 1.0,
+                       "poisson_binomial: probabilities must lie in [0, 1]");
+    ++used;
+    for (std::size_t j = used; j > 0; --j)
+      pmf[j] = pmf[j] * (1.0 - p) + pmf[j - 1] * p;
+    pmf[0] *= (1.0 - p);
+  }
+  return pmf;
+}
+
+f64 poisson_binomial_range(std::span<const f64> probs, u32 a, u32 b) {
+  if (a > b) return 0.0;
+  const std::vector<f64> pmf = poisson_binomial_pmf(probs);
+  b = std::min<u32>(b, static_cast<u32>(probs.size()));
+  f64 sum = 0.0;
+  for (u32 i = a; i <= b; ++i) sum += pmf[i];
+  return std::min(sum, 1.0);
+}
+
+f64 ft_level_availability(std::span<const f64> probs, u32 m_j) {
+  return poisson_binomial_range(probs, 0, m_j);
+}
+
+f64 expected_relative_error_hetero(std::span<const f64> probs,
+                                   std::span<const f64> errors,
+                                   const FtConfig& m) {
+  const u32 n = static_cast<u32>(probs.size());
+  RAPIDS_REQUIRE_MSG(valid_ft_config(n, m), "invalid FT configuration");
+  RAPIDS_REQUIRE(errors.size() == m.size());
+  const std::vector<f64> pmf = poisson_binomial_pmf(probs);
+  auto range = [&](u32 a, u32 b) {
+    if (a > b) return 0.0;
+    b = std::min(b, n);
+    f64 sum = 0.0;
+    for (u32 i = a; i <= b; ++i) sum += pmf[i];
+    return std::min(sum, 1.0);
+  };
+  const std::size_t l = m.size();
+  // Same three terms as the homogeneous Eq. 5, with the binomial tail
+  // probabilities replaced by their Poisson-binomial counterparts.
+  f64 e = 1.0 * range(m.front() + 1, n);
+  e += errors[l - 1] * range(0, m.back());
+  for (std::size_t j = 0; j + 1 < l; ++j)
+    e += errors[j] * range(m[j + 1] + 1, m[j]);
+  return e;
+}
+
 }  // namespace rapids::core

@@ -67,4 +67,35 @@ f64 ft_storage_overhead(u32 n, const FtConfig& m, std::span<const u64> level_siz
 f64 ft_network_overhead(u32 n, const FtConfig& m, std::span<const u64> level_sizes,
                         u64 original_size);
 
+// --- Heterogeneous per-system availability (control-plane re-evaluation) ---
+//
+// The paper's closed forms assume one failure probability p shared by all n
+// systems. The health tracker observes *per-system* failure rates, so the
+// control plane re-evaluates configurations against a vector p_0..p_{n-1}.
+// The failure-count distribution is then Poisson-binomial; the O(n^2) DP
+// below is exact and cheap for n <= a few hundred.
+
+/// Full pmf of the number of failed systems: out[i] = P[N = i] for
+/// independent failures with per-system probabilities `probs` (size n,
+/// each in [0, 1]). Returns a vector of size n + 1.
+std::vector<f64> poisson_binomial_pmf(std::span<const f64> probs);
+
+/// P[a <= N <= b] under the Poisson-binomial distribution of `probs`;
+/// empty range (a > b) gives 0. b is clamped to n.
+f64 poisson_binomial_range(std::span<const f64> probs, u32 a, u32 b);
+
+/// P[N <= m_j]: probability that a level protected with m_j parity fragments
+/// is recoverable under heterogeneous per-system failure probabilities.
+/// With m_j = m_1 this is the object's not-total-loss availability.
+f64 ft_level_availability(std::span<const f64> probs, u32 m_j);
+
+/// Eq. 5 generalized to heterogeneous per-system failure probabilities:
+/// expected relative L-infinity error of the restored data when system i
+/// fails independently with probability probs[i]. probs.size() must equal n
+/// (the fragment count); reduces to expected_relative_error when all
+/// entries are equal.
+f64 expected_relative_error_hetero(std::span<const f64> probs,
+                                   std::span<const f64> errors,
+                                   const FtConfig& m);
+
 }  // namespace rapids::core

@@ -14,16 +14,24 @@ void validate(const FtProblem& pr) {
   RAPIDS_REQUIRE(pr.overhead_budget > 0.0);
   RAPIDS_REQUIRE_MSG(pr.level_sizes.size() < pr.n,
                      "need more systems than levels for a strict m-chain");
+  RAPIDS_REQUIRE_MSG(pr.system_p.empty() || pr.system_p.size() == pr.n,
+                     "system_p must be empty or have one entry per system");
 }
 
 f64 overhead(const FtProblem& pr, const FtConfig& m) {
   return ft_storage_overhead(pr.n, m, pr.level_sizes, pr.original_size);
 }
 
+f64 expected_error(const FtProblem& pr, const FtConfig& m) {
+  if (!pr.system_p.empty())
+    return expected_relative_error_hetero(pr.system_p, pr.level_errors, m);
+  return expected_relative_error(pr.n, pr.p, pr.level_errors, m);
+}
+
 FtSolution make_solution(const FtProblem& pr, const FtConfig& m, u64 evals) {
   FtSolution s;
   s.m = m;
-  s.expected_error = expected_relative_error(pr.n, pr.p, pr.level_errors, m);
+  s.expected_error = expected_error(pr, m);
   s.storage_overhead = overhead(pr, m);
   s.evaluations = evals;
   return s;
@@ -43,8 +51,7 @@ std::optional<FtSolution> ft_optimize_brute_force(const FtProblem& problem) {
   std::function<void(u32, u32)> recurse = [&](u32 j, u32 upper) {
     if (j == l) {
       if (overhead(problem, current) > problem.overhead_budget) return;
-      const f64 err =
-          expected_relative_error(problem.n, problem.p, problem.level_errors, current);
+      const f64 err = expected_error(problem, current);
       ++evals;
       if (err < best_error) {
         best_error = err;
@@ -107,6 +114,62 @@ std::optional<FtSolution> ft_optimize_heuristic(const FtProblem& problem) {
     if (m == prev) break;
   }
   return make_solution(problem, m, evals);
+}
+
+FtSolution ft_evaluate(const FtProblem& problem, const FtConfig& m) {
+  validate(problem);
+  RAPIDS_REQUIRE_MSG(valid_ft_config(problem.n, m),
+                     "ft_evaluate: invalid FT configuration");
+  RAPIDS_REQUIRE(m.size() == problem.level_sizes.size());
+  return make_solution(problem, m, 1);
+}
+
+std::optional<FtSolution> ft_reoptimize(const FtProblem& problem,
+                                        const FtConfig& current) {
+  validate(problem);
+  RAPIDS_REQUIRE_MSG(valid_ft_config(problem.n, current),
+                     "ft_reoptimize: invalid current configuration");
+  RAPIDS_REQUIRE(current.size() == problem.level_sizes.size());
+
+  const u32 l = static_cast<u32>(current.size());
+  std::optional<FtSolution> best;
+  u64 warm_evals = 0;
+
+  // Warm start: if the current configuration still fits the budget, run the
+  // Algorithm-1 raise sweep from it. Raising any m_j strictly lowers Eq. 5
+  // (more failures tolerated at every affected window), so the sweep can
+  // only improve on `current`.
+  if (overhead(problem, current) <= problem.overhead_budget) {
+    FtConfig m = current;
+    ++warm_evals;
+    for (;;) {
+      FtConfig prev = m;
+      for (u32 j = l; j-- > 0;) {
+        const u32 ceiling = j == 0 ? problem.n - 1 : m[j - 1] - 1;
+        while (m[j] < ceiling) {
+          m[j] += 1;
+          ++warm_evals;
+          if (overhead(problem, m) > problem.overhead_budget) {
+            m[j] -= 1;
+            break;
+          }
+        }
+      }
+      if (m == prev) break;
+    }
+    best = make_solution(problem, m, warm_evals);
+  }
+
+  // Cold comparison: drift can make reshaping (lower a deep, expensive m_j
+  // to afford a higher m_1) beat any raise-only walk from `current`, and the
+  // warm start cannot reach those shapes. The heuristic is cheap; take the
+  // better of the two.
+  if (auto cold = ft_optimize_heuristic(problem)) {
+    cold->evaluations += warm_evals;
+    if (!best || cold->expected_error < best->expected_error) best = cold;
+    else best->evaluations = cold->evaluations;
+  }
+  return best;
 }
 
 }  // namespace rapids::core

@@ -28,6 +28,9 @@ namespace rapids::core {
 struct FtProblem {
   u32 n = 16;                    ///< number of storage systems
   f64 p = 0.01;                  ///< per-system outage probability
+  std::vector<f64> system_p;     ///< optional per-system outage probabilities
+                                 ///  (size n); when non-empty it overrides `p`
+                                 ///  and the Poisson-binomial forms are used
   std::vector<u64> level_sizes;  ///< s_1..s_l (bytes)
   std::vector<f64> level_errors; ///< e_1..e_l (relative L-inf errors)
   u64 original_size = 0;         ///< S (bytes)
@@ -53,5 +56,22 @@ std::optional<FtSolution> ft_optimize_heuristic(const FtProblem& problem);
 /// [m*+l-1, ..., m*] fits the budget. Returns nullopt if even m* = 1 does
 /// not fit.
 std::optional<u32> ft_initial_mstar(const FtProblem& problem);
+
+/// Score an existing configuration against the (possibly drifted) problem
+/// without searching: Eq. 5 expected error plus Eq. 6 overhead, using the
+/// Poisson-binomial forms when `problem.system_p` is set. The control plane
+/// calls this on every dirty object to decide whether a migration is worth
+/// its traffic. `m` must be a valid FT chain for problem.n.
+FtSolution ft_evaluate(const FtProblem& problem, const FtConfig& m);
+
+/// Incremental re-optimization entry point for the control plane: warm-start
+/// the Algorithm-1 sweep from `current` (raising levels bottom-to-top is
+/// monotone in expected error, so the sweep only improves it), then compare
+/// with a cold heuristic run — observed drift can make *reshaping* (lowering
+/// an expensive deep m_j to free budget for m_1) beat any pure raise.
+/// Returns the better of the two, or nullopt when no feasible configuration
+/// exists at all.
+std::optional<FtSolution> ft_reoptimize(const FtProblem& problem,
+                                        const FtConfig& current);
 
 }  // namespace rapids::core

@@ -61,10 +61,15 @@ std::vector<f32> RefineSession::data() const {
   return data_;
 }
 
+std::string generation_storage_name(const std::string& name, u32 generation) {
+  if (generation == 0) return name;
+  return name + "@g" + std::to_string(generation);
+}
+
 Bytes ObjectRecord::serialize() const {
   ByteWriter w;
   w.put_u32(kRecordMagic);
-  w.put_u16(1);
+  w.put_u16(2);
   w.put_bytes(as_bytes_view(meta.serialize_metadata()));
   w.put_u32(static_cast<u32>(ft.size()));
   for (u32 m : ft) w.put_u32(m);
@@ -72,13 +77,19 @@ Bytes ObjectRecord::serialize() const {
   for (u64 s : level_sizes) w.put_u64(s);
   w.put_u8(matrix_kind == ec::MatrixKind::kVandermonde ? 0 : 1);
   w.put_u8(placement == storage::PlacementPolicy::kIdentity ? 0 : 1);
+  // v2 tail: the control plane's migration/drift state.
+  w.put_u32(generation);
+  w.put_f64(planned_p);
+  w.put_f64(planned_error);
   return w.take();
 }
 
 ObjectRecord ObjectRecord::deserialize(std::span<const std::byte> data) {
   ByteReader r(data);
   if (r.get_u32() != kRecordMagic) throw io_error("ObjectRecord: bad magic");
-  if (r.get_u16() != 1) throw io_error("ObjectRecord: bad version");
+  const u16 version = r.get_u16();
+  if (version != 1 && version != 2)
+    throw io_error("ObjectRecord: bad version");
   ObjectRecord rec;
   rec.meta = mgard::RefactoredObject::deserialize_metadata(r.get_bytes());
   const u32 nft = r.get_u32();
@@ -94,6 +105,12 @@ ObjectRecord ObjectRecord::deserialize(std::span<const std::byte> data) {
       r.get_u8() == 0 ? ec::MatrixKind::kVandermonde : ec::MatrixKind::kCauchy;
   rec.placement = r.get_u8() == 0 ? storage::PlacementPolicy::kIdentity
                                   : storage::PlacementPolicy::kRotate;
+  if (version >= 2) {
+    // v1 records predate migrations: generation 0 and no drift baseline.
+    rec.generation = r.get_u32();
+    rec.planned_p = r.get_f64();
+    rec.planned_error = r.get_f64();
+  }
   return rec;
 }
 
@@ -282,6 +299,8 @@ PrepareReport RapidsPipeline::do_prepare_staged(std::span<const f32> data,
     record.level_sizes.push_back(obj.level_bytes(j));
   record.matrix_kind = config_.matrix_kind;
   record.placement = config_.placement;
+  record.planned_p = cluster_.config().failure_prob;
+  record.planned_error = solution->expected_error;
   const Bytes record_bytes = record.serialize();
 
   // 5-6) Distribute one fragment of every level to every system and persist
@@ -295,6 +314,7 @@ PrepareReport RapidsPipeline::do_prepare_staged(std::span<const f32> data,
   t.reset();
   {
     std::lock_guard<std::mutex> lock(io_mu_);
+    const auto prior = lookup(name);
     StoreStats stats;
     for (u32 j = 0; j < per_level.size(); ++j)
       store_level_locked(name, j, per_level[j], 0, stats);
@@ -305,6 +325,11 @@ PrepareReport RapidsPipeline::do_prepare_staged(std::span<const f32> data,
     db_.put(object_key(name),
             std::string(reinterpret_cast<const char*>(record_bytes.data()),
                         record_bytes.size()));
+    // Re-preparing a migrated object rewinds it to generation 0 (the puts
+    // above overwrote the plain keys); its old generation's fragments are
+    // garbage now.
+    if (prior && prior->generation > 0)
+      gc_generation_locked(name, prior->generation);
     persist_health();
   }
   report.store_seconds = t.seconds();
@@ -540,12 +565,19 @@ PrepareReport RapidsPipeline::do_prepare_streaming(std::span<const f32> data,
     record.level_sizes.push_back(obj.level_bytes(j));
   record.matrix_kind = config_.matrix_kind;
   record.placement = config_.placement;
+  record.planned_p = cluster_.config().failure_prob;
+  record.planned_error = solution->expected_error;
   const Bytes record_bytes = record.serialize();
   {
     std::lock_guard<std::mutex> lock(io_mu_);
+    const auto prior = lookup(name);
     db_.put(object_key(name),
             std::string(reinterpret_cast<const char*>(record_bytes.data()),
                         record_bytes.size()));
+    // Re-preparing a migrated object rewinds it to generation 0; its old
+    // generation's fragments are garbage now.
+    if (prior && prior->generation > 0)
+      gc_generation_locked(name, prior->generation);
     persist_health();
   }
   restore_cache_.invalidate(name);
@@ -767,6 +799,8 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
                                   const FetchSink& sink) {
   if (levels.empty()) return true;
   const u32 n = cluster_.size();
+  // Fragment keys live under the record's current generation.
+  const std::string sname = record.storage_name(name);
   Timer t;
 
   // A landed level is decoded, announced through the sink, and never
@@ -806,6 +840,32 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
       sub.level_sizes.push_back(problem.level_sizes[levels[i]]);
     }
 
+    // Look up where the remaining levels' fragments actually live, and
+    // exclude systems that hold none of them (their fragments were migrated
+    // or repaired away) before planning — instead of planning a fetch there
+    // and discovering the miss afterwards, one replan round per restore.
+    // Only safe while the deepest remaining level tolerates the exclusions;
+    // otherwise keep the old plan-then-replan path.
+    std::vector<std::map<u32, u32>> locations(nsub);
+    {
+      std::lock_guard<std::mutex> lock(io_mu_);
+      for (u32 j = 0; j < nsub; ++j)
+        locations[j] = fragment_locations(sname, levels[rem[j]]);
+    }
+    {
+      std::vector<bool> holds(sub.n, false);
+      for (u32 j = 0; j < nsub; ++j)
+        for (const auto& [sys, idx] : locations[j])
+          if (sys < sub.n) holds[sys] = true;
+      auto trial = sub.available;
+      u32 failed_after = 0;
+      for (u32 s = 0; s < sub.n; ++s) {
+        if (!holds[s]) trial[s] = false;
+        failed_after += trial[s] ? 0 : 1;
+      }
+      if (failed_after <= sub.m.back()) sub.available = std::move(trial);
+    }
+
     // Reuse the caller's rows when they are still placeable (first attempt
     // only: an internal replan means availability moved under the plan).
     GatherPlan plan;
@@ -840,14 +900,12 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
     t.reset();
     std::optional<u32> bad_system;
     std::vector<PlannedFetch> fetches;
-    std::vector<std::map<u32, u32>> locations(nsub);
     std::vector<f64> mults;
     std::vector<f64> times;
     f64 hedge_launch = 0.0;
     {
       std::lock_guard<std::mutex> lock(io_mu_);
       for (u32 j = 0; j < nsub && !bad_system; ++j) {
-        locations[j] = fragment_locations(name, levels[rem[j]]);
         for (u32 sys : plan.systems_per_level[j]) {
           const auto loc = locations[j].find(sys);
           if (loc == locations[j].end()) {
@@ -895,7 +953,7 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
         for (std::size_t i = 0; i < fetches.size() && !bad_system; ++i) {
           const auto& f = fetches[i];
           if (f.level != j) continue;
-          auto primary = fetch_with_retry(f.system, {name, real, f.index});
+          auto primary = fetch_with_retry(f.system, {sname, real, f.index});
           report.fetch_retries += primary.attempts - 1;
           report.backoff_seconds += primary.backoff_seconds;
           const bool ok = primary.fragment.has_value();
@@ -927,7 +985,7 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
               ++report.hedged_fetches;
               used[f.level].insert(*spare);
               const u32 spare_index = locations[f.level][*spare];
-              auto hedge = fetch_with_retry(*spare, {name, real, spare_index});
+              auto hedge = fetch_with_retry(*spare, {sname, real, spare_index});
               report.fetch_retries += hedge.attempts - 1;
               report.backoff_seconds += hedge.backoff_seconds;
               if (hedge.fragment)
@@ -950,7 +1008,7 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
           }
 
           if (!winner) {
-            log::warn("pipeline", "fragment ", name, "/", real, "/", f.index,
+            log::warn("pipeline", "fragment ", sname, "/", real, "/", f.index,
                       " missing or damaged on system ", f.system,
                       "; replanning");
             bad_system = f.system;
@@ -1026,12 +1084,13 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
   // Consult the restore cache before planning: cached levels skip the WAN
   // fetch and erasure decode entirely; a CRC mismatch evicts the entry and
   // falls through to a normal fetch.
+  const u32 generation = record->generation;
   std::vector<Bytes> payloads(nlevels);
   std::vector<bool> have(nlevels, false);        // cached or streamed in
   std::vector<bool> from_cache(nlevels, false);  // skip the cache store-back
   for (u32 j = 0; j < nlevels; ++j) {
     Bytes hit;
-    switch (restore_cache_.get(name, j, hit)) {
+    switch (restore_cache_.get(name, generation, j, hit)) {
       case storage::RestoreCache::Outcome::kHit:
         payloads[j] = std::move(hit);
         have[j] = true;
@@ -1119,7 +1178,7 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
       sink = [&, limit](u32 level, const Bytes& payload, f64 latency) {
         have[level] = true;
         ++report.levels_streamed;
-        restore_cache_.put(name, level, payload);
+        restore_cache_.put(name, generation, level, payload);
         merge_ready(limit);
         first_byte(latency);
       };
@@ -1145,7 +1204,7 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
 
   // Staged path: fetched levels feed the cache, one reconstruct at the end.
   for (u32 j = 0; j < levels_used; ++j)
-    if (!from_cache[j]) restore_cache_.put(name, j, payloads[j]);
+    if (!from_cache[j]) restore_cache_.put(name, generation, j, payloads[j]);
   Timer t;
   report.data = refactorer_.reconstruct(record->meta, prefix);
   report.reconstruct_seconds = t.seconds();
@@ -1209,12 +1268,13 @@ RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound) {
 
   // Consult the shared cache for the levels this rung needs. Levels below
   // the cursor are already materialized in the session's plane sets.
+  const u32 generation = record->generation;
   std::vector<Bytes> payloads(nlevels);
   std::vector<bool> cached(nlevels, false);
   for (u32 j = 0; j < session.cursor_; ++j) cached[j] = true;
   for (u32 j = session.cursor_; j < target; ++j) {
     Bytes hit;
-    switch (restore_cache_.get(session.name_, j, hit)) {
+    switch (restore_cache_.get(session.name_, generation, j, hit)) {
       case storage::RestoreCache::Outcome::kHit:
         payloads[j] = std::move(hit);
         cached[j] = true;
@@ -1237,7 +1297,7 @@ RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound) {
   const FetchSink sink = [&](u32 level, const Bytes& payload, f64 latency) {
     cached[level] = true;
     ++report.levels_streamed;
-    restore_cache_.put(session.name_, level, payload);
+    restore_cache_.put(session.name_, generation, level, payload);
     if (!first_landed) {
       first_landed = true;
       report.first_level_latency = latency;
@@ -1365,14 +1425,15 @@ void RapidsPipeline::repair_fragment_locked(const std::string& name, u32 level,
                                             u32 index, u32 target_system) {
   const auto record = lookup(name);
   RAPIDS_REQUIRE_MSG(record.has_value(), "repair: unknown object " + name);
+  const std::string sname = record->storage_name(name);
   const ec::ReedSolomon rs = codec_for(*record, level);
 
   std::vector<ec::Fragment> survivors;
-  for (const auto& [sys, idx] : fragment_locations(name, level)) {
+  for (const auto& [sys, idx] : fragment_locations(sname, level)) {
     if (survivors.size() >= rs.k()) break;
     if (!cluster_.system(sys).available()) continue;
     if (idx == index) continue;  // the lost one
-    auto out = fetch_with_retry(sys, {name, level, idx});
+    auto out = fetch_with_retry(sys, {sname, level, idx});
     if (!out.missing) record_health(sys, out.fragment.has_value());
     if (out.fragment) survivors.push_back(std::move(*out.fragment));
   }
@@ -1411,12 +1472,13 @@ RapidsPipeline::ScrubReport RapidsPipeline::scrub(const std::string& name,
     record = lookup(name);
   }
   RAPIDS_REQUIRE_MSG(record.has_value(), "scrub: unknown object " + name);
+  const std::string sname = record->storage_name(name);
   ScrubReport report;
   for (u32 level = 0; level < record->ft.size(); ++level) {
     std::map<u32, u32> locations;
     {
       std::lock_guard<std::mutex> lock(io_mu_);
-      locations = fragment_locations(name, level);
+      locations = fragment_locations(sname, level);
     }
     for (const auto& [sys, idx] : locations) {
       // Fine-grained locking: one fragment's check+repair per critical
@@ -1424,11 +1486,11 @@ RapidsPipeline::ScrubReport RapidsPipeline::scrub(const std::string& name,
       std::lock_guard<std::mutex> lock(io_mu_);
       if (!cluster_.system(sys).available()) continue;  // outage, not damage
       ++report.fragments_checked;
-      auto out = fetch_with_retry(sys, {name, level, idx});
+      auto out = fetch_with_retry(sys, {sname, level, idx});
       if (!out.missing) record_health(sys, out.fragment.has_value());
       if (out.fragment) continue;
       report.damaged.emplace_back(level, idx, sys);
-      log::warn("pipeline", "scrub: fragment ", name, "/", level, "/", idx,
+      log::warn("pipeline", "scrub: fragment ", sname, "/", level, "/", idx,
                 " on system ", sys,
                 out.missing ? " is missing" : " is damaged or unreadable");
       if (repair) {
@@ -1453,10 +1515,11 @@ u64 RapidsPipeline::age_object(const std::string& name, u32 keep_levels) {
                      "age: keep_levels must be in [1, levels)");
 
   // Drop the deep levels' fragments everywhere and forget their locations.
+  const std::string sname = record->storage_name(name);
   u64 reclaimed = 0;
   for (u32 level = keep_levels; level < current; ++level) {
-    for (const auto& [sys, idx] : fragment_locations(name, level)) {
-      const std::string key = ec::FragmentId{name, level, idx}.key();
+    for (const auto& [sys, idx] : fragment_locations(sname, level)) {
+      const std::string key = ec::FragmentId{sname, level, idx}.key();
       auto& host = cluster_.system(sys);
       if (host.has(key)) {
         // Logical payload size: level bytes spread over k fragments.
@@ -1489,14 +1552,15 @@ u32 RapidsPipeline::evacuate_system(const std::string& name, u32 system) {
   const u32 n = cluster_.size();
   RAPIDS_REQUIRE(system < n);
 
+  const std::string sname = record->storage_name(name);
   u32 moved = 0;
   std::vector<std::pair<std::string, std::string>> new_locations;
   for (u32 level = 0; level < record->ft.size(); ++level) {
-    const auto locations = fragment_locations(name, level);
+    const auto locations = fragment_locations(sname, level);
     const auto loc = locations.find(system);
     if (loc == locations.end()) continue;  // nothing of this level here
     const u32 idx = loc->second;
-    const std::string key = ec::FragmentId{name, level, idx}.key();
+    const std::string key = ec::FragmentId{sname, level, idx}.key();
     if (!cluster_.system(system).has(key)) continue;  // already elsewhere
 
     // Destination: the system (other than the source) currently holding the
@@ -1515,7 +1579,7 @@ u32 RapidsPipeline::evacuate_system(const std::string& name, u32 system) {
     // rebuilding from survivors if the source copy is unreadable.
     std::optional<ec::Fragment> frag;
     if (cluster_.system(system).available()) {
-      auto out = fetch_with_retry(system, {name, level, idx});
+      auto out = fetch_with_retry(system, {sname, level, idx});
       frag = std::move(out.fragment);
     }
     bool moved_direct = false;
@@ -1538,6 +1602,208 @@ u32 RapidsPipeline::evacuate_system(const std::string& name, u32 system) {
   db_.put_batch(new_locations);
   persist_health();
   return moved;
+}
+
+f64 RapidsPipeline::nominal_failure_prob() const {
+  return cluster_.config().failure_prob;
+}
+
+std::optional<ObjectRecord> RapidsPipeline::snapshot_record(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return lookup(name);
+}
+
+std::vector<std::string> RapidsPipeline::snapshot_object_names() {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  return list_objects();
+}
+
+std::vector<f64> RapidsPipeline::snapshot_bandwidths() {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  if (config_.adapt_bandwidth) return tracker().estimates();
+  return cluster_.bandwidths();
+}
+
+std::vector<f64> RapidsPipeline::failure_prob_estimates(f64 prior_strength) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  const u32 n = cluster_.size();
+  const f64 prior_p = cluster_.config().failure_prob;
+  std::vector<f64> out(n, prior_p);
+  for (u32 i = 0; i < n; ++i) {
+    if (!cluster_.system(i).available()) {
+      out[i] = 1.0;  // hard down right now, not a statistical estimate
+    } else if (config_.health_tracking) {
+      out[i] = health().estimated_failure_prob(i, prior_p, prior_strength);
+    }
+  }
+  return out;
+}
+
+std::vector<storage::CircuitState> RapidsPipeline::breaker_states() {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  const u32 n = cluster_.size();
+  std::vector<storage::CircuitState> out(n, storage::CircuitState::kClosed);
+  if (config_.health_tracking)
+    for (u32 i = 0; i < n; ++i) out[i] = health().circuit_state(i);
+  return out;
+}
+
+void RapidsPipeline::set_health_transition_callback(
+    storage::SystemHealth::TransitionCallback cb) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  health().set_transition_callback(std::move(cb));
+}
+
+void RapidsPipeline::with_metadata_lock(
+    const std::function<void(kv::KvStore&)>& fn) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  fn(db_);
+}
+
+Bytes RapidsPipeline::fetch_level_payload(const std::string& name, u32 level,
+                                          u64* wan_bytes) {
+  std::optional<ObjectRecord> record;
+  GatherProblem problem;
+  snapshot_problem(name, record, problem);
+  RAPIDS_REQUIRE_MSG(level < record->ft.size(),
+                     "fetch_level: level out of range for " + name);
+  const u32 generation = record->generation;
+  Bytes hit;
+  if (restore_cache_.get(name, generation, level, hit) ==
+      storage::RestoreCache::Outcome::kHit)
+    return hit;
+
+  const u32 nlevels = static_cast<u32>(record->ft.size());
+  std::vector<Bytes> payloads(nlevels);
+  RestoreReport report;
+  const std::vector<u32> wanted{level};
+  for (;;) {
+    u32 failed = 0;
+    for (const bool a : problem.available) failed += a ? 0 : 1;
+    if (failed > problem.m[level])
+      throw io_error("fetch_level: level " + std::to_string(level) + " of " +
+                     name + " is not recoverable under current outages");
+    // false means fetch_levels marked at least one more system unavailable,
+    // so the failure count above strictly grows and this loop terminates.
+    if (fetch_levels(*record, name, problem, wanted, nullptr, report, payloads,
+                     {}))
+      break;
+  }
+  if (wan_bytes != nullptr) *wan_bytes += report.bytes_transferred;
+  restore_cache_.put(name, generation, level, payloads[level]);
+  return std::move(payloads[level]);
+}
+
+u64 RapidsPipeline::store_level_generation(const std::string& name,
+                                           u32 generation, u32 level,
+                                           u32 m_new,
+                                           std::span<const std::byte> payload) {
+  const u32 n = cluster_.size();
+  RAPIDS_REQUIRE_MSG(m_new >= 1 && m_new < n,
+                     "store_level_generation: parity count out of range");
+  std::optional<ObjectRecord> record;
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    record = lookup(name);
+  }
+  RAPIDS_REQUIRE_MSG(record.has_value(),
+                     "store_level_generation: unknown object " + name);
+  RAPIDS_REQUIRE_MSG(level < record->ft.size(),
+                     "store_level_generation: level out of range");
+  RAPIDS_REQUIRE_MSG(generation != record->generation,
+                     "store_level_generation: target generation is live");
+
+  // Encode outside the lock: pure compute over the caller's payload.
+  const std::string sname = generation_storage_name(name, generation);
+  const ec::ReedSolomon rs(n - m_new, m_new, record->matrix_kind);
+  const std::span<const u8> data{reinterpret_cast<const u8*>(payload.data()),
+                                 payload.size()};
+  const auto frags = rs.encode(data, sname, level, pool_);
+
+  StoreStats stats;
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    store_level_locked(sname, level, frags,
+                       config_.streaming ? config_.stream_stripe_bytes : 0,
+                       stats);
+    persist_health();
+  }
+  u64 bytes = 0;
+  for (const auto& tr : stats.transfers) bytes += tr.bytes;
+  return bytes;
+}
+
+void RapidsPipeline::flip_generation(const std::string& name,
+                                     u32 new_generation,
+                                     const FtConfig& new_ft, f64 planned_p,
+                                     f64 planned_error) {
+  {
+    std::lock_guard<std::mutex> lock(io_mu_);
+    auto record = lookup(name);
+    RAPIDS_REQUIRE_MSG(record.has_value(),
+                       "flip_generation: unknown object " + name);
+    RAPIDS_REQUIRE_MSG(new_ft.size() == record->ft.size(),
+                       "flip_generation: ft level count mismatch");
+    RAPIDS_REQUIRE_MSG(valid_ft_config(cluster_.size(), new_ft),
+                       "flip_generation: invalid ft config");
+    if (record->generation == new_generation && record->ft == new_ft)
+      return;  // idempotent replay after a crash between flip and journal
+    record->generation = new_generation;
+    record->ft = new_ft;
+    record->planned_p = planned_p;
+    record->planned_error = planned_error;
+    const Bytes wire = record->serialize();
+    // The commit point: one put, one WAL barrier. Before it every restore
+    // reads the old generation; after it, the new one. No torn state exists.
+    db_.put(object_key(name), std::string(
+        reinterpret_cast<const char*>(wire.data()), wire.size()));
+  }
+  // Cached payloads belong to the old generation's keys; drop them all so a
+  // concurrent restore that raced the flip cannot serve a stale mix.
+  restore_cache_.invalidate(name);
+}
+
+u64 RapidsPipeline::gc_generation(const std::string& name, u32 generation) {
+  std::lock_guard<std::mutex> lock(io_mu_);
+  const auto record = lookup(name);
+  RAPIDS_REQUIRE_MSG(!record || record->generation != generation,
+                     "gc_generation: refusing to drop the live generation");
+  return gc_generation_locked(name, generation);
+}
+
+u64 RapidsPipeline::gc_generation_locked(const std::string& name,
+                                         u32 generation) {
+  const std::string sname = generation_storage_name(name, generation);
+  const std::string prefix = "frag/" + sname + "/";
+  u64 erased = 0;
+  std::vector<std::string> stale_keys;
+  for (const auto& [key, value] : db_.scan_prefix(prefix)) {
+    stale_keys.push_back(key);
+    u32 sys = 0;
+    try {
+      sys = static_cast<u32>(std::stoul(value));
+    } catch (...) {
+      continue;  // malformed location entry: tombstone it anyway
+    }
+    if (sys >= cluster_.size()) continue;
+    auto& host = cluster_.system(sys);
+    if (host.has(key)) {
+      host.erase(key);
+      ++erased;
+    }
+  }
+  // Orphan sweep: a phase-1 crash can leave fragments whose location entry
+  // never made it into the batch (store_level_locked writes locations after
+  // all puts of a level). The per-system key index catches those.
+  for (u32 s = 0; s < cluster_.size(); ++s) {
+    for (const auto& key : cluster_.system(s).keys_with_prefix(prefix)) {
+      cluster_.system(s).erase(key);
+      ++erased;
+    }
+  }
+  if (!stale_keys.empty()) db_.del_batch(stale_keys);
+  return erased;
 }
 
 }  // namespace rapids::core

@@ -112,6 +112,14 @@ struct PipelineConfig {
   u32 stream_level_window = 2;
 };
 
+/// Storage-key name of one encoding generation of an object: generation 0
+/// keeps the plain object name (the pre-migration layout, and what prepare
+/// always writes), generation g > 0 appends "@g<g>" so both generations'
+/// fragments coexist on the systems while a background migration is in
+/// flight. '@' never appears in a generation suffix's digits, so prefixes of
+/// distinct generations can never shadow each other.
+std::string generation_storage_name(const std::string& name, u32 generation);
+
 /// Everything persisted about one prepared object (the metadata record).
 struct ObjectRecord {
   mgard::RefactoredObject meta;  ///< payloads empty when deserialized
@@ -119,6 +127,20 @@ struct ObjectRecord {
   std::vector<u64> level_sizes;  ///< encoded retrieval-level bytes s_1..s_l
   ec::MatrixKind matrix_kind = ec::MatrixKind::kVandermonde;
   storage::PlacementPolicy placement = storage::PlacementPolicy::kRotate;
+  /// Encoding generation the fragment keys live under (bumped by each
+  /// completed background migration; 0 = as prepared).
+  u32 generation = 0;
+  /// Per-system failure probability the current ft was optimized against
+  /// (mean across systems when heterogeneous) — the drift baseline.
+  f64 planned_p = 0.0;
+  /// Eq. 5 expected error the optimizer promised under planned_p; the
+  /// controller re-evaluates against this margin as availability moves.
+  f64 planned_error = 0.0;
+
+  /// The name fragment keys of the current generation are stored under.
+  std::string storage_name(const std::string& name) const {
+    return generation_storage_name(name, generation);
+  }
 
   Bytes serialize() const;
   static ObjectRecord deserialize(std::span<const std::byte> data);
@@ -257,6 +279,12 @@ class RapidsPipeline {
 
   const PipelineConfig& config() const { return config_; }
 
+  /// The cluster's nominal per-system outage probability (immutable config,
+  /// safe without the I/O lock) — the prior behind failure_prob_estimates()
+  /// and the fallback plan baseline for records that predate the control
+  /// plane.
+  f64 nominal_failure_prob() const;
+
   /// Full data-preparation phase for one object.
   PrepareReport prepare(std::span<const f32> data, mgard::Dims dims,
                         const std::string& name);
@@ -366,6 +394,81 @@ class RapidsPipeline {
   /// (fragments including parity). Requires 1 <= keep_levels < current.
   u64 age_object(const std::string& name, u32 keep_levels);
 
+  // --- control-plane surface (background controller, CLI status) ---
+  //
+  // Everything below takes the pipeline's I/O lock internally, so a
+  // background controller thread can drive it while foreground prepares /
+  // restores are in flight.
+
+  /// Metadata lookup under the I/O lock (lookup() itself is unsynchronized
+  /// and meant for single-threaded callers).
+  std::optional<ObjectRecord> snapshot_record(const std::string& name);
+
+  /// list_objects() under the I/O lock.
+  std::vector<std::string> snapshot_object_names();
+
+  /// Current per-system bandwidth estimates under the I/O lock.
+  std::vector<f64> snapshot_bandwidths();
+
+  /// Per-system failure-probability estimates for re-evaluation: the health
+  /// tracker's Beta-smoothed counter estimate (prior = the cluster's nominal
+  /// p), floored at 0.5 while a breaker is open, and 1.0 for systems the
+  /// cluster currently marks unavailable.
+  std::vector<f64> failure_prob_estimates(f64 prior_strength = 20.0);
+
+  /// Per-system breaker states (non-mutating peek under the I/O lock).
+  std::vector<storage::CircuitState> breaker_states();
+
+  /// Register (or with an empty function, detach) the health tracker's
+  /// breaker-transition callback. It fires while the pipeline holds its I/O
+  /// lock, so the callback must only hand the event off (enqueue under its
+  /// own leaf lock) — it must not call back into the pipeline.
+  void set_health_transition_callback(
+      storage::SystemHealth::TransitionCallback cb);
+
+  /// Run `fn` with exclusive access to the metadata store. The control
+  /// plane's migration journal shares the KV database with the pipeline,
+  /// whose own accesses all serialize on the same internal lock; routing
+  /// journal reads/writes through here keeps that invariant. `fn` must not
+  /// call back into the pipeline.
+  void with_metadata_lock(const std::function<void(kv::KvStore&)>& fn);
+
+  // --- crash-safe two-phase migration primitives (control::MigrationEngine
+  //     sequences these; each call is individually atomic/idempotent) ---
+
+  /// Fetch and erasure-decode one retrieval level of `name`'s *current*
+  /// generation (restore cache consulted first). Adds the fragment bytes
+  /// actually fetched over the simulated WAN to *wan_bytes when non-null.
+  /// Throws io_error when the level is not recoverable right now.
+  Bytes fetch_level_payload(const std::string& name, u32 level,
+                            u64* wan_bytes = nullptr);
+
+  /// Phase 1 of a migration step: re-encode one level payload with parity
+  /// count `m_new` and store its fragments under generation `generation`'s
+  /// keys (streaming puts when the pipeline streams, with the usual retry /
+  /// relocate / health machinery). The object's live record is untouched —
+  /// restores keep serving the old generation. Re-running the same call
+  /// overwrites the same keys, so phase-1 resume after a crash is a plain
+  /// replay. Returns fragment bytes shipped.
+  u64 store_level_generation(const std::string& name, u32 generation,
+                             u32 level, u32 m_new,
+                             std::span<const std::byte> payload);
+
+  /// Phase 2, the commit point: durably flip `name` to `new_generation` /
+  /// `new_ft` with one atomic ObjectRecord write (single KV put → single
+  /// WAL barrier), stamping the re-optimizer's planned_p / planned_error.
+  /// Every cached payload of the object is invalidated. Idempotent.
+  void flip_generation(const std::string& name, u32 new_generation,
+                       const FtConfig& new_ft, f64 planned_p,
+                       f64 planned_error);
+
+  /// Phase 3 / rollback: drop every fragment of `name`'s generation
+  /// `generation` — location keys from the metadata store (one delete
+  /// batch) plus a per-system key sweep that catches orphans whose
+  /// locations were never recorded (a phase-1 crash window). Idempotent:
+  /// absent fragments and keys are no-ops. Returns fragments erased.
+  u64 gc_generation(const std::string& name, u32 generation);
+
  private:
   /// Single-object bodies shared by the serial and batch entry points. The
   /// compute stages run lock-free; every touch of shared state (cluster
@@ -426,6 +529,8 @@ class RapidsPipeline {
   /// helping waiter inside the lock could steal a task that needs it).
   void repair_fragment_locked(const std::string& name, u32 level, u32 index,
                               u32 target_system);
+  /// gc_generation body; caller must hold io_mu_.
+  u64 gc_generation_locked(const std::string& name, u32 generation);
   GatherPlan plan_gather(const GatherProblem& problem) const;
   /// Fragment locations of one level from the metadata store: system -> the
   /// fragment index it hosts (the authoritative map; placement only seeds it

@@ -83,6 +83,15 @@ void Db::del(const std::string& key) {
   maybe_flush();
 }
 
+void Db::del_batch(std::span<const std::string> keys) {
+  if (keys.empty()) return;
+  for (const auto& key : keys)
+    RAPIDS_REQUIRE_MSG(!key.empty(), "Db::del_batch: empty key");
+  wal_->append_delete_batch(keys);
+  for (const auto& key : keys) memtable_.del(key);
+  maybe_flush();
+}
+
 std::optional<std::string> Db::get(const std::string& key) {
   if (auto hit = memtable_.get(key)) return *hit;  // value or tombstone
   for (auto it = runs_.rbegin(); it != runs_.rend(); ++it)

@@ -51,6 +51,10 @@ class Db : public KvStore {
   /// Delete (tombstone).
   void del(const std::string& key) override;
 
+  /// Batched delete: all tombstones go to the WAL as one buffered write (one
+  /// flush barrier for N keys) and the flush check runs once at the end.
+  void del_batch(std::span<const std::string> keys) override;
+
   /// Lookup; nullopt if absent or deleted.
   std::optional<std::string> get(const std::string& key) override;
 

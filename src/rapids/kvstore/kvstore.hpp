@@ -35,6 +35,14 @@ class KvStore {
   /// Delete (absent keys are a no-op).
   virtual void del(const std::string& key) = 0;
 
+  /// Delete a batch of keys. Like put_batch, implementations may group the
+  /// batch into a single durability barrier — migration GC drops every
+  /// superseded fragment-location key of an object this way. Default: loop
+  /// over del().
+  virtual void del_batch(std::span<const std::string> keys) {
+    for (const auto& key : keys) del(key);
+  }
+
   /// Lookup; nullopt if absent or deleted.
   virtual std::optional<std::string> get(const std::string& key) = 0;
 

@@ -64,6 +64,19 @@ void WalWriter::append_batch(
   bytes_written_ += buf.size();
 }
 
+void WalWriter::append_delete_batch(std::span<const std::string> keys) {
+  if (keys.empty()) return;
+  u64 total = 0;
+  for (const auto& key : keys) total += key.size() + 24;
+  ByteWriter frames(total);
+  for (const auto& key : keys) frame_record(frames, WalOp::kDelete, key, "");
+  const Bytes& buf = frames.bytes();
+  if (std::fwrite(buf.data(), 1, buf.size(), file_) != buf.size())
+    throw io_error("WAL: short delete-batch append to " + path_);
+  std::fflush(file_);
+  bytes_written_ += buf.size();
+}
+
 void WalWriter::reset() {
   std::fclose(file_);
   file_ = std::fopen(path_.c_str(), "wb");

@@ -48,6 +48,10 @@ class WalWriter {
   /// batch. A torn tail mid-batch loses only the suffix, as with N appends.
   void append_batch(std::span<const std::pair<std::string, std::string>> entries);
 
+  /// Append a batch of deletes with the same single-barrier semantics as
+  /// append_batch (one fwrite+fflush for all N tombstone frames).
+  void append_delete_batch(std::span<const std::string> keys);
+
   /// Truncate the log to empty (after a successful memtable flush).
   void reset();
 

@@ -11,6 +11,7 @@
 ///   auto report  = pipeline.prepare(field, dims, "my_object");
 ///   auto restore = pipeline.restore("my_object");
 
+#include "rapids/control/controller.hpp"
 #include "rapids/core/availability.hpp"
 #include "rapids/core/baselines.hpp"
 #include "rapids/core/ft_optimizer.hpp"

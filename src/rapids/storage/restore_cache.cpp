@@ -4,10 +4,10 @@
 
 namespace rapids::storage {
 
-RestoreCache::Outcome RestoreCache::get(const std::string& name, u32 level,
-                                        Bytes& out) {
+RestoreCache::Outcome RestoreCache::get(const std::string& name,
+                                        u32 generation, u32 level, Bytes& out) {
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(Key{name, level});
+  const auto it = index_.find(Key{name, generation, level});
   if (it == index_.end()) {
     ++misses_;
     return Outcome::kMiss;
@@ -24,11 +24,11 @@ RestoreCache::Outcome RestoreCache::get(const std::string& name, u32 level,
   return Outcome::kHit;
 }
 
-void RestoreCache::put(const std::string& name, u32 level,
+void RestoreCache::put(const std::string& name, u32 generation, u32 level,
                        std::span<const std::byte> payload) {
   if (payload.size() > budget_) return;  // covers budget_ == 0 (disabled)
   std::lock_guard<std::mutex> lock(mu_);
-  const Key key{name, level};
+  const Key key{name, generation, level};
   if (const auto it = index_.find(key); it != index_.end()) drop(it->second);
   while (bytes_ + payload.size() > budget_ && !lru_.empty()) {
     ++evictions_;
@@ -47,12 +47,13 @@ void RestoreCache::invalidate(const std::string& name) {
 
 void RestoreCache::invalidate_from(const std::string& name, u32 first_level) {
   std::lock_guard<std::mutex> lock(mu_);
-  // Keys order (name, level) lexicographically, so the object's doomed levels
-  // form one contiguous map range.
-  auto it = index_.lower_bound(Key{name, first_level});
-  while (it != index_.end() && it->first.first == name) {
+  // Keys order (name, generation, level) lexicographically, so one object's
+  // entries form a contiguous map range; levels interleave across
+  // generations within it, so filter by level while walking the name range.
+  auto it = index_.lower_bound(Key{name, 0, 0});
+  while (it != index_.end() && std::get<0>(it->first) == name) {
     auto victim = it++;
-    drop(victim->second);
+    if (std::get<2>(victim->first) >= first_level) drop(victim->second);
   }
 }
 
@@ -76,10 +77,11 @@ RestoreCache::Stats RestoreCache::stats() const {
   return s;
 }
 
-bool RestoreCache::corrupt_entry_for_test(const std::string& name, u32 level,
+bool RestoreCache::corrupt_entry_for_test(const std::string& name,
+                                          u32 generation, u32 level,
                                           u64 byte_index) {
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(Key{name, level});
+  const auto it = index_.find(Key{name, generation, level});
   if (it == index_.end() || it->second->payload.empty()) return false;
   Bytes& payload = it->second->payload;
   payload[byte_index % payload.size()] ^= std::byte{0x40};

@@ -2,10 +2,15 @@
 
 /// \file restore_cache.hpp
 /// Byte-budgeted LRU cache of fetched retrieval-level payloads, keyed by
-/// (object name, retrieval level). The restore path consults it *before*
-/// gather planning: a hit skips the WAN fetch and erasure decode for that
-/// level entirely, which is what makes repeated restores and the refinement
-/// ladder pay only for bytes they have not seen yet.
+/// (object name, encoding generation, retrieval level). The restore path
+/// consults it *before* gather planning: a hit skips the WAN fetch and
+/// erasure decode for that level entirely, which is what makes repeated
+/// restores and the refinement ladder pay only for bytes they have not seen
+/// yet. The generation tag exists for background migration: after a
+/// migration flips an object to a new encoding generation, lookups carry the
+/// new generation and can never hit a payload cached under the old one, so a
+/// post-migration restore cannot merge stale bytes even if invalidation
+/// raced with a concurrent fill.
 ///
 /// Every entry stores the CRC-32C of its payload, recomputed on every get.
 /// A mismatch (bit rot, or a fault injector scribbling on memory it should
@@ -17,6 +22,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <tuple>
 
 #include "rapids/util/bytes.hpp"
 #include "rapids/util/common.hpp"
@@ -38,19 +44,22 @@ class RestoreCache {
     kCorrupt,  ///< was cached but failed CRC; entry evicted, `out` untouched
   };
 
-  /// Look up (name, level); a verified hit copies the payload into `out` and
-  /// refreshes the entry's LRU position.
-  Outcome get(const std::string& name, u32 level, Bytes& out);
+  /// Look up (name, generation, level); a verified hit copies the payload
+  /// into `out` and refreshes the entry's LRU position.
+  Outcome get(const std::string& name, u32 generation, u32 level, Bytes& out);
 
-  /// Insert or refresh (name, level). Entries larger than the whole budget
-  /// are not cached; otherwise least-recently-used entries are evicted until
-  /// the new total fits.
-  void put(const std::string& name, u32 level, std::span<const std::byte> payload);
+  /// Insert or refresh (name, generation, level). Entries larger than the
+  /// whole budget are not cached; otherwise least-recently-used entries are
+  /// evicted until the new total fits.
+  void put(const std::string& name, u32 generation, u32 level,
+           std::span<const std::byte> payload);
 
-  /// Drop every cached level of `name` (the object was re-prepared).
+  /// Drop every cached level of `name`, across all generations (the object
+  /// was re-prepared or migrated).
   void invalidate(const std::string& name);
 
-  /// Drop cached levels >= `first_level` of `name` (the object was aged).
+  /// Drop cached levels >= `first_level` of `name`, across all generations
+  /// (the object was aged).
   void invalidate_from(const std::string& name, u32 first_level);
 
   /// Drop everything.
@@ -72,11 +81,11 @@ class RestoreCache {
   /// Test hook: flip one bit of a cached payload in place (returns false if
   /// the entry is absent or empty). Lets chaos tests inject silent cache
   /// corruption without reaching into private state.
-  bool corrupt_entry_for_test(const std::string& name, u32 level,
-                              u64 byte_index = 0);
+  bool corrupt_entry_for_test(const std::string& name, u32 generation,
+                              u32 level, u64 byte_index = 0);
 
  private:
-  using Key = std::pair<std::string, u32>;
+  using Key = std::tuple<std::string, u32, u32>;  // (name, generation, level)
   struct Entry {
     Key key;
     Bytes payload;

@@ -200,6 +200,17 @@ void StorageSystem::erase(const std::string& key) {
   erase_locked(key);
 }
 
+std::vector<std::string> StorageSystem::keys_with_prefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = store_.lower_bound(prefix);
+       it != store_.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it)
+    out.push_back(it->first);
+  return out;
+}
+
 void StorageSystem::erase_locked(const std::string& key) {
   auto it = store_.find(key);
   if (it == store_.end()) return;

@@ -128,6 +128,12 @@ class StorageSystem {
   /// Drop a fragment (permanent loss, to exercise the repair path).
   void erase(const std::string& key);
 
+  /// Stored fragment keys starting with `prefix`, sorted. Like has(), this
+  /// is metadata knowledge and works while the system is down — the
+  /// control plane uses it to sweep superseded-generation fragments during
+  /// migration GC without assuming the KV index is complete.
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+
   /// Total bytes of stored fragment payloads.
   u64 used_bytes() const;
 

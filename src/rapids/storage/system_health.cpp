@@ -1,5 +1,7 @@
 #include "rapids/storage/system_health.hpp"
 
+#include <algorithm>
+
 namespace rapids::storage {
 
 namespace {
@@ -18,10 +20,13 @@ void SystemHealth::record_success(u32 system, f64 latency_multiplier) {
   ++events_;
   ++s.successes;
   s.consecutive_failures = 0;
+  const bool recovered = s.circuit != Circuit::kClosed;
   s.circuit = Circuit::kClosed;
   if (latency_multiplier > 0.0)
     s.latency_ewma = (1.0 - options_.latency_alpha) * s.latency_ewma +
                      options_.latency_alpha * latency_multiplier;
+  if (recovered && on_transition_)
+    on_transition_(system, HealthTransition::kRecovered);
 }
 
 void SystemHealth::record_failure(u32 system) {
@@ -35,6 +40,7 @@ void SystemHealth::record_failure(u32 system) {
     s.circuit = Circuit::kOpen;
     s.opened_at_event = events_;
     ++s.opens;
+    if (on_transition_) on_transition_(system, HealthTransition::kOpened);
   }
 }
 
@@ -47,11 +53,25 @@ bool SystemHealth::allow(u32 system) {
     case Circuit::kOpen:
       if (events_ - s.opened_at_event >= options_.open_cooldown_events) {
         s.circuit = Circuit::kHalfOpen;  // one probe is now in flight
+        if (on_transition_)
+          on_transition_(system, HealthTransition::kHalfOpened);
         return true;
       }
       return false;
   }
   return true;
+}
+
+f64 SystemHealth::estimated_failure_prob(u32 system, f64 prior_p,
+                                         f64 prior_strength) const {
+  RAPIDS_REQUIRE(prior_p >= 0.0 && prior_p <= 1.0);
+  RAPIDS_REQUIRE(prior_strength > 0.0);
+  const State& s = states_.at(system);
+  const f64 trials = static_cast<f64>(s.failures + s.successes);
+  const f64 est = (static_cast<f64>(s.failures) + prior_strength * prior_p) /
+                  (trials + prior_strength);
+  if (s.circuit == Circuit::kOpen) return std::max(est, 0.5);
+  return est;
 }
 
 bool SystemHealth::is_open(u32 system) const {

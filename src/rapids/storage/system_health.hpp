@@ -13,6 +13,7 @@
 /// recorded outcome across all systems), not wall time — deterministic and
 /// consistent with the simulated transfer clock.
 
+#include <functional>
 #include <vector>
 
 #include "rapids/util/bytes.hpp"
@@ -25,6 +26,16 @@ struct HealthOptions {
   u32 failure_threshold = 3;    ///< consecutive failures that open the circuit
   u64 open_cooldown_events = 16;  ///< recorded events before a half-open probe
   f64 latency_alpha = 0.3;      ///< EWMA weight for latency multipliers
+};
+
+/// Breaker state, exposed for observers (CLI status, control plane).
+enum class CircuitState : u8 { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+/// Circuit transitions surfaced to the registered callback.
+enum class HealthTransition : u8 {
+  kOpened = 0,     ///< closed/half-open -> open (failure threshold tripped)
+  kHalfOpened = 1, ///< open -> half-open (cooldown elapsed, probe in flight)
+  kRecovered = 2,  ///< open/half-open -> closed (a probe succeeded)
 };
 
 /// Health state for every system of a cluster.
@@ -52,6 +63,29 @@ class SystemHealth {
   /// True while the circuit is open and the cooldown has not elapsed
   /// (non-mutating peek).
   bool is_open(u32 system) const;
+
+  /// Current breaker state (non-mutating peek; an open circuit whose
+  /// cooldown elapsed still reads kOpen until the next allow() probes it).
+  CircuitState circuit_state(u32 system) const {
+    return static_cast<CircuitState>(states_.at(system).circuit);
+  }
+
+  /// Register an observer invoked on every breaker transition, replacing any
+  /// previous one (pass nullptr / {} to detach). The callback fires inside
+  /// record_success / record_failure / allow under whatever lock the caller
+  /// holds around those — SystemHealth itself is externally synchronized, so
+  /// the callback must not re-enter this tracker or acquire that lock.
+  using TransitionCallback = std::function<void(u32 system, HealthTransition)>;
+  void set_transition_callback(TransitionCallback cb) {
+    on_transition_ = std::move(cb);
+  }
+
+  /// Smoothed failure-probability estimate for `system` from its lifetime
+  /// counters: a Beta(prior_strength * prior_p, prior_strength * (1-prior_p))
+  /// posterior mean, floored at 0.5 while the breaker is open (the system is
+  /// failing *now*, whatever its history says).
+  f64 estimated_failure_prob(u32 system, f64 prior_p,
+                             f64 prior_strength = 20.0) const;
 
   u64 failures(u32 system) const { return states_.at(system).failures; }
   u64 successes(u32 system) const { return states_.at(system).successes; }
@@ -82,6 +116,7 @@ class SystemHealth {
   HealthOptions options_;
   std::vector<State> states_;
   u64 events_ = 0;  ///< global logical clock: one tick per recorded outcome
+  TransitionCallback on_transition_;  ///< not serialized; re-attach after load
 };
 
 }  // namespace rapids::storage

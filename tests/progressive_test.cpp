@@ -143,12 +143,12 @@ Bytes make_payload(std::size_t n, u8 fill) {
 TEST(RestoreCache, HitMissAndLru) {
   RestoreCache cache(1024);
   Bytes out;
-  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kMiss);
-  cache.put("a", 0, make_payload(100, 1));
-  cache.put("a", 1, make_payload(100, 2));
-  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 0, 0, out), RestoreCache::Outcome::kMiss);
+  cache.put("a", 0, 0, make_payload(100, 1));
+  cache.put("a", 0, 1, make_payload(100, 2));
+  EXPECT_EQ(cache.get("a", 0, 0, out), RestoreCache::Outcome::kHit);
   EXPECT_EQ(out, make_payload(100, 1));
-  EXPECT_EQ(cache.get("a", 1, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 0, 1, out), RestoreCache::Outcome::kHit);
   EXPECT_EQ(out, make_payload(100, 2));
   const auto s = cache.stats();
   EXPECT_EQ(s.hits, 2u);
@@ -159,56 +159,56 @@ TEST(RestoreCache, HitMissAndLru) {
 
 TEST(RestoreCache, EvictsLeastRecentlyUsedUnderBudget) {
   RestoreCache cache(300);
-  cache.put("a", 0, make_payload(100, 1));
-  cache.put("a", 1, make_payload(100, 2));
-  cache.put("a", 2, make_payload(100, 3));
+  cache.put("a", 0, 0, make_payload(100, 1));
+  cache.put("a", 0, 1, make_payload(100, 2));
+  cache.put("a", 0, 2, make_payload(100, 3));
   Bytes out;
   // Touch level 0 so level 1 becomes the LRU victim.
-  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kHit);
-  cache.put("a", 3, make_payload(100, 4));
-  EXPECT_EQ(cache.get("a", 1, out), RestoreCache::Outcome::kMiss);
-  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kHit);
-  EXPECT_EQ(cache.get("a", 2, out), RestoreCache::Outcome::kHit);
-  EXPECT_EQ(cache.get("a", 3, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 0, 0, out), RestoreCache::Outcome::kHit);
+  cache.put("a", 0, 3, make_payload(100, 4));
+  EXPECT_EQ(cache.get("a", 0, 1, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.get("a", 0, 0, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 0, 2, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 0, 3, out), RestoreCache::Outcome::kHit);
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_LE(cache.stats().bytes, 300u);
 }
 
 TEST(RestoreCache, CorruptEntryEvictedThenMisses) {
   RestoreCache cache(1024);
-  cache.put("a", 0, make_payload(64, 9));
-  ASSERT_TRUE(cache.corrupt_entry_for_test("a", 0));
+  cache.put("a", 0, 0, make_payload(64, 9));
+  ASSERT_TRUE(cache.corrupt_entry_for_test("a", 0, 0));
   Bytes out;
-  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kCorrupt);
-  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.get("a", 0, 0, out), RestoreCache::Outcome::kCorrupt);
+  EXPECT_EQ(cache.get("a", 0, 0, out), RestoreCache::Outcome::kMiss);
   EXPECT_EQ(cache.stats().corrupt_evictions, 1u);
   EXPECT_EQ(cache.stats().entries, 0u);
 }
 
 TEST(RestoreCache, InvalidateFromDropsDeepLevelsOnly) {
   RestoreCache cache(1024);
-  for (u32 j = 0; j < 4; ++j) cache.put("a", j, make_payload(10, u8(j)));
-  cache.put("b", 3, make_payload(10, 50));
+  for (u32 j = 0; j < 4; ++j) cache.put("a", 0, j, make_payload(10, u8(j)));
+  cache.put("b", 0, 3, make_payload(10, 50));
   cache.invalidate_from("a", 2);
   Bytes out;
-  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kHit);
-  EXPECT_EQ(cache.get("a", 1, out), RestoreCache::Outcome::kHit);
-  EXPECT_EQ(cache.get("a", 2, out), RestoreCache::Outcome::kMiss);
-  EXPECT_EQ(cache.get("a", 3, out), RestoreCache::Outcome::kMiss);
-  EXPECT_EQ(cache.get("b", 3, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 0, 0, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 0, 1, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 0, 2, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.get("a", 0, 3, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.get("b", 0, 3, out), RestoreCache::Outcome::kHit);
   cache.invalidate("a");
-  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kMiss);
-  EXPECT_EQ(cache.get("b", 3, out), RestoreCache::Outcome::kHit);
+  EXPECT_EQ(cache.get("a", 0, 0, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.get("b", 0, 3, out), RestoreCache::Outcome::kHit);
 }
 
 TEST(RestoreCache, OversizePayloadAndZeroBudgetRejected) {
   RestoreCache cache(100);
-  cache.put("a", 0, make_payload(101, 1));
+  cache.put("a", 0, 0, make_payload(101, 1));
   Bytes out;
-  EXPECT_EQ(cache.get("a", 0, out), RestoreCache::Outcome::kMiss);
+  EXPECT_EQ(cache.get("a", 0, 0, out), RestoreCache::Outcome::kMiss);
   RestoreCache off(0);
-  off.put("a", 0, make_payload(1, 1));
-  EXPECT_EQ(off.get("a", 0, out), RestoreCache::Outcome::kMiss);
+  off.put("a", 0, 0, make_payload(1, 1));
+  EXPECT_EQ(off.get("a", 0, 0, out), RestoreCache::Outcome::kMiss);
   EXPECT_EQ(off.stats().inserts, 0u);
 }
 
@@ -390,7 +390,7 @@ TEST_F(RefineTest, CorruptedCacheEntryRefetchedAndBoundStillHolds) {
   const auto first = pipeline.restore("hp");
   ASSERT_EQ(first.levels_used, 4u);
 
-  ASSERT_TRUE(pipeline.restore_cache().corrupt_entry_for_test("hp", 1, 7));
+  ASSERT_TRUE(pipeline.restore_cache().corrupt_entry_for_test("hp", 0, 1, 7));
   const auto second = pipeline.restore("hp");
   EXPECT_EQ(second.cache_corrupt, 1u);
   EXPECT_EQ(second.cache_hits, 3u);
