@@ -93,3 +93,15 @@ if [[ -x "$CTL_BIN" ]]; then
 else
   echo "warning: $CTL_BIN not found — skipping control plane" >&2
 fi
+
+# Service load: open-loop 8-tenant 4x overload drill against the multi-tenant
+# object service — per-tenant p50/p99 and shed rate, zero accepted-then-
+# expired, brownout accuracy accounting, and same-seed schedule-hash
+# reproducibility.
+SVC_BIN="$BUILD_DIR/bench/service_load"
+SVC_OUT="$(dirname "$OUT")/BENCH_service.json"
+if [[ -x "$SVC_BIN" ]]; then
+  "$SVC_BIN" "$SVC_OUT"
+else
+  echo "warning: $SVC_BIN not found — skipping service load" >&2
+fi

@@ -18,8 +18,15 @@
 //       list objects, or show one object's configuration and level profile
 //   rapids_cli status <workspace>
 //       control-plane view: per-system breaker state and failure-probability
-//       estimates, per-object availability under those estimates, and the
-//       migration journal (pending vs completed background migrations)
+//       estimates, per-object availability under those estimates, the
+//       migration journal (pending vs completed background migrations), and
+//       the last recorded multi-tenant service run (per-tenant admit/shed/
+//       brownout counters and saturation state)
+//   rapids_cli serve <workspace> [tenants] [seconds] [overload] [seed]
+//       drive the multi-tenant object service over a seeded open-loop
+//       arrival schedule (overload = offered load as a multiple of
+//       capacity), print per-tenant admission/shed/brownout accounting,
+//       and persist the snapshot for `status`
 //
 // Example session:
 //   rapids_cli generate SCALE:PRES 65 65 33 pres.f32
@@ -28,10 +35,14 @@
 //   rapids_cli refine ws run1/PRES out 4e-3,5e-4,1e-6
 //   rapids_cli info ws run1/PRES
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <optional>
+#include <sstream>
 
 #include "rapids/rapids.hpp"
 
@@ -376,6 +387,21 @@ int cmd_status(int argc, char** argv) {
     }
   }
 
+  // Last recorded `serve` run (persisted under "svc/stats"): per-tenant
+  // queue depth, admit/shed/brownout counters, and the saturation state the
+  // run ended in.
+  std::optional<std::string> svc;
+  pipeline.with_metadata_lock(
+      [&](kv::KvStore& db) { svc = db.get("svc/stats"); });
+  if (svc) {
+    std::printf("service (last `serve` run):\n");
+    std::istringstream lines(*svc);
+    for (std::string line; std::getline(lines, line);)
+      if (!line.empty()) std::printf("  %s\n", line.c_str());
+  } else {
+    std::printf("service: no recorded run (use `rapids_cli serve`)\n");
+  }
+
   std::vector<control::MigrationRecord> journal_records;
   pipeline.with_metadata_lock([&](kv::KvStore& db) {
     control::MigrationJournal journal(db);
@@ -404,6 +430,187 @@ int cmd_status(int argc, char** argv) {
   return 0;
 }
 
+/// Drive the multi-tenant object service against the workspace's objects
+/// with a seeded open-loop Poisson arrival schedule. `overload` scales the
+/// offered load relative to the service's estimated capacity, so `serve ws
+/// 8 30 4` reproduces the 4x-overload regime of the service benchmark. The
+/// per-tenant snapshot is persisted under the metadata key "svc/stats" so a
+/// later `status` (possibly another process) can show it.
+int cmd_serve(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: rapids_cli serve <workspace> [tenants] [seconds] "
+                 "[overload] [seed]\n");
+    return 2;
+  }
+  const std::string wsdir = argv[2];
+  const u32 tenants =
+      argc > 3 ? static_cast<u32>(std::strtoul(argv[3], nullptr, 10)) : 4;
+  const f64 duration = argc > 4 ? std::strtod(argv[4], nullptr) : 30.0;
+  const f64 overload = argc > 5 ? std::strtod(argv[5], nullptr) : 2.0;
+  const u64 seed = argc > 6 ? std::strtoull(argv[6], nullptr, 10) : 7;
+  if (tenants == 0 || duration <= 0.0 || overload <= 0.0) {
+    std::fprintf(stderr, "tenants, seconds, and overload must be positive\n");
+    return 2;
+  }
+
+  auto ws = open_workspace(wsdir);
+  std::vector<std::string> names;
+  for (const auto& [key, value] : ws.db->scan_prefix("obj/"))
+    names.push_back(key.substr(4));
+  if (names.empty()) {
+    std::fprintf(stderr, "no objects in workspace; run `prepare` first\n");
+    return 1;
+  }
+  for (const auto& name : names)
+    if (!rebuild_fragment_index(ws, wsdir, name)) return 1;
+
+  ThreadPool pool;
+  core::PipelineConfig config;
+  config.aco.time_budget_seconds = 0.5;
+  core::RapidsPipeline pipeline(*ws.cluster, *ws.db, config, &pool);
+
+  service::ServiceOptions opts;
+  opts.tenant_weights.assign(tenants, 1.0);
+  if (tenants > 1) opts.tenant_weights[0] = 2.0;  // show weighted fairness
+  opts.keep_data = false;  // accounting run: don't hold restored fields
+  service::ObjectService svc(pipeline, opts, &pool);
+
+  // Size the offered load from the same cost model the service charges:
+  // capacity ~= lanes / mean request seconds.
+  const auto bw = pipeline.snapshot_bandwidths();
+  f64 rate = 0.0;
+  for (const f64 b : bw) rate += b;
+  rate /= static_cast<f64>(bw.size());
+  f64 mean_bytes = 0.0;
+  std::vector<std::vector<f64>> ladders(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto record = pipeline.lookup(names[i]);
+    u64 total = 0;
+    for (u32 j = 0; j < record->level_sizes.size(); ++j) {
+      total += record->level_sizes[j];
+      ladders[i].push_back(record->meta.rel_error_bound(j + 1));
+    }
+    mean_bytes += static_cast<f64>(total);
+  }
+  mean_bytes /= static_cast<f64>(names.size());
+  const f64 mean_cost_s = opts.cost_fixed_s + mean_bytes / rate;
+  const f64 lambda_per_tenant =
+      overload * static_cast<f64>(opts.lanes) /
+      (mean_cost_s * static_cast<f64>(tenants));
+
+  struct Arrival {
+    f64 t;
+    u32 tenant;
+    bool operator<(const Arrival& o) const {
+      return t != o.t ? t < o.t : tenant < o.tenant;
+    }
+  };
+  std::vector<Arrival> arrivals;
+  Rng root(seed);
+  std::vector<Rng> streams;
+  for (u32 u = 0; u < tenants; ++u) streams.push_back(root.fork());
+  for (u32 u = 0; u < tenants; ++u) {
+    f64 t = 0.0;
+    while (true) {
+      const f64 draw = streams[u].next_double();
+      t += -std::log(1.0 - draw) / lambda_per_tenant;
+      if (t >= duration) break;
+      arrivals.push_back({t, u});
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  std::printf("serving %zu objects to %u tenants for %.0fs at %.2fx capacity "
+              "(%zu arrivals, seed %llu)\n",
+              names.size(), tenants, duration, overload, arrivals.size(),
+              (unsigned long long)seed);
+  for (const auto& a : arrivals) {
+    svc.advance_to(a.t);
+    auto& rng = streams[a.tenant];
+    const std::size_t obj = rng.next_below(names.size());
+    service::Request req;
+    req.tenant = a.tenant;
+    req.verb = service::Verb::kRestore;
+    req.object = names[obj];
+    // Mix full-precision restores with bounded ones off the object's ladder.
+    const std::size_t rung = rng.next_below(ladders[obj].size() + 1);
+    req.rel_bound = rung == 0 ? 0.0 : ladders[obj][rung - 1];
+    const f64 pri = rng.next_double();
+    req.priority = pri < 0.2   ? service::Priority::kHigh
+                   : pri < 0.8 ? service::Priority::kNormal
+                               : service::Priority::kBatch;
+    req.deadline_s = a.t + mean_cost_s * (2.0 + 8.0 * rng.next_double());
+    svc.submit(req);
+  }
+  svc.drain();
+  const auto responses = svc.take_completed();
+
+  // Per-tenant completion latency percentiles (executed requests only).
+  std::vector<std::vector<f64>> lat(tenants);
+  for (const auto& r : responses)
+    if (r.outcome == service::Outcome::kOk ||
+        r.outcome == service::Outcome::kBrownout)
+      lat[r.tenant].push_back(r.completed_s - r.submitted_s);
+  const auto pct = [](std::vector<f64>& v, f64 q) {
+    if (v.empty()) return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto at = static_cast<std::size_t>(q * static_cast<f64>(v.size() - 1));
+    return v[at];
+  };
+
+  const auto total = svc.stats();
+  std::ostringstream snap;
+  char line[512];
+  std::snprintf(line, sizeof line,
+                "run: tenants=%u seconds=%.0f overload=%.2fx seed=%llu "
+                "objects=%zu arrivals=%zu",
+                tenants, duration, overload, (unsigned long long)seed,
+                names.size(), arrivals.size());
+  snap << line << '\n';
+  std::snprintf(line, sizeof line,
+                "state=%s backlog=%.2fs schedule_hash=%016llx decisions=%llu",
+                to_string(svc.load_state()), svc.backlog_s(),
+                (unsigned long long)total.schedule_hash,
+                (unsigned long long)total.decisions);
+  snap << line << '\n';
+  std::snprintf(line, sizeof line,
+                "admitted=%llu rejected=%llu shed=%llu completed=%llu "
+                "brownout_entries=%llu saturation_entries=%llu "
+                "brownout_s=%.2f saturated_s=%.2f",
+                (unsigned long long)total.admitted,
+                (unsigned long long)total.rejected,
+                (unsigned long long)total.shed,
+                (unsigned long long)total.completed,
+                (unsigned long long)total.brownout_entries,
+                (unsigned long long)total.saturation_entries,
+                total.brownout_s, total.saturated_s);
+  snap << line << '\n';
+  for (u32 u = 0; u < tenants; ++u) {
+    const auto ts = svc.tenant_stats(u);
+    std::snprintf(
+        line, sizeof line,
+        "tenant %u: weight=%.1f depth=%u peak=%u submitted=%llu "
+        "admitted=%llu rejected=%llu+%llu(rate) shed=%llu completed=%llu "
+        "brownouts=%llu missed=%llu p50=%.3fs p99=%.3fs",
+        u, opts.tenant_weights[u], ts.queue_depth, ts.peak_depth,
+        (unsigned long long)ts.submitted, (unsigned long long)ts.admitted,
+        (unsigned long long)ts.rejected_depth,
+        (unsigned long long)ts.rejected_rate, (unsigned long long)ts.shed,
+        (unsigned long long)ts.completed, (unsigned long long)ts.brownouts,
+        (unsigned long long)ts.deadline_missed, pct(lat[u], 0.5),
+        pct(lat[u], 0.99));
+    snap << line << '\n';
+  }
+  const std::string snapshot = snap.str();
+  std::printf("%s", snapshot.c_str());
+  pipeline.with_metadata_lock(
+      [&](kv::KvStore& db) { db.put("svc/stats", snapshot); });
+  std::printf("snapshot persisted; `rapids_cli status %s` shows it\n",
+              wsdir.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -411,7 +618,8 @@ int main(int argc, char** argv) {
     if (argc < 2) {
       std::fprintf(
           stderr,
-          "usage: rapids_cli <generate|prepare|restore|refine|info|status> ...\n");
+          "usage: rapids_cli "
+          "<generate|prepare|restore|refine|info|status|serve> ...\n");
       return 2;
     }
     const std::string cmd = argv[1];
@@ -421,6 +629,7 @@ int main(int argc, char** argv) {
     if (cmd == "refine") return cmd_refine(argc, argv);
     if (cmd == "info") return cmd_info(argc, argv);
     if (cmd == "status") return cmd_status(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
     std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
     return 2;
   } catch (const std::exception& e) {

@@ -23,7 +23,7 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 # TSan over the panel-parallel sweeps.
 SUITES=(parallel_test pipeline_test pipeline_batch_test progressive_test storage_test
         fault_injector_test chaos_test kernel_test mgard_test streaming_test
-        control_test control_chaos_test)
+        control_test control_chaos_test service_test service_chaos_test)
 
 run_tree() {
   local dir="$1" sanitize="$2"

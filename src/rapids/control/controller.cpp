@@ -73,6 +73,13 @@ void Controller::tick() {
   if (options_.rescan_ticks > 0 && stats_.ticks % options_.rescan_ticks == 0)
     mark_all_dirty();
   evaluate_dirty_objects();
+  // Backpressure from the request path: while the service reports
+  // saturation, keep planning but pause the traffic-heavy steps so
+  // background bytes never compete with overloaded foreground restores.
+  if (load_probe_ && load_probe_()) {
+    ++stats_.saturation_pauses;
+    return;
+  }
   advance_migrations();
   if (halted_) return;
   if (options_.proactive_repair) process_repairs();

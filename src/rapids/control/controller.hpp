@@ -93,6 +93,8 @@ struct ControllerStats {
   u64 bytes_migrated = 0;          ///< fragment bytes shipped by migrations
   u64 rate_limited_waits = 0;      ///< steps deferred by the token bucket
   u64 breaker_events = 0;          ///< health transitions observed
+  u64 saturation_pauses = 0;       ///< ticks whose migration/repair traffic
+                                   ///< was paused by the service load probe
 };
 
 /// Instants inside the migration state machine where the crash hook fires —
@@ -149,6 +151,15 @@ class Controller {
 
   void set_crash_hook(CrashHook hook) { crash_hook_ = std::move(hook); }
 
+  /// Foreground-load probe (e.g. ObjectService::saturated). While it returns
+  /// true, tick() keeps watching and planning but pauses the traffic-heavy
+  /// steps — migration advancement and proactive repair — so background
+  /// bytes never compete with an overloaded request path. Called once per
+  /// tick; may be invoked from the controller's thread.
+  void set_load_probe(std::function<bool()> probe) {
+    load_probe_ = std::move(probe);
+  }
+
  private:
   struct HealthEvent {
     u32 system = 0;
@@ -178,6 +189,7 @@ class Controller {
   TokenBucket bucket_;
   ControllerStats stats_;
   CrashHook crash_hook_;
+  std::function<bool()> load_probe_;
 
   f64 now_ = 0.0;
   bool halted_ = false;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <set>
 #include <thread>
 #include <utility>
@@ -698,9 +699,10 @@ GatherPlan RapidsPipeline::plan_gather(const GatherProblem& problem) const {
 }
 
 RapidsPipeline::FetchOutcome RapidsPipeline::fetch_with_retry(
-    u32 system, const ec::FragmentId& id) {
+    u32 system, const ec::FragmentId& id, f64 budget_s) {
   FetchOutcome out;
-  Backoff backoff(config_.retry, stable_hash(id.key(), system, 0xFE7C4ull));
+  Backoff backoff(config_.retry, stable_hash(id.key(), system, 0xFE7C4ull),
+                  budget_s);
   u32 attempts = 0;
   for (;;) {
     ++attempts;
@@ -729,6 +731,11 @@ RapidsPipeline::FetchOutcome RapidsPipeline::fetch_with_retry(
 
 RestoreReport RapidsPipeline::restore(const std::string& name) {
   return do_restore(name);
+}
+
+RestoreReport RapidsPipeline::restore(const std::string& name,
+                                      const RestoreOptions& opts) {
+  return do_restore(name, opts);
 }
 
 std::vector<RestoreReport> RapidsPipeline::restore_batch(
@@ -796,12 +803,21 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
                                   const solver::Selection* preplanned,
                                   RestoreReport& report,
                                   std::vector<Bytes>& payloads,
-                                  const FetchSink& sink) {
+                                  const FetchSink& sink,
+                                  const RestoreOptions& opts) {
   if (levels.empty()) return true;
   const u32 n = cluster_.size();
   // Fragment keys live under the record's current generation.
   const std::string sname = record.storage_name(name);
   Timer t;
+
+  // Remaining deadline budget for the resilience extras of this call:
+  // every retry backoff spends from it, and a hedge whose simulated launch
+  // point lies past it is never issued — no I/O outlives the request.
+  f64 budget_s = opts.sim_budget_s;
+  const auto spend_budget = [&budget_s](f64 backoff_seconds) {
+    if (std::isfinite(budget_s)) budget_s -= backoff_seconds;
+  };
 
   // A landed level is decoded, announced through the sink, and never
   // refetched: replanning around a failed system only covers the levels
@@ -953,9 +969,11 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
         for (std::size_t i = 0; i < fetches.size() && !bad_system; ++i) {
           const auto& f = fetches[i];
           if (f.level != j) continue;
-          auto primary = fetch_with_retry(f.system, {sname, real, f.index});
+          auto primary =
+              fetch_with_retry(f.system, {sname, real, f.index}, budget_s);
           report.fetch_retries += primary.attempts - 1;
           report.backoff_seconds += primary.backoff_seconds;
+          spend_budget(primary.backoff_seconds);
           const bool ok = primary.fragment.has_value();
           if (ok) landed_bytes += primary.fragment->payload.size();
           if (!primary.missing) record_health(f.system, ok, mults[i]);
@@ -967,7 +985,8 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
               times[i] > hedge_launch ||
               (config_.retry.op_timeout_s > 0.0 &&
                times[i] > config_.retry.op_timeout_s);
-          if (config_.hedged_reads && (straggling || !ok)) {
+          if (config_.hedged_reads && (straggling || !ok) &&
+              hedge_launch <= budget_s) {
             // Hedge: duplicate the read against the fastest unplanned holder
             // of a *sibling* fragment of the same level (any k distinct
             // fragments decode). The hedge launches at hedge_launch on the
@@ -985,9 +1004,11 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
               ++report.hedged_fetches;
               used[f.level].insert(*spare);
               const u32 spare_index = locations[f.level][*spare];
-              auto hedge = fetch_with_retry(*spare, {sname, real, spare_index});
+              auto hedge = fetch_with_retry(*spare, {sname, real, spare_index},
+                                            budget_s);
               report.fetch_retries += hedge.attempts - 1;
               report.backoff_seconds += hedge.backoff_seconds;
+              spend_budget(hedge.backoff_seconds);
               if (hedge.fragment)
                 landed_bytes += hedge.fragment->payload.size();
               if (!hedge.missing)
@@ -1072,7 +1093,8 @@ bool RapidsPipeline::fetch_levels(const ObjectRecord& record,
   return false;
 }
 
-RestoreReport RapidsPipeline::do_restore(const std::string& name) {
+RestoreReport RapidsPipeline::do_restore(const std::string& name,
+                                         const RestoreOptions& opts) {
   RestoreReport report;
   Timer total;
 
@@ -1184,7 +1206,7 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name) {
       };
     }
     if (fetch_levels(*record, name, problem, uncached, nullptr, report,
-                     payloads, sink))
+                     payloads, sink, opts))
       break;
     // fetch_levels marked at least one more system unavailable (landed
     // levels stay landed), so the recoverable prefix strictly shrinks
@@ -1219,6 +1241,11 @@ std::shared_ptr<RefineSession> RapidsPipeline::begin_refine(
 }
 
 RestoreReport RapidsPipeline::refine(const std::string& name, f64 rel_bound) {
+  return refine(name, rel_bound, RestoreOptions{});
+}
+
+RestoreReport RapidsPipeline::refine(const std::string& name, f64 rel_bound,
+                                     const RestoreOptions& opts) {
   std::shared_ptr<RefineSession> session;
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -1227,7 +1254,7 @@ RestoreReport RapidsPipeline::refine(const std::string& name, f64 rel_bound) {
       it = sessions_.emplace(name, std::make_shared<RefineSession>(name)).first;
     session = it->second;
   }
-  return refine(*session, rel_bound);
+  return refine(*session, rel_bound, opts);
 }
 
 void RapidsPipeline::end_refine(const std::string& name) {
@@ -1236,6 +1263,11 @@ void RapidsPipeline::end_refine(const std::string& name) {
 }
 
 RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound) {
+  return refine(session, rel_bound, RestoreOptions{});
+}
+
+RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound,
+                                     const RestoreOptions& opts) {
   std::lock_guard<std::mutex> session_lock(session.mu_);
   RestoreReport report;
 
@@ -1377,7 +1409,7 @@ RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound) {
 
     const u32 replans_before = report.replans;
     if (fetch_levels(*record, session.name_, problem, uncached, &pre, report,
-                     payloads, sink)) {
+                     payloads, sink, opts)) {
       if (report.replans != replans_before) {
         // Availability moved mid-fetch; the remaining ladder rows are stale.
         session.clear_plan();

@@ -16,6 +16,7 @@
 /// between prepare and restore and examples can persist across runs.
 
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -223,6 +224,19 @@ struct RestoreReport {
                                 ///< fragment quorum landed (streaming restore)
 };
 
+/// Per-call resource bounds for one restore/refine. `sim_budget_s` is the
+/// caller's remaining *simulated* deadline budget (e.g. the service layer's
+/// `deadline - dispatch_time`): the fetch path charges every retry backoff
+/// against it and refuses to launch a retry — or a hedged read whose launch
+/// point lies beyond it — once the budget is spent, so no I/O outlives the
+/// request that issued it. The default (+inf) reproduces the policy-only
+/// retry behaviour bit-for-bit. The budget bounds the *extra* simulated
+/// delay the resilience machinery may add; first attempts of planned
+/// fragments always go out (degradation stays levels-first, never partial).
+struct RestoreOptions {
+  f64 sim_budget_s = std::numeric_limits<f64>::infinity();
+};
+
 /// A progressive-refinement session: everything already materialized for one
 /// object — the accumulated plane sets of fetched retrieval levels, the
 /// per-decomposition-level ProgressiveState, the last recomposed field, and
@@ -311,6 +325,10 @@ class RapidsPipeline {
   /// rel_error_bound = 1.0) rather than a throw.
   RestoreReport restore(const std::string& name);
 
+  /// restore() with per-call resource bounds (deadline-budgeted retries and
+  /// hedges — see RestoreOptions).
+  RestoreReport restore(const std::string& name, const RestoreOptions& opts);
+
   /// Restore a batch of objects concurrently (one task per object; planning,
   /// erasure decode, and reconstruction overlap across objects, while the
   /// metadata/fragment fetch stage is serialized internally). Safe to run
@@ -335,9 +353,16 @@ class RapidsPipeline {
   /// possibly the session's current state — instead of throwing.
   RestoreReport refine(RefineSession& session, f64 rel_bound);
 
+  /// refine() with per-call resource bounds (deadline-budgeted retries and
+  /// hedges — see RestoreOptions).
+  RestoreReport refine(RefineSession& session, f64 rel_bound,
+                       const RestoreOptions& opts);
+
   /// Convenience overload against a pipeline-owned session for `name`,
   /// created on first use and dropped by end_refine().
   RestoreReport refine(const std::string& name, f64 rel_bound);
+  RestoreReport refine(const std::string& name, f64 rel_bound,
+                       const RestoreOptions& opts);
 
   /// Drop the pipeline-owned refine session for `name` (no-op when absent).
   void end_refine(const std::string& name);
@@ -505,7 +530,8 @@ class RapidsPipeline {
   void store_level_locked(const std::string& name, u32 level,
                           const std::vector<ec::Fragment>& frags,
                           u64 stripe_bytes, StoreStats& stats);
-  RestoreReport do_restore(const std::string& name);
+  RestoreReport do_restore(const std::string& name,
+                           const RestoreOptions& opts = {});
   ec::ReedSolomon codec_for(const ObjectRecord& record, u32 level) const;
   net::BandwidthTracker& tracker();
   void persist_tracker();
@@ -524,7 +550,11 @@ class RapidsPipeline {
     f64 backoff_seconds = 0.0;
     bool missing = false;  ///< permanent: no fragment recorded/stored
   };
-  FetchOutcome fetch_with_retry(u32 system, const ec::FragmentId& id);
+  /// `budget_s` is the remaining simulated deadline budget: retries stop as
+  /// soon as the next backoff would overrun it (default: unbounded).
+  FetchOutcome fetch_with_retry(
+      u32 system, const ec::FragmentId& id,
+      f64 budget_s = std::numeric_limits<f64>::infinity());
   /// repair_fragment body; caller must hold io_mu_ (runs pool-free: a
   /// helping waiter inside the lock could steal a task that needs it).
   void repair_fragment_locked(const std::string& name, u32 level, u32 index,
@@ -562,7 +592,8 @@ class RapidsPipeline {
   bool fetch_levels(const ObjectRecord& record, const std::string& name,
                     GatherProblem& problem, const std::vector<u32>& levels,
                     const solver::Selection* preplanned, RestoreReport& report,
-                    std::vector<Bytes>& payloads, const FetchSink& sink = {});
+                    std::vector<Bytes>& payloads, const FetchSink& sink = {},
+                    const RestoreOptions& opts = {});
 
   storage::Cluster& cluster_;
   kv::KvStore& db_;

@@ -43,6 +43,11 @@ class Channel {
 
   /// Enqueue without blocking. Returns false (and leaves `v` intact — it is
   /// only moved from on success) when the channel is full or closed.
+  /// Contract note: "closed" and "full" are indistinguishable through the
+  /// return value by design — a producer reacts identically (self-pump or
+  /// drop), and a post-close try_push must never buffer an item a consumer
+  /// could observe after seeing kClosed. Check closed() when the producer
+  /// needs to stop generating rather than just yield.
   bool try_push(T&& v) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -79,7 +84,10 @@ class Channel {
   }
 
   /// Dequeue, waiting up to `timeout`. kClosed only after the queue drains:
-  /// items pushed before close() are always delivered.
+  /// items pushed before close() are always delivered. A close() racing a
+  /// waiting pop_for wakes it immediately — with items still buffered the
+  /// waiter gets kItem (never a premature kClosed); only an empty, closed
+  /// channel yields kClosed, and from then on it yields kClosed forever.
   template <typename Rep, typename Period>
   Wait pop_for(T& out, std::chrono::duration<Rep, Period> timeout) {
     {

@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file completion.hpp
+/// Waitable one-shot completion and deadline-aware task hooks for work that
+/// is forked onto the shared ThreadPool but joined from outside a TaskGroup.
+///
+/// The service layer dispatches pipeline calls as pool tasks and later needs
+/// to join exactly one of them (at its virtual completion time) without
+/// holding a TaskGroup open across the scheduler's event loop. `Completion`
+/// is that join point: a one-shot event whose `wait(pool)` cooperatively
+/// *helps* the pool (runs queued tasks) instead of blocking a thread, so a
+/// waiter on a saturated pool can never deadlock the very task it waits for.
+///
+/// `DeadlineGate` is the companion cancellation token: the dispatcher stamps
+/// each forked task with a gate carrying its remaining deadline budget; a
+/// task that is popped after its gate was cancelled (shutdown, shed) runs
+/// its skip path instead of the expensive body. Deadline *scheduling*
+/// decisions stay on the service's deterministic simulated clock — the gate
+/// only short-circuits work that is already known to be unwanted.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "rapids/parallel/thread_pool.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::parallel {
+
+/// One-shot waitable event. `set()` may be called exactly once; any number
+/// of threads may wait. Waiting with a pool pointer helps drain the pool's
+/// queues while the event is pending (same cooperative discipline as
+/// TaskGroup::wait), so completions are safe to await from pool callers.
+class Completion {
+ public:
+  Completion() = default;
+  Completion(const Completion&) = delete;
+  Completion& operator=(const Completion&) = delete;
+
+  /// Signal completion and wake every waiter. One-shot: a second set() is an
+  /// invariant violation. Notifies *under* the mutex deliberately: a waiter
+  /// may destroy this Completion the moment wait() returns, and wait() can
+  /// only return after reacquiring mu_ — so notifying while holding it
+  /// guarantees notify_all() has finished touching the condition variable
+  /// before destruction can begin.
+  void set() {
+    std::lock_guard<std::mutex> lock(mu_);
+    RAPIDS_REQUIRE_MSG(!ready_, "Completion::set() called twice");
+    ready_ = true;
+    cv_.notify_all();
+  }
+
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ready_;
+  }
+
+  /// Wait until set(). When `pool` is non-null, runs queued pool tasks while
+  /// waiting; between help attempts it parks briefly on the condition
+  /// variable so an externally-signalled completion still wakes promptly.
+  void wait(ThreadPool* pool = nullptr) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (ready_) return;
+        if (pool == nullptr) {
+          cv_.wait(lock, [this] { return ready_; });
+          return;
+        }
+      }
+      if (!pool->try_run_one()) {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait_for(lock, std::chrono::microseconds(200),
+                     [this] { return ready_; });
+      }
+    }
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+};
+
+/// Shared cancellation/deadline token attached to forked tasks. The creator
+/// records the task's absolute simulated deadline; anyone holding the gate
+/// can cancel it (shutdown, shed-after-queue). Plain atomics: checked from
+/// pool workers, flipped from the dispatcher.
+class DeadlineGate {
+ public:
+  explicit DeadlineGate(
+      f64 deadline_s = std::numeric_limits<f64>::infinity())
+      : deadline_s_(deadline_s) {}
+
+  f64 deadline_s() const { return deadline_s_; }
+
+  /// Remaining budget at simulated time `now_s` (never negative).
+  f64 remaining_s(f64 now_s) const {
+    const f64 r = deadline_s_ - now_s;
+    return r > 0.0 ? r : 0.0;
+  }
+
+  bool expired(f64 now_s) const { return now_s >= deadline_s_; }
+
+  void cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  f64 deadline_s_;
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Wrap `body` so that a task popped after its gate was cancelled runs the
+/// cheap `skip` path instead — the deadline-aware pre-run hook. The returned
+/// callable is what gets submitted to the pool.
+template <typename Body, typename Skip>
+auto deadline_task(std::shared_ptr<DeadlineGate> gate, Body body, Skip skip) {
+  return [gate = std::move(gate), body = std::move(body),
+          skip = std::move(skip)]() mutable {
+    if (gate->cancelled()) {
+      skip();
+      return;
+    }
+    body();
+  };
+}
+
+}  // namespace rapids::parallel

@@ -29,10 +29,13 @@
 #include "rapids/net/bandwidth.hpp"
 #include "rapids/net/bandwidth_tracker.hpp"
 #include "rapids/net/transfer_sim.hpp"
+#include "rapids/parallel/channel.hpp"
+#include "rapids/parallel/completion.hpp"
 #include "rapids/parallel/thread_pool.hpp"
 #include "rapids/perf/accelerator_model.hpp"
 #include "rapids/perf/calibration.hpp"
 #include "rapids/perf/scaling_model.hpp"
+#include "rapids/service/service.hpp"
 #include "rapids/simd/cpu_features.hpp"
 #include "rapids/simd/gf256_kernels.hpp"
 #include "rapids/solver/aco.hpp"

@@ -1,0 +1,79 @@
+#include "rapids/service/scheduler.hpp"
+
+#include <algorithm>
+
+namespace rapids::service {
+
+RequestScheduler::RequestScheduler(std::vector<f64> weights)
+    : weights_(std::move(weights)) {
+  RAPIDS_REQUIRE_MSG(!weights_.empty(), "scheduler needs >= 1 tenant");
+  for (f64 w : weights_) RAPIDS_REQUIRE_MSG(w > 0.0, "tenant weight must be > 0");
+  tenants_.resize(weights_.size());
+}
+
+void RequestScheduler::push(const Ticket& t) {
+  RAPIDS_REQUIRE_MSG(t.tenant < tenants_.size(), "unknown tenant id");
+  RAPIDS_REQUIRE(t.band < kPriorityBands);
+  TenantState& ts = tenants_[t.tenant];
+  ts.queues[t.band].emplace(std::make_pair(t.deadline_s, t.id), t);
+  ++ts.depth;
+  ++total_depth_;
+  queued_cost_s_ += t.cost_s;
+}
+
+std::vector<Ticket> RequestScheduler::shed_expired(f64 now_s) {
+  std::vector<Ticket> shed;
+  for (u32 band = 0; band < kPriorityBands; ++band) {
+    for (u32 t = 0; t < tenants_.size(); ++t) {
+      TenantQueue& q = tenants_[t].queues[band];
+      // EDF keys sort by deadline, so expired entries are a queue prefix.
+      while (!q.empty() && q.begin()->first.first < now_s) {
+        shed.push_back(q.begin()->second);
+        queued_cost_s_ -= q.begin()->second.cost_s;
+        q.erase(q.begin());
+        --tenants_[t].depth;
+        --total_depth_;
+      }
+    }
+  }
+  return shed;
+}
+
+std::optional<Ticket> RequestScheduler::pop() {
+  for (u32 band = 0; band < kPriorityBands; ++band) {
+    // Start-time fair queuing: pick the non-empty tenant whose virtual
+    // start tag max(tag, vtime) is smallest; ties break on tenant id so
+    // the order is total and reproducible.
+    i64 best = -1;
+    f64 best_key = 0.0;
+    for (u32 t = 0; t < tenants_.size(); ++t) {
+      if (tenants_[t].queues[band].empty()) continue;
+      const f64 key = std::max(tenants_[t].tag[band], vtime_[band]);
+      if (best < 0 || key < best_key) {
+        best = static_cast<i64>(t);
+        best_key = key;
+      }
+    }
+    if (best < 0) continue;
+    TenantState& ts = tenants_[static_cast<u32>(best)];
+    TenantQueue& q = ts.queues[band];
+    Ticket ticket = q.begin()->second;
+    q.erase(q.begin());
+    --ts.depth;
+    --total_depth_;
+    queued_cost_s_ -= ticket.cost_s;
+    // Advance the band's virtual clock to the dispatched start tag and
+    // charge the tenant its normalized service time.
+    vtime_[band] = best_key;
+    ts.tag[band] = best_key + ticket.cost_s / weights_[ticket.tenant];
+    return ticket;
+  }
+  return std::nullopt;
+}
+
+u32 RequestScheduler::tenant_depth(u32 tenant) const {
+  RAPIDS_REQUIRE(tenant < tenants_.size());
+  return tenants_[tenant].depth;
+}
+
+}  // namespace rapids::service

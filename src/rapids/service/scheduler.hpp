@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file scheduler.hpp
+/// Deterministic request scheduler: strict priority bands, start-time
+/// weighted-fair queuing across tenants within a band, earliest-deadline-
+/// first within a tenant, and shed-before-execution for expired requests.
+///
+/// Every decision is a pure function of the push/pop sequence and the
+/// simulated timestamps the caller supplies — no wall clock, no RNG — so the
+/// same seeded arrival schedule reproduces the identical dispatch/shed
+/// order regardless of how many pool threads execute the work.
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "rapids/service/request.hpp"
+#include "rapids/util/common.hpp"
+
+namespace rapids::service {
+
+/// The scheduler's view of one queued request: identity plus everything the
+/// dispatch decision needs (band, tenant, deadline, cost estimate).
+struct Ticket {
+  u64 id = 0;       ///< service-wide request id (also FIFO tie-break)
+  u32 tenant = 0;
+  u32 band = 1;     ///< priority band, 0 strongest
+  f64 deadline_s = 0.0;
+  f64 cost_s = 0.0; ///< estimated service seconds (WFQ charge, lane hold)
+  f64 submitted_s = 0.0;
+};
+
+/// Per-tenant weighted-fair + EDF queues. Not internally synchronized: the
+/// owning service serializes access under its own mutex.
+class RequestScheduler {
+ public:
+  /// `weights[t]` is tenant t's fair share; all must be > 0.
+  explicit RequestScheduler(std::vector<f64> weights);
+
+  u32 tenants() const { return static_cast<u32>(weights_.size()); }
+
+  void push(const Ticket& t);
+
+  /// Remove and return every queued request whose deadline has passed
+  /// `now_s` — they are shed before execution. Deterministic order: band
+  /// ascending, tenant ascending, deadline ascending.
+  std::vector<Ticket> shed_expired(f64 now_s);
+
+  /// Pick the next request to dispatch: lowest non-empty band; within it the
+  /// tenant with the smallest virtual start tag (tie: lower tenant id);
+  /// within the tenant its earliest deadline (tie: submission order).
+  /// Charges the tenant's WFQ tag. Empty scheduler returns nullopt.
+  std::optional<Ticket> pop();
+
+  u32 depth() const { return total_depth_; }
+  u32 tenant_depth(u32 tenant) const;
+  /// Sum of cost_s over everything queued — the backlog estimate that
+  /// drives the saturation/brownout state machine. Clamped so push/pop
+  /// rounding residue can never report a negative backlog.
+  f64 queued_cost_s() const {
+    return total_depth_ == 0 || queued_cost_s_ < 0.0 ? 0.0 : queued_cost_s_;
+  }
+  bool empty() const { return total_depth_ == 0; }
+
+ private:
+  // EDF order within a tenant: (deadline, id) ascending.
+  using TenantQueue = std::map<std::pair<f64, u64>, Ticket>;
+
+  struct TenantState {
+    TenantQueue queues[kPriorityBands];
+    f64 tag[kPriorityBands] = {};  ///< WFQ virtual finish tag per band
+    u32 depth = 0;
+  };
+
+  std::vector<f64> weights_;
+  std::vector<TenantState> tenants_;
+  f64 vtime_[kPriorityBands] = {};  ///< per-band virtual clock
+  u32 total_depth_ = 0;
+  f64 queued_cost_s_ = 0.0;
+};
+
+}  // namespace rapids::service

@@ -11,6 +11,7 @@
 /// regardless of thread interleaving.
 
 #include <algorithm>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -57,20 +58,35 @@ inline u64 stable_hash(const std::string& s, u64 a = 0, u64 b = 0) {
 /// The deterministic backoff schedule for one logical operation. Backoff is
 /// charged per *failure* (before the retry it triggers), so a first-try
 /// success costs zero simulated seconds.
+///
+/// `deadline_s` is the caller's remaining *simulated* budget for this whole
+/// operation: the schedule refuses to charge a backoff that would push the
+/// cumulative total past it, so no retry is ever launched beyond the
+/// caller's deadline. A non-positive budget means "no retries at all" (the
+/// first failure exhausts the schedule); the default (+inf) reproduces the
+/// policy-only behaviour exactly.
 class Backoff {
  public:
-  Backoff(const RetryPolicy& policy, u64 seed) : policy_(policy), rng_(seed) {
+  Backoff(const RetryPolicy& policy, u64 seed,
+          f64 deadline_s = std::numeric_limits<f64>::infinity())
+      : policy_(policy), rng_(seed), deadline_s_(deadline_s) {
     RAPIDS_REQUIRE(policy.max_attempts >= 1);
   }
 
-  /// True once max_attempts tries have failed — no retry budget remains.
-  bool exhausted() const { return failures_ >= policy_.max_attempts; }
+  /// True once no retry budget remains: max_attempts tries have failed, or
+  /// the next backoff would overrun the caller's deadline budget.
+  bool exhausted() const {
+    return failures_ >= policy_.max_attempts || deadline_hit_;
+  }
+
+  /// True when the schedule stopped because of the deadline budget rather
+  /// than the attempt count.
+  bool deadline_hit() const { return deadline_hit_; }
 
   /// Record one failed attempt. Returns the simulated backoff to charge
   /// before the retry (0 when the budget is now exhausted — there is none).
   f64 record_failure() {
-    RAPIDS_REQUIRE_MSG(failures_ < policy_.max_attempts,
-                       "Backoff: retry budget exhausted");
+    RAPIDS_REQUIRE_MSG(!exhausted(), "Backoff: retry budget exhausted");
     ++failures_;
     if (failures_ >= policy_.max_attempts) return 0.0;  // no further attempt
     f64 delay = policy_.base_backoff_s;
@@ -78,6 +94,10 @@ class Backoff {
     delay = std::min(delay, policy_.max_backoff_s);
     if (policy_.jitter_frac > 0.0)
       delay *= 1.0 + policy_.jitter_frac * (2.0 * rng_.next_double() - 1.0);
+    if (total_backoff_s_ + delay > deadline_s_) {
+      deadline_hit_ = true;  // retrying would outlive the caller's deadline
+      return 0.0;
+    }
     total_backoff_s_ += delay;
     return delay;
   }
@@ -88,8 +108,10 @@ class Backoff {
  private:
   RetryPolicy policy_;
   Rng rng_;
+  f64 deadline_s_;
   u32 failures_ = 0;
   f64 total_backoff_s_ = 0.0;
+  bool deadline_hit_ = false;
 };
 
 /// Outcome of retry_io: the value when any attempt succeeded, plus the
@@ -107,12 +129,13 @@ struct RetryResult {
 
 /// Run `fn` under the policy, treating io_error as a transient failure.
 /// Anything else (invariant_error, bad_alloc) propagates — retrying a logic
-/// bug only hides it.
+/// bug only hides it. `deadline_s` is the caller's remaining simulated
+/// budget: retries stop as soon as the next backoff would overrun it.
 template <typename Fn>
-auto retry_io(const RetryPolicy& policy, u64 seed, Fn&& fn)
-    -> RetryResult<decltype(fn())> {
+auto retry_io_within(const RetryPolicy& policy, u64 seed, f64 deadline_s,
+                     Fn&& fn) -> RetryResult<decltype(fn())> {
   RetryResult<decltype(fn())> result;
-  Backoff backoff(policy, seed);
+  Backoff backoff(policy, seed, deadline_s);
   for (;;) {
     try {
       result.value = fn();
@@ -126,6 +149,14 @@ auto retry_io(const RetryPolicy& policy, u64 seed, Fn&& fn)
   result.attempts = backoff.failures() + (result.ok() ? 1 : 0);
   result.backoff_seconds = backoff.total_backoff_s();
   return result;
+}
+
+/// retry_io_within with an unbounded deadline budget (policy-only retries).
+template <typename Fn>
+auto retry_io(const RetryPolicy& policy, u64 seed, Fn&& fn)
+    -> RetryResult<decltype(fn())> {
+  return retry_io_within(policy, seed, std::numeric_limits<f64>::infinity(),
+                         std::forward<Fn>(fn));
 }
 
 }  // namespace rapids

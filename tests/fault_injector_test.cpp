@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "rapids/storage/cluster.hpp"
@@ -264,6 +265,62 @@ TEST(Backoff, ExhaustionChargesNothingAndThrowsBeyond) {
   EXPECT_DOUBLE_EQ(backoff.record_failure(), 0.0);  // budget exhausted
   EXPECT_TRUE(backoff.exhausted());
   EXPECT_THROW(backoff.record_failure(), invariant_error);
+}
+
+TEST(Backoff, DeadlineBudgetStopsRetriesBeforeAttemptCount) {
+  // Regression: a backoff schedule must never charge simulated seconds past
+  // the caller's remaining deadline budget, even with attempts left.
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_backoff_s = 0.5;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_frac = 0.0;
+  Backoff backoff(policy, 1, /*deadline_s=*/1.2);
+  EXPECT_DOUBLE_EQ(backoff.record_failure(), 0.5);  // total 0.5 <= 1.2
+  EXPECT_FALSE(backoff.exhausted());
+  EXPECT_DOUBLE_EQ(backoff.record_failure(), 0.0);  // 0.5+1.0 would overrun
+  EXPECT_TRUE(backoff.deadline_hit());
+  EXPECT_TRUE(backoff.exhausted());
+  EXPECT_EQ(backoff.failures(), 2u);  // stopped well before max_attempts
+  EXPECT_DOUBLE_EQ(backoff.total_backoff_s(), 0.5);
+}
+
+TEST(Backoff, NonPositiveDeadlineDisablesRetries) {
+  RetryPolicy policy;
+  policy.jitter_frac = 0.0;
+  Backoff backoff(policy, 1, /*deadline_s=*/0.0);
+  EXPECT_DOUBLE_EQ(backoff.record_failure(), 0.0);
+  EXPECT_TRUE(backoff.deadline_hit());
+  EXPECT_TRUE(backoff.exhausted());
+}
+
+TEST(Backoff, InfiniteDeadlineReproducesPolicyOnlySchedule) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  Backoff plain(policy, 99);
+  Backoff budgeted(policy, 99, std::numeric_limits<f64>::infinity());
+  for (int i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(plain.record_failure(), budgeted.record_failure());
+  EXPECT_FALSE(budgeted.deadline_hit());
+}
+
+TEST(Retry, WithinDeadlineStopsRetryingEarly) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.base_backoff_s = 1.0;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_frac = 0.0;
+  int calls = 0;
+  const auto result = retry_io_within(policy, 7, /*deadline_s=*/1.5,
+                                      [&]() -> int {
+                                        ++calls;
+                                        throw io_error("always down");
+                                      });
+  EXPECT_FALSE(result.ok());
+  // First failure backs off 1.0s (within 1.5); the second backoff (2.0s)
+  // would overrun, so exactly two attempts run — not max_attempts.
+  EXPECT_EQ(calls, 2);
+  EXPECT_DOUBLE_EQ(result.backoff_seconds, 1.0);
 }
 
 TEST(Retry, SucceedsAfterTransientFailures) {

@@ -5,11 +5,13 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <numeric>
 #include <thread>
 #include <vector>
 
+#include "rapids/parallel/completion.hpp"
 #include "rapids/parallel/thread_pool.hpp"
 
 namespace rapids {
@@ -297,6 +299,99 @@ TEST(GlobalPool, ConvenienceWrappersWork) {
   std::atomic<u64> covered{0};
   parallel_for_chunks(0, 50, [&](u64 lo, u64 hi) { covered.fetch_add(hi - lo); });
   EXPECT_EQ(covered.load(), 50u);
+}
+
+// ------------------------------------------------- Completion / DeadlineGate
+
+TEST(Completion, SetBeforeWaitReturnsImmediately) {
+  parallel::Completion done;
+  EXPECT_FALSE(done.ready());
+  done.set();
+  EXPECT_TRUE(done.ready());
+  done.wait();  // must not block
+}
+
+TEST(Completion, SecondSetIsInvariantViolation) {
+  parallel::Completion done;
+  done.set();
+  EXPECT_THROW(done.set(), invariant_error);
+}
+
+TEST(Completion, WaitBlocksUntilSetFromAnotherThread) {
+  parallel::Completion done;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    done.wait();
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(woke);
+  done.set();
+  waiter.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(Completion, WaitWithPoolHelpsDrainTheQueue) {
+  // A waiter on the pool's own completion must help run queued tasks, so
+  // waiting from the submitting thread can never deadlock a busy pool.
+  ThreadPool pool(1);
+  parallel::Completion gate_open;
+  parallel::Completion done;
+  // Occupy the single worker until the waiter has started helping.
+  pool.submit([&] { gate_open.wait(); });
+  for (int i = 0; i < 8; ++i) pool.submit([] {});
+  pool.submit([&] { done.set(); });
+  gate_open.set();
+  done.wait(&pool);
+  EXPECT_TRUE(done.ready());
+}
+
+TEST(DeadlineGate, RemainingBudgetClampsAtZero) {
+  parallel::DeadlineGate gate(10.0);
+  EXPECT_DOUBLE_EQ(gate.deadline_s(), 10.0);
+  EXPECT_DOUBLE_EQ(gate.remaining_s(4.0), 6.0);
+  EXPECT_DOUBLE_EQ(gate.remaining_s(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(gate.remaining_s(25.0), 0.0);
+  EXPECT_FALSE(gate.expired(9.99));
+  EXPECT_TRUE(gate.expired(10.0));
+}
+
+TEST(DeadlineGate, DefaultIsUnbounded) {
+  parallel::DeadlineGate gate;
+  EXPECT_FALSE(gate.expired(1e18));
+  EXPECT_GT(gate.remaining_s(1e18), 0.0);
+}
+
+TEST(DeadlineGate, CancelIsStickyAndVisible) {
+  parallel::DeadlineGate gate(1.0);
+  EXPECT_FALSE(gate.cancelled());
+  gate.cancel();
+  EXPECT_TRUE(gate.cancelled());
+  gate.cancel();  // idempotent
+  EXPECT_TRUE(gate.cancelled());
+}
+
+TEST(DeadlineTask, RunsBodyWhenLive) {
+  auto gate = std::make_shared<parallel::DeadlineGate>(5.0);
+  int body_runs = 0, skip_runs = 0;
+  auto task = parallel::deadline_task(
+      gate, [&] { ++body_runs; }, [&] { ++skip_runs; });
+  task();
+  EXPECT_EQ(body_runs, 1);
+  EXPECT_EQ(skip_runs, 0);
+}
+
+TEST(DeadlineTask, RunsSkipAfterCancel) {
+  // The pre-run hook: a task popped after its gate was cancelled must take
+  // the cheap skip path, never the body.
+  auto gate = std::make_shared<parallel::DeadlineGate>(5.0);
+  int body_runs = 0, skip_runs = 0;
+  auto task = parallel::deadline_task(
+      gate, [&] { ++body_runs; }, [&] { ++skip_runs; });
+  gate->cancel();
+  task();
+  EXPECT_EQ(body_runs, 0);
+  EXPECT_EQ(skip_runs, 1);
 }
 
 }  // namespace

@@ -5,9 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <string>
 #include <thread>
 
 #include "rapids/core/pipeline.hpp"
@@ -63,6 +65,63 @@ TEST(Channel, CloseDeliversQueuedItemsThenReportsClosed) {
   EXPECT_EQ(out, 8);
   EXPECT_EQ(ch.pop_for(out, std::chrono::milliseconds(1)), Wait::kClosed);
   EXPECT_FALSE(ch.pop(out));
+}
+
+TEST(Channel, TryPushAfterCloseLeavesOperandIntact) {
+  // Contract: try_push only moves from its operand on success, and "closed"
+  // is indistinguishable from "full" through the return value — the caller
+  // checks closed() when it needs to stop generating.
+  Channel<std::string> ch(4);
+  ch.close();
+  std::string item = "payload";
+  EXPECT_FALSE(ch.try_push(std::move(item)));
+  EXPECT_EQ(item, "payload");
+  EXPECT_TRUE(ch.closed());
+  EXPECT_EQ(ch.size(), 0u);  // nothing buffered post-close
+}
+
+TEST(Channel, ZeroCapacityClampsToOne) {
+  Channel<int> ch(0);
+  EXPECT_EQ(ch.capacity(), 1u);
+  EXPECT_TRUE(ch.try_push(1));
+  int two = 2;
+  EXPECT_FALSE(ch.try_push(std::move(two)));
+}
+
+TEST(Channel, CloseWakesBlockedProducerAndDropsItsItem) {
+  Channel<int> ch(1);
+  ASSERT_TRUE(ch.try_push(1));  // fill: the next push must block
+  std::atomic<bool> pushed{false};
+  std::atomic<bool> accepted{true};
+  std::thread producer([&] {
+    accepted = ch.push(2);  // blocks on the full window until close()
+    pushed = true;
+  });
+  while (ch.size() == 0) std::this_thread::yield();
+  ch.close();
+  producer.join();
+  EXPECT_TRUE(pushed);
+  EXPECT_FALSE(accepted);  // close() rejected the blocked push
+  // The consumer sees exactly the pre-close item, then closed-and-drained.
+  int out = 0;
+  EXPECT_TRUE(ch.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_FALSE(ch.pop(out));
+}
+
+TEST(Channel, CloseWakesWaitingPopForWithoutFullTimeout) {
+  Channel<int> ch(1);
+  std::atomic<int> result{-1};
+  std::thread consumer([&] {
+    int out = 0;
+    // Far longer than the test may take: only a close() wake explains an
+    // early kClosed return.
+    result = static_cast<int>(ch.pop_for(out, std::chrono::seconds(60)));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ch.close();
+  consumer.join();
+  EXPECT_EQ(result.load(), static_cast<int>(Channel<int>::Wait::kClosed));
 }
 
 TEST(Channel, PopForTimesOutOnOpenEmptyChannel) {
