@@ -9,7 +9,86 @@
 #                BENCH_pipeline.json next to it)
 # Extra args are forwarded to the microbenchmark binary, e.g.
 #   bench/run_benchmarks.sh build BENCH_micro.json --benchmark_filter='Gf256|Rs'
+#
+# Regression gate:
+#   bench/run_benchmarks.sh --check [build_dir] [baseline.json]
+# re-runs the refactor-kernels bench into a temp file and diffs its throughput
+# rows (kernel dispatched GB/s, transform MB/s, codec new-coder GB/s) against
+# the committed BENCH_refactor.json; any row >15% below baseline fails.
+# RAPIDS_BENCH_TOL overrides the 0.15 tolerance for hosts whose ambient noise
+# exceeds it (shared boxes under neighbor load).
 set -euo pipefail
+
+if [[ "${1:-}" == "--check" ]]; then
+  BUILD_DIR="${2:-build}"
+  BASELINE="${3:-BENCH_refactor.json}"
+  RK_BIN="$BUILD_DIR/bench/refactor_kernels"
+  if [[ ! -x "$RK_BIN" ]]; then
+    echo "error: $RK_BIN not found — build first" >&2
+    exit 1
+  fi
+  if [[ ! -f "$BASELINE" ]]; then
+    echo "error: baseline $BASELINE not found" >&2
+    exit 1
+  fi
+  FRESH="$(mktemp --suffix=.json)"
+  FRESH2="$(mktemp --suffix=.json)"
+  trap 'rm -f "$FRESH" "$FRESH2"' EXIT
+  echo "refactor-kernels regression check vs $BASELINE"
+  # Two fresh runs, compared row-wise at their best: on a shared host a load
+  # burst can sink any one run, but a real regression shows up in both.
+  "$RK_BIN" "$FRESH" >/dev/null
+  "$RK_BIN" "$FRESH2" >/dev/null
+  python3 - "$BASELINE" "$FRESH" "$FRESH2" <<'PY'
+import json, sys
+
+base = json.load(open(sys.argv[1]))
+cur = json.load(open(sys.argv[2]))
+cur2 = json.load(open(sys.argv[3]))
+for arr in ("kernels", "transform", "codec"):
+    key = {"kernels": "name", "transform": "variant", "codec": "name"}[arr]
+    second = {e[key]: e for e in cur2.get(arr, [])}
+    for e in cur.get(arr, []):
+        other = second.get(e[key])
+        if other is None:
+            continue
+        for f, v in e.items():
+            if isinstance(v, (int, float)) and isinstance(other.get(f), (int, float)):
+                e[f] = max(v, other[f])
+import os
+TOL = float(os.environ.get("RAPIDS_BENCH_TOL", "0.15"))
+rows = []
+for arr, key, fields in (
+    ("kernels", "name", ["dispatched_gbps"]),
+    ("transform", "variant", ["decompose_mbps", "recompose_mbps"]),
+    ("codec", "name", ["new_encode_gbps", "new_decode_gbps"]),
+):
+    b = {e[key]: e for e in base.get(arr, [])}
+    c = {e[key]: e for e in cur.get(arr, [])}
+    for name, be in b.items():
+        ce = c.get(name)
+        if ce is None:
+            rows.append((f"{arr}/{name}", None, None, "MISSING"))
+            continue
+        for f in fields:
+            bv, cv = be.get(f), ce.get(f)
+            if not bv:
+                continue
+            ok = cv is not None and cv >= bv * (1 - TOL)
+            rows.append((f"{arr}/{name}.{f}", bv, cv, "ok" if ok else "REGRESSION"))
+for name, bv, cv, st in rows:
+    if bv is None:
+        print(f"{name:52s} missing from fresh run")
+    else:
+        print(f"{name:52s} base {bv:9.3f}  now {cv:9.3f}  {cv / bv:5.2f}x  {st}")
+bad = [r for r in rows if r[3] != "ok"]
+if bad:
+    print(f"\ncheck FAILED: {len(bad)} row(s) regressed more than {TOL:.0%}")
+    sys.exit(1)
+print(f"\ncheck passed: no throughput row regressed more than {TOL:.0%}")
+PY
+  exit $?
+fi
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_micro.json}"

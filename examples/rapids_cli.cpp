@@ -76,6 +76,19 @@ mgard::Dims parse_dims(char** argv, int at) {
                      std::strtoull(argv[at + 2], nullptr, 10)};
 }
 
+/// Print the entropy-codec substage line of a prepare/restore breakdown:
+/// segment wall time, payload bytes, and the per-mode segment histogram.
+void print_codec_stats(const char* verb, const mgard::CodecStats& cs) {
+  if (cs.segments == 0) return;
+  std::printf("    entropy codec: %s %.4fs, %llu bytes across %llu segments "
+              "(raw %llu, sparse %llu, zero %llu, rice %llu)\n",
+              verb, cs.seconds, (unsigned long long)cs.bytes,
+              (unsigned long long)cs.segments, (unsigned long long)cs.mode_raw,
+              (unsigned long long)cs.mode_sparse,
+              (unsigned long long)cs.mode_zero,
+              (unsigned long long)cs.mode_rice);
+}
+
 int cmd_generate(int argc, char** argv) {
   if (argc < 7) {
     std::fprintf(stderr, "usage: rapids_cli generate <label> <nx> <ny> <nz> <out.f32> [seed]\n");
@@ -131,6 +144,7 @@ int cmd_prepare(int argc, char** argv) {
               report.refactor_seconds, report.transform_seconds,
               report.plane_encode_seconds, report.optimize_seconds,
               report.encode_seconds, report.store_seconds);
+  print_codec_stats("encode", report.plane_codec);
   std::printf("  streaming: %u level%s overlapped encode/store; simulated "
               "end-to-end prepare latency %.3fs\n",
               report.levels_streamed, report.levels_streamed == 1 ? "" : "s",
@@ -225,6 +239,7 @@ int cmd_restore(int argc, char** argv) {
               report.gather_latency, report.first_level_latency,
               report.fetch_seconds, report.decode_seconds,
               report.reconstruct_seconds);
+  print_codec_stats("decode", report.plane_codec);
   if (report.levels_streamed > 0)
     std::printf("  streamed %u level%s; first bytes after %.3fs wall\n",
                 report.levels_streamed, report.levels_streamed == 1 ? "" : "s",
@@ -285,6 +300,7 @@ int cmd_refine(int argc, char** argv) {
         (unsigned long long)report.planes_decoded, report.cache_hits,
         report.cache_misses, report.plan_reused ? ", plan reused" : "",
         report.cache_corrupt ? ", corrupt entries refetched" : "");
+    print_codec_stats("decode", report.plane_codec);
   }
   return 0;
 }

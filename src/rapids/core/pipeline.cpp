@@ -254,6 +254,7 @@ PrepareReport RapidsPipeline::do_prepare_staged(std::span<const f32> data,
   report.refactor_seconds = t.seconds();
   report.transform_seconds = rt.transform_seconds;
   report.plane_encode_seconds = rt.plane_encode_seconds;
+  report.plane_codec = rt.plane_codec;
 
   // 3) Optimize the fault-tolerance configuration (Algorithm 1).
   t.reset();
@@ -543,6 +544,7 @@ PrepareReport RapidsPipeline::do_prepare_streaming(std::span<const f32> data,
 
   report.transform_seconds = rt.transform_seconds;
   report.plane_encode_seconds = rt.plane_encode_seconds;
+  report.plane_codec = rt.plane_codec;
   report.refactor_seconds =
       rt.transform_seconds + rt.plane_encode_seconds + rt.assemble_seconds;
   report.optimize_seconds = optimize_seconds;
@@ -1157,8 +1159,9 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name,
   };
   const auto recompose_now = [&] {
     Timer rt;
-    report.data =
-        refactorer_.reconstruct_incremental(record->meta, sets, pstates);
+    report.data = refactorer_.reconstruct_incremental(record->meta, sets,
+                                                      pstates,
+                                                      &report.plane_codec);
     report.reconstruct_seconds += rt.seconds();
     reconstructed = merged;
   };
@@ -1228,7 +1231,8 @@ RestoreReport RapidsPipeline::do_restore(const std::string& name,
   for (u32 j = 0; j < levels_used; ++j)
     if (!from_cache[j]) restore_cache_.put(name, generation, j, payloads[j]);
   Timer t;
-  report.data = refactorer_.reconstruct(record->meta, prefix);
+  report.data =
+      refactorer_.reconstruct(record->meta, prefix, &report.plane_codec);
   report.reconstruct_seconds = t.seconds();
   report.first_level_latency = report.gather_latency;
   report.first_byte_seconds = total.seconds();
@@ -1439,7 +1443,8 @@ RestoreReport RapidsPipeline::refine(RefineSession& session, f64 rel_bound,
 
   Timer t;
   session.data_ = refactorer_.reconstruct_incremental(
-      record->meta, session.plane_sets_, session.pstates_);
+      record->meta, session.plane_sets_, session.pstates_,
+      &report.plane_codec);
   report.reconstruct_seconds = t.seconds();
 
   session.cursor_ = usable;

@@ -163,6 +163,9 @@ struct PrepareReport {
   f64 refactor_seconds = 0.0;       ///< transform + plane encode + assemble
   f64 transform_seconds = 0.0;      ///< widen/pad/multigrid share of refactor
   f64 plane_encode_seconds = 0.0;   ///< bitplane-encode share of refactor
+  /// Entropy-codec substage of the plane encode: segment wall time, emitted
+  /// bytes, and the raw/sparse/zero/Rice mode histogram.
+  mgard::CodecStats plane_codec;
   f64 optimize_seconds = 0.0;
   f64 encode_seconds = 0.0;  ///< RS encode (streaming: summed across levels,
                              ///< which overlap, so the sum may exceed wall)
@@ -216,6 +219,9 @@ struct RestoreReport {
                                 ///< for levels served from the restore cache
   u64 planes_decoded = 0;       ///< magnitude bitplane segments decoded (a
                                 ///< refine rung decodes only its new planes)
+  /// Entropy-codec substage of the plane decode: segment wall time, consumed
+  /// bytes, and the raw/sparse/zero/Rice mode histogram.
+  mgard::CodecStats plane_codec;
   u32 cache_hits = 0;           ///< retrieval levels served from the cache
   u32 cache_misses = 0;         ///< levels that had to be fetched
   u32 cache_corrupt = 0;        ///< cached levels evicted on CRC mismatch

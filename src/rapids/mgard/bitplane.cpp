@@ -7,6 +7,7 @@
 
 #include "rapids/mgard/kernels/kernels.hpp"
 #include "rapids/parallel/thread_pool.hpp"
+#include "rapids/util/timer.hpp"
 
 namespace rapids::mgard {
 
@@ -19,146 +20,52 @@ constexpr u8 kModeRice = 3;
 
 u64 words_for_bits(u64 bits) { return ceil_div(bits, 64); }
 
-/// Append-only bit stream (LSB-first within bytes) with a 64-bit staging
-/// accumulator so the common path is shift+or, not per-bit byte writes.
-class BitWriter {
- public:
-  void put_bit(u32 bit) { put_bits(bit, 1); }
+/// The segment byte streams are LSB-first within bytes, i.e. the
+/// little-endian image of the packed 64-bit words the kernels work in; swap
+/// on big-endian hosts so bulk word moves emit the canonical layout.
+u64 host_to_le64(u64 v) {
+  if constexpr (std::endian::native == std::endian::big)
+    return __builtin_bswap64(v);
+  return v;
+}
 
-  void put_bits(u64 value, u32 count) {
-    if (count == 0) return;
-    if (count < 64) value &= (u64{1} << count) - 1;
-    acc_ |= value << fill_;
-    const u32 room = 64 - fill_;
-    if (count < room) {
-      fill_ += count;
-      return;
-    }
-    flush_word();
-    if (count > room) {
-      acc_ = value >> room;
-      fill_ = count - room;
-    }
-  }
-
-  /// Unary: `q` zeros then a one.
-  void put_unary(u64 q) {
-    while (q >= 32) {
-      put_bits(0, 32);
-      q -= 32;
-    }
-    put_bits(u64{1} << q, static_cast<u32>(q) + 1);
-  }
-
-  /// Finalize and take the buffer (byte-padded with zeros).
-  Bytes take() {
-    if (fill_ > 0) {
-      const u64 word = host_to_le(acc_);
-      const std::size_t tail = (fill_ + 7) / 8;
-      const std::size_t off = buf_.size();
-      buf_.resize(off + tail);
-      std::memcpy(buf_.data() + off, &word, tail);
-      acc_ = 0;
-      fill_ = 0;
-    }
-    return std::move(buf_);
-  }
-
- private:
-  /// The stream is LSB-first within bytes, i.e. the accumulator's
-  /// little-endian image; swap on big-endian hosts so one memcpy emits it.
-  static u64 host_to_le(u64 v) {
-    if constexpr (std::endian::native == std::endian::big)
-      return __builtin_bswap64(v);
-    return v;
-  }
-
-  void flush_word() {
-    const u64 word = host_to_le(acc_);
-    const std::size_t off = buf_.size();
-    buf_.resize(off + 8);
-    std::memcpy(buf_.data() + off, &word, 8);
-    acc_ = 0;
-    fill_ = 0;
-  }
-
-  Bytes buf_;
-  u64 acc_ = 0;
-  u32 fill_ = 0;
-};
-
-/// Bounds-checked bit stream reader matching BitWriter's layout. Reads stage
-/// up to 64 bits at a time (Rice gap decoding is the hot segment mode), so
-/// get_bits is a mask+shift and get_unary a countr_zero instead of per-bit
-/// byte loads. Truncation still throws: a read that needs more bits than the
-/// buffer has left fails at the refill.
-class BitReader {
- public:
-  explicit BitReader(std::span<const std::byte> data) : data_(data) {}
-
-  u32 get_bit() { return static_cast<u32>(get_bits(1)); }
-
-  u64 get_bits(u32 count) {
-    u64 v = 0;
-    u32 got = 0;
-    while (got < count) {  // at most two iterations for count <= 64
-      if (avail_ == 0) refill();
-      const u32 take = std::min(count - got, avail_);
-      v |= (acc_ & mask(take)) << got;
-      consume(take);
-      got += take;
-    }
-    return v;
-  }
-
-  u64 get_unary() {
-    u64 q = 0;
-    for (;;) {
-      if (avail_ == 0) refill();
-      if (acc_ == 0) {
-        // Every staged bit is zero: the run continues into the next word.
-        q += avail_;
-        avail_ = 0;
-        continue;
-      }
-      const u32 z = static_cast<u32>(std::countr_zero(acc_));
-      q += z;
-      consume(z + 1);
-      return q;
+/// Emit nbytes of the packed words' little-endian image (the last word may be
+/// cut mid-way, matching the old bit writer's zero-padded byte tail).
+void store_words_le(std::byte* dst, const u64* words, u64 nbytes) {
+  const u64 whole = nbytes & ~u64{7};
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(dst, words, whole);  // bulk move: the words are the image
+  } else {
+    for (u64 i = 0; i < whole; i += 8) {
+      const u64 w = host_to_le64(words[i >> 3]);
+      std::memcpy(dst + i, &w, 8);
     }
   }
-
- private:
-  static u64 mask(u32 bits) {
-    return bits >= 64 ? ~u64{0} : (u64{1} << bits) - 1;
+  if (whole < nbytes) {
+    const u64 w = host_to_le64(words[whole >> 3]);
+    std::memcpy(dst + whole, &w, nbytes - whole);
   }
+}
 
-  void consume(u32 bits) {
-    acc_ = bits >= 64 ? 0 : acc_ >> bits;
-    avail_ -= bits;
+/// Inverse of store_words_le; the final partial word is zero-padded so bit
+/// kernels never see fabricated high bits.
+void load_words_le(u64* dst, const std::byte* src, u64 nbytes) {
+  const u64 whole = nbytes & ~u64{7};
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(dst, src, whole);  // bulk move: the image is the words
+  } else {
+    for (u64 i = 0; i < whole; i += 8) {
+      u64 w;
+      std::memcpy(&w, src + i, 8);
+      dst[i >> 3] = host_to_le64(w);
+    }
   }
-
-  /// Stage the next 1..8 bytes. Unloaded high bytes stay zero, so a zero
-  /// accumulator near the stream tail never fabricates bits past the end —
-  /// the next refill on an empty buffer throws instead.
-  void refill() {
-    const std::size_t left = data_.size() - pos_;
-    if (left == 0) throw io_error("bitplane: truncated bit stream");
-    const std::size_t load = std::min<std::size_t>(8, left);
-    u64 word = 0;
-    std::memcpy(&word, data_.data() + pos_, load);
-    if constexpr (std::endian::native == std::endian::big)
-      word = __builtin_bswap64(word);
-    acc_ = word;
-    avail_ = static_cast<u32>(load * 8);
-    pos_ += load;
+  if (whole < nbytes) {
+    u64 w = 0;
+    std::memcpy(&w, src + whole, nbytes - whole);
+    dst[whole >> 3] = host_to_le64(w);
   }
-
-  std::span<const std::byte> data_;
-  std::size_t pos_ = 0;
-  u64 acc_ = 0;   ///< next bits, LSB first
-  u32 avail_ = 0; ///< valid bits in acc_
-};
+}
 
 /// Rice parameter for gap coding at a given mean gap: k ~ log2(mean).
 u32 rice_parameter(u64 num_bits, u64 ones) {
@@ -169,46 +76,18 @@ u32 rice_parameter(u64 num_bits, u64 ones) {
   return k;
 }
 
-/// Rice-encode the positions of set bits as gaps. Returns the encoded body
-/// (without the mode byte): [k u8][ones u64][gap bitstream].
-Bytes rice_encode(std::span<const u64> words, u64 num_bits, u64 ones) {
-  const u32 k = rice_parameter(num_bits, ones);
-  BitWriter bw;
-  u64 prev = 0;  // position + 1 of the previous set bit
-  for (u64 w = 0; w < words.size(); ++w) {
-    u64 word = words[w];
-    while (word != 0) {
-      const u64 pos = w * 64 + static_cast<u64>(__builtin_ctzll(word));
-      const u64 gap = pos - prev;
-      bw.put_unary(gap >> k);
-      bw.put_bits(gap, k);
-      prev = pos + 1;
-      word &= word - 1;
-    }
+/// Mode histogram / byte accounting for one finished segment.
+void tally_segment(const PlaneSegment& seg, CodecStats& s) {
+  ++s.segments;
+  s.bytes += seg.size();
+  if (seg.data.empty()) return;
+  switch (static_cast<u8>(seg.data[0])) {
+    case kModeRaw: ++s.mode_raw; break;
+    case kModeSparse: ++s.mode_sparse; break;
+    case kModeZero: ++s.mode_zero; break;
+    case kModeRice: ++s.mode_rice; break;
+    default: break;
   }
-  const Bytes stream = bw.take();
-  ByteWriter out;
-  out.put_u8(static_cast<u8>(k));
-  out.put_u64(ones);
-  out.put_raw(as_bytes_view(stream));
-  return out.take();
-}
-
-std::vector<u64> rice_decode(std::span<const std::byte> body, u64 num_bits) {
-  ByteReader r(body);
-  const u32 k = r.get_u8();
-  const u64 ones = r.get_u64();
-  BitReader br(r.get_raw(r.remaining()));
-  std::vector<u64> words(words_for_bits(num_bits), 0);
-  u64 prev = 0;
-  for (u64 i = 0; i < ones; ++i) {
-    const u64 gap = (br.get_unary() << k) | br.get_bits(k);
-    const u64 pos = prev + gap;
-    if (pos >= num_bits) throw io_error("bitplane: Rice position out of range");
-    words[pos >> 6] |= u64{1} << (pos & 63);
-    prev = pos + 1;
-  }
-  return words;
 }
 
 }  // namespace
@@ -229,68 +108,155 @@ f64 PlaneSet::error_bound(u32 p) const {
 PlaneSegment encode_segment(std::span<const u64> words, u64 num_bits) {
   RAPIDS_REQUIRE(words.size() == words_for_bits(num_bits));
   const u64 nwords = words.size();
-  u64 nonzero_words = 0;
-  u64 ones = 0;
-  for (u64 w : words) {
-    nonzero_words += (w != 0);
-    ones += static_cast<u64>(__builtin_popcountll(w));
-  }
+  const kernels::CodecOps& cops = kernels::codec_ops();
 
-  ByteWriter out;
+  u64 ones = 0;
+  u64 nonzero_words = 0;
+  cops.segment_stats(words.data(), nwords, &ones, &nonzero_words);
+
+  PlaneSegment seg;
   if (ones == 0) {
-    out.put_u8(kModeZero);
-    return PlaneSegment{out.take()};
+    seg.data.assign(1, static_cast<std::byte>(kModeZero));
+    return seg;
   }
 
   const u64 raw_bytes = nwords * 8;
+  const u64 bitmap_words = words_for_bits(nwords);
+  const u64 sparse_bytes = bitmap_words * 8 + nonzero_words * 8;
 
-  // Rice-coded gaps win whenever set bits are reasonably sparse; the exact
-  // size check below arbitrates against the other modes.
-  Bytes rice;
-  if (ones * 2 < num_bits) rice = rice_encode(words, num_bits, ones);
-
-  // Sparse: bitmap of nonzero words (nwords bits) + the nonzero words.
-  const u64 sparse_bytes = words_for_bits(nwords) * 8 + nonzero_words * 8;
-
-  if (!rice.empty() && rice.size() < raw_bytes && rice.size() < sparse_bytes) {
-    out.put_u8(kModeRice);
-    out.put_raw(as_bytes_view(rice));
-  } else if (sparse_bytes < raw_bytes) {
-    out.put_u8(kModeSparse);
-    std::vector<u64> bitmap(words_for_bits(nwords), 0);
-    for (u64 i = 0; i < nwords; ++i)
-      if (words[i] != 0) bitmap[i >> 6] |= u64{1} << (i & 63);
-    for (u64 b : bitmap) out.put_u64(b);
-    for (u64 i = 0; i < nwords; ++i)
-      if (words[i] != 0) out.put_u64(words[i]);
-  } else {
-    out.put_u8(kModeRaw);
-    for (u64 w : words) out.put_u64(w);
+  // Rice candidate: the exact encoded size falls out of the set-bit positions
+  // and the gap-length reduction without emitting a stream, so arbitration
+  // happens before any Rice bytes exist. Size and tie-breaks are identical to
+  // the historical coder: body = [k u8][ones u64][gap bits, byte-padded].
+  u64 rice_bytes = 0;
+  u64 rice_bits = 0;
+  u32 k = 0;
+  std::vector<u64> pos;
+  const auto extract_positions = [&] {
+    pos.resize(ones + 7);  // slack for the vector extraction tiers
+    const u64 extracted = cops.bit_positions(words.data(), nwords, pos.data());
+    RAPIDS_REQUIRE(extracted == ones);
+  };
+  if (ones * 2 < num_bits) {
+    k = rice_parameter(num_bits, ones);
+    // The highest set bit pins the gap sum (sum(gap) = pos_last + 1 - ones),
+    // which lets dense planes settle the Rice candidate without materializing
+    // every set-bit position.  Arbitration is unchanged -- the same exact
+    // rice_bytes decides -- it is just computed lazily.
+    u64 w = nwords;
+    while (words[w - 1] == 0) --w;  // ones > 0 guarantees a nonzero word
+    const u64 pos_last =
+        (w - 1) * 64 + (63 - static_cast<u64>(std::countl_zero(words[w - 1])));
+    if (k == 0) {
+      // k == 0 spends gap + 1 bits per gap, so the stream length collapses
+      // to sum(gap) + ones == pos_last + 1 exactly.
+      rice_bits = pos_last + 1;
+      rice_bytes = 1 + 8 + ceil_div(rice_bits, 8);
+    } else {
+      // Sound lower bound: gap >> k >= (gap - (2^k - 1)) / 2^k per gap, so
+      // the quotient tail is at least (sum(gap) - ones*(2^k - 1)) >> k.  If
+      // even that floor cannot beat the cheaper of raw and sparse, Rice
+      // loses without an extraction pass.
+      const u64 sum_gaps = pos_last + 1 - ones;
+      const u64 kmask = (u64{1} << k) - 1;
+      const u64 slack =
+          (kmask != 0 && ones > sum_gaps / kmask) ? sum_gaps : ones * kmask;
+      const u64 lb_bits = ones * (1 + k) + ((sum_gaps - slack) >> k);
+      const u64 lb_bytes = 1 + 8 + ceil_div(lb_bits, 8);
+      if (lb_bytes < raw_bytes && lb_bytes < sparse_bytes) {
+        extract_positions();
+        rice_bits = cops.rice_length_bits(pos.data(), ones, k);
+        rice_bytes = 1 + 8 + ceil_div(rice_bits, 8);
+      }
+    }
   }
-  return PlaneSegment{out.take()};
+
+  if (rice_bytes != 0 && rice_bytes < raw_bytes && rice_bytes < sparse_bytes) {
+    if (pos.empty()) extract_positions();
+    seg.data.resize(1 + rice_bytes);
+    seg.data[0] = static_cast<std::byte>(kModeRice);
+    seg.data[1] = static_cast<std::byte>(k);
+    const u64 ones_le = host_to_le64(ones);
+    std::memcpy(seg.data.data() + 2, &ones_le, 8);
+    std::vector<u64> bits(words_for_bits(rice_bits), 0);
+    cops.rice_emit(pos.data(), ones, k, bits.data());
+    store_words_le(seg.data.data() + 10, bits.data(), ceil_div(rice_bits, 8));
+  } else if (sparse_bytes < raw_bytes) {
+    std::vector<u64> bitmap(bitmap_words, 0);
+    std::vector<u64> packed(nonzero_words);
+    const u64 packed_words =
+        cops.sparse_pack(words.data(), nwords, bitmap.data(), packed.data());
+    RAPIDS_REQUIRE(packed_words == nonzero_words);
+    seg.data.resize(1 + sparse_bytes);
+    seg.data[0] = static_cast<std::byte>(kModeSparse);
+    store_words_le(seg.data.data() + 1, bitmap.data(), bitmap_words * 8);
+    store_words_le(seg.data.data() + 1 + bitmap_words * 8, packed.data(),
+                   nonzero_words * 8);
+  } else {
+    seg.data.resize(1 + raw_bytes);
+    seg.data[0] = static_cast<std::byte>(kModeRaw);
+    store_words_le(seg.data.data() + 1, words.data(), raw_bytes);
+  }
+  return seg;
 }
 
 std::vector<u64> decode_segment(const PlaneSegment& seg, u64 num_bits) {
   const u64 nwords = words_for_bits(num_bits);
   std::vector<u64> words(nwords, 0);
-  ByteReader r(as_bytes_view(seg.data));
-  const u8 mode = r.get_u8();
+  const std::span<const std::byte> data = as_bytes_view(seg.data);
+  if (data.empty()) throw io_error("bitplane: truncated segment");
+  const u8 mode = static_cast<u8>(data[0]);
+  const std::span<const std::byte> body = data.subspan(1);
+  const kernels::CodecOps& cops = kernels::codec_ops();
   switch (mode) {
     case kModeZero:
       break;
     case kModeRaw:
-      for (u64 i = 0; i < nwords; ++i) words[i] = r.get_u64();
+      if (body.size() < nwords * 8)
+        throw io_error("bitplane: truncated raw segment");
+      load_words_le(words.data(), body.data(), nwords * 8);
       break;
     case kModeSparse: {
-      std::vector<u64> bitmap(words_for_bits(nwords));
-      for (auto& b : bitmap) b = r.get_u64();
-      for (u64 i = 0; i < nwords; ++i)
-        if (bitmap[i >> 6] & (u64{1} << (i & 63))) words[i] = r.get_u64();
+      const u64 bitmap_words = words_for_bits(nwords);
+      if (body.size() < bitmap_words * 8)
+        throw io_error("bitplane: truncated sparse bitmap");
+      std::vector<u64> bitmap(bitmap_words, 0);
+      load_words_le(bitmap.data(), body.data(), bitmap_words * 8);
+      // Bitmap bits past nwords are meaningless; mask them so the payload
+      // bound below counts only in-range words (a malformed body cannot read
+      // past its own bytes).
+      if ((nwords & 63) != 0)
+        bitmap[bitmap_words - 1] &= (u64{1} << (nwords & 63)) - 1;
+      u64 set_words = 0;
+      u64 dummy = 0;
+      cops.segment_stats(bitmap.data(), bitmap_words, &set_words, &dummy);
+      if (body.size() < bitmap_words * 8 + set_words * 8)
+        throw io_error("bitplane: truncated sparse words");
+      std::vector<u64> packed(set_words, 0);
+      load_words_le(packed.data(), body.data() + bitmap_words * 8,
+                    set_words * 8);
+      cops.sparse_expand(words.data(), nwords, bitmap.data(), packed.data());
       break;
     }
-    case kModeRice:
-      words = rice_decode(r.get_raw(r.remaining()), num_bits);
+    case kModeRice: {
+      if (body.size() < 9) throw io_error("bitplane: truncated Rice header");
+      const u32 k = static_cast<u32>(body[0]);
+      u64 ones_le;
+      std::memcpy(&ones_le, body.data() + 1, 8);
+      const u64 ones = host_to_le64(ones_le);
+      // Bounds audit: a valid body has k <= 40 (see rice_parameter) and at
+      // most one set bit per coded position; reject before the gap walk so a
+      // malformed header cannot drive shifts past 63 or unbounded work.
+      if (k > 63 || ones > num_bits)
+        throw io_error("bitplane: malformed Rice header");
+      const u64 stream_bytes = body.size() - 9;
+      std::vector<u64> stream(words_for_bits(stream_bytes * 8), 0);
+      load_words_le(stream.data(), body.data() + 9, stream_bytes);
+      if (!cops.rice_expand(stream.data(), stream_bytes * 8, ones, k,
+                            num_bits, words.data()))
+        throw io_error("bitplane: malformed Rice body");
       break;
+    }
     default:
       throw io_error("bitplane: unknown segment mode " + std::to_string(mode));
   }
@@ -298,7 +264,7 @@ std::vector<u64> decode_segment(const PlaneSegment& seg, u64 num_bits) {
 }
 
 PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes,
-                       ThreadPool* pool) {
+                       ThreadPool* pool, CodecStats* stats) {
   RAPIDS_REQUIRE(max_planes <= kMagnitudePlanes);
   PlaneSet ps;
   ps.count = coeffs.size();
@@ -312,8 +278,14 @@ PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes,
     // keep the requested plane count so retrieval bookkeeping stays uniform.
     const u64 nwords = words_for_bits(ps.count);
     std::vector<u64> zero(nwords, 0);
+    Timer t;
     ps.sign = encode_segment(zero, ps.count);
     ps.planes.assign(max_planes, ps.sign);
+    if (stats != nullptr) {
+      stats->seconds += t.seconds();
+      tally_segment(ps.sign, *stats);
+      for (const PlaneSegment& seg : ps.planes) tally_segment(seg, *stats);
+    }
     return ps;
   }
 
@@ -351,32 +323,47 @@ PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes,
   } else {
     slice_blocks(0, nwords);
   }
-  ps.sign = encode_segment(sign_words, n);
 
+  // Segment encode: the sign plane and every magnitude plane are independent,
+  // so all max_planes + 1 segments fork across the pool in one go (index 0 is
+  // the sign). Each task writes only its own preallocated slot, so the bytes
+  // are identical to the serial order.
   ps.planes.resize(max_planes);
-  auto compress_plane = [&](u64 p) {
-    ps.planes[p] = encode_segment(plane_words[p], n);
+  Timer t;
+  auto compress = [&](u64 idx) {
+    if (idx == 0) {
+      ps.sign = encode_segment(sign_words, n);
+    } else {
+      const u64 p = idx - 1;
+      ps.planes[p] = encode_segment(plane_words[p], n);
+    }
   };
-  if (pool != nullptr && max_planes > 1) {
-    pool->parallel_for(0, max_planes, compress_plane);
+  if (pool != nullptr && max_planes > 0) {
+    pool->parallel_for(0, u64{max_planes} + 1, compress);
   } else {
-    for (u64 p = 0; p < max_planes; ++p) compress_plane(p);
+    for (u64 idx = 0; idx <= max_planes; ++idx) compress(idx);
+  }
+  if (stats != nullptr) {
+    stats->seconds += t.seconds();
+    tally_segment(ps.sign, *stats);
+    for (const PlaneSegment& seg : ps.planes) tally_segment(seg, *stats);
   }
   return ps;
 }
 
 std::vector<f64> decode_planes(const PlaneSet& ps, u32 num_planes,
-                               ThreadPool* pool) {
+                               ThreadPool* pool, CodecStats* stats) {
   // Single code path with the incremental decoder: a throwaway state starting
   // at zero planes is exactly the from-scratch decode, which is what makes
   // incremental refinement provably byte-identical to it.
   ProgressiveState scratch;
-  return decode_planes_incremental(ps, num_planes, scratch, pool);
+  return decode_planes_incremental(ps, num_planes, scratch, pool, stats);
 }
 
 std::vector<f64> decode_planes_incremental(const PlaneSet& ps, u32 num_planes,
                                            ProgressiveState& state,
-                                           ThreadPool* pool) {
+                                           ThreadPool* pool,
+                                           CodecStats* stats) {
   RAPIDS_REQUIRE(num_planes <= ps.planes.size() ||
                  (ps.max_abs == 0.0 && ps.count > 0));
   if (!state.initialized) {
@@ -397,45 +384,59 @@ std::vector<f64> decode_planes_incremental(const PlaneSet& ps, u32 num_planes,
   const u64 n = ps.count;
   const u64 nwords = words_for_bits(n);
   if (state.q.empty()) state.q.assign(n, 0);
-  if (state.sign_words.empty()) state.sign_words = decode_segment(ps.sign, n);
 
   const u32 p0 = state.planes_decoded;
   const u32 delta = num_planes - p0;
-  if (delta > 0) {
-    // Decode only the new planes' segments (parallel across planes; merging
-    // in parallel would race on q, so it stays a blocked pass below).
+  // The sign segment joins the first call's parallel decode as index 0; the
+  // delta planes follow. Every task fills its own slot, so the incremental
+  // schedule and the pool width cannot change the decoded words.
+  const u32 want_sign = state.sign_words.empty() ? 1 : 0;
+  if (delta + want_sign > 0) {
     std::vector<std::vector<u64>> plane_words(delta);
+    Timer t;
     auto decode_one = [&](u64 i) {
-      plane_words[i] = decode_segment(ps.planes[p0 + i], n);
+      if (want_sign != 0 && i == 0) {
+        state.sign_words = decode_segment(ps.sign, n);
+      } else {
+        const u64 p = i - want_sign;
+        plane_words[p] = decode_segment(ps.planes[p0 + p], n);
+      }
     };
-    if (pool != nullptr && delta > 1) {
-      pool->parallel_for(0, delta, decode_one);
+    if (pool != nullptr && delta + want_sign > 1) {
+      pool->parallel_for(0, u64{delta} + want_sign, decode_one);
     } else {
-      for (u64 i = 0; i < delta; ++i) decode_one(i);
+      for (u64 i = 0; i < u64{delta} + want_sign; ++i) decode_one(i);
+    }
+    if (stats != nullptr) {
+      stats->seconds += t.seconds();
+      if (want_sign != 0) tally_segment(ps.sign, *stats);
+      for (u32 i = 0; i < delta; ++i) tally_segment(ps.planes[p0 + i], *stats);
     }
 
     // Blocked merge mirroring the encoder's transpose. The new planes occupy
     // bit positions of q that previous planes never touched, so OR-ing the
     // transposed block in reproduces a full decode exactly.
-    const kernels::BitplaneOps& mops = kernels::bitplane_ops();
-    std::vector<u32>& q = state.q;
-    auto merge = [&](u64 wlo, u64 whi) {
-      u64 block[64];
-      for (u64 w = wlo; w < whi; ++w) {
-        const u64 base = w * 64;
-        const u32 valid = static_cast<u32>(std::min<u64>(64, n - base));
-        std::fill(std::begin(block), std::end(block), 0);
-        for (u32 i = 0; i < delta; ++i)
-          block[31 - (p0 + i)] = plane_words[i][w];
-        mops.transpose64(block);  // involution: rows become coefficient values
-        for (u32 i = 0; i < valid; ++i)
-          q[base + i] |= static_cast<u32>(block[i]);
+    if (delta > 0) {
+      const kernels::BitplaneOps& mops = kernels::bitplane_ops();
+      std::vector<u32>& q = state.q;
+      auto merge = [&](u64 wlo, u64 whi) {
+        u64 block[64];
+        for (u64 w = wlo; w < whi; ++w) {
+          const u64 base = w * 64;
+          const u32 valid = static_cast<u32>(std::min<u64>(64, n - base));
+          std::fill(std::begin(block), std::end(block), 0);
+          for (u32 i = 0; i < delta; ++i)
+            block[31 - (p0 + i)] = plane_words[i][w];
+          mops.transpose64(block);  // involution: rows become coefficient values
+          for (u32 i = 0; i < valid; ++i)
+            q[base + i] |= static_cast<u32>(block[i]);
+        }
+      };
+      if (pool != nullptr && nwords > 64) {
+        pool->parallel_for_chunks(0, nwords, merge, 0);
+      } else {
+        merge(0, nwords);
       }
-    };
-    if (pool != nullptr && nwords > 64) {
-      pool->parallel_for_chunks(0, nwords, merge, 0);
-    } else {
-      merge(0, nwords);
     }
     state.planes_decoded = num_planes;
   }

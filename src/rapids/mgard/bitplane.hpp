@@ -10,10 +10,14 @@
 /// is what lets the retrieval layer attach a guaranteed error bound to any
 /// prefix of planes.
 ///
-/// Each plane is stored either raw (bit-packed) or sparse (bitmap of nonzero
-/// 64-bit words + the nonzero words). High planes of smooth fields are almost
-/// entirely zero, so the sparse form is where the refactorer's compression
-/// comes from.
+/// Each plane is stored in whichever of four segment modes is smallest: zero
+/// (a mode byte only), raw (bit-packed), sparse (bitmap of nonzero 64-bit
+/// words + the nonzero words), or Rice-coded set-bit gaps. High planes of
+/// smooth fields are almost entirely zero, so the sparse and Rice forms are
+/// where the refactorer's compression comes from. The segment coder itself
+/// runs on the dispatched entropy kernels (kernels::codec_ops) and forks
+/// per-segment work across the thread pool; output bytes are identical for
+/// every ISA tier, pool width, and incremental-decode schedule.
 
 #include <vector>
 
@@ -55,18 +59,46 @@ struct PlaneSet {
   f64 error_bound(u32 p) const;
 };
 
+/// Entropy-codec substage accounting: how long the segment coder ran, how
+/// many bytes it produced/consumed, and which segment modes were chosen.
+/// `seconds` is the wall time of the (possibly pool-parallel) segment
+/// encode/decode region; the counters are exact and deterministic.
+struct CodecStats {
+  f64 seconds = 0.0;  ///< wall time in segment encode/decode
+  u64 segments = 0;   ///< segments encoded or decoded
+  u64 bytes = 0;      ///< encoded segment bytes (mode byte included)
+  u64 mode_raw = 0;
+  u64 mode_sparse = 0;
+  u64 mode_zero = 0;
+  u64 mode_rice = 0;
+
+  CodecStats& operator+=(const CodecStats& o) {
+    seconds += o.seconds;
+    segments += o.segments;
+    bytes += o.bytes;
+    mode_raw += o.mode_raw;
+    mode_sparse += o.mode_sparse;
+    mode_zero += o.mode_zero;
+    mode_rice += o.mode_rice;
+    return *this;
+  }
+};
+
 /// Encode coefficients into sign + magnitude planes. `max_planes` caps how
 /// many magnitude planes are produced (32 = lossless to the quantization
-/// floor). If `pool` is non-null, planes are encoded in parallel.
+/// floor). If `pool` is non-null, the sign and magnitude segments are encoded
+/// in parallel (byte-identical to the serial order). If `stats` is non-null,
+/// the codec substage accounting is accumulated into it.
 PlaneSet encode_planes(std::span<const f64> coeffs, u32 max_planes = kMagnitudePlanes,
-                       ThreadPool* pool = nullptr);
+                       ThreadPool* pool = nullptr, CodecStats* stats = nullptr);
 
 /// Reconstruct coefficients from the sign plane and the first
 /// `num_planes` magnitude planes of `ps` (num_planes <= ps.planes.size()).
 /// Coefficients whose decoded prefix is zero stay exactly zero; others get
 /// midpoint reconstruction of the truncated tail.
 std::vector<f64> decode_planes(const PlaneSet& ps, u32 num_planes,
-                               ThreadPool* pool = nullptr);
+                               ThreadPool* pool = nullptr,
+                               CodecStats* stats = nullptr);
 
 /// Carry-over state for incremental plane decoding: the raw quantized values
 /// and sign words accumulated so far for one decomposition level. Planes
@@ -89,12 +121,16 @@ struct ProgressiveState {
 /// itself is implemented as this function with a throwaway state.
 std::vector<f64> decode_planes_incremental(const PlaneSet& ps, u32 num_planes,
                                            ProgressiveState& state,
-                                           ThreadPool* pool = nullptr);
+                                           ThreadPool* pool = nullptr,
+                                           CodecStats* stats = nullptr);
 
 /// Low-level plane codecs, exposed for tests and benches. ///
 
-/// Pack a bit-per-coefficient plane and compress it (raw vs sparse,
-/// whichever is smaller). `bits` holds 0/1 per coefficient.
+/// Compress one packed bit plane (num_bits bits in ceil(num_bits/64) words)
+/// into the smallest of the four segment modes. Mode arbitration is part of
+/// the byte-identity contract: zero wins iff no bit is set; Rice is
+/// considered iff ones * 2 < num_bits and wins iff strictly smaller than
+/// both raw and sparse; otherwise sparse wins iff strictly smaller than raw.
 PlaneSegment encode_segment(std::span<const u64> words, u64 num_bits);
 
 /// Expand a segment back to packed 64-bit words (num_bits bits valid).

@@ -297,9 +297,13 @@ std::pair<const T*, Dims> compute_correction(const T* w, Dims adims,
 
 /// Add (sign=+1) or subtract (sign=-1) the coarse-grid correction into the
 /// coarse nodes of the active buffer (even positions per decomposed axis).
+/// When `tap` is non-null it receives a compact (cdims row-major) copy of the
+/// corrected coarse nodes — the correction is their last writer within a
+/// step, so the copy costs one contiguous store stream while the values are
+/// still in registers.
 template <typename T>
 void apply_correction(T* w, Dims adims, const T* z, Dims cdims, T sign,
-                      ThreadPool* pool) {
+                      ThreadPool* pool, T* tap = nullptr) {
   const u64 sx = adims.nx > 1 ? 2 : 1;
   const u64 sy = adims.ny > 1 ? 2 : 1;
   const u64 sz = adims.nz > 1 ? 2 : 1;
@@ -310,7 +314,14 @@ void apply_correction(T* w, Dims adims, const T* z, Dims cdims, T sign,
                   const u64 k = r / cdims.ny;
                   const T* src = z + r * cdims.nx;
                   T* dst = w + ((k * sz) * adims.ny + j * sy) * adims.nx;
-                  for (u64 i = 0; i < cdims.nx; ++i) dst[i * sx] += sign * src[i];
+                  if (tap != nullptr) {
+                    T* trow = tap + r * cdims.nx;
+                    for (u64 i = 0; i < cdims.nx; ++i)
+                      trow[i] = dst[i * sx] += sign * src[i];
+                  } else {
+                    for (u64 i = 0; i < cdims.nx; ++i)
+                      dst[i * sx] += sign * src[i];
+                  }
                 }
               });
 }
@@ -331,6 +342,33 @@ void gather_active_cascade(const T* full, Dims pdims, T* w, Dims adims,
                   T* dst = w + l * adims.nx;
                   ops.gather_stride(dst, src, adims.nx, stride);
                   if (cascade_x) ops.cascade_fwd_x(dst, adims.nx);
+                }
+              });
+}
+
+/// Gather like gather_active_cascade (no x cascade), except rows even in
+/// both y and z skip their even-x positions: the fused recompose injection
+/// overwrites exactly that stride-2 subset from the pending deeper grid, so
+/// its stale strided loads from `full` are pure waste. Every skipped slot is
+/// written by the injection before anything reads `w`.
+template <typename T>
+void gather_active_skip_pending(const T* full, Dims pdims, T* w, Dims adims,
+                                u64 stride, ThreadPool* pool) {
+  const RowOps<T>& ops = kernels::row_ops<T>();
+  run_chunked(pool, adims.ny * adims.nz,
+              grain_for_lines(adims.nx * sizeof(T)), [&](u64 lo, u64 hi) {
+                for (u64 l = lo; l < hi; ++l) {
+                  const u64 j = l % adims.ny;
+                  const u64 k = l / adims.ny;
+                  const T* src = full + ((k * stride) * pdims.ny + j * stride) *
+                                            pdims.nx;
+                  T* dst = w + l * adims.nx;
+                  if ((j & 1) == 0 && (k & 1) == 0) {
+                    for (u64 i = 1; i < adims.nx; i += 2)
+                      dst[i] = src[i * stride];
+                  } else {
+                    ops.gather_stride(dst, src, adims.nx, stride);
+                  }
                 }
               });
 }
@@ -412,6 +450,22 @@ void decompose(std::vector<T>& data, const GridHierarchy& h,
   RefactorWorkspace& work = ws != nullptr ? *ws : local_ws;
   auto& bufs = work.bufs<T>();
   const Dims pdims = h.padded();
+  // Level fusion: step t's active grid is exactly the stride-2 sub-grid of
+  // step t-1's active grid (extents are 2^j + 1 or 1 per axis), and after
+  // step t-1 finishes, its compact buffer holds the same values the padded
+  // array holds at those nodes (the scatter below copies, never transforms).
+  // So step t >= 3 gathers from the L2-resident previous buffer at relative
+  // stride 2 instead of re-striding the full field at 2^(t-1) — one fewer
+  // full-field read pass per level. Step 2 is covered by a tap in step 1's
+  // correction pass (see below), which hands it a compact copy of its grid
+  // at relative stride 1. The scatter into `data` stays: the coefficients
+  // must land there for gather_level. Two buffers ping-pong so the gather
+  // never reads the buffer it writes.
+  const bool fuse = opt.level_fusion;
+  const T* prev = data.data();
+  Dims prev_dims = pdims;
+  u64 prev_rel = 2;  // relative stride of the next grid within `prev`
+  bool flip = false;
   for (u32 t = 1; t <= h.levels(); ++t) {
     const Dims adims = h.grid_at_step(t - 1);
     const u64 stride = u64{1} << (t - 1);
@@ -421,20 +475,50 @@ void decompose(std::vector<T>& data, const GridHierarchy& h,
       w = data.data();
       if (adims.nx > 1) cascade_axis(w, adims, 0, /*forward=*/true, pool);
     } else {
-      bufs.active.resize(adims.total());
-      w = bufs.active.data();
-      gather_active_cascade(data.data(), pdims, w, adims, stride,
-                            adims.nx > 1, pool);
+      std::vector<T>& cur = (fuse && flip) ? bufs.active2 : bufs.active;
+      if (fuse) flip = !flip;
+      cur.resize(adims.total());
+      w = cur.data();
+      if (fuse) {
+        gather_active_cascade(prev, prev_dims, w, adims, prev_rel,
+                              adims.nx > 1, pool);
+      } else {
+        gather_active_cascade(data.data(), pdims, w, adims, stride,
+                              adims.nx > 1, pool);
+      }
     }
     if (adims.ny > 1) cascade_axis(w, adims, 1, true, pool);
     if (adims.nz > 1) cascade_axis(w, adims, 2, true, pool);
+    bool tapped = false;
     if (opt.l2_correction) {
       const auto [z, cdims] = compute_correction(w, adims, work, pool);
-      apply_correction(w, adims, z, cdims, static_cast<T>(1), pool);
+      T* tap = nullptr;
+      if (fuse && stride == 1 && t < h.levels()) {
+        // Fused step 1 -> 2 hand-off: the correction is the last writer of
+        // exactly the stride-2 sub-grid step 2 gathers, so tap the corrected
+        // values into a compact buffer as they are produced. Step 2 then
+        // reads it contiguously (relative stride 1) instead of re-striding
+        // the whole padded field — the largest strided read of the
+        // traversal. Values are bit-identical either way.
+        std::vector<T>& tbuf = flip ? bufs.active2 : bufs.active;
+        flip = !flip;
+        tbuf.resize(cdims.total());
+        tap = tbuf.data();
+        prev = tap;
+        prev_dims = cdims;
+        prev_rel = 1;
+        tapped = true;
+      }
+      apply_correction(w, adims, z, cdims, static_cast<T>(1), pool, tap);
     }
     if (stride != 1) {
       cascade_scatter_active(data.data(), pdims, w, adims, stride,
                              /*cascade_x=*/false, pool);
+    }
+    if (!tapped) {
+      prev = w;
+      prev_dims = adims;
+      prev_rel = 2;
     }
   }
 }
@@ -448,6 +532,22 @@ void recompose(std::vector<T>& data, const GridHierarchy& h,
   RefactorWorkspace& work = ws != nullptr ? *ws : local_ws;
   auto& bufs = work.bufs<T>();
   const Dims pdims = h.padded();
+  // Level fusion, mirrored: a step t >= 3 skips the full-field scatter and
+  // keeps its processed active grid pending (inverse x cascade still
+  // deferred, exactly as the fused scatter would have run it). Step t-1
+  // gathers from `data` with the pending stride-2 subset skipped (those
+  // strided loads would be stale and immediately overwritten), then the
+  // injection below runs the deferred cascade and writes that subset of the
+  // freshly gathered buffer straight from the compact pending grid.
+  // Step 2 must scatter into `data` for real (step 1 transforms the padded
+  // array in place), which also lands every coarser level's final values:
+  // their nodes are a subset of step 2's grid. One fewer full-field write
+  // pass per level; values and order are identical, so output is
+  // bit-identical to the unfused traversal.
+  const bool fuse = opt.level_fusion;
+  T* pending = nullptr;
+  Dims pending_dims{};
+  bool flip = false;
   for (u32 t = h.levels(); t >= 1; --t) {
     const Dims adims = h.grid_at_step(t - 1);
     const u64 stride = u64{1} << (t - 1);
@@ -455,10 +555,23 @@ void recompose(std::vector<T>& data, const GridHierarchy& h,
     if (stride == 1) {
       w = data.data();
     } else {
-      bufs.active.resize(adims.total());
-      w = bufs.active.data();
-      gather_active_cascade(data.data(), pdims, w, adims, stride,
-                            /*cascade_x=*/false, pool);
+      std::vector<T>& cur = (fuse && flip) ? bufs.active2 : bufs.active;
+      if (fuse) flip = !flip;
+      cur.resize(adims.total());
+      w = cur.data();
+      if (pending != nullptr)
+        gather_active_skip_pending(data.data(), pdims, w, adims, stride, pool);
+      else
+        gather_active_cascade(data.data(), pdims, w, adims, stride,
+                              /*cascade_x=*/false, pool);
+    }
+    if (pending != nullptr) {
+      // Deferred injection of level t+1's processed grid: runs its deferred
+      // inverse x cascade and scatters into this buffer's stride-2 subset
+      // (which is exactly level t+1's grid), before the correction reads it.
+      cascade_scatter_active(w, adims, pending, pending_dims, /*stride=*/2,
+                             pending_dims.nx > 1, pool);
+      pending = nullptr;
     }
     if (opt.l2_correction) {
       const auto [z, cdims] = compute_correction(w, adims, work, pool);
@@ -468,6 +581,9 @@ void recompose(std::vector<T>& data, const GridHierarchy& h,
     if (adims.ny > 1) cascade_axis(w, adims, 1, false, pool);
     if (stride == 1) {
       if (adims.nx > 1) cascade_axis(w, adims, 0, false, pool);
+    } else if (fuse && t > 2) {
+      pending = w;
+      pending_dims = adims;
     } else {
       cascade_scatter_active(data.data(), pdims, w, adims, stride,
                              adims.nx > 1, pool);

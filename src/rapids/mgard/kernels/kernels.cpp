@@ -1,5 +1,7 @@
 #include "rapids/mgard/kernels/kernels.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 
 // Scalar reference kernels and the dispatch glue. This translation unit is
@@ -169,6 +171,129 @@ void dequantize_s(f64* out, const u32* q, const u64* sign_words, f64 inv_scale,
   }
 }
 
+// --- entropy-codec kernels ---
+
+void segment_stats_s(const u64* words, u64 n, u64* ones, u64* nonzero_words) {
+  u64 o = 0;
+  u64 nz = 0;
+  for (u64 i = 0; i < n; ++i) {
+    o += static_cast<u64>(std::popcount(words[i]));
+    nz += (words[i] != 0);
+  }
+  *ones = o;
+  *nonzero_words = nz;
+}
+
+u64 bit_positions_s(const u64* words, u64 n, u64* out) {
+  u64 c = 0;
+  for (u64 i = 0; i < n; ++i) {
+    u64 w = words[i];
+    const u64 base = i * 64;
+    while (w != 0) {
+      out[c++] = base + static_cast<u64>(std::countr_zero(w));
+      w &= w - 1;
+    }
+  }
+  return c;
+}
+
+u64 sparse_pack_s(const u64* words, u64 n, u64* bitmap, u64* packed) {
+  u64 nz = 0;
+  for (u64 i = 0; i < n; ++i) {
+    if (words[i] != 0) {
+      bitmap[i >> 6] |= u64{1} << (i & 63);
+      packed[nz++] = words[i];
+    }
+  }
+  return nz;
+}
+
+u64 sparse_expand_s(u64* words, u64 n, const u64* bitmap, const u64* packed) {
+  u64 c = 0;
+  for (u64 i = 0; i < n; ++i)
+    if (bitmap[i >> 6] & (u64{1} << (i & 63))) words[i] = packed[c++];
+  return c;
+}
+
+u64 rice_length_bits_s(const u64* pos, u64 count, u32 k) {
+  u64 bits = count * (u64{1} + k);
+  u64 prev = 0;
+  for (u64 i = 0; i < count; ++i) {
+    bits += (pos[i] - prev) >> k;
+    prev = pos[i] + 1;
+  }
+  return bits;
+}
+
+void rice_emit_s(const u64* pos, u64 count, u32 k, u64* bits) {
+  // Per gap: unary(gap >> k) = q zeros then a one, then the k low bits of the
+  // gap, LSB-first. The buffer is pre-zeroed, so zeros are just a skip and
+  // every write is an OR — no per-bit loop, at most three word touches.
+  const u64 low_mask = k == 0 ? 0 : (u64{1} << k) - 1;
+  u64 bitpos = 0;
+  u64 prev = 0;
+  for (u64 i = 0; i < count; ++i) {
+    const u64 gap = pos[i] - prev;
+    prev = pos[i] + 1;
+    bitpos += gap >> k;  // the unary zeros
+    bits[bitpos >> 6] |= u64{1} << (bitpos & 63);
+    ++bitpos;
+    if (k != 0) {
+      const u64 v = gap & low_mask;
+      const u32 off = static_cast<u32>(bitpos & 63);
+      bits[bitpos >> 6] |= v << off;
+      if (off + k > 64) bits[(bitpos >> 6) + 1] |= v >> (64 - off);
+      bitpos += k;
+    }
+  }
+}
+
+bool rice_expand_s(const u64* stream, u64 stream_bits, u64 ones, u32 k,
+                   u64 num_bits, u64* words) {
+  // k <= 63 and ones <= num_bits are validated by the caller; here only the
+  // stream itself can be malformed. Positions must stay < num_bits and the
+  // stream must hold every coded bit — zero padding past stream_bits never
+  // fabricates gaps because a unary run into the padding trips the
+  // bitpos >= stream_bits check before a terminator can be found.
+  const u64 low_mask = k == 0 ? 0 : (u64{1} << k) - 1;
+  const u64 q_limit = num_bits >> k;  // any valid gap has gap >> k <= this
+  u64 bitpos = 0;
+  u64 prev = 0;
+  for (u64 i = 0; i < ones; ++i) {
+    u64 q = 0;
+    for (;;) {
+      if (bitpos >= stream_bits) return false;
+      const u32 off = static_cast<u32>(bitpos & 63);
+      const u64 w = stream[bitpos >> 6] >> off;
+      if (w == 0) {
+        q += 64 - off;
+        bitpos += 64 - off;
+        if (q > q_limit) return false;
+        continue;
+      }
+      const u32 z = static_cast<u32>(std::countr_zero(w));
+      q += z;
+      bitpos += z + u64{1};
+      break;
+    }
+    if (q > q_limit) return false;
+    u64 low = 0;
+    if (k != 0) {
+      if (bitpos + k > stream_bits) return false;
+      const u32 off = static_cast<u32>(bitpos & 63);
+      u64 v = stream[bitpos >> 6] >> off;
+      if (off + k > 64) v |= stream[(bitpos >> 6) + 1] << (64 - off);
+      low = v & low_mask;
+      bitpos += k;
+    }
+    const u64 pos = prev + ((q << k) | low);
+    if (pos >= num_bits) return false;
+    words[pos >> 6] |= u64{1} << (pos & 63);
+    prev = pos + 1;
+  }
+  return true;
+}
+
 template <typename T>
 constexpr RowOps<T> make_scalar_row_ops() {
   RowOps<T> ops{};
@@ -193,6 +318,10 @@ constexpr RowOps<T> make_scalar_row_ops() {
 constexpr BitplaneOps kScalarBitplaneOps{&max_abs_s, &quantize64_s,
                                          &transpose64_s, &dequantize_s};
 
+constexpr CodecOps kScalarCodecOps{
+    &segment_stats_s, &bit_positions_s,    &sparse_pack_s, &sparse_expand_s,
+    &rice_length_bits_s, &rice_emit_s, &rice_expand_s};
+
 }  // namespace
 
 template <typename T>
@@ -202,6 +331,8 @@ const RowOps<T>& row_ops_scalar() {
 }
 
 const BitplaneOps& bitplane_ops_scalar() { return kScalarBitplaneOps; }
+
+const CodecOps& codec_ops_scalar() { return kScalarCodecOps; }
 
 template <typename T>
 const RowOps<T>& row_ops_at(simd::IsaLevel level) {
@@ -230,6 +361,19 @@ const BitplaneOps& bitplane_ops_at(simd::IsaLevel level) {
   return bitplane_ops_scalar();
 }
 
+const CodecOps& codec_ops_at(simd::IsaLevel level) {
+  switch (level) {
+    case simd::IsaLevel::kAvx2:
+      return detail::codec_ops_avx2();
+    case simd::IsaLevel::kNeon:
+      return detail::codec_ops_neon();
+    case simd::IsaLevel::kSsse3:
+    case simd::IsaLevel::kScalar:
+      break;
+  }
+  return codec_ops_scalar();
+}
+
 template <typename T>
 const RowOps<T>& row_ops() {
   return row_ops_at<T>(simd::active_isa());
@@ -238,6 +382,8 @@ const RowOps<T>& row_ops() {
 const BitplaneOps& bitplane_ops() {
   return bitplane_ops_at(simd::active_isa());
 }
+
+const CodecOps& codec_ops() { return codec_ops_at(simd::active_isa()); }
 
 template const RowOps<f32>& row_ops_scalar<f32>();
 template const RowOps<f64>& row_ops_scalar<f64>();

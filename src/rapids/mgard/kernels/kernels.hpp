@@ -96,23 +96,61 @@ struct BitplaneOps {
                      f64 inv_scale, u32 mid, u64 n);
 };
 
+/// Entropy-codec kernels for the plane-segment coder (bitplane.cpp). Every
+/// kernel is integer-exact, so any implementation tier yields byte-identical
+/// encoded segments — the bit-identity matrix in kernel_test enforces it per
+/// entry point. Buffers marked "pre-zeroed" must be zero-filled by the caller;
+/// kernels only OR bits in.
+struct CodecOps {
+  /// *ones = popcount over words[0..n), *nonzero_words = #(words[i] != 0).
+  void (*segment_stats)(const u64* words, u64 n, u64* ones,
+                        u64* nonzero_words);
+  /// Write the ascending absolute positions of every set bit in words[0..n)
+  /// to out. `out` must have room for count + 7 entries (count from
+  /// segment_stats): vector tiers store full table rows and let the cursor
+  /// overwrite the slack. Returns the count written.
+  u64 (*bit_positions)(const u64* words, u64 n, u64* out);
+  /// bitmap bit i = (words[i] != 0) (bitmap pre-zeroed, ceil(n/64) words);
+  /// packed collects the nonzero words in order. Returns #nonzero words.
+  u64 (*sparse_pack)(const u64* words, u64 n, u64* bitmap, u64* packed);
+  /// Inverse of sparse_pack: scatter packed words into words[0..n)
+  /// (pre-zeroed) at the bitmap's set positions. Returns #words consumed.
+  u64 (*sparse_expand)(u64* words, u64 n, const u64* bitmap,
+                       const u64* packed);
+  /// Exact bit length of the Rice gap stream for set-bit positions
+  /// pos[0..count) at parameter k: sum(gap_i >> k) + count * (1 + k).
+  u64 (*rice_length_bits)(const u64* pos, u64 count, u32 k);
+  /// Emit that gap stream (LSB-first within 64-bit words) into bits
+  /// (pre-zeroed, ceil(rice_length_bits/64) words).
+  void (*rice_emit)(const u64* pos, u64 count, u32 k, u64* bits);
+  /// Decode `ones` Rice gaps from stream[0..ceil(stream_bits/64)) (LSB-first,
+  /// zero-padded past stream_bits) and set the positions in words
+  /// (pre-zeroed, ceil(num_bits/64) words). Returns false on any malformed
+  /// body: truncated stream, gap overflow, or a position >= num_bits.
+  bool (*rice_expand)(const u64* stream, u64 stream_bits, u64 ones, u32 k,
+                      u64 num_bits, u64* words);
+};
+
 /// Dispatched tables (test override > RAPIDS_FORCE_SCALAR > best ISA). The
 /// lookup re-reads simd::active_isa() every call so overrides take effect
 /// immediately; the tables themselves are static.
 template <typename T>
 const RowOps<T>& row_ops();
 const BitplaneOps& bitplane_ops();
+const CodecOps& codec_ops();
 
 /// The portable scalar reference tables.
 template <typename T>
 const RowOps<T>& row_ops_scalar();
 const BitplaneOps& bitplane_ops_scalar();
+const CodecOps& codec_ops_scalar();
 
 /// Table for an explicit ISA level (used by tests and benchmarks to pin a
 /// tier). Unsupported levels fall back to scalar.
 template <typename T>
 const RowOps<T>& row_ops_at(simd::IsaLevel level);
 const BitplaneOps& bitplane_ops_at(simd::IsaLevel level);
+const CodecOps& codec_ops_at(simd::IsaLevel level);
 
 /// Number of independent x-lines batched per Thomas panel sweep. Wide enough
 /// that several vector division chains overlap; one panel of f64 scratch is
@@ -136,9 +174,11 @@ namespace detail {
 template <typename T>
 const RowOps<T>& row_ops_avx2();
 const BitplaneOps& bitplane_ops_avx2();
+const CodecOps& codec_ops_avx2();
 template <typename T>
 const RowOps<T>& row_ops_neon();
 const BitplaneOps& bitplane_ops_neon();
+const CodecOps& codec_ops_neon();
 }  // namespace detail
 
 }  // namespace rapids::mgard::kernels

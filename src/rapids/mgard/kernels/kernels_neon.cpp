@@ -319,6 +319,53 @@ RowOps<f32> make_neon_row_ops<f32>() {
   return ops;
 }
 
+// --- entropy-codec kernels ---
+//
+// Integer-exact, so bit-identity with the scalar reference is structural.
+// Only the streaming reductions get NEON forms; the serial bit-packing entry
+// points (rice_emit / rice_expand) and the extraction/scatter loops stay on
+// the scalar reference via the copied table below.
+
+void segment_stats_neon(const u64* words, u64 n, u64* ones,
+                        u64* nonzero_words) {
+  uint64x2_t acc = vdupq_n_u64(0);
+  u64 nz = 0;
+  u64 i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t v = vld1q_u64(words + i);
+    acc = vaddq_u64(
+        acc, vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(
+                 vreinterpretq_u8_u64(v))))));
+    nz += (vgetq_lane_u64(v, 0) != 0) + (vgetq_lane_u64(v, 1) != 0);
+  }
+  u64 o = vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; i < n; ++i) {
+    o += static_cast<u64>(__builtin_popcountll(words[i]));
+    nz += (words[i] != 0);
+  }
+  *ones = o;
+  *nonzero_words = nz;
+}
+
+u64 rice_length_bits_neon(const u64* pos, u64 count, u32 k) {
+  u64 bits = count * (u64{1} + k);
+  if (count == 0) return bits;
+  bits += pos[0] >> k;
+  const uint64x2_t ones2 = vdupq_n_u64(1);
+  const int64x2_t shift = vdupq_n_s64(-static_cast<i64>(k));
+  uint64x2_t acc = vdupq_n_u64(0);
+  u64 i = 1;
+  for (; i + 2 <= count; i += 2) {
+    const uint64x2_t cur = vld1q_u64(pos + i);
+    const uint64x2_t prv = vld1q_u64(pos + i - 1);
+    const uint64x2_t gap = vsubq_u64(cur, vaddq_u64(prv, ones2));
+    acc = vaddq_u64(acc, vshlq_u64(gap, shift));
+  }
+  bits += vgetq_lane_u64(acc, 0) + vgetq_lane_u64(acc, 1);
+  for (; i < count; ++i) bits += (pos[i] - pos[i - 1] - 1) >> k;
+  return bits;
+}
+
 }  // namespace
 
 namespace detail {
@@ -330,6 +377,16 @@ const RowOps<T>& row_ops_neon() {
 }
 
 const BitplaneOps& bitplane_ops_neon() { return bitplane_ops_scalar(); }
+
+const CodecOps& codec_ops_neon() {
+  static const CodecOps ops = [] {
+    CodecOps t = codec_ops_scalar();
+    t.segment_stats = &segment_stats_neon;
+    t.rice_length_bits = &rice_length_bits_neon;
+    return t;
+  }();
+  return ops;
+}
 
 template const RowOps<f32>& row_ops_neon<f32>();
 template const RowOps<f64>& row_ops_neon<f64>();
@@ -347,6 +404,8 @@ const RowOps<T>& row_ops_neon() {
 }
 
 const BitplaneOps& bitplane_ops_neon() { return bitplane_ops_scalar(); }
+
+const CodecOps& codec_ops_neon() { return codec_ops_scalar(); }
 
 template const RowOps<f32>& row_ops_neon<f32>();
 template const RowOps<f64>& row_ops_neon<f64>();

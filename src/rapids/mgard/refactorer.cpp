@@ -133,9 +133,10 @@ RefactoredObject Refactorer::refactor_streaming(
   // Encode every decomposition level's coefficients into planes.
   t.reset();
   std::vector<PlaneSet> plane_sets(h.num_decomp_levels());
+  CodecStats* codec = timings != nullptr ? &timings->plane_codec : nullptr;
   for (u32 d = 0; d < h.num_decomp_levels(); ++d) {
     std::vector<f64> coeffs = gather_level(padded, h, d, pool_);
-    plane_sets[d] = encode_planes(coeffs, options_.max_planes, pool_);
+    plane_sets[d] = encode_planes(coeffs, options_.max_planes, pool_, codec);
   }
   if (timings != nullptr) timings->plane_encode_seconds = t.seconds();
 
@@ -185,27 +186,28 @@ RefactoredObject Refactorer::refactor_streaming(
 }
 
 std::vector<f32> Refactorer::reconstruct(
-    const RefactoredObject& meta, std::span<const Bytes> level_payloads) const {
+    const RefactoredObject& meta, std::span<const Bytes> level_payloads,
+    CodecStats* codec) const {
   RAPIDS_REQUIRE_MSG(!level_payloads.empty(),
                      "reconstruct: need at least retrieval level 1");
   RAPIDS_REQUIRE(level_payloads.size() <= meta.levels.size());
   const std::vector<PlaneSet> sets =
       collect_plane_sets(meta.dlevels, level_payloads);
-  return reconstruct_from_sets(meta, sets, nullptr);
+  return reconstruct_from_sets(meta, sets, nullptr, codec);
 }
 
 std::vector<f32> Refactorer::reconstruct_incremental(
     const RefactoredObject& meta, const std::vector<PlaneSet>& sets,
-    std::vector<ProgressiveState>& states) const {
+    std::vector<ProgressiveState>& states, CodecStats* codec) const {
   if (states.empty()) states.resize(sets.size());
   RAPIDS_REQUIRE_MSG(states.size() == sets.size(),
                      "reconstruct: progressive states do not match plane sets");
-  return reconstruct_from_sets(meta, sets, &states);
+  return reconstruct_from_sets(meta, sets, &states, codec);
 }
 
 std::vector<f32> Refactorer::reconstruct_from_sets(
     const RefactoredObject& meta, const std::vector<PlaneSet>& sets,
-    std::vector<ProgressiveState>* states) const {
+    std::vector<ProgressiveState>* states, CodecStats* codec) const {
   const GridHierarchy h(meta.dims, meta.decomp_levels);
   RAPIDS_REQUIRE(sets.size() == h.num_decomp_levels());
 
@@ -215,8 +217,9 @@ std::vector<f32> Refactorer::reconstruct_from_sets(
     std::vector<f64> coeffs;
     if (sets[d].count != 0) {
       coeffs = states != nullptr
-                   ? decode_planes_incremental(sets[d], avail, (*states)[d], pool_)
-                   : decode_planes(sets[d], avail, pool_);
+                   ? decode_planes_incremental(sets[d], avail, (*states)[d],
+                                               pool_, codec)
+                   : decode_planes(sets[d], avail, pool_, codec);
     }
     if (coeffs.empty() && sets[d].count > 0)
       coeffs.assign(sets[d].count, 0.0);

@@ -74,6 +74,7 @@ struct RefactorTimings {
   f64 transform_seconds = 0.0;     ///< widen + pad + multigrid decompose
   f64 plane_encode_seconds = 0.0;  ///< per-dlevel gather + bitplane encode
   f64 assemble_seconds = 0.0;      ///< retrieval-level plan + materialize
+  CodecStats plane_codec;          ///< entropy-codec substage of plane encode
 };
 
 /// The refactoring engine. Stateless apart from options and the worker pool;
@@ -119,9 +120,11 @@ class Refactorer {
 
   /// Rebuild an approximation using the first `level_payloads.size()`
   /// retrieval levels (must be a prefix: levels 1..j). `meta` may come from
-  /// refactor() or deserialize_metadata().
+  /// refactor() or deserialize_metadata(). `codec`, when non-null, receives
+  /// the entropy-codec substage accounting of the plane decode.
   std::vector<f32> reconstruct(const RefactoredObject& meta,
-                               std::span<const Bytes> level_payloads) const;
+                               std::span<const Bytes> level_payloads,
+                               CodecStats* codec = nullptr) const;
 
   /// Incremental counterpart of reconstruct() for refinement sessions.
   /// `sets` are the accumulated plane sets of a retrieval prefix (grown with
@@ -131,14 +134,14 @@ class Refactorer {
   /// Bit-identical to reconstruct() over the same prefix.
   std::vector<f32> reconstruct_incremental(
       const RefactoredObject& meta, const std::vector<PlaneSet>& sets,
-      std::vector<ProgressiveState>& states) const;
+      std::vector<ProgressiveState>& states, CodecStats* codec = nullptr) const;
 
  private:
   /// Shared tail of the two reconstruct flavors: decode (incrementally when
   /// `states` is non-null), scatter, recompose, crop.
   std::vector<f32> reconstruct_from_sets(
       const RefactoredObject& meta, const std::vector<PlaneSet>& sets,
-      std::vector<ProgressiveState>* states) const;
+      std::vector<ProgressiveState>* states, CodecStats* codec) const;
 
   RefactorOptions options_;
   ThreadPool* pool_;

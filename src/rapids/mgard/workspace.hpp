@@ -28,10 +28,13 @@ namespace rapids::mgard {
 /// Per-element-type scratch of one transform invocation.
 template <typename T>
 struct RefactorBuffers {
-  std::vector<T> active;  ///< gathered active sub-grid of the current level
-  std::vector<T> resid;   ///< residual field (zeroed coarse nodes)
-  std::vector<T> load_a;  ///< load-operator ping buffer
-  std::vector<T> load_b;  ///< load-operator pong buffer
+  std::vector<T> active;   ///< gathered active sub-grid of the current level
+  std::vector<T> active2;  ///< level-fusion ping-pong partner of `active`:
+                           ///< the fused traversal reads the previous level's
+                           ///< active grid while writing the current one
+  std::vector<T> resid;    ///< residual field (zeroed coarse nodes)
+  std::vector<T> load_a;   ///< load-operator ping buffer
+  std::vector<T> load_b;   ///< load-operator pong buffer
 };
 
 /// All scratch one decompose()/recompose() call needs. Not thread-safe:

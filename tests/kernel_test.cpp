@@ -722,5 +722,212 @@ TEST(Planes, ForceScalarEnvPinsTransform) {
   EXPECT_TRUE(BytesEqual(expect, forced));
 }
 
+// ---------------------------------------------------------------------------
+// Entropy-codec kernels: the density x length bit-identity matrix. Every
+// CodecOps entry of every tier must match the scalar reference exactly, and
+// whole encoded segments must come out byte-identical regardless of tier,
+// RAPIDS_FORCE_SCALAR, or pool width.
+// ---------------------------------------------------------------------------
+
+enum class Density { kZero, kOneBit, kSparse, kHalf, kDense, kAllOnes };
+const Density kDensities[] = {Density::kZero,  Density::kOneBit,
+                              Density::kSparse, Density::kHalf,
+                              Density::kDense,  Density::kAllOnes};
+const u64 kBitLengths[] = {1, 63, 64, 65, 4095, 4097};
+
+const char* density_name(Density d) {
+  switch (d) {
+    case Density::kZero: return "zero";
+    case Density::kOneBit: return "one-bit";
+    case Density::kSparse: return "sparse";
+    case Density::kHalf: return "half";
+    case Density::kDense: return "dense";
+    case Density::kAllOnes: return "all-ones";
+  }
+  return "?";
+}
+
+// A packed plane of num_bits bits at the requested density; bits past
+// num_bits stay zero (the coder's input contract).
+std::vector<u64> make_plane(u64 num_bits, Density d, u64 seed) {
+  std::vector<u64> w((num_bits + 63) / 64, 0);
+  const auto set = [&](u64 i) { w[i >> 6] |= u64{1} << (i & 63); };
+  Rng rng(seed);
+  const auto fill = [&](f64 p) {
+    for (u64 i = 0; i < num_bits; ++i)
+      if (rng.bernoulli(p)) set(i);
+  };
+  switch (d) {
+    case Density::kZero: break;
+    case Density::kOneBit: set(num_bits / 2); break;
+    case Density::kSparse: fill(0.01); break;
+    case Density::kHalf: fill(0.5); break;
+    case Density::kDense: fill(0.97); break;
+    case Density::kAllOnes:
+      for (u64 i = 0; i < num_bits; ++i) set(i);
+      break;
+  }
+  return w;
+}
+
+TEST(Codec, KernelMatrixBitIdenticalAcrossIsa) {
+  const kernels::CodecOps& ref = kernels::codec_ops_scalar();
+  for (IsaLevel tier : kTiers) {
+    const kernels::CodecOps& ops = kernels::codec_ops_at(tier);
+    for (Density d : kDensities) {
+      for (u64 nbits : kBitLengths) {
+        SCOPED_TRACE(std::string(simd::isa_name(tier)) + " " +
+                     density_name(d) + " nbits=" + std::to_string(nbits));
+        const auto plane = make_plane(nbits, d, nbits * 7 + 1);
+        const u64 nwords = plane.size();
+
+        u64 ones = 0, nzw = 0, ones_ref = 0, nzw_ref = 0;
+        ops.segment_stats(plane.data(), nwords, &ones, &nzw);
+        ref.segment_stats(plane.data(), nwords, &ones_ref, &nzw_ref);
+        EXPECT_EQ(ones, ones_ref);
+        EXPECT_EQ(nzw, nzw_ref);
+
+        // bit_positions: +7 slack entries per the CodecOps contract.
+        std::vector<u64> pos(ones + 7, ~u64{0}), pos_ref(ones + 7, ~u64{0});
+        EXPECT_EQ(ops.bit_positions(plane.data(), nwords, pos.data()), ones);
+        EXPECT_EQ(ref.bit_positions(plane.data(), nwords, pos_ref.data()),
+                  ones);
+        for (u64 i = 0; i < ones; ++i) ASSERT_EQ(pos[i], pos_ref[i]) << i;
+
+        const u64 bitmap_words = (nwords + 63) / 64;
+        std::vector<u64> bm(bitmap_words, 0), packed(nzw + 1, ~u64{0});
+        std::vector<u64> bm_ref(bitmap_words, 0), pk_ref(nzw + 1, ~u64{0});
+        EXPECT_EQ(ops.sparse_pack(plane.data(), nwords, bm.data(),
+                                  packed.data()),
+                  nzw);
+        EXPECT_EQ(ref.sparse_pack(plane.data(), nwords, bm_ref.data(),
+                                  pk_ref.data()),
+                  nzw);
+        EXPECT_EQ(bm, bm_ref);
+        EXPECT_EQ(packed, pk_ref);
+        std::vector<u64> expanded(nwords, 0);
+        EXPECT_EQ(ops.sparse_expand(expanded.data(), nwords, bm.data(),
+                                    packed.data()),
+                  nzw);
+        EXPECT_EQ(expanded, plane);
+
+        if (ones == 0) continue;
+        for (u32 k : {0u, 1u, 5u, 13u}) {
+          const u64 bits = ops.rice_length_bits(pos.data(), ones, k);
+          ASSERT_EQ(bits, ref.rice_length_bits(pos_ref.data(), ones, k))
+              << "k=" << k;
+          std::vector<u64> stream((bits + 63) / 64, 0);
+          std::vector<u64> stream_ref((bits + 63) / 64, 0);
+          ops.rice_emit(pos.data(), ones, k, stream.data());
+          ref.rice_emit(pos_ref.data(), ones, k, stream_ref.data());
+          EXPECT_EQ(stream, stream_ref) << "k=" << k;
+          std::vector<u64> back(nwords, 0);
+          ASSERT_TRUE(ops.rice_expand(stream.data(), bits, ones, k, nbits,
+                                      back.data()))
+              << "k=" << k;
+          EXPECT_EQ(back, plane) << "k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(Codec, SegmentBytesBitIdenticalAcrossIsa) {
+  for (Density d : kDensities) {
+    for (u64 nbits : kBitLengths) {
+      const auto plane = make_plane(nbits, d, nbits * 31 + 5);
+      PlaneSegment base;
+      {
+        IsaOverrideGuard g(IsaLevel::kScalar);
+        base = encode_segment(plane, nbits);
+        EXPECT_EQ(decode_segment(base, nbits), plane);
+      }
+      for (IsaLevel tier : kTiers) {
+        IsaOverrideGuard g(tier);
+        const PlaneSegment seg = encode_segment(plane, nbits);
+        EXPECT_EQ(seg.data, base.data)
+            << simd::isa_name(tier) << " " << density_name(d)
+            << " nbits=" << nbits;
+        EXPECT_EQ(decode_segment(seg, nbits), plane);
+      }
+    }
+  }
+}
+
+// RAPIDS_FORCE_SCALAR must pin the segment coder too, not just the transform.
+TEST(Codec, ForceScalarEnvPinsCodec) {
+  const auto coeffs = random_field<f64>(5000, 77);
+  PlaneSet expect;
+  {
+    IsaOverrideGuard g(IsaLevel::kScalar);
+    expect = encode_planes(coeffs);
+  }
+  ::setenv("RAPIDS_FORCE_SCALAR", "1", 1);
+  simd::refresh_force_scalar_for_testing();
+  const PlaneSet forced = encode_planes(coeffs);
+  ::unsetenv("RAPIDS_FORCE_SCALAR");
+  simd::refresh_force_scalar_for_testing();
+  EXPECT_EQ(forced.sign.data, expect.sign.data);
+  ASSERT_EQ(forced.planes.size(), expect.planes.size());
+  for (u64 p = 0; p < forced.planes.size(); ++p)
+    EXPECT_EQ(forced.planes[p].data, expect.planes[p].data) << "plane " << p;
+}
+
+// Pooled and serial codec runs must agree on bytes AND on every CodecStats
+// counter (only the wall time may differ).
+TEST(Codec, PooledStatsAndBytesMatchSerial) {
+  ThreadPool pool(4);
+  const auto coeffs = random_field<f64>(20000, 2024);
+  CodecStats serial_cs, pooled_cs;
+  const PlaneSet serial = encode_planes(coeffs, kMagnitudePlanes, nullptr,
+                                        &serial_cs);
+  const PlaneSet pooled = encode_planes(coeffs, kMagnitudePlanes, &pool,
+                                        &pooled_cs);
+  EXPECT_EQ(pooled.sign.data, serial.sign.data);
+  ASSERT_EQ(pooled.planes.size(), serial.planes.size());
+  for (u64 p = 0; p < pooled.planes.size(); ++p)
+    EXPECT_EQ(pooled.planes[p].data, serial.planes[p].data) << "plane " << p;
+  EXPECT_EQ(pooled_cs.segments, serial_cs.segments);
+  EXPECT_EQ(pooled_cs.bytes, serial_cs.bytes);
+  EXPECT_EQ(pooled_cs.mode_raw, serial_cs.mode_raw);
+  EXPECT_EQ(pooled_cs.mode_sparse, serial_cs.mode_sparse);
+  EXPECT_EQ(pooled_cs.mode_zero, serial_cs.mode_zero);
+  EXPECT_EQ(pooled_cs.mode_rice, serial_cs.mode_rice);
+  EXPECT_GT(serial_cs.segments, 0u);
+  EXPECT_EQ(serial_cs.segments,
+            serial_cs.mode_raw + serial_cs.mode_sparse + serial_cs.mode_zero +
+                serial_cs.mode_rice);
+
+  CodecStats dec_serial, dec_pooled;
+  const auto a = decode_planes(serial, 16, nullptr, &dec_serial);
+  const auto b = decode_planes(serial, 16, &pool, &dec_pooled);
+  EXPECT_TRUE(BytesEqual(a, b));
+  EXPECT_EQ(dec_serial.segments, dec_pooled.segments);
+  EXPECT_EQ(dec_serial.bytes, dec_pooled.bytes);
+}
+
+// The level-fused traversal is a pure data-movement change: toggling
+// DecomposeOptions::level_fusion must not move a single bit, pooled or not.
+TEST(Codec, FusedTraversalBitIdenticalToUnfused) {
+  ThreadPool pool(4);
+  DecomposeOptions fused;    // level_fusion defaults on
+  DecomposeOptions unfused;
+  unfused.level_fusion = false;
+  for (const Shape& sh : kShapes) {
+    const GridHierarchy h(sh.dims, sh.levels);
+    const auto field = random_field<f64>(h.padded().total(), 404);
+    std::vector<f64> a = field, b = field;
+    decompose(a, h, fused, &pool);
+    decompose(b, h, unfused, &pool);
+    EXPECT_TRUE(BytesEqual(a, b))
+        << "decompose " << sh.dims.nx << "x" << sh.dims.ny << "x" << sh.dims.nz;
+    std::vector<f64> ra = a, rb = a;
+    recompose(ra, h, fused, &pool);
+    recompose(rb, h, unfused, &pool);
+    EXPECT_TRUE(BytesEqual(ra, rb))
+        << "recompose " << sh.dims.nx << "x" << sh.dims.ny << "x" << sh.dims.nz;
+  }
+}
+
 }  // namespace
 }  // namespace rapids::mgard

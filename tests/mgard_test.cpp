@@ -390,6 +390,103 @@ TEST(Bitplane, ParallelEncodeDecodeMatchesSerial) {
   EXPECT_EQ(decode_planes(serial, 16, nullptr), decode_planes(parallel, 16, &pool));
 }
 
+// Mode bytes are wire format (see encode_segment): 0 raw, 1 sparse, 2 zero,
+// 3 Rice.
+constexpr std::byte kRaw{0}, kSparse{1}, kZero{2}, kRice{3};
+
+TEST(Bitplane, RiceSegmentEdgeCases) {
+  // ones == 0: the zero mode, one byte, regardless of length.
+  for (u64 bits : {1u, 64u, 4097u}) {
+    std::vector<u64> none(ceil_div(bits, 64), 0);
+    const PlaneSegment seg = encode_segment(none, bits);
+    ASSERT_EQ(seg.data.size(), 1u);
+    EXPECT_EQ(seg.data[0], kZero);
+    EXPECT_EQ(decode_segment(seg, bits), none);
+  }
+  // ones == num_bits: Rice is not even considered (ones * 2 >= num_bits) and
+  // sparse cannot beat raw, so the segment must be raw and round-trip.
+  for (u64 bits : {1u, 63u, 64u, 65u, 1000u}) {
+    std::vector<u64> all(ceil_div(bits, 64), 0);
+    for (u64 i = 0; i < bits; ++i) all[i >> 6] |= u64{1} << (i & 63);
+    const PlaneSegment seg = encode_segment(all, bits);
+    EXPECT_EQ(seg.data[0], kRaw) << "bits=" << bits;
+    EXPECT_EQ(decode_segment(seg, bits), all) << "bits=" << bits;
+  }
+  // Single-word segments at every sub-word length.
+  Rng rng(21);
+  for (u64 bits = 1; bits <= 64; ++bits) {
+    const u64 mask = bits == 64 ? ~u64{0} : (u64{1} << bits) - 1;
+    const std::vector<u64> words = {rng.next_u64() & mask};
+    const PlaneSegment seg = encode_segment(words, bits);
+    EXPECT_EQ(decode_segment(seg, bits), words) << "bits=" << bits;
+  }
+  // A long, very sparse plane must pick Rice and round-trip exactly.
+  const u64 bits = 8192;
+  std::vector<u64> plane(ceil_div(bits, 64), 0);
+  for (u64 p : {5u, 700u, 701u, 3000u, 8191u}) plane[p >> 6] |= u64{1} << (p & 63);
+  const PlaneSegment seg = encode_segment(plane, bits);
+  EXPECT_EQ(seg.data[0], kRice);
+  EXPECT_EQ(decode_segment(seg, bits), plane);
+}
+
+TEST(Bitplane, MalformedSegmentsRejected) {
+  const u64 bits = 1000;
+  const u64 nwords = ceil_div(bits, 64);
+  // Empty body.
+  EXPECT_THROW(decode_segment(PlaneSegment{}, bits), io_error);
+  // Unknown mode byte.
+  EXPECT_THROW(decode_segment(PlaneSegment{{std::byte{9}}}, bits), io_error);
+
+  // Raw segment with its payload chopped.
+  std::vector<u64> dense(nwords);
+  Rng rng(22);
+  for (auto& w : dense) w = rng.next_u64();
+  PlaneSegment raw = encode_segment(dense, bits);
+  ASSERT_EQ(raw.data[0], kRaw);
+  raw.data.resize(raw.data.size() - 3);
+  EXPECT_THROW(decode_segment(raw, bits), io_error);
+
+  // Sparse segment: chop inside the packed words, then inside the bitmap.
+  std::vector<u64> sparse(nwords, 0);
+  sparse[2] = 0xFFFF;
+  sparse[9] = 0x1;
+  PlaneSegment sp = encode_segment(sparse, bits);
+  ASSERT_EQ(sp.data[0], kSparse);
+  PlaneSegment cut = sp;
+  cut.data.resize(cut.data.size() - 1);
+  EXPECT_THROW(decode_segment(cut, bits), io_error);
+  cut.data.resize(3);
+  EXPECT_THROW(decode_segment(cut, bits), io_error);
+
+  // Rice segment abuse. Start from a valid one.
+  std::vector<u64> few(nwords, 0);
+  few[0] = 0x8;
+  few[7] = 0x100;
+  PlaneSegment rice = encode_segment(few, bits);
+  ASSERT_EQ(rice.data[0], kRice);
+  // Header truncated below the fixed 10-byte prefix.
+  PlaneSegment h = rice;
+  h.data.resize(5);
+  EXPECT_THROW(decode_segment(h, bits), io_error);
+  // k out of range (> 63).
+  PlaneSegment badk = rice;
+  badk.data[1] = std::byte{200};
+  EXPECT_THROW(decode_segment(badk, bits), io_error);
+  // ones > num_bits.
+  PlaneSegment bado = rice;
+  for (int i = 2; i < 10; ++i) bado.data[i] = std::byte{0xFF};
+  EXPECT_THROW(decode_segment(bado, bits), io_error);
+  // Body truncated: the decoder must detect the missing gap bits, never read
+  // past the payload or fabricate positions.
+  PlaneSegment body = rice;
+  body.data.resize(body.data.size() - 1);
+  EXPECT_THROW(decode_segment(body, bits), io_error);
+  // ones claims more gaps than the stream encodes.
+  PlaneSegment more = rice;
+  more.data[2] = std::byte{60};  // 60 gaps, stream holds 2
+  EXPECT_THROW(decode_segment(more, bits), io_error);
+}
+
 // --- retrieval assembly ---
 
 std::vector<PlaneSet> make_plane_sets(u64 seed) {
